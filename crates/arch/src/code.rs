@@ -1,0 +1,256 @@
+//! Machine code as a per-cycle configuration stream.
+//!
+//! The EIT's "instructions" are configuration words loaded into the
+//! resource elements' configuration memories, re-loadable every cycle
+//! (§1.1). A [`ConfigStream`] is the schedule rendered into that form:
+//! for every cycle, the vector core's configuration and issued ops, the
+//! accelerator op, the index/merge op, and the memory reads/writes with
+//! their slots. This is the artifact a code generator would emit, and it
+//! is where reconfigurations become countable: a reconfiguration happens
+//! when two *consecutive issuing cycles* carry different vector-core
+//! configurations.
+
+use crate::schedule::Schedule;
+use crate::spec::ArchSpec;
+use eit_ir::{Category, Graph, NodeId, VectorConfig};
+use std::fmt;
+
+/// One cycle of the configuration stream.
+#[derive(Clone, Debug, Default)]
+pub struct Cycle {
+    /// Vector-core configuration, if any vector/matrix op issues.
+    pub vector_config: Option<VectorConfig>,
+    /// Vector/matrix ops issued this cycle (≤ 4 vector ops or 1 matrix op).
+    pub vector_ops: Vec<NodeId>,
+    /// Scalar-accelerator op issued this cycle.
+    pub scalar_op: Option<NodeId>,
+    /// Index/merge op issued this cycle.
+    pub index_merge_op: Option<NodeId>,
+    /// Vector memory reads `(datum, slot)` of this cycle.
+    pub reads: Vec<(NodeId, u32)>,
+    /// Vector memory writes `(datum, slot)` of this cycle.
+    pub writes: Vec<(NodeId, u32)>,
+}
+
+impl Cycle {
+    pub fn is_idle(&self) -> bool {
+        self.vector_ops.is_empty() && self.scalar_op.is_none() && self.index_merge_op.is_none()
+    }
+}
+
+/// A schedule rendered cycle-by-cycle.
+#[derive(Clone, Debug)]
+pub struct ConfigStream {
+    pub cycles: Vec<Cycle>,
+}
+
+impl ConfigStream {
+    /// Render `sched` into a configuration stream. Reads are attributed to
+    /// the issue cycle of the consuming vector-core op; writes to its
+    /// write-back cycle (`issue + pipeline`, the cycle the output datum
+    /// starts — within a cycle reads precede writes, so a lifetime ending
+    /// exactly where another begins is hazard-free, matching the Diff2
+    /// touching-rectangles semantics of constraint (11)).
+    pub fn from_schedule(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> Self {
+        let lat = &spec.latencies;
+        let n_cycles = (sched.makespan + 1).max(0) as usize;
+        let mut cycles = vec![Cycle::default(); n_cycles];
+
+        for id in g.ids() {
+            let cat = g.category(id);
+            if !cat.is_op() {
+                continue;
+            }
+            let t = sched.start_of(id) as usize;
+            if t >= cycles.len() {
+                continue;
+            }
+            match cat {
+                Category::VectorOp | Category::MatrixOp => {
+                    let op = g.opcode(id).unwrap();
+                    cycles[t].vector_config = op.config();
+                    cycles[t].vector_ops.push(id);
+                    // Reads: vector operands, at issue.
+                    for &d in g.preds(id) {
+                        if g.category(d) == Category::VectorData {
+                            if let Some(slot) = sched.slot_of(d) {
+                                cycles[t].reads.push((d, slot));
+                            }
+                        }
+                    }
+                    // Writes: vector outputs, at write-back.
+                    let wb = t + lat.latency(&g.node(id).kind) as usize;
+                    if wb < cycles.len() {
+                        for &d in g.succs(id) {
+                            if g.category(d) == Category::VectorData {
+                                if let Some(slot) = sched.slot_of(d) {
+                                    cycles[wb].writes.push((d, slot));
+                                }
+                            }
+                        }
+                    }
+                }
+                Category::ScalarOp => cycles[t].scalar_op = Some(id),
+                Category::Index | Category::Merge => cycles[t].index_merge_op = Some(id),
+                _ => unreachable!(),
+            }
+        }
+        ConfigStream { cycles }
+    }
+
+    /// Number of configuration *switches*: issuing cycles whose vector
+    /// configuration differs from the previous issuing cycle's.
+    pub fn reconfig_switches(&self) -> usize {
+        let mut prev: Option<VectorConfig> = None;
+        let mut switches = 0;
+        for c in &self.cycles {
+            if let Some(cfg) = c.vector_config {
+                if let Some(p) = prev {
+                    if p != cfg {
+                        switches += 1;
+                    }
+                }
+                prev = Some(cfg);
+            }
+        }
+        switches
+    }
+
+    /// Number of configuration *loads*, counting the initial one — the
+    /// quantity Table 3 reports as `# rec.` (MATMUL: 1).
+    pub fn config_loads(&self) -> usize {
+        let any_issue = self.cycles.iter().any(|c| c.vector_config.is_some());
+        self.reconfig_switches() + usize::from(any_issue)
+    }
+
+    /// Lane-cycles actually used by the vector core.
+    pub fn lane_cycles_used(&self, g: &Graph) -> u64 {
+        self.cycles
+            .iter()
+            .flat_map(|c| &c.vector_ops)
+            .map(|&op| {
+                if g.category(op) == Category::MatrixOp {
+                    4
+                } else {
+                    1
+                }
+            })
+            .sum()
+    }
+
+    /// Vector-core utilisation: used lane-cycles over available ones.
+    pub fn utilization(&self, g: &Graph, spec: &ArchSpec) -> f64 {
+        if self.cycles.is_empty() {
+            return 0.0;
+        }
+        self.lane_cycles_used(g) as f64 / (spec.n_lanes as u64 * self.cycles.len() as u64) as f64
+    }
+}
+
+impl fmt::Display for ConfigStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, c) in self.cycles.iter().enumerate() {
+            if c.is_idle() && c.writes.is_empty() {
+                continue;
+            }
+            write!(f, "cc {t:4}: ")?;
+            if let Some(cfg) = &c.vector_config {
+                write!(f, "V[{:?}×{}] ", cfg.core, c.vector_ops.len())?;
+            }
+            if c.scalar_op.is_some() {
+                write!(f, "A[1] ")?;
+            }
+            if c.index_merge_op.is_some() {
+                write!(f, "IM[1] ")?;
+            }
+            if !c.reads.is_empty() {
+                write!(f, "R{:?} ", c.reads.iter().map(|&(_, s)| s).collect::<Vec<_>>())?;
+            }
+            if !c.writes.is_empty() {
+                write!(f, "W{:?}", c.writes.iter().map(|&(_, s)| s).collect::<Vec<_>>())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eit_ir::{CoreOp, DataKind, Opcode};
+
+    /// Two different op types back to back → 1 switch, 2 loads.
+    #[test]
+    fn reconfig_counting() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let (o1, _) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let (o2, _) = g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "y");
+        let (o3, _) = g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "z");
+        let mut s = Schedule::new(g.len());
+        s.start[o1.idx()] = 0;
+        s.start[o2.idx()] = 1;
+        s.start[o3.idx()] = 5; // idle gap does not reconfigure
+        s.slot[a.idx()] = Some(0);
+        s.slot[b.idx()] = Some(1);
+        s.makespan = 12;
+        let cs = ConfigStream::from_schedule(&g, &ArchSpec::eit(), &s);
+        assert_eq!(cs.reconfig_switches(), 1);
+        assert_eq!(cs.config_loads(), 2);
+    }
+
+    #[test]
+    fn single_config_app_has_one_load() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let (o1, _) = g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[a, b], DataKind::Scalar, "x");
+        let (o2, _) = g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[b, a], DataKind::Scalar, "y");
+        let mut s = Schedule::new(g.len());
+        s.start[o1.idx()] = 0;
+        s.start[o2.idx()] = 1;
+        s.slot[a.idx()] = Some(0);
+        s.slot[b.idx()] = Some(1);
+        s.makespan = 8;
+        let cs = ConfigStream::from_schedule(&g, &ArchSpec::eit(), &s);
+        assert_eq!(cs.reconfig_switches(), 0);
+        assert_eq!(cs.config_loads(), 1);
+    }
+
+    #[test]
+    fn reads_at_issue_writes_at_writeback() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let (o, out) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let mut s = Schedule::new(g.len());
+        s.start[o.idx()] = 2;
+        s.start[out.idx()] = 9;
+        s.slot[a.idx()] = Some(0);
+        s.slot[b.idx()] = Some(1);
+        s.slot[out.idx()] = Some(2);
+        s.makespan = 9;
+        let cs = ConfigStream::from_schedule(&g, &ArchSpec::eit(), &s);
+        assert_eq!(cs.cycles[2].reads.len(), 2);
+        assert_eq!(cs.cycles[9].writes, vec![(out, 2)]); // 2 + 7
+    }
+
+    #[test]
+    fn utilization_counts_matrix_as_four_lanes() {
+        let mut g = Graph::new("t");
+        let ins: Vec<NodeId> = (0..4).map(|i| g.add_data(DataKind::Vector, &format!("i{i}"))).collect();
+        let m = g.add_op(Opcode::matrix(CoreOp::SquSum), "m");
+        for &i in &ins {
+            g.add_edge(i, m);
+        }
+        let out = g.add_data(DataKind::Vector, "o");
+        g.add_edge(m, out);
+        let mut s = Schedule::new(g.len());
+        s.makespan = 1;
+        let cs = ConfigStream::from_schedule(&g, &ArchSpec::eit(), &s);
+        assert_eq!(cs.lane_cycles_used(&g), 4);
+        assert_eq!(cs.utilization(&g, &ArchSpec::eit()), 0.5); // 4 of 8
+    }
+}

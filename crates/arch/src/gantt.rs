@@ -1,0 +1,144 @@
+//! Text Gantt rendering of schedules — one row per resource, one column
+//! per cycle, for eyeballing pipelines, gaps and reconfigurations.
+//!
+//! ```text
+//! lane0 |AAAA....BBBB|
+//! lane1 |AAAA........|
+//! accel |....ss......|
+//! ```
+
+use crate::code::ConfigStream;
+use crate::schedule::Schedule;
+use crate::spec::ArchSpec;
+use eit_ir::{Category, Graph};
+use std::fmt::Write as _;
+
+/// Render a schedule as a text Gantt chart. Rows: vector lanes (ops are
+/// drawn with letters cycling per configuration, `#` for matrix ops
+/// across all lanes), the scalar accelerator, and the index/merge unit.
+/// `.` is idle; the occupancy of multi-cycle ops is drawn with `-`.
+pub fn render_gantt(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
+    let lat = &spec.latencies;
+    let n = (sched.makespan + 1).max(1) as usize;
+    let lanes = spec.n_lanes as usize;
+    let mut lane_rows = vec![vec!['.'; n]; lanes];
+    let mut accel_row = vec!['.'; n];
+    let mut im_row = vec!['.'; n];
+
+    // Stable letter per vector configuration.
+    let cs = ConfigStream::from_schedule(g, spec, sched);
+    let mut seen_cfgs: Vec<eit_ir::VectorConfig> = Vec::new();
+    let mut letter_of = |cfg: eit_ir::VectorConfig| -> char {
+        let idx = match seen_cfgs.iter().position(|&c| c == cfg) {
+            Some(i) => i,
+            None => {
+                seen_cfgs.push(cfg);
+                seen_cfgs.len() - 1
+            }
+        };
+        (b'A' + (idx % 26) as u8) as char
+    };
+
+    for (t, c) in cs.cycles.iter().enumerate() {
+        if let Some(cfg) = c.vector_config {
+            let ch = if cfg.matrix { '#' } else { letter_of(cfg) };
+            let count = if cfg.matrix { lanes } else { c.vector_ops.len().min(lanes) };
+            for row in lane_rows.iter_mut().take(count) {
+                row[t] = ch;
+            }
+        }
+    }
+
+    for node in g.ids() {
+        let cat = g.category(node);
+        let t = sched.start_of(node);
+        if t < 0 || t as usize >= n {
+            continue;
+        }
+        let dur = lat.duration(&g.node(node).kind).max(1) as usize;
+        match cat {
+            Category::ScalarOp => {
+                accel_row[t as usize] = 's';
+                for dt in 1..dur.min(n - t as usize) {
+                    accel_row[t as usize + dt] = '-';
+                }
+            }
+            Category::Index => im_row[t as usize] = 'i',
+            Category::Merge => im_row[t as usize] = 'm',
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles 0..{} (one column per cc)", sched.makespan);
+    for (k, row) in lane_rows.iter().enumerate() {
+        let _ = writeln!(out, "lane{k} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "accel |{}|", accel_row.iter().collect::<String>());
+    let _ = writeln!(out, "idxmg |{}|", im_row.iter().collect::<String>());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eit_ir::{CoreOp, DataKind, Opcode, ScalarOp};
+
+    #[test]
+    fn gantt_shows_all_units() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let (o, d) = g.add_op_with_output(
+            Opcode::vector(CoreOp::DotP),
+            &[a, b],
+            DataKind::Scalar,
+            "dot",
+        );
+        let (sq, dq) = g.add_op_with_output(
+            Opcode::Scalar(ScalarOp::Sqrt),
+            &[d],
+            DataKind::Scalar,
+            "sqrt",
+        );
+        let spec = ArchSpec::eit();
+        let mut s = Schedule::new(g.len());
+        s.start[o.idx()] = 0;
+        s.start[d.idx()] = 7;
+        s.start[sq.idx()] = 7;
+        s.start[dq.idx()] = 15;
+        s.slot[a.idx()] = Some(0);
+        s.slot[b.idx()] = Some(1);
+        s.makespan = 15;
+        let txt = render_gantt(&g, &spec, &s);
+        assert!(txt.contains("lane0 |A"));
+        // sqrt occupies 2 cycles: 's' then '-'.
+        assert!(txt.contains("s-"));
+        assert_eq!(txt.lines().count(), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn matrix_ops_fill_all_lanes() {
+        let mut g = Graph::new("t");
+        let ins: Vec<_> = (0..4)
+            .map(|i| g.add_data(DataKind::Vector, &format!("i{i}")))
+            .collect();
+        let m = g.add_op(Opcode::matrix(CoreOp::SquSum), "m");
+        for &i in &ins {
+            g.add_edge(i, m);
+        }
+        let out = g.add_data(DataKind::Vector, "o");
+        g.add_edge(m, out);
+        let mut s = Schedule::new(g.len());
+        s.start[out.idx()] = 7;
+        for (k, &i) in ins.iter().enumerate() {
+            s.slot[i.idx()] = Some(k as u32);
+        }
+        s.slot[out.idx()] = Some(4);
+        s.makespan = 7;
+        let txt = render_gantt(&g, &ArchSpec::eit(), &s);
+        for lane in 0..4 {
+            assert!(txt.contains(&format!("lane{lane} |#")), "{txt}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # eit-arch — machine model and cycle-accurate simulator
+//!
+//! The EIT architecture (§1.1 of the paper) as an executable model:
+//!
+//! - [`spec::ArchSpec`] — every architectural parameter (4-lane CMAC
+//!   vector core behind a 7-stage pipeline, scalar accelerator,
+//!   index/merge unit, 16-bank paged vector memory, reconfiguration
+//!   cost);
+//! - [`memory`] — slot/line/page geometry, the fig. 8 access-legality
+//!   rules, and value-carrying memory for functional replay;
+//! - [`schedule::Schedule`] — the scheduler's output: start times plus
+//!   memory allocation;
+//! - [`code::ConfigStream`] — machine code as a per-cycle configuration
+//!   stream, where reconfigurations are counted;
+//! - [`sim`] — structural validation and functional replay of schedules
+//!   against all of the above.
+//!
+//! The paper's own evaluation never runs on silicon — it is analytic over
+//! the architecture's published timing rules; the simulator enforces
+//! those same rules and additionally executes every schedule, which is
+//! the substitution documented in DESIGN.md.
+
+pub mod code;
+pub mod gantt;
+pub mod memory;
+pub mod persist;
+pub mod schedule;
+pub mod sim;
+pub mod spec;
+pub mod vcd;
+
+pub use code::{ConfigStream, Cycle};
+pub use gantt::render_gantt;
+pub use persist::{schedule_from_text, schedule_to_text, PersistError};
+pub use memory::{check_access, matrix_accessible_in_one_cycle, AccessViolation, Geometry, VectorMemory};
+pub use schedule::Schedule;
+pub use sim::{simulate, validate_structure, validate_structure_with, SimReport, UnitUtilization, Violation};
+pub use spec::ArchSpec;
+pub use vcd::to_vcd;

@@ -1,0 +1,189 @@
+//! Schedule persistence: a line-oriented text format for storing and
+//! reloading schedules (golden-schedule tests, caching solver results,
+//! shipping a schedule to a code generator out of process).
+//!
+//! ```text
+//! schedule v1 makespan=22 nodes=8
+//! 0 start=0 slot=0
+//! 1 start=0 slot=1
+//! 2 start=0 slot=-
+//! …
+//! ```
+
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Errors from [`schedule_from_text`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    BadHeader(String),
+    BadLine(String),
+    WrongCount { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadHeader(l) => write!(f, "bad header: {l}"),
+            PersistError::BadLine(l) => write!(f, "bad line: {l}"),
+            PersistError::WrongCount { expected, got } => {
+                write!(f, "expected {expected} node lines, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialise a schedule to the v1 text format.
+pub fn schedule_to_text(s: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule v1 makespan={} nodes={}",
+        s.makespan,
+        s.start.len()
+    );
+    for i in 0..s.start.len() {
+        let slot = match s.slot[i] {
+            Some(x) => x.to_string(),
+            None => "-".into(),
+        };
+        let _ = writeln!(out, "{i} start={} slot={slot}", s.start[i]);
+    }
+    out
+}
+
+/// Parse the v1 text format.
+pub fn schedule_from_text(src: &str) -> Result<Schedule, PersistError> {
+    let mut lines = src.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| PersistError::BadHeader("<empty>".into()))?;
+    let mut makespan = None;
+    let mut nodes = None;
+    if !header.starts_with("schedule v1") {
+        return Err(PersistError::BadHeader(header.into()));
+    }
+    for tok in header.split_whitespace().skip(2) {
+        if let Some(v) = tok.strip_prefix("makespan=") {
+            makespan = v.parse::<i32>().ok();
+        } else if let Some(v) = tok.strip_prefix("nodes=") {
+            nodes = v.parse::<usize>().ok();
+        }
+    }
+    let (Some(makespan), Some(nodes)) = (makespan, nodes) else {
+        return Err(PersistError::BadHeader(header.into()));
+    };
+
+    let mut sched = Schedule::new(nodes);
+    sched.makespan = makespan;
+    let mut count = 0;
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let idx: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| PersistError::BadLine(line.into()))?;
+        if idx >= nodes {
+            return Err(PersistError::BadLine(line.into()));
+        }
+        for tok in parts {
+            if let Some(v) = tok.strip_prefix("start=") {
+                sched.start[idx] = v
+                    .parse()
+                    .map_err(|_| PersistError::BadLine(line.into()))?;
+            } else if let Some(v) = tok.strip_prefix("slot=") {
+                sched.slot[idx] = if v == "-" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|_| PersistError::BadLine(line.into()))?)
+                };
+            } else {
+                return Err(PersistError::BadLine(line.into()));
+            }
+        }
+        count += 1;
+    }
+    if count != nodes {
+        return Err(PersistError::WrongCount { expected: nodes, got: count });
+    }
+    Ok(sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new(4);
+        s.start = vec![0, 3, 7, 14];
+        s.slot = vec![Some(0), None, Some(17), None];
+        s.makespan = 21;
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let s = sample();
+        let txt = schedule_to_text(&s);
+        let back = schedule_from_text(&txt).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn header_errors_detected() {
+        assert!(matches!(
+            schedule_from_text(""),
+            Err(PersistError::BadHeader(_))
+        ));
+        assert!(matches!(
+            schedule_from_text("schedule v2 makespan=1 nodes=0"),
+            Err(PersistError::BadHeader(_))
+        ));
+        assert!(matches!(
+            schedule_from_text("schedule v1 nodes=2"),
+            Err(PersistError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn line_errors_detected() {
+        let txt = "schedule v1 makespan=5 nodes=1\n0 start=zero slot=-\n";
+        assert!(matches!(
+            schedule_from_text(txt),
+            Err(PersistError::BadLine(_))
+        ));
+        let txt = "schedule v1 makespan=5 nodes=2\n0 start=1 slot=-\n";
+        assert!(matches!(
+            schedule_from_text(txt),
+            Err(PersistError::WrongCount { expected: 2, got: 1 })
+        ));
+        let txt = "schedule v1 makespan=5 nodes=1\n7 start=1 slot=-\n";
+        assert!(matches!(
+            schedule_from_text(txt),
+            Err(PersistError::BadLine(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_real_scheduler_output() {
+        // Persist a real schedule and re-validate the reload.
+        use eit_ir::{CoreOp, DataKind, Opcode};
+        let mut g = eit_ir::Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let (o, out) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let mut s = Schedule::new(g.len());
+        s.start[o.idx()] = 0;
+        s.start[out.idx()] = 7;
+        s.slot[a.idx()] = Some(0);
+        s.slot[b.idx()] = Some(1);
+        s.slot[out.idx()] = Some(2);
+        s.makespan = 7;
+        let reloaded = schedule_from_text(&schedule_to_text(&s)).unwrap();
+        let v = crate::sim::validate_structure(&g, &crate::spec::ArchSpec::eit(), &reloaded);
+        assert!(v.is_empty());
+    }
+}

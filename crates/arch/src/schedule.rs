@@ -1,0 +1,117 @@
+//! The scheduler ↔ simulator interface: a complete schedule with memory
+//! allocation.
+//!
+//! A [`Schedule`] assigns every IR node a start time `s_i` and every
+//! vector data node a memory slot — exactly the output the paper's CP
+//! model produces (§3.3–3.4). It is deliberately a plain data structure:
+//! the constraint solver produces it, the code generator consumes it, and
+//! the simulator validates it, all through this type.
+
+use eit_ir::{Category, Graph, NodeId};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Start time per node (indexed by `NodeId`).
+    pub start: Vec<i32>,
+    /// Memory slot per node (`Some` for vector data nodes).
+    pub slot: Vec<Option<u32>>,
+    /// Latest completion over all nodes (the paper's objective (5)).
+    pub makespan: i32,
+}
+
+impl Schedule {
+    pub fn new(n_nodes: usize) -> Self {
+        Schedule {
+            start: vec![0; n_nodes],
+            slot: vec![None; n_nodes],
+            makespan: 0,
+        }
+    }
+
+    pub fn start_of(&self, n: NodeId) -> i32 {
+        self.start[n.idx()]
+    }
+
+    pub fn slot_of(&self, n: NodeId) -> Option<u32> {
+        self.slot[n.idx()]
+    }
+
+    /// Lifetime `[start, end)` of a data node per the paper's (10): from
+    /// its own start to the start of its latest consumer. A node with no
+    /// consumers (an application output) lives one cycle, long enough to
+    /// be written.
+    pub fn lifetime(&self, g: &Graph, n: NodeId) -> (i32, i32) {
+        debug_assert!(g.category(n).is_data());
+        let s = self.start_of(n);
+        let end = g
+            .succs(n)
+            .iter()
+            .map(|&c| self.start_of(c))
+            .max()
+            .unwrap_or(s + 1);
+        (s, end.max(s + 1))
+    }
+
+    /// Number of distinct slots used by vector data.
+    pub fn slots_used(&self, g: &Graph) -> usize {
+        let mut used: Vec<u32> = g
+            .ids()
+            .filter(|&i| g.category(i) == Category::VectorData)
+            .filter_map(|i| self.slot_of(i))
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// Recompute the makespan from starts and a latency function.
+    pub fn compute_makespan<F: Fn(NodeId) -> i32>(&mut self, g: &Graph, latency: &F) {
+        self.makespan = g
+            .ids()
+            .map(|i| self.start_of(i) + latency(i))
+            .max()
+            .unwrap_or(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eit_ir::{CoreOp, DataKind, Opcode};
+
+    #[test]
+    fn lifetime_spans_to_latest_consumer() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let (o1, _) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let (o2, _) = g.add_op_with_output(Opcode::vector(CoreOp::Sub), &[a, b], DataKind::Vector, "y");
+        let mut s = Schedule::new(g.len());
+        s.start[o1.idx()] = 3;
+        s.start[o2.idx()] = 9;
+        assert_eq!(s.lifetime(&g, a), (0, 9));
+    }
+
+    #[test]
+    fn output_lifetime_is_one_cycle() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let (_, out) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, a], DataKind::Vector, "x");
+        let mut s = Schedule::new(g.len());
+        s.start[out.idx()] = 7;
+        assert_eq!(s.lifetime(&g, out), (7, 8));
+    }
+
+    #[test]
+    fn slots_used_counts_distinct() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let c = g.add_data(DataKind::Vector, "c");
+        let mut s = Schedule::new(g.len());
+        s.slot[a.idx()] = Some(5);
+        s.slot[b.idx()] = Some(5);
+        s.slot[c.idx()] = Some(9);
+        assert_eq!(s.slots_used(&g), 2);
+    }
+}

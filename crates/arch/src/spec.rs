@@ -1,0 +1,176 @@
+//! The EIT machine model (§1.1 of the paper).
+//!
+//! One struct gathers every architectural parameter the scheduler and the
+//! simulator need: the four-lane CMAC vector core behind a seven-stage
+//! pipeline, the scalar accelerator (divide/√/CORDIC), the index/merge
+//! unit, and the 16-bank paged vector memory. Everything is
+//! parameterisable; [`ArchSpec::eit`] is the paper's instance.
+
+use eit_ir::LatencyModel;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArchSpec {
+    /// Parallel processing lanes in PE3 (each four CMACs). A vector op
+    /// occupies one lane, a matrix op all of them.
+    pub n_lanes: u32,
+    /// Memory banks of the vector memory.
+    pub n_banks: u32,
+    /// Banks per page (pages share one access descriptor).
+    pub page_size: u32,
+    /// Slots (vector-sized words) per bank — the paper's "memory size"
+    /// sweep of Table 1 varies the total slot count.
+    pub slots_per_bank: u32,
+    /// Vectors readable from the whole memory per cycle (two 4×4
+    /// matrices).
+    pub max_vector_reads: u32,
+    /// Vectors writable per cycle (one 4×4 matrix).
+    pub max_vector_writes: u32,
+    /// Cycles lost when the vector core's configuration changes between
+    /// two consecutive (issuing) instructions.
+    pub reconfig_cost: i32,
+    /// Optional cap on the usable slot count (the paper's Table 1 sweeps
+    /// budgets like 10 that are not multiples of the bank count); slots
+    /// `0..cap` of the linear enumeration remain usable.
+    pub slot_cap: Option<u32>,
+    /// Latency/duration table shared with the scheduler.
+    pub latencies: LatencyModel,
+}
+
+impl ArchSpec {
+    /// The EIT instance: 4 lanes, 7-stage pipeline, 16 banks in 4-bank
+    /// pages, 8 reads + 4 writes per cycle, 1-cycle reconfiguration.
+    pub fn eit() -> Self {
+        ArchSpec {
+            n_lanes: 4,
+            n_banks: 16,
+            page_size: 4,
+            slots_per_bank: 4, // 64 slots by default; Table 1 sweeps this
+            max_vector_reads: 8,
+            max_vector_writes: 4,
+            reconfig_cost: 1,
+            slot_cap: None,
+            latencies: LatencyModel::default(),
+        }
+    }
+
+    /// Same machine with a different total slot budget. `n_slots` need not
+    /// be a multiple of the bank count; the scheduler simply caps the
+    /// linear slot enumeration at `n_slots`.
+    pub fn with_slots(mut self, n_slots: u32) -> Self {
+        self.slots_per_bank = n_slots.div_ceil(self.n_banks);
+        self.slot_cap = Some(n_slots);
+        self
+    }
+
+    /// Total number of usable memory slots.
+    pub fn n_slots(&self) -> u32 {
+        let physical = self.n_banks * self.slots_per_bank;
+        self.slot_cap.map_or(physical, |c| c.min(physical))
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> u32 {
+        self.n_banks / self.page_size
+    }
+
+    /// Pipeline depth in cycles (= vector-op latency).
+    pub fn pipeline_depth(&self) -> i32 {
+        self.latencies.vector_pipeline
+    }
+
+    /// A wider hypothetical machine for design-space studies: 8 lanes,
+    /// 32 banks in 4-bank pages, double the port budgets.
+    pub fn wide() -> Self {
+        let mut s = Self::eit();
+        s.n_lanes = 8;
+        s.n_banks = 32;
+        s.max_vector_reads = 16;
+        s.max_vector_writes = 8;
+        s
+    }
+
+    /// Sanity-check the parameter set; returns a description of the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_lanes == 0 {
+            return Err("n_lanes must be positive".into());
+        }
+        if self.n_banks == 0 || self.page_size == 0 {
+            return Err("banks and page size must be positive".into());
+        }
+        if !self.n_banks.is_multiple_of(self.page_size) {
+            return Err(format!(
+                "bank count {} is not a multiple of the page size {}",
+                self.n_banks, self.page_size
+            ));
+        }
+        if self.slots_per_bank == 0 {
+            return Err("memory needs at least one slot per bank".into());
+        }
+        if self.max_vector_writes == 0 || self.max_vector_reads == 0 {
+            return Err("port budgets must be positive".into());
+        }
+        if self.reconfig_cost < 0 {
+            return Err("reconfiguration cost cannot be negative".into());
+        }
+        if self.latencies.vector_pipeline < 1 || self.latencies.vector_duration < 1 {
+            return Err("the vector pipeline needs positive latency/duration".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchSpec {
+    fn default() -> Self {
+        Self::eit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eit_instance_matches_paper() {
+        let a = ArchSpec::eit();
+        assert_eq!(a.n_lanes, 4);
+        assert_eq!(a.n_banks, 16);
+        assert_eq!(a.page_size, 4);
+        assert_eq!(a.n_pages(), 4);
+        assert_eq!(a.max_vector_reads, 8);
+        assert_eq!(a.max_vector_writes, 4);
+        assert_eq!(a.pipeline_depth(), 7);
+    }
+
+    #[test]
+    fn presets_validate() {
+        ArchSpec::eit().validate().unwrap();
+        ArchSpec::wide().validate().unwrap();
+        assert_eq!(ArchSpec::wide().n_lanes, 8);
+        assert_eq!(ArchSpec::wide().n_pages(), 8);
+    }
+
+    #[test]
+    fn invalid_parameter_sets_are_rejected() {
+        let mut s = ArchSpec::eit();
+        s.page_size = 3; // 16 % 3 != 0
+        assert!(s.validate().is_err());
+        let mut s = ArchSpec::eit();
+        s.n_lanes = 0;
+        assert!(s.validate().is_err());
+        let mut s = ArchSpec::eit();
+        s.reconfig_cost = -1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn slot_budget_caps_exactly() {
+        let a = ArchSpec::eit().with_slots(33);
+        assert_eq!(a.slots_per_bank, 3);
+        assert_eq!(a.n_slots(), 33);
+        let b = ArchSpec::eit().with_slots(64);
+        assert_eq!(b.n_slots(), 64);
+        let c = ArchSpec::eit().with_slots(10);
+        assert_eq!(c.n_slots(), 10);
+    }
+}

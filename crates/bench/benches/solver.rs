@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the CP solver substrate: domain operations,
+//! propagation fixpoints, the two global constraints, and end-to-end
+//! search on synthetic kernels of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eit_apps::synth::{build, SynthParams};
+use eit_arch::ArchSpec;
+use eit_core::{schedule, SchedulerOptions};
+use eit_cp::props::cumulative::CumTask;
+use eit_cp::props::diff2::Rect;
+use eit_cp::{Domain, Model, Phase, SearchConfig, ValSel, VarSel};
+use std::time::Duration;
+
+fn bench_domain(c: &mut Criterion) {
+    c.bench_function("solver/domain_remove_middle", |b| {
+        b.iter(|| {
+            let mut d = Domain::interval(0, 999);
+            for v in (100..900).step_by(7) {
+                d.remove_value(v);
+            }
+            d.size()
+        })
+    });
+    c.bench_function("solver/domain_intersect_holey", |b| {
+        let a = Domain::from_values((0..1000).filter(|v| v % 3 != 0));
+        let bd = Domain::from_values((0..1000).filter(|v| v % 5 != 0));
+        b.iter(|| {
+            let mut x = a.clone();
+            x.intersect(&bd);
+            x.size()
+        })
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    c.bench_function("solver/cumulative_fixpoint_100_tasks", |b| {
+        b.iter(|| {
+            let mut m = Model::new();
+            let tasks: Vec<CumTask> = (0..100)
+                .map(|_| CumTask { start: m.new_var(0, 200), dur: 2, req: 1 })
+                .collect();
+            m.cumulative(tasks, 4);
+            assert!(eit_cp::search::propagate_root(&mut m));
+        })
+    });
+    c.bench_function("solver/diff2_fixpoint_50_rects", |b| {
+        b.iter(|| {
+            let mut m = Model::new();
+            let one = m.new_const(1);
+            let rects: Vec<Rect> = (0..50)
+                .map(|_| {
+                    let x = m.new_var(0, 100);
+                    let y = m.new_var(0, 15);
+                    let l = m.new_var(1, 20);
+                    Rect { origin: [x, y], len: [l, one] }
+                })
+                .collect();
+            m.diff2(rects);
+            assert!(eit_cp::search::propagate_root(&mut m));
+        })
+    });
+}
+
+fn bench_synthetic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/synthetic_schedule");
+    group.sample_size(10);
+    for (layers, width) in [(2usize, 4usize), (4, 6), (6, 8)] {
+        let k = build(SynthParams { layers, width, seed: 7, ..Default::default() });
+        let mut g = k.graph.clone();
+        eit_ir::merge_pipeline_ops(&mut g);
+        let n = g.len();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| {
+                let r = schedule(
+                    &g,
+                    &ArchSpec::eit(),
+                    &SchedulerOptions {
+                        timeout: Some(Duration::from_secs(30)),
+                        ..Default::default()
+                    },
+                );
+                r.makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_heuristics(c: &mut Criterion) {
+    // N-ary all-different-style packing via cumulative, comparing value
+    // selection strategies on the same model.
+    for val in [ValSel::Min, ValSel::Split] {
+        c.bench_function(
+            &format!("solver/packing_valsel_{:?}", val),
+            |b| {
+                b.iter(|| {
+                    let mut m = Model::new();
+                    let vars: Vec<_> = (0..24).map(|_| m.new_var(0, 11)).collect();
+                    m.cumulative(
+                        vars.iter().map(|&v| CumTask { start: v, dur: 1, req: 1 }).collect(),
+                        2,
+                    );
+                    let cfg = SearchConfig {
+                        phases: vec![Phase::new(vars, VarSel::FirstFail, val)],
+                        ..Default::default()
+                    };
+                    let r = eit_cp::solve(&mut m, &cfg);
+                    assert!(r.is_sat());
+                })
+            },
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_domain,
+    bench_propagation,
+    bench_synthetic_scaling,
+    bench_search_heuristics
+);
+criterion_main!(benches);

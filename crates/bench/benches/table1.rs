@@ -1,0 +1,51 @@
+//! Criterion bench for Table 1: QRD scheduling with memory allocation
+//! across slot budgets (the work the paper's "opt. time" column measures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eit_arch::ArchSpec;
+use eit_bench::prepared;
+use eit_core::{schedule, SchedulerOptions};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let p = prepared("qrd");
+    let mut group = c.benchmark_group("table1/qrd_schedule");
+    group.sample_size(10);
+    for slots in [64u32, 32, 16, 10, 8] {
+        let spec = ArchSpec::eit().with_slots(slots);
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, _| {
+            b.iter(|| {
+                let r = schedule(
+                    &p.graph,
+                    &spec,
+                    &SchedulerOptions {
+                        timeout: Some(Duration::from_secs(60)),
+                        ..Default::default()
+                    },
+                );
+                assert!(r.schedule.is_some());
+                r.makespan
+            })
+        });
+    }
+    group.finish();
+
+    // The infeasibility proof below the live-set floor.
+    c.bench_function("table1/qrd_infeasible_7_slots", |b| {
+        let spec = ArchSpec::eit().with_slots(7);
+        b.iter(|| {
+            let r = schedule(
+                &p.graph,
+                &spec,
+                &SchedulerOptions {
+                    timeout: Some(Duration::from_secs(60)),
+                    ..Default::default()
+                },
+            );
+            assert!(r.schedule.is_none());
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Table 2: the overlapped-execution transform for
+//! 12 QRD iterations, manual-style and automated bundle sources.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eit_bench::{eit, prepared};
+use eit_core::{
+    bundles_from_schedule, manual_style_bundles, overlapped_execution, schedule, SchedulerOptions,
+};
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let p = prepared("qrd");
+    let spec = eit();
+    let m = 12;
+
+    c.bench_function("table2/manual_bundling", |b| {
+        b.iter(|| manual_style_bundles(&p.graph, &spec).len())
+    });
+
+    let manual = manual_style_bundles(&p.graph, &spec);
+    c.bench_function("table2/overlap_manual_x12", |b| {
+        b.iter(|| overlapped_execution(&p.graph, &spec, &manual, m).makespan)
+    });
+
+    let r = schedule(
+        &p.graph,
+        &spec,
+        &SchedulerOptions {
+            timeout: Some(Duration::from_secs(60)),
+            ..Default::default()
+        },
+    );
+    let auto = bundles_from_schedule(&p.graph, &r.schedule.unwrap());
+    c.bench_function("table2/overlap_automated_x12", |b| {
+        b.iter(|| overlapped_execution(&p.graph, &spec, &auto, m).makespan)
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Table 3: modulo scheduling (both reconfiguration
+//! models) for QRD, ARF and MATMUL — the paper's "optimization time"
+//! column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eit_bench::{eit, prepared};
+use eit_core::{modulo_schedule, ModuloOptions};
+use std::time::Duration;
+
+fn bench_table3(c: &mut Criterion) {
+    let spec = eit();
+    for name in ["qrd", "arf", "matmul"] {
+        let p = prepared(name);
+        let mut group = c.benchmark_group(format!("table3/{name}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("excl_reconfig", name), &(), |b, _| {
+            b.iter(|| {
+                modulo_schedule(
+                    &p.graph,
+                    &spec,
+                    &ModuloOptions {
+                        timeout_per_ii: Duration::from_secs(30),
+                        total_timeout: Duration::from_secs(120),
+                        ..Default::default()
+                    },
+                )
+                .map(|r| r.actual_ii)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incl_reconfig", name), &(), |b, _| {
+            b.iter(|| {
+                modulo_schedule(
+                    &p.graph,
+                    &spec,
+                    &ModuloOptions {
+                        include_reconfig: true,
+                        timeout_per_ii: Duration::from_secs(30),
+                        total_timeout: Duration::from_secs(120),
+                        ..Default::default()
+                    },
+                )
+                .map(|r| r.actual_ii)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! `eitc` — the compiler driver: kernel → schedule → machine listing.
+//!
+//! The whole fig. 2 flow on the command line.
+//!
+//! ```text
+//! eitc <kernel|path.xml> [options]
+//!
+//!   <kernel>            qrd | arf | matmul | fir | detector | blockmm,
+//!                       or a path to an IR .xml file
+//!   --slots N           memory budget (default: 64)
+//!   --no-memory         schedule without the memory model (manual-baseline mode)
+//!   --no-merge          skip the fig. 6 pipeline-merge pass
+//!   --modulo [incl]     emit a modulo schedule instead (optionally with
+//!                       reconfigurations modelled)
+//!   --overlap M         overlapped execution of M iterations
+//!   --timeout SECS      solver budget (default: 120)
+//!   --emit xml          dump the (merged) IR as XML instead of compiling
+//!   --emit dot          dump the (merged) IR as Graphviz DOT
+//!   --emit vcd          dump the schedule as a VCD waveform
+//!   --emit gantt        print a Gantt chart of the schedule instead of a listing
+//! ```
+//!
+//! Example: `cargo run --release -p eit-bench --bin eitc -- qrd --slots 16`
+
+use eit_arch::ArchSpec;
+use eit_core::pipeline::{compile, CompileError, CompileOptions};
+use eit_core::{
+    bundles_from_schedule, modulo_schedule, overlapped_execution, ModuloOptions, SchedulerOptions,
+};
+use eit_ir::Graph;
+use std::process::exit;
+use std::time::Duration;
+
+struct Args {
+    kernel: String,
+    slots: u32,
+    memory: bool,
+    merge: bool,
+    modulo: Option<bool>, // Some(include_reconfig)
+    overlap: Option<usize>,
+    timeout: u64,
+    emit_xml: bool,
+    emit_gantt: bool,
+    emit_dot: bool,
+    emit_vcd: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: eitc <qrd|arf|matmul|fir|detector|blockmm|path.xml>");
+    eprintln!("            [--slots N] [--no-memory] [--no-merge]");
+    eprintln!("            [--modulo [incl]] [--overlap M] [--timeout SECS] [--emit xml]");
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kernel: String::new(),
+        slots: 64,
+        memory: true,
+        merge: true,
+        modulo: None,
+        overlap: None,
+        timeout: 120,
+        emit_xml: false,
+        emit_gantt: false,
+        emit_dot: false,
+        emit_vcd: false,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--slots" => args.slots = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--no-memory" => args.memory = false,
+            "--no-merge" => args.merge = false,
+            "--modulo" => {
+                let incl = it.peek().map(String::as_str) == Some("incl");
+                if incl {
+                    it.next();
+                }
+                args.modulo = Some(incl);
+            }
+            "--overlap" => {
+                args.overlap = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--timeout" => {
+                args.timeout = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--emit" => match it.next().as_deref() {
+                Some("xml") => args.emit_xml = true,
+                Some("gantt") => args.emit_gantt = true,
+                Some("dot") => args.emit_dot = true,
+                Some("vcd") => args.emit_vcd = true,
+                _ => usage(),
+            },
+            k if !k.starts_with('-') && args.kernel.is_empty() => args.kernel = k.to_string(),
+            _ => usage(),
+        }
+    }
+    if args.kernel.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load_graph(name: &str) -> Graph {
+    if name.ends_with(".xml") {
+        let src = std::fs::read_to_string(name).unwrap_or_else(|e| {
+            eprintln!("eitc: cannot read {name}: {e}");
+            exit(1);
+        });
+        eit_ir::from_xml(&src).unwrap_or_else(|e| {
+            eprintln!("eitc: cannot parse {name}: {e}");
+            exit(1);
+        })
+    } else {
+        match eit_apps::by_name(name) {
+            Some(k) => k.graph,
+            None => {
+                eprintln!("eitc: unknown kernel {name}");
+                exit(1);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut g = load_graph(&args.kernel);
+    if let Err(e) = g.validate() {
+        eprintln!("eitc: invalid IR: {e}");
+        exit(1);
+    }
+    if args.merge {
+        let st = eit_ir::merge_pipeline_ops(&mut g);
+        if st.nodes_removed > 0 {
+            eprintln!("; merge pass folded {} node pairs", st.nodes_removed / 2);
+        }
+    }
+    if args.emit_xml {
+        print!("{}", eit_ir::to_xml(&g));
+        return;
+    }
+    if args.emit_dot {
+        print!("{}", eit_ir::to_dot(&g));
+        return;
+    }
+
+    let spec = ArchSpec::eit().with_slots(args.slots);
+    let timeout = Duration::from_secs(args.timeout);
+
+    if let Some(include_reconfig) = args.modulo {
+        let r = modulo_schedule(
+            &g,
+            &spec,
+            &ModuloOptions {
+                include_reconfig,
+                timeout_per_ii: timeout,
+                total_timeout: timeout,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|| {
+            eprintln!("eitc: no modulo schedule found within budget");
+            exit(1);
+        });
+        println!(
+            "; modulo schedule: II {} ({} switches, actual {}), throughput {:.4} iter/cc",
+            r.ii_issue, r.switches, r.actual_ii, r.throughput
+        );
+        let mut rows: Vec<(i32, String)> = r
+            .t
+            .iter()
+            .map(|(&n, &t)| (t, format!("  t={t:3} k={:2}  {}", r.k[&n], g.node(n).name)))
+            .collect();
+        rows.sort();
+        for (_, row) in rows {
+            println!("{row}");
+        }
+        return;
+    }
+
+    // The straight-line path is the one-call toolchain. The merge pass
+    // already ran above (so --no-merge is honoured); CSE runs here.
+    let out = match compile(
+        g,
+        &spec,
+        &CompileOptions {
+            merge: false, // already applied (or skipped) above
+            scheduler: SchedulerOptions {
+                memory: args.memory,
+                timeout: Some(timeout),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ) {
+        Ok(out) => out,
+        Err(CompileError::Infeasible) => {
+            eprintln!("eitc: proven infeasible on this machine configuration");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("eitc: {e}");
+            exit(1);
+        }
+    };
+
+    if let Some(m) = args.overlap {
+        let bundles = bundles_from_schedule(&out.graph, &out.schedule);
+        let ov = overlapped_execution(&out.graph, &spec, &bundles, m);
+        println!(
+            "; overlapped execution x{m}: {} cc total ({:.1} cc/iter), {} reconfigs, {:.4} iter/cc",
+            ov.makespan,
+            ov.makespan as f64 / m as f64,
+            ov.reconfig_switches,
+            ov.throughput
+        );
+        return;
+    }
+
+    if args.emit_gantt {
+        print!("{}", eit_arch::render_gantt(&out.graph, &spec, &out.schedule));
+        return;
+    }
+    if args.emit_vcd {
+        print!("{}", eit_arch::to_vcd(&out.graph, &spec, &out.schedule));
+        return;
+    }
+
+    if out.cse.ops_removed > 0 {
+        eprintln!("; CSE folded {} duplicate op(s)", out.cse.ops_removed);
+    }
+    println!(
+        "; status {:?}; {} instructions, {} reconfig switches, utilization {:.1}%",
+        out.status,
+        out.program.n_instructions,
+        out.program.reconfig_switches,
+        out.program.utilization * 100.0
+    );
+    print!("{}", out.program.listing);
+}

@@ -1,0 +1,66 @@
+//! # eit-bench — experiment harness
+//!
+//! Shared plumbing for the table-regeneration binaries (`table1`,
+//! `table2`, `table3`, `figures`) and the Criterion benches. Each binary
+//! prints the same rows as the corresponding table in the paper, side by
+//! side with the paper's published numbers, and EXPERIMENTS.md records a
+//! captured run.
+
+use eit_arch::ArchSpec;
+use eit_ir::{merge_pipeline_ops, Graph, LatencyModel};
+
+/// A kernel prepared for scheduling: DSL-built, merge pass applied.
+pub struct Prepared {
+    pub name: &'static str,
+    pub graph: Graph,
+    pub kernel: eit_apps::Kernel,
+}
+
+/// Build and merge a kernel by name (panics on unknown names — harness
+/// binaries own their inputs).
+pub fn prepared(name: &str) -> Prepared {
+    let kernel = eit_apps::by_name(name).unwrap_or_else(|| panic!("unknown kernel {name}"));
+    let mut graph = kernel.graph.clone();
+    merge_pipeline_ops(&mut graph);
+    Prepared {
+        name: kernel.name,
+        graph,
+        kernel,
+    }
+}
+
+/// The paper's `|V|, |E|, |Cr.P|` triple for a graph.
+pub fn graph_props(g: &Graph) -> (usize, usize, i32) {
+    let lm = LatencyModel::default();
+    let cp = g.critical_path(&lm.of(g));
+    (g.len(), g.edge_count(), cp)
+}
+
+/// The default EIT machine.
+pub fn eit() -> ArchSpec {
+    ArchSpec::eit()
+}
+
+/// Print a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_kernels_are_valid() {
+        for name in ["qrd", "arf", "matmul"] {
+            let p = prepared(name);
+            p.graph.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn unknown_kernel_panics() {
+        prepared("nope");
+    }
+}

@@ -1,0 +1,35 @@
+//! # eit-core — CP scheduling with memory allocation
+//!
+//! The paper's primary contribution: a single constraint model combining
+//! instruction scheduling and vector-memory allocation for the EIT
+//! architecture ([`model`]), the two iteration-overlap techniques of §4.3
+//! ([`overlap`] — the architects' ad-hoc two-phase pipelining — and
+//! [`modulo`] — modulo scheduling as a CSP, with and without
+//! reconfigurations in the optimisation, plus real steady-state memory
+//! allocation), and graph replication utilities for multi-iteration
+//! experiments ([`replicate()`]).
+//!
+//! Around the model: [`pipeline`] is the one-call fig. 2 toolchain
+//! (passes → schedule → [`codegen`]); [`portfolio`] races §3.5 search
+//! variants across threads; [`list_sched`] is the heuristic baseline the
+//! evaluation compares against.
+
+pub mod codegen;
+pub mod list_sched;
+pub mod model;
+pub mod modulo;
+pub mod overlap;
+pub mod pipeline;
+pub mod portfolio;
+pub mod replicate;
+
+pub use codegen::{generate, Program};
+pub use list_sched::{list_schedule, ListScheduleResult};
+pub use model::{build_model, schedule, BuiltModel, ScheduleResult, SchedulerOptions};
+pub use modulo::{allocate_modulo_memory, ii_lower_bound, modulo_schedule, schedule_at_ii, validate_modulo, IiOutcome, ModuloOptions, ModuloResult};
+pub use overlap::{
+    bundles_from_schedule, manual_style_bundles, overlapped_execution, Bundle, OverlapResult,
+};
+pub use pipeline::{compile, Compiled, CompileError, CompileOptions};
+pub use portfolio::schedule_portfolio;
+pub use replicate::replicate;

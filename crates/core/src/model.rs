@@ -1,0 +1,542 @@
+//! The combined scheduling + memory-allocation constraint model
+//! (§3.3–3.5 of the paper) and its solution procedure.
+//!
+//! Constraint-by-constraint mapping to the paper:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | (1) `s_i + l_i ≤ s_j` on edges | [`eit_cp::Model::precedence`] |
+//! | (2) lane `Cumulative` | one `Cumulative` over vector+matrix ops, r∈{1,4}, cap 4; two more (cap 1) for the accelerator and index/merge units |
+//! | (3) `s_i ≠ s_j` for differently-configured vector ops | pairwise `neq` |
+//! | (4) data start = producer completion | `eq_offset` |
+//! | (5) makespan objective | completion vars + `max_of`, minimized |
+//! | (6) slot/line/page channeling | `slot_geometry` |
+//! | (7) same-op input compatibility | `page_line_implies` |
+//! | (8)/(9) co-scheduled input/output compatibility | `cond_same_time` over co-issuable op pairs |
+//! | (10) lifetimes | `max_of` over consumer starts + `diff_plus_c` |
+//! | (11) slot reuse | `Diff2` over `(s, slot, life, 1)` rectangles |
+//! | §3.5 search | three [`Phase`]s: op starts → data starts → slots |
+
+use eit_arch::{ArchSpec, Schedule};
+use eit_cp::props::cumulative::CumTask;
+use eit_cp::props::disjunctive::DisjTask;
+use eit_cp::props::diff2::Rect;
+use eit_cp::props::reify::GuardedPair;
+use eit_cp::{minimize, Model, Phase, SearchConfig, SearchStats, SearchStatus, ValSel, VarId, VarSel};
+use eit_ir::{Category, Graph, NodeId};
+use std::time::Duration;
+
+/// Options for [`schedule`].
+#[derive(Clone, Debug)]
+pub struct SchedulerOptions {
+    /// Include the memory-allocation constraints (6)–(11). Without them
+    /// the model is pure scheduling — the paper's manual-baseline setting.
+    pub memory: bool,
+    /// Scheduling horizon; `None` derives a safe upper bound (serial sum
+    /// of latencies).
+    pub horizon: Option<i32>,
+    /// Solver wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Solver node budget.
+    pub node_limit: Option<u64>,
+    /// After minimizing the makespan, fix it and lexicographically
+    /// minimize the number of memory slots used (the highest slot index
+    /// + 1). Costs a second branch-and-bound run.
+    pub minimize_slots: bool,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            memory: true,
+            horizon: None,
+            timeout: Some(Duration::from_secs(600)), // the paper's 10 min
+            node_limit: None,
+            minimize_slots: false,
+        }
+    }
+}
+
+/// The constructed CP model with its variable handles.
+pub struct BuiltModel {
+    pub model: Model,
+    /// Start variable per node.
+    pub start: Vec<VarId>,
+    /// Slot variable per node (`Some` for vector data when memory is on).
+    pub slot: Vec<Option<VarId>>,
+    /// Makespan objective.
+    pub objective: VarId,
+    /// The §3.5 three-phase search.
+    pub phases: Vec<Phase>,
+    pub horizon: i32,
+}
+
+/// A safe horizon: every op executed serially.
+pub fn serial_horizon(g: &Graph, spec: &ArchSpec) -> i32 {
+    let lat = &spec.latencies;
+    g.ids()
+        .map(|i| lat.latency(&g.node(i).kind).max(lat.duration(&g.node(i).kind)))
+        .sum::<i32>()
+        .max(1)
+}
+
+/// Build the paper's model for `g` on `spec`.
+pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> BuiltModel {
+    let lat = spec.latencies;
+    let horizon = opts.horizon.unwrap_or_else(|| serial_horizon(g, spec));
+    let mut m = Model::new();
+
+    // --- start variables ---------------------------------------------------
+    let start: Vec<VarId> = g
+        .ids()
+        .map(|i| {
+            let cat = g.category(i);
+            if cat.is_data() && g.producer(i).is_none() {
+                // Application inputs are ready from the start (§3.3.3).
+                m.new_const(0)
+            } else {
+                m.new_var_named(0, horizon, &format!("s_{}", g.node(i).name))
+            }
+        })
+        .collect();
+
+    let latency = |i: NodeId| lat.latency(&g.node(i).kind);
+    let duration = |i: NodeId| lat.duration(&g.node(i).kind);
+
+    // Longest-path preprocessing: earliest starts tighten every domain's
+    // lower bound, and the critical path is a sound lower bound on the
+    // makespan (these are implied by (1)/(4) but save the solver from
+    // rediscovering them at every node).
+    let es = g.earliest_starts(&|i| latency(i));
+    for i in g.ids() {
+        m.store
+            .remove_below(start[i.idx()], es[i.idx()])
+            .expect("earliest start exceeds horizon");
+    }
+    let critical_path = g
+        .ids()
+        .map(|i| es[i.idx()] + latency(i))
+        .max()
+        .unwrap_or(0);
+
+    // (1) precedence on every edge; (4) exact data start.
+    for (from, to) in g.edges() {
+        if g.category(from).is_op() && g.category(to).is_data() {
+            m.eq_offset(start[from.idx()], latency(from), start[to.idx()]);
+        } else {
+            m.precedence(start[from.idx()], latency(from), start[to.idx()]);
+        }
+    }
+
+    // (2) the three Cumulatives.
+    let vec_core_ops: Vec<NodeId> = g
+        .ids()
+        .filter(|&i| matches!(g.category(i), Category::VectorOp | Category::MatrixOp))
+        .collect();
+    m.cumulative(
+        vec_core_ops
+            .iter()
+            .map(|&i| CumTask {
+                start: start[i.idx()],
+                dur: duration(i),
+                req: if g.category(i) == Category::MatrixOp { 4 } else { 1 },
+            })
+            .collect(),
+        spec.n_lanes as i32,
+    );
+    let scalar_ops: Vec<NodeId> = g
+        .ids()
+        .filter(|&i| g.category(i) == Category::ScalarOp)
+        .collect();
+    if !scalar_ops.is_empty() {
+        m.disjunctive(
+            scalar_ops
+                .iter()
+                .map(|&i| DisjTask { start: start[i.idx()], dur: duration(i) })
+                .collect(),
+        );
+    }
+    let im_ops: Vec<NodeId> = g
+        .ids()
+        .filter(|&i| matches!(g.category(i), Category::Index | Category::Merge))
+        .collect();
+    if !im_ops.is_empty() {
+        m.disjunctive(
+            im_ops
+                .iter()
+                .map(|&i| DisjTask { start: start[i.idx()], dur: duration(i) })
+                .collect(),
+        );
+    }
+
+    // (3) one configuration per cycle: differently-configured vector ops
+    // must not co-issue. (Matrix ops are excluded pairwise by the lane
+    // Cumulative: r = 4.)
+    let vector_ops: Vec<NodeId> = vec_core_ops
+        .iter()
+        .copied()
+        .filter(|&i| g.category(i) == Category::VectorOp)
+        .collect();
+    for (a, &i) in vector_ops.iter().enumerate() {
+        for &j in &vector_ops[a + 1..] {
+            let ci = g.opcode(i).unwrap().config().unwrap();
+            let cj = g.opcode(j).unwrap().config().unwrap();
+            if ci != cj {
+                m.neq(start[i.idx()], start[j.idx()]);
+            }
+        }
+    }
+
+    // (5) makespan = max completion over op nodes.
+    let objective = m.new_var_named(critical_path, horizon + lat.vector_pipeline, "makespan");
+    let completions: Vec<VarId> = g
+        .ids()
+        .filter(|&i| g.category(i).is_op())
+        .map(|i| {
+            let c = m.new_var(0, horizon + lat.vector_pipeline);
+            m.eq_offset(start[i.idx()], latency(i), c);
+            c
+        })
+        .collect();
+    m.max_of(completions, objective);
+
+    // --- memory allocation (6)–(11) -----------------------------------------
+    let mut slot: Vec<Option<VarId>> = vec![None; g.len()];
+    if opts.memory {
+        let n_slots = spec.n_slots() as i32;
+        let n_lines = spec.slots_per_bank as i32;
+        let n_pages = spec.n_pages() as i32;
+        let vdata: Vec<NodeId> = g
+            .ids()
+            .filter(|&i| g.category(i) == Category::VectorData)
+            .collect();
+
+        let mut line = vec![None; g.len()];
+        let mut page = vec![None; g.len()];
+        for &d in &vdata {
+            let s = m.new_var_named(0, n_slots - 1, &format!("slot_{}", g.node(d).name));
+            let l = m.new_var(0, n_lines - 1);
+            let p = m.new_var(0, n_pages - 1);
+            // (6)
+            m.slot_geometry(s, l, p, spec.n_banks as i32, spec.page_size as i32);
+            slot[d.idx()] = Some(s);
+            line[d.idx()] = Some(l);
+            page[d.idx()] = Some(p);
+        }
+
+        // (7): inputs of one vector-core op; plus the outputs of one matrix
+        // op, which are written simultaneously.
+        for &op in &vec_core_ops {
+            let groups: [Vec<NodeId>; 2] = [
+                g.preds(op)
+                    .iter()
+                    .copied()
+                    .filter(|&d| g.category(d) == Category::VectorData)
+                    .collect(),
+                g.succs(op)
+                    .iter()
+                    .copied()
+                    .filter(|&d| g.category(d) == Category::VectorData)
+                    .collect(),
+            ];
+            for grp in &groups {
+                for (x, &d) in grp.iter().enumerate() {
+                    for &e in &grp[x + 1..] {
+                        m.page_line_implies(
+                            page[d.idx()].unwrap(),
+                            line[d.idx()].unwrap(),
+                            page[e.idx()].unwrap(),
+                            line[e.idx()].unwrap(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // (8)/(9): pairs of vector ops that may co-issue (same config —
+        // different configs are already start-separated by (3)).
+        for (a, &i) in vector_ops.iter().enumerate() {
+            for &j in &vector_ops[a + 1..] {
+                let ci = g.opcode(i).unwrap().config().unwrap();
+                let cj = g.opcode(j).unwrap().config().unwrap();
+                if ci != cj {
+                    continue;
+                }
+                let mut pairs = Vec::new();
+                let vin = |op: NodeId| {
+                    g.preds(op)
+                        .iter()
+                        .copied()
+                        .filter(|&d| g.category(d) == Category::VectorData)
+                        .collect::<Vec<_>>()
+                };
+                let vout = |op: NodeId| {
+                    g.succs(op)
+                        .iter()
+                        .copied()
+                        .filter(|&d| g.category(d) == Category::VectorData)
+                        .collect::<Vec<_>>()
+                };
+                for &d in &vin(i) {
+                    for &e in &vin(j) {
+                        if d != e {
+                            pairs.push(GuardedPair {
+                                page_d: page[d.idx()].unwrap(),
+                                line_d: line[d.idx()].unwrap(),
+                                page_e: page[e.idx()].unwrap(),
+                                line_e: line[e.idx()].unwrap(),
+                            });
+                        }
+                    }
+                }
+                for &d in &vout(i) {
+                    for &e in &vout(j) {
+                        if d != e {
+                            pairs.push(GuardedPair {
+                                page_d: page[d.idx()].unwrap(),
+                                line_d: line[d.idx()].unwrap(),
+                                page_e: page[e.idx()].unwrap(),
+                                line_e: line[e.idx()].unwrap(),
+                            });
+                        }
+                    }
+                }
+                if !pairs.is_empty() {
+                    m.cond_same_time(start[i.idx()], start[j.idx()], pairs);
+                }
+            }
+        }
+
+        // (10)/(11): lifetimes and slot reuse as non-overlapping rectangles.
+        //
+        // The paper's (10) sets life = max(consumer starts) − s. Taken
+        // literally, a datum consumed at its own start cycle gets a
+        // zero-length rectangle and silently drops out of Diff2 even
+        // though it occupies its slot at the read instant; we therefore
+        // clamp lifetimes to ≥ 1 (consumers read at their start cycle, and
+        // reads precede writes within a cycle, so rectangles *touching* is
+        // still hazard-free). Only lower bounds are posted: Diff2 prunes
+        // on the minimum length, which equals the true lifetime.
+        let mut rects = Vec::with_capacity(vdata.len());
+        let one = m.new_const(1);
+        for &d in &vdata {
+            let life = m.new_var_named(1, horizon + lat.vector_pipeline, "life");
+            for &c in g.succs(d) {
+                // life ≥ s_c − s_d
+                m.linear_leq(
+                    vec![(1, start[c.idx()]), (-1, start[d.idx()]), (-1, life)],
+                    0,
+                );
+            }
+            rects.push(Rect {
+                origin: [start[d.idx()], slot[d.idx()].unwrap()],
+                len: [life, one],
+            });
+        }
+        m.diff2(rects);
+    }
+
+    // --- §3.5 three-phase search --------------------------------------------
+    let op_starts: Vec<VarId> = g
+        .ids()
+        .filter(|&i| g.category(i).is_op())
+        .map(|i| start[i.idx()])
+        .collect();
+    let data_starts: Vec<VarId> = g
+        .ids()
+        .filter(|&i| g.category(i).is_data())
+        .map(|i| start[i.idx()])
+        .collect();
+    let slots: Vec<VarId> = g.ids().filter_map(|i| slot[i.idx()]).collect();
+    let mut phases = vec![
+        Phase::new(op_starts, VarSel::SmallestMin, ValSel::Min),
+        Phase::new(data_starts, VarSel::SmallestMin, ValSel::Min),
+    ];
+    if !slots.is_empty() {
+        phases.push(Phase::new(slots, VarSel::FirstFail, ValSel::Min));
+    }
+
+    BuiltModel {
+        model: m,
+        start,
+        slot,
+        objective,
+        phases,
+        horizon,
+    }
+}
+
+/// Result of a scheduling run.
+#[derive(Debug)]
+pub struct ScheduleResult {
+    pub schedule: Option<Schedule>,
+    pub status: SearchStatus,
+    pub stats: SearchStats,
+    pub makespan: Option<i32>,
+}
+
+/// Extract a [`Schedule`] from a solver solution.
+fn extract(g: &Graph, spec: &ArchSpec, built: &BuiltModel, sol: &eit_cp::Solution) -> Schedule {
+    let mut s = Schedule::new(g.len());
+    for i in g.ids() {
+        s.start[i.idx()] = sol.value(built.start[i.idx()]);
+        s.slot[i.idx()] = built.slot[i.idx()].map(|v| sol.value(v) as u32);
+    }
+    s.compute_makespan(g, &spec.latencies.of(g));
+    s
+}
+
+/// Schedule `g` on `spec`: build the model, run the three-phase
+/// branch-and-bound, extract the best schedule.
+pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> ScheduleResult {
+    let mut built = build_model(g, spec, opts);
+    let cfg = SearchConfig {
+        phases: built.phases.clone(),
+        timeout: opts.timeout,
+        node_limit: opts.node_limit,
+        shared_bound: None,
+        restart_on_solution: true,
+    };
+    let r = minimize(&mut built.model, built.objective, &cfg);
+    let mut schedule = r.best.as_ref().map(|sol| extract(g, spec, &built, sol));
+
+    // Optional second lexicographic pass: fix the optimal makespan and
+    // minimize the slot footprint (max slot index used).
+    if let (true, Some(best_makespan), true) = (opts.minimize_slots, r.objective, opts.memory) {
+        let mut built2 = build_model(g, spec, opts);
+        built2
+            .model
+            .store
+            .remove_above(built2.objective, best_makespan)
+            .expect("optimal makespan must stay feasible");
+        let slot_vars: Vec<VarId> = g.ids().filter_map(|i| built2.slot[i.idx()]).collect();
+        if !slot_vars.is_empty() {
+            let max_slot = built2.model.new_var(0, spec.n_slots() as i32 - 1);
+            built2.model.max_of(slot_vars, max_slot);
+            let cfg2 = SearchConfig {
+                phases: built2.phases.clone(),
+                timeout: opts.timeout,
+                node_limit: opts.node_limit,
+                shared_bound: None,
+                restart_on_solution: true,
+            };
+            let r2 = minimize(&mut built2.model, max_slot, &cfg2);
+            if let Some(sol) = r2.best.as_ref() {
+                schedule = Some(extract(g, spec, &built2, sol));
+            }
+        }
+    }
+
+    ScheduleResult {
+        makespan: r.objective,
+        schedule,
+        status: r.status,
+        stats: r.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eit_arch::sim::validate_structure;
+    use eit_dsl::Ctx;
+    use eit_ir::merge_pipeline_ops;
+
+    fn matmul_graph() -> Graph {
+        // Listing 1: C = A·Aᴴ via 16 dot products and 4 merges.
+        let ctx = Ctx::new("matmul");
+        let a = [
+            ctx.vector([1.0, 2.0, 3.0, 4.0]),
+            ctx.vector([2.0, 3.0, 4.0, 5.0]),
+            ctx.vector([3.0, 4.0, 5.0, 6.0]),
+            ctx.vector([4.0, 5.0, 6.0, 7.0]),
+        ];
+        for row in &a {
+            let mut scalars = Vec::new();
+            for col in &a {
+                scalars.push(row.v_dotp(col));
+            }
+            let _ = ctx.merge([&scalars[0], &scalars[1], &scalars[2], &scalars[3]]);
+        }
+        ctx.finish()
+    }
+
+    #[test]
+    fn matmul_graph_matches_paper_size() {
+        let g = matmul_graph();
+        g.validate().unwrap();
+        assert_eq!(g.len(), 44); // |V| = 44 (fig. 3 / Table 3)
+        assert_eq!(g.edge_count(), 68); // |E| = 68
+    }
+
+    #[test]
+    fn schedules_matmul_with_memory_and_simulator_agrees() {
+        let mut g = matmul_graph();
+        merge_pipeline_ops(&mut g);
+        let spec = ArchSpec::eit();
+        let opts = SchedulerOptions {
+            timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let r = schedule(&g, &spec, &opts);
+        let s = r.schedule.expect("matmul must schedule");
+        let v = validate_structure(&g, &spec, &s);
+        assert!(v.is_empty(), "violations: {v:?}");
+        // 16 dot products on 4 lanes, one config: issue takes 4 cycles,
+        // merges bound the tail. The optimum is small but ≥ issue+pipeline.
+        assert!(s.makespan >= 4 + 7, "makespan {}", s.makespan);
+    }
+
+    #[test]
+    fn memoryless_schedule_is_no_longer_than_with_memory() {
+        let mut g = matmul_graph();
+        merge_pipeline_ops(&mut g);
+        let spec = ArchSpec::eit();
+        let with_mem = schedule(
+            &g,
+            &spec,
+            &SchedulerOptions { timeout: Some(Duration::from_secs(30)), ..Default::default() },
+        );
+        let without = schedule(
+            &g,
+            &spec,
+            &SchedulerOptions {
+                memory: false,
+                timeout: Some(Duration::from_secs(30)),
+                ..Default::default()
+            },
+        );
+        assert!(without.makespan.unwrap() <= with_mem.makespan.unwrap());
+    }
+
+    #[test]
+    fn tiny_chain_is_exactly_latency_bound() {
+        // a→add→b→mul→c : two dependent vector ops = 14 cc + issue.
+        let ctx = Ctx::new("chain");
+        let a = ctx.vector([1.0, 0.0, 0.0, 0.0]);
+        let b = ctx.vector([1.0, 1.0, 0.0, 0.0]);
+        let x = a.v_add(&b);
+        let _y = x.v_mul(&b);
+        let g = ctx.finish();
+        let spec = ArchSpec::eit();
+        let r = schedule(&g, &spec, &SchedulerOptions::default());
+        assert_eq!(r.status, SearchStatus::Optimal);
+        assert_eq!(r.makespan, Some(14));
+    }
+
+    #[test]
+    fn infeasible_when_memory_too_small() {
+        // Two simultaneous inputs + outputs cannot fit in 1 slot.
+        let ctx = Ctx::new("too-small");
+        let a = ctx.vector([1.0, 0.0, 0.0, 0.0]);
+        let b = ctx.vector([1.0, 1.0, 0.0, 0.0]);
+        let _ = a.v_add(&b);
+        let g = ctx.finish();
+        let mut spec = ArchSpec::eit();
+        spec.n_banks = 1;
+        spec.page_size = 1;
+        spec.slots_per_bank = 1; // a single slot
+        let r = schedule(&g, &spec, &SchedulerOptions::default());
+        assert_eq!(r.status, SearchStatus::Infeasible);
+    }
+}

@@ -1,0 +1,140 @@
+//! Portfolio scheduling: race several search strategies for the same
+//! scheduling instance across threads, sharing the incumbent makespan.
+//!
+//! The paper lists taming solver time as future work ("for harder
+//! problems the execution time of the solver can grow and degrade the
+//! solution quality"); a strategy portfolio is the standard CP remedy and
+//! maps directly onto [`eit_cp::portfolio::race`]. Each thread builds its
+//! own copy of the model (models own boxed propagators and cannot be
+//! cloned) with a different variable/value selection, and the first good
+//! bound found anywhere prunes everyone.
+
+use crate::model::{build_model, SchedulerOptions};
+use eit_arch::{ArchSpec, Schedule};
+use eit_cp::portfolio::{race, Strategy};
+use eit_cp::{Phase, SearchConfig, ValSel, VarSel};
+use eit_ir::Graph;
+use std::sync::Arc;
+
+/// The strategy axes raced by [`schedule_portfolio`].
+fn variants() -> Vec<(VarSel, ValSel, ValSel)> {
+    vec![
+        // (op-start var sel, op-start val sel, slot val sel)
+        (VarSel::SmallestMin, ValSel::Min, ValSel::Min),
+        (VarSel::FirstFail, ValSel::Min, ValSel::Min),
+        (VarSel::SmallestMin, ValSel::Split, ValSel::Min),
+        (VarSel::SmallestMin, ValSel::Min, ValSel::Max),
+    ]
+}
+
+/// Race the §3.5 search against three variations of itself; return the
+/// best schedule found by any thread.
+pub fn schedule_portfolio(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &SchedulerOptions,
+) -> crate::model::ScheduleResult {
+    let g = Arc::new(g.clone());
+    let spec = *spec;
+    let opts = opts.clone();
+
+    let strategies: Vec<Strategy> = variants()
+        .into_iter()
+        .map(|(vs, vals, slot_vals)| {
+            let g = Arc::clone(&g);
+            let opts = opts.clone();
+            let strat: Strategy = Box::new(move || {
+                let built = build_model(&g, &spec, &opts);
+                let mut phases = built.phases.clone();
+                if let Some(p0) = phases.first_mut() {
+                    *p0 = Phase::new(p0.vars.clone(), vs, vals);
+                }
+                if phases.len() == 3 {
+                    let p2 = &mut phases[2];
+                    *p2 = Phase::new(p2.vars.clone(), VarSel::FirstFail, slot_vals);
+                }
+                let cfg = SearchConfig {
+                    phases,
+                    timeout: opts.timeout,
+                    node_limit: opts.node_limit,
+                    shared_bound: None, // installed by race()
+                    restart_on_solution: true,
+                };
+                (built.model, built.objective, cfg)
+            });
+            strat
+        })
+        .collect();
+
+    let r = race(strategies);
+
+    // Extract the schedule by re-building one model to recover the
+    // variable layout (deterministic), then reading the winning solution.
+    let schedule = r.best.as_ref().map(|sol| {
+        let built = build_model(&g, &spec, &opts);
+        let mut s = Schedule::new(g.len());
+        for i in g.ids() {
+            s.start[i.idx()] = sol.value(built.start[i.idx()]);
+            s.slot[i.idx()] = built.slot[i.idx()].map(|v| sol.value(v) as u32);
+        }
+        s.compute_makespan(&g, &spec.latencies.of(&g));
+        s
+    });
+
+    crate::model::ScheduleResult {
+        makespan: r.objective,
+        schedule,
+        status: r.status,
+        stats: r.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::schedule;
+    use eit_arch::validate_structure;
+    use eit_cp::SearchStatus;
+    use eit_dsl::Ctx;
+    use std::time::Duration;
+
+    fn kernel() -> Graph {
+        let ctx = Ctx::new("k");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let b = ctx.vector([2.0, 3.0, 4.0, 5.0]);
+        let x = a.v_add(&b);
+        let y = x.v_mul(&b);
+        let d = y.v_dotp(&a);
+        let _ = d.rsqrt();
+        ctx.finish()
+    }
+
+    #[test]
+    fn portfolio_matches_single_thread_optimum() {
+        let g = kernel();
+        let spec = ArchSpec::eit();
+        let opts = SchedulerOptions {
+            timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let single = schedule(&g, &spec, &opts);
+        let multi = schedule_portfolio(&g, &spec, &opts);
+        assert_eq!(multi.status, SearchStatus::Optimal);
+        assert_eq!(multi.makespan, single.makespan);
+        let s = multi.schedule.unwrap();
+        assert!(validate_structure(&g, &spec, &s).is_empty());
+    }
+
+    #[test]
+    fn portfolio_detects_infeasibility() {
+        let g = kernel();
+        // One slot cannot hold two live inputs.
+        let spec = ArchSpec::eit().with_slots(1);
+        let r = schedule_portfolio(
+            &g,
+            &spec,
+            &SchedulerOptions { timeout: Some(Duration::from_secs(10)), ..Default::default() },
+        );
+        assert_eq!(r.status, SearchStatus::Infeasible);
+    }
+}

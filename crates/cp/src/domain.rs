@@ -1,0 +1,433 @@
+//! Finite integer domains represented as sorted, disjoint interval lists.
+//!
+//! A [`Domain`] is the set of values a finite-domain variable may still
+//! take. The representation is a sorted `Vec` of closed, pairwise-disjoint,
+//! non-adjacent intervals `[lo, hi]`. All mutating operations preserve this
+//! normal form. Most domains in the scheduling model are a single interval,
+//! so the common case allocates one element and all bound operations are
+//! O(1); value removal in the middle is O(k) in the number of intervals.
+
+use std::fmt;
+
+/// A finite set of `i32` values stored as disjoint closed intervals.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Domain {
+    /// Sorted, disjoint, non-adjacent closed intervals. Empty ⇔ domain empty.
+    ivs: Vec<(i32, i32)>,
+}
+
+impl Domain {
+    /// The interval domain `lo..=hi`. An inverted pair yields the empty domain.
+    pub fn interval(lo: i32, hi: i32) -> Self {
+        if lo > hi {
+            Domain { ivs: Vec::new() }
+        } else {
+            Domain { ivs: vec![(lo, hi)] }
+        }
+    }
+
+    /// Singleton domain `{v}`.
+    pub fn singleton(v: i32) -> Self {
+        Domain { ivs: vec![(v, v)] }
+    }
+
+    /// The empty domain.
+    pub fn empty() -> Self {
+        Domain { ivs: Vec::new() }
+    }
+
+    /// Build a domain from an arbitrary iterator of values.
+    pub fn from_values<I: IntoIterator<Item = i32>>(vals: I) -> Self {
+        let mut vs: Vec<i32> = vals.into_iter().collect();
+        vs.sort_unstable();
+        vs.dedup();
+        let mut ivs: Vec<(i32, i32)> = Vec::new();
+        for v in vs {
+            match ivs.last_mut() {
+                Some((_, hi)) if *hi + 1 == v => *hi = v,
+                _ => ivs.push((v, v)),
+            }
+        }
+        Domain { ivs }
+    }
+
+    /// True if no value remains.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// True if exactly one value remains.
+    pub fn is_fixed(&self) -> bool {
+        self.ivs.len() == 1 && self.ivs[0].0 == self.ivs[0].1
+    }
+
+    /// Smallest value. Panics on an empty domain.
+    pub fn min(&self) -> i32 {
+        self.ivs[0].0
+    }
+
+    /// Largest value. Panics on an empty domain.
+    pub fn max(&self) -> i32 {
+        self.ivs[self.ivs.len() - 1].1
+    }
+
+    /// The single remaining value, if fixed.
+    pub fn value(&self) -> Option<i32> {
+        if self.is_fixed() {
+            Some(self.ivs[0].0)
+        } else {
+            None
+        }
+    }
+
+    /// Number of values in the domain.
+    pub fn size(&self) -> u64 {
+        self.ivs
+            .iter()
+            .map(|&(l, h)| (h as i64 - l as i64 + 1) as u64)
+            .sum()
+    }
+
+    /// Number of maximal intervals (for diagnostics).
+    pub fn interval_count(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Membership test, O(log k).
+    pub fn contains(&self, v: i32) -> bool {
+        self.ivs
+            .binary_search_by(|&(l, h)| {
+                if v < l {
+                    std::cmp::Ordering::Greater
+                } else if v > h {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Remove all values `< lo`. Returns true if the domain changed.
+    pub fn remove_below(&mut self, lo: i32) -> bool {
+        if self.is_empty() || lo <= self.min() {
+            return false;
+        }
+        let mut first = 0;
+        while first < self.ivs.len() && self.ivs[first].1 < lo {
+            first += 1;
+        }
+        self.ivs.drain(..first);
+        if let Some(iv) = self.ivs.first_mut() {
+            if iv.0 < lo {
+                iv.0 = lo;
+            }
+        }
+        true
+    }
+
+    /// Remove all values `> hi`. Returns true if the domain changed.
+    pub fn remove_above(&mut self, hi: i32) -> bool {
+        if self.is_empty() || hi >= self.max() {
+            return false;
+        }
+        let mut last = self.ivs.len();
+        while last > 0 && self.ivs[last - 1].0 > hi {
+            last -= 1;
+        }
+        self.ivs.truncate(last);
+        if let Some(iv) = self.ivs.last_mut() {
+            if iv.1 > hi {
+                iv.1 = hi;
+            }
+        }
+        true
+    }
+
+    /// Remove a single value. Returns true if the domain changed.
+    pub fn remove_value(&mut self, v: i32) -> bool {
+        let idx = self.ivs.binary_search_by(|&(l, h)| {
+            if v < l {
+                std::cmp::Ordering::Greater
+            } else if v > h {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        let Ok(i) = idx else { return false };
+        let (l, h) = self.ivs[i];
+        if l == h {
+            self.ivs.remove(i);
+        } else if v == l {
+            self.ivs[i].0 = l + 1;
+        } else if v == h {
+            self.ivs[i].1 = h - 1;
+        } else {
+            self.ivs[i].1 = v - 1;
+            self.ivs.insert(i + 1, (v + 1, h));
+        }
+        true
+    }
+
+    /// Keep only values in `[lo, hi]`. Returns true if the domain changed.
+    pub fn restrict_to_interval(&mut self, lo: i32, hi: i32) -> bool {
+        let a = self.remove_below(lo);
+        let b = self.remove_above(hi);
+        a || b
+    }
+
+    /// Fix the domain to `{v}`. Returns true if the domain changed; the
+    /// domain becomes empty if `v` was not a member.
+    pub fn fix(&mut self, v: i32) -> bool {
+        if self.is_fixed() && self.ivs[0].0 == v {
+            return false;
+        }
+        if self.contains(v) {
+            self.ivs.clear();
+            self.ivs.push((v, v));
+        } else {
+            self.ivs.clear();
+        }
+        true
+    }
+
+    /// Intersect with another domain in place. Returns true if changed.
+    pub fn intersect(&mut self, other: &Domain) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let mut out: Vec<(i32, i32)> = Vec::with_capacity(self.ivs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (al, ah) = self.ivs[i];
+            let (bl, bh) = other.ivs[j];
+            let lo = al.max(bl);
+            let hi = ah.min(bh);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if ah < bh {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        if out == self.ivs {
+            false
+        } else {
+            self.ivs = out;
+            true
+        }
+    }
+
+    /// True if the two domains share no value.
+    pub fn disjoint(&self, other: &Domain) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (al, ah) = self.ivs[i];
+            let (bl, bh) = other.ivs[j];
+            if al.max(bl) <= ah.min(bh) {
+                return false;
+            }
+            if ah < bh {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        true
+    }
+
+    /// Iterate over the remaining values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = i32> + '_ {
+        self.ivs.iter().flat_map(|&(l, h)| l..=h)
+    }
+
+    /// Iterate over the maximal intervals.
+    pub fn intervals(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
+        self.ivs.iter().copied()
+    }
+
+    /// Smallest member `≥ v`, if any.
+    pub fn next_member(&self, v: i32) -> Option<i32> {
+        for &(l, h) in &self.ivs {
+            if v <= h {
+                return Some(v.max(l));
+            }
+        }
+        None
+    }
+
+    /// The midpoint used by domain-splitting branchers: `(min+max)/2`
+    /// rounded toward `min` (always a legal split point: `min ≤ mid < max`
+    /// whenever the domain is not fixed).
+    pub fn split_point(&self) -> i32 {
+        let lo = self.min() as i64;
+        let hi = self.max() as i64;
+        (lo + (hi - lo) / 2) as i32
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (l, h)) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if l == h {
+                write!(f, "{l}")?;
+            } else {
+                write!(f, "{l}..{h}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let d = Domain::interval(1, 7);
+        assert_eq!(d.min(), 1);
+        assert_eq!(d.max(), 7);
+        assert_eq!(d.size(), 7);
+        assert!(!d.is_fixed());
+        assert!(d.contains(4));
+        assert!(!d.contains(0));
+        assert!(!d.contains(8));
+    }
+
+    #[test]
+    fn inverted_interval_is_empty() {
+        assert!(Domain::interval(5, 3).is_empty());
+    }
+
+    #[test]
+    fn singleton_is_fixed() {
+        let d = Domain::singleton(42);
+        assert!(d.is_fixed());
+        assert_eq!(d.value(), Some(42));
+        assert_eq!(d.size(), 1);
+    }
+
+    #[test]
+    fn from_values_normalizes() {
+        let d = Domain::from_values([5, 1, 2, 3, 9, 2, 10]);
+        assert_eq!(d.interval_count(), 3); // {1..3, 5, 9..10}
+        assert_eq!(d.size(), 6);
+        assert!(d.contains(5));
+        assert!(!d.contains(4));
+    }
+
+    #[test]
+    fn remove_value_splits_interval() {
+        let mut d = Domain::interval(0, 10);
+        assert!(d.remove_value(5));
+        assert_eq!(d.interval_count(), 2);
+        assert_eq!(d.size(), 10);
+        assert!(!d.contains(5));
+        assert!(!d.remove_value(5)); // idempotent
+    }
+
+    #[test]
+    fn remove_value_at_edges() {
+        let mut d = Domain::interval(0, 3);
+        assert!(d.remove_value(0));
+        assert_eq!(d.min(), 1);
+        assert!(d.remove_value(3));
+        assert_eq!(d.max(), 2);
+    }
+
+    #[test]
+    fn remove_singleton_value_empties() {
+        let mut d = Domain::singleton(7);
+        assert!(d.remove_value(7));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn remove_below_above() {
+        let mut d = Domain::from_values([0, 1, 2, 5, 6, 9]);
+        assert!(d.remove_below(2));
+        assert_eq!(d.min(), 2);
+        assert!(d.remove_above(6));
+        assert_eq!(d.max(), 6);
+        assert_eq!(d.size(), 3); // {2, 5, 6}
+        assert!(!d.remove_below(1)); // no-op reports false
+        assert!(!d.remove_above(10));
+    }
+
+    #[test]
+    fn remove_below_skipping_whole_intervals() {
+        let mut d = Domain::from_values([0, 1, 5, 6, 10]);
+        assert!(d.remove_below(7));
+        assert_eq!(d.min(), 10);
+        assert_eq!(d.size(), 1);
+    }
+
+    #[test]
+    fn fix_member_and_nonmember() {
+        let mut d = Domain::interval(0, 9);
+        assert!(d.fix(4));
+        assert_eq!(d.value(), Some(4));
+        let mut d2 = Domain::from_values([1, 3]);
+        assert!(d2.fix(2));
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn intersect_interval_lists() {
+        let mut a = Domain::from_values([0, 1, 2, 5, 6, 9, 10]);
+        let b = Domain::from_values([2, 3, 6, 7, 10, 11]);
+        assert!(a.intersect(&b));
+        let got: Vec<i32> = a.iter().collect();
+        assert_eq!(got, vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn intersect_no_change_reports_false() {
+        let mut a = Domain::interval(3, 5);
+        let b = Domain::interval(0, 10);
+        assert!(!a.intersect(&b));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = Domain::from_values([1, 2, 8]);
+        let b = Domain::from_values([3, 4, 7]);
+        assert!(a.disjoint(&b));
+        let c = Domain::from_values([8, 9]);
+        assert!(!a.disjoint(&c));
+    }
+
+    #[test]
+    fn next_member_walks_gaps() {
+        let d = Domain::from_values([1, 2, 7, 8]);
+        assert_eq!(d.next_member(0), Some(1));
+        assert_eq!(d.next_member(3), Some(7));
+        assert_eq!(d.next_member(8), Some(8));
+        assert_eq!(d.next_member(9), None);
+    }
+
+    #[test]
+    fn split_point_never_equals_max_on_wide_domains() {
+        let d = Domain::interval(3, 4);
+        assert_eq!(d.split_point(), 3);
+        let d2 = Domain::interval(i32::MIN / 2, i32::MAX / 2);
+        let m = d2.split_point();
+        assert!(m >= d2.min() && m < d2.max());
+    }
+
+    #[test]
+    fn iter_matches_contains() {
+        let d = Domain::from_values([-3, -1, 0, 4]);
+        for v in -5..6 {
+            assert_eq!(d.contains(v), d.iter().any(|x| x == v), "v={v}");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Propagation engine: the propagator trait, subscriptions and the
+//! fixpoint loop.
+//!
+//! Propagators are owned by the [`Engine`]; each declares the variables it
+//! watches via [`Propagator::vars`]. Whenever a watched variable's domain
+//! shrinks, the propagator is scheduled (at most once — the queue is a set)
+//! and the engine runs [`Engine::fixpoint`] until no domain changes remain
+//! or some domain empties.
+
+use crate::store::{Fail, PropResult, Store, VarId};
+use std::collections::VecDeque;
+
+/// A filtering algorithm attached to a set of variables.
+///
+/// `propagate` must be *monotone* (only ever remove values) and is re-run
+/// from scratch on each wake-up; idempotence is not required — the engine
+/// reaches a fixpoint by re-queueing on change.
+pub trait Propagator: Send {
+    /// The variables whose changes wake this propagator.
+    fn vars(&self) -> Vec<VarId>;
+
+    /// Filter domains; `Err(Fail)` signals inconsistency of the node.
+    fn propagate(&mut self, store: &mut Store) -> PropResult;
+
+    /// Diagnostic name.
+    fn name(&self) -> &'static str {
+        "propagator"
+    }
+}
+
+/// Identifier of a registered propagator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PropId(pub u32);
+
+pub struct Engine {
+    props: Vec<Box<dyn Propagator>>,
+    /// var index → subscribed propagator ids.
+    subs: Vec<Vec<u32>>,
+    queued: Vec<bool>,
+    queue: VecDeque<u32>,
+    /// Total number of `propagate` invocations (statistics).
+    pub propagations: u64,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            props: Vec::new(),
+            subs: Vec::new(),
+            queued: Vec::new(),
+            queue: VecDeque::new(),
+            propagations: 0,
+        }
+    }
+
+    pub fn num_propagators(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Register a propagator and schedule its first run.
+    pub fn post(&mut self, p: Box<dyn Propagator>, store: &Store) -> PropId {
+        let id = self.props.len() as u32;
+        for v in p.vars() {
+            debug_assert!(v.idx() < store.num_vars(), "unknown var in {}", p.name());
+            if self.subs.len() <= v.idx() {
+                self.subs.resize(store.num_vars(), Vec::new());
+            }
+            self.subs[v.idx()].push(id);
+        }
+        if self.subs.len() < store.num_vars() {
+            self.subs.resize(store.num_vars(), Vec::new());
+        }
+        self.props.push(p);
+        self.queued.push(true);
+        self.queue.push_back(id);
+        PropId(id)
+    }
+
+    fn enqueue(&mut self, id: u32) {
+        if !self.queued[id as usize] {
+            self.queued[id as usize] = true;
+            self.queue.push_back(id);
+        }
+    }
+
+    fn drain_dirty(&mut self, store: &mut Store) {
+        if !store.has_dirty() {
+            return;
+        }
+        for var in store.take_dirty() {
+            // Vars created after the last `post` have no subscription slot.
+            if (var as usize) >= self.subs.len() {
+                continue;
+            }
+            let subs = std::mem::take(&mut self.subs[var as usize]);
+            for &pid in &subs {
+                self.enqueue(pid);
+            }
+            self.subs[var as usize] = subs;
+        }
+    }
+
+    /// Run propagation to fixpoint. On failure, the queue is flushed so the
+    /// engine is clean for the post-backtrack state.
+    pub fn fixpoint(&mut self, store: &mut Store) -> PropResult {
+        self.drain_dirty(store);
+        while let Some(id) = self.queue.pop_front() {
+            self.queued[id as usize] = false;
+            self.propagations += 1;
+            // Temporarily move the propagator out to satisfy the borrow
+            // checker while it mutates the store through `self`-adjacent
+            // subscriptions.
+            let mut p = std::mem::replace(
+                &mut self.props[id as usize],
+                Box::new(NoOp),
+            );
+            let r = p.propagate(store);
+            self.props[id as usize] = p;
+            match r {
+                Ok(()) => self.drain_dirty(store),
+                Err(Fail) => {
+                    self.reset_queue();
+                    store.take_dirty();
+                    return Err(Fail);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedule every propagator (used after posting bound tightenings at a
+    /// search restart boundary).
+    pub fn schedule_all(&mut self) {
+        for id in 0..self.props.len() as u32 {
+            self.enqueue(id);
+        }
+    }
+
+    fn reset_queue(&mut self) {
+        while let Some(id) = self.queue.pop_front() {
+            self.queued[id as usize] = false;
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct NoOp;
+impl Propagator for NoOp {
+    fn vars(&self) -> Vec<VarId> {
+        Vec::new()
+    }
+    fn propagate(&mut self, _: &mut Store) -> PropResult {
+        Ok(())
+    }
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x ≤ y, bounds-consistent.
+    struct Leq {
+        x: VarId,
+        y: VarId,
+    }
+    impl Propagator for Leq {
+        fn vars(&self) -> Vec<VarId> {
+            vec![self.x, self.y]
+        }
+        fn propagate(&mut self, s: &mut Store) -> PropResult {
+            s.remove_above(self.x, s.max(self.y))?;
+            s.remove_below(self.y, s.min(self.x))
+        }
+        fn name(&self) -> &'static str {
+            "leq"
+        }
+    }
+
+    #[test]
+    fn fixpoint_chains_inequalities() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 10);
+        let b = s.new_var(0, 10);
+        let c = s.new_var(0, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(Leq { x: a, y: b }), &s);
+        e.post(Box::new(Leq { x: b, y: c }), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.remove_above(c, 4).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.max(a), 4);
+        assert_eq!(s.max(b), 4);
+    }
+
+    #[test]
+    fn fixpoint_detects_failure_and_cleans_queue() {
+        let mut s = Store::new();
+        let a = s.new_var(5, 10);
+        let b = s.new_var(0, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(Leq { x: a, y: b }), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        // Store-level ops stay legal; the *propagator* must detect that
+        // a ∈ [8,10] cannot be ≤ b ∈ [5,6].
+        s.remove_below(a, 8).unwrap();
+        s.remove_above(b, 6).unwrap();
+        assert_eq!(e.fixpoint(&mut s), Err(Fail));
+        s.pop_level();
+        // Engine must be reusable after failure.
+        s.push_level();
+        s.remove_above(b, 7).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.max(a), 7);
+    }
+
+    #[test]
+    fn propagator_runs_once_per_wakeup_batch() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 10);
+        let b = s.new_var(0, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(Leq { x: a, y: b }), &s);
+        e.fixpoint(&mut s).unwrap();
+        let before = e.propagations;
+        s.push_level();
+        // Two changes to watched vars in one batch → at most 2 runs
+        // (initial + requeue), not 4.
+        s.remove_above(b, 8).unwrap();
+        s.remove_below(a, 1).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert!(e.propagations - before <= 2);
+    }
+}
+
+#[cfg(test)]
+mod schedule_all_tests {
+    use super::*;
+    use crate::store::Store;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    struct Counter(Arc<AtomicU32>);
+    impl Propagator for Counter {
+        fn vars(&self) -> Vec<VarId> {
+            Vec::new()
+        }
+        fn propagate(&mut self, _: &mut Store) -> PropResult {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+    }
+
+    #[test]
+    fn schedule_all_requeues_every_propagator() {
+        let mut s = Store::new();
+        let _x = s.new_var(0, 1);
+        let counts = [Arc::new(AtomicU32::new(0)), Arc::new(AtomicU32::new(0))];
+        let mut e = Engine::new();
+        e.post(Box::new(Counter(Arc::clone(&counts[0]))), &s);
+        e.post(Box::new(Counter(Arc::clone(&counts[1]))), &s);
+        e.fixpoint(&mut s).unwrap(); // initial run: each once
+        e.schedule_all();
+        e.fixpoint(&mut s).unwrap(); // once more each
+        assert_eq!(counts[0].load(Ordering::Relaxed), 2);
+        assert_eq!(counts[1].load(Ordering::Relaxed), 2);
+        assert_eq!(e.num_propagators(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! The `AllDifferent` global constraint with bounds consistency
+//! (Hall-interval reasoning à la Puget) plus value propagation on fixed
+//! variables.
+//!
+//! Not required by the paper's model (constraint (3) only separates
+//! *differently configured* pairs), but a standard part of a CP solver's
+//! surface and used by downstream models (e.g. forcing distinct window
+//! slots for unit-capacity units in custom modulo formulations).
+
+use crate::engine::Propagator;
+use crate::store::{Fail, PropResult, Store, VarId};
+
+pub struct AllDifferent {
+    pub vars: Vec<VarId>,
+}
+
+impl AllDifferent {
+    pub fn new(vars: Vec<VarId>) -> Self {
+        AllDifferent { vars }
+    }
+
+    /// Hall-interval bounds filtering in one direction (raise minima).
+    /// Standard O(n²) formulation: for every candidate interval `[a, b]`,
+    /// if the number of variables whose domain lies inside is equal to its
+    /// width, variables outside must avoid it.
+    fn hall_filter(&self, s: &mut Store) -> PropResult {
+        let bounds: Vec<(i32, i32)> = self
+            .vars
+            .iter()
+            .map(|&v| (s.min(v), s.max(v)))
+            .collect();
+        // Candidate interval endpoints: the variables' bounds.
+        let mut lows: Vec<i32> = bounds.iter().map(|&(l, _)| l).collect();
+        let mut his: Vec<i32> = bounds.iter().map(|&(_, h)| h).collect();
+        lows.sort_unstable();
+        lows.dedup();
+        his.sort_unstable();
+        his.dedup();
+        for &a in &lows {
+            for &b in &his {
+                if b < a {
+                    continue;
+                }
+                let width = (b - a + 1) as usize;
+                let inside: Vec<usize> = bounds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(l, h))| l >= a && h <= b)
+                    .map(|(i, _)| i)
+                    .collect();
+                if inside.len() > width {
+                    return Err(Fail);
+                }
+                if inside.len() == width {
+                    // Hall interval: outsiders must avoid [a, b] entirely
+                    // in the bounds sense.
+                    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+                        if lo >= a && hi <= b {
+                            continue;
+                        }
+                        let v = self.vars[i];
+                        if s.min(v) >= a && s.min(v) <= b {
+                            s.remove_below(v, b + 1)?;
+                        }
+                        if s.max(v) <= b && s.max(v) >= a {
+                            s.remove_above(v, a - 1)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for AllDifferent {
+    fn vars(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        // Value propagation: fixed vars knock their value out of others.
+        // Iterate to a local fixpoint (fixing can cascade).
+        loop {
+            let mut changed = false;
+            for i in 0..self.vars.len() {
+                let vi = self.vars[i];
+                let Some(val) = s.dom(vi).value() else { continue };
+                for j in 0..self.vars.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let vj = self.vars[j];
+                    if s.dom(vj).contains(val) {
+                        if s.dom(vj).value() == Some(val) {
+                            return Err(Fail);
+                        }
+                        s.remove_value(vj, val)?;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.hall_filter(s)
+    }
+
+    fn name(&self) -> &'static str {
+        "alldifferent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    fn setup(domains: &[(i32, i32)]) -> (Store, Engine, Vec<VarId>) {
+        let mut s = Store::new();
+        let vars: Vec<VarId> = domains.iter().map(|&(l, h)| s.new_var(l, h)).collect();
+        let mut e = Engine::new();
+        e.post(Box::new(AllDifferent::new(vars.clone())), &s);
+        (s, e, vars)
+    }
+
+    #[test]
+    fn fixed_value_removed_from_others() {
+        let (mut s, mut e, vars) = setup(&[(3, 3), (0, 5), (0, 5)]);
+        e.fixpoint(&mut s).unwrap();
+        assert!(!s.dom(vars[1]).contains(3));
+        assert!(!s.dom(vars[2]).contains(3));
+    }
+
+    #[test]
+    fn cascading_fixes_propagate() {
+        // x=1 forces y (1..2) to 2, which prunes z.
+        let (mut s, mut e, vars) = setup(&[(1, 1), (1, 2), (1, 3)]);
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.dom(vars[1]).value(), Some(2));
+        assert_eq!(s.dom(vars[2]).value(), Some(3));
+    }
+
+    #[test]
+    fn two_equal_singletons_fail() {
+        let (mut s, mut e, _) = setup(&[(4, 4), (4, 4)]);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn pigeonhole_detected() {
+        // Three vars in a two-value interval.
+        let (mut s, mut e, _) = setup(&[(0, 1), (0, 1), (0, 1)]);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn hall_interval_prunes_outsider() {
+        // x,y ∈ [1,2] form a Hall interval → z ∈ [1,5] must start ≥ 3.
+        let (mut s, mut e, vars) = setup(&[(1, 2), (1, 2), (1, 5)]);
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.min(vars[2]), 3);
+    }
+
+    #[test]
+    fn hall_interval_prunes_upper_side() {
+        let (mut s, mut e, vars) = setup(&[(4, 5), (4, 5), (0, 5)]);
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.max(vars[2]), 3);
+    }
+
+    #[test]
+    fn permutation_is_supported() {
+        // n vars over n values: every solution is a permutation; the
+        // propagator must keep all of them reachable.
+        let (mut s, mut e, vars) = setup(&[(0, 3), (0, 3), (0, 3), (0, 3)]);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.fix(vars[0], 2).unwrap();
+        s.fix(vars[1], 0).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        let rem: Vec<i32> = s.dom(vars[2]).iter().collect();
+        assert_eq!(rem, vec![1, 3]);
+    }
+
+    #[test]
+    fn search_counts_permutations() {
+        // Exhaustive search over 4 all-different vars in 0..4 must find
+        // exactly 4! = 24 solutions — checked by counting first-solutions
+        // with successive exclusion... simpler: solve repeatedly is not
+        // supported, so just check one solution exists and is valid.
+        use crate::model::Model;
+        use crate::search::{solve, Phase, SearchConfig, ValSel, VarSel};
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..6).map(|_| m.new_var(0, 5)).collect();
+        m.post(Box::new(AllDifferent::new(vars.clone())));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars.clone(), VarSel::FirstFail, ValSel::Min)],
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        let sol = r.best.unwrap();
+        let mut vals: Vec<i32> = vars.iter().map(|&v| sol.value(v)).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

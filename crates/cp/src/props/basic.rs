@@ -1,0 +1,309 @@
+//! Basic binary/n-ary propagators: equality with offset, disequality,
+//! and `y = max(xs)`.
+
+use crate::engine::Propagator;
+use crate::store::{Fail, PropResult, Store, VarId};
+
+/// `y = x + c` (domain-consistent on bounds; value-consistent once one side
+/// is fixed). Covers plain equality with `c = 0`.
+///
+/// This implements the paper's constraint (4): a data node starts exactly
+/// when its producing operation's latency has elapsed.
+pub struct XPlusCEqY {
+    pub x: VarId,
+    pub c: i32,
+    pub y: VarId,
+}
+
+impl Propagator for XPlusCEqY {
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.x, self.y]
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        // Bounds in both directions.
+        s.remove_below(self.y, s.min(self.x).saturating_add(self.c))?;
+        s.remove_above(self.y, s.max(self.x).saturating_add(self.c))?;
+        s.remove_below(self.x, s.min(self.y).saturating_sub(self.c))?;
+        s.remove_above(self.x, s.max(self.y).saturating_sub(self.c))?;
+        // Exact channeling when either side has few values: intersect
+        // shifted domains. Domains in the scheduling model are small, so
+        // this stays cheap and gives full domain consistency.
+        if s.dom(self.x).interval_count() > 1 || s.dom(self.y).interval_count() > 1 {
+            let shifted_x =
+                crate::domain::Domain::from_values(s.dom(self.x).iter().map(|v| v + self.c));
+            s.intersect(self.y, &shifted_x)?;
+            let shifted_y =
+                crate::domain::Domain::from_values(s.dom(self.y).iter().map(|v| v - self.c));
+            s.intersect(self.x, &shifted_y)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "x+c=y"
+    }
+}
+
+/// `x + c ≤ y`: the precedence constraint (1) of the paper,
+/// `s_i + l_i ≤ s_j`.
+pub struct XPlusCLeqY {
+    pub x: VarId,
+    pub c: i32,
+    pub y: VarId,
+}
+
+impl Propagator for XPlusCLeqY {
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.x, self.y]
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        s.remove_below(self.y, s.min(self.x).saturating_add(self.c))?;
+        s.remove_above(self.x, s.max(self.y).saturating_sub(self.c))
+    }
+
+    fn name(&self) -> &'static str {
+        "x+c<=y"
+    }
+}
+
+/// `x ≠ y + c`: the same-configuration constraint (3) with `c = 0`,
+/// and modular-offset disequalities in the modulo-scheduling model.
+pub struct NeqOffset {
+    pub x: VarId,
+    pub y: VarId,
+    pub c: i32,
+}
+
+impl Propagator for NeqOffset {
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.x, self.y]
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        if let Some(vy) = s.dom(self.y).value() {
+            s.remove_value(self.x, vy.saturating_add(self.c))?;
+        }
+        if let Some(vx) = s.dom(self.x).value() {
+            s.remove_value(self.y, vx.saturating_sub(self.c))?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "neq"
+    }
+}
+
+/// `y = max(x_1, …, x_n)`, bounds-consistent.
+///
+/// Used for the makespan objective (5) and for data-node lifetimes (10),
+/// where the lifetime end is the max of the consumers' start times.
+pub struct MaxOf {
+    pub xs: Vec<VarId>,
+    pub y: VarId,
+}
+
+impl Propagator for MaxOf {
+    fn vars(&self) -> Vec<VarId> {
+        let mut v = self.xs.clone();
+        v.push(self.y);
+        v
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        if self.xs.is_empty() {
+            return Err(Fail);
+        }
+        let mut max_of_maxes = i32::MIN;
+        let mut max_of_mins = i32::MIN;
+        for &x in &self.xs {
+            max_of_maxes = max_of_maxes.max(s.max(x));
+            max_of_mins = max_of_mins.max(s.min(x));
+        }
+        s.remove_above(self.y, max_of_maxes)?;
+        s.remove_below(self.y, max_of_mins)?;
+        let y_max = s.max(self.y);
+        for &x in &self.xs {
+            s.remove_above(x, y_max)?;
+        }
+        // If exactly one x can still reach y's lower bound, it must.
+        let y_min = s.min(self.y);
+        let mut candidates = self.xs.iter().filter(|&&x| s.max(x) >= y_min);
+        if let (Some(&only), None) = (candidates.next(), candidates.next()) {
+            s.remove_below(only, y_min)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "max"
+    }
+}
+
+/// `y = x₁ - x₂ + c` — helper for lifetime definition
+/// `life_i = max(U_i) - s_i` once combined with [`MaxOf`].
+pub struct DiffPlusC {
+    pub x1: VarId,
+    pub x2: VarId,
+    pub c: i32,
+    pub y: VarId,
+}
+
+impl Propagator for DiffPlusC {
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.x1, self.x2, self.y]
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        // y = x1 - x2 + c
+        s.remove_below(self.y, s.min(self.x1) - s.max(self.x2) + self.c)?;
+        s.remove_above(self.y, s.max(self.x1) - s.min(self.x2) + self.c)?;
+        // x1 = y + x2 - c
+        s.remove_below(self.x1, s.min(self.y) + s.min(self.x2) - self.c)?;
+        s.remove_above(self.x1, s.max(self.y) + s.max(self.x2) - self.c)?;
+        // x2 = x1 - y + c
+        s.remove_below(self.x2, s.min(self.x1) - s.max(self.y) + self.c)?;
+        s.remove_above(self.x2, s.max(self.x1) - s.min(self.y) + self.c)?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "diff+c"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    fn run(e: &mut Engine, s: &mut Store) {
+        e.fixpoint(s).unwrap();
+    }
+
+    #[test]
+    fn eq_offset_channels_bounds() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        let y = s.new_var(5, 20);
+        let mut e = Engine::new();
+        e.post(Box::new(XPlusCEqY { x, c: 3, y }), &s);
+        run(&mut e, &mut s);
+        assert_eq!((s.min(x), s.max(x)), (2, 10));
+        assert_eq!((s.min(y), s.max(y)), (5, 13));
+    }
+
+    #[test]
+    fn eq_offset_channels_holes() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        let y = s.new_var(0, 20);
+        let mut e = Engine::new();
+        e.post(Box::new(XPlusCEqY { x, c: 0, y }), &s);
+        run(&mut e, &mut s);
+        s.push_level();
+        s.remove_value(x, 5).unwrap();
+        s.remove_value(x, 6).unwrap();
+        run(&mut e, &mut s);
+        assert!(!s.dom(y).contains(5));
+        assert!(!s.dom(y).contains(6));
+    }
+
+    #[test]
+    fn precedence_prunes_both_sides() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 100);
+        let y = s.new_var(0, 100);
+        let mut e = Engine::new();
+        e.post(Box::new(XPlusCLeqY { x, c: 7, y }), &s);
+        run(&mut e, &mut s);
+        assert_eq!(s.min(y), 7);
+        assert_eq!(s.max(x), 93);
+    }
+
+    #[test]
+    fn precedence_fails_when_impossible() {
+        let mut s = Store::new();
+        let x = s.new_var(10, 20);
+        let y = s.new_var(0, 12);
+        let mut e = Engine::new();
+        e.post(Box::new(XPlusCLeqY { x, c: 7, y }), &s);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn neq_waits_until_fixed() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 5);
+        let y = s.new_var(0, 5);
+        let mut e = Engine::new();
+        e.post(Box::new(NeqOffset { x, y, c: 0 }), &s);
+        run(&mut e, &mut s);
+        assert_eq!(s.dom(x).size(), 6); // nothing yet
+        s.push_level();
+        s.fix(y, 3).unwrap();
+        run(&mut e, &mut s);
+        assert!(!s.dom(x).contains(3));
+    }
+
+    #[test]
+    fn neq_detects_conflict() {
+        let mut s = Store::new();
+        let x = s.new_var(4, 4);
+        let y = s.new_var(4, 4);
+        let mut e = Engine::new();
+        e.post(Box::new(NeqOffset { x, y, c: 0 }), &s);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn max_bounds() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 4);
+        let b = s.new_var(2, 9);
+        let y = s.new_var(0, 100);
+        let mut e = Engine::new();
+        e.post(Box::new(MaxOf { xs: vec![a, b], y }), &s);
+        run(&mut e, &mut s);
+        assert_eq!((s.min(y), s.max(y)), (2, 9));
+        s.push_level();
+        s.remove_above(y, 6).unwrap();
+        run(&mut e, &mut s);
+        assert_eq!(s.max(b), 6);
+        assert_eq!(s.max(a), 4);
+    }
+
+    #[test]
+    fn max_forces_unique_support() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 3);
+        let b = s.new_var(0, 9);
+        let y = s.new_var(8, 9);
+        let mut e = Engine::new();
+        e.post(Box::new(MaxOf { xs: vec![a, b], y }), &s);
+        run(&mut e, &mut s);
+        // only b can reach 8 → b ≥ 8
+        assert_eq!(s.min(b), 8);
+    }
+
+    #[test]
+    fn diff_plus_c_all_directions() {
+        let mut s = Store::new();
+        let x1 = s.new_var(10, 20);
+        let x2 = s.new_var(0, 5);
+        let y = s.new_var(-100, 100);
+        let mut e = Engine::new();
+        e.post(Box::new(DiffPlusC { x1, x2, c: 0, y }), &s);
+        run(&mut e, &mut s);
+        assert_eq!((s.min(y), s.max(y)), (5, 20));
+        s.push_level();
+        s.remove_above(y, 8).unwrap();
+        run(&mut e, &mut s);
+        // x1 ≤ y.max + x2.max = 8 + 5 = 13
+        assert_eq!(s.max(x1), 13);
+        // x2 ≥ x1.min - y.max = 10 - 8 = 2
+        assert_eq!(s.min(x2), 2);
+    }
+}

@@ -1,0 +1,397 @@
+//! The `Cumulative` global constraint (Aggoun & Beldiceanu, 1993) with
+//! time-table filtering.
+//!
+//! Given tasks with start variables, fixed durations and fixed resource
+//! requirements, enforces that at every time point the sum of requirements
+//! of running tasks stays within `capacity`. This is the paper's
+//! constraint (2): the vector core's four lanes (vector op r=1, matrix op
+//! r=4, duration 1 cc), and the unit-capacity accelerator and index/merge
+//! units.
+//!
+//! Filtering performed each wake-up:
+//! 1. build the *compulsory-part* profile (the resource use every task must
+//!    exert regardless of its final start: interval `[lst, ect)` when
+//!    `lst < ect`); fail on capacity overflow;
+//! 2. for every task and candidate start value, remove the value if the
+//!    profile (minus the task's own compulsory contribution) plus the
+//!    task's requirement would exceed capacity anywhere in the execution
+//!    window.
+
+use crate::engine::Propagator;
+use crate::store::{Fail, PropResult, Store, VarId};
+
+/// One task of a cumulative resource.
+#[derive(Clone, Copy, Debug)]
+pub struct CumTask {
+    pub start: VarId,
+    /// Fixed duration ≥ 0. Zero-duration tasks are ignored.
+    pub dur: i32,
+    /// Fixed resource requirement ≥ 0. Zero-requirement tasks are ignored.
+    pub req: i32,
+}
+
+pub struct Cumulative {
+    pub tasks: Vec<CumTask>,
+    pub capacity: i32,
+    /// Scratch profile events, kept across calls to avoid reallocation.
+    events: Vec<(i32, i32)>,
+}
+
+impl Cumulative {
+    pub fn new(tasks: Vec<CumTask>, capacity: i32) -> Self {
+        assert!(capacity >= 0);
+        let tasks: Vec<CumTask> = tasks
+            .into_iter()
+            .filter(|t| t.dur > 0 && t.req > 0)
+            .collect();
+        Cumulative {
+            tasks,
+            capacity,
+            events: Vec::new(),
+        }
+    }
+
+    /// Compulsory part of task `t`: `[lst, ect)` if non-empty.
+    fn compulsory(s: &Store, t: &CumTask) -> Option<(i32, i32)> {
+        let lst = s.max(t.start);
+        let ect = s.min(t.start) + t.dur;
+        (lst < ect).then_some((lst, ect))
+    }
+
+    /// Energetic (overload) check: for every window `[a, b)` spanned by
+    /// task release/deadline pairs, the total energy of tasks that must
+    /// run entirely inside it cannot exceed `capacity * (b - a)`. Catches
+    /// infeasibilities time-table filtering misses while domains are still
+    /// loose (no compulsory parts yet).
+    fn energetic_check(&self, s: &Store) -> PropResult {
+        let n = self.tasks.len();
+        if n < 2 {
+            return Ok(());
+        }
+        // (est, lct, energy), sorted by est descending for the inner scan.
+        let mut info: Vec<(i32, i32, i64)> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                (
+                    s.min(t.start),
+                    s.max(t.start) + t.dur,
+                    t.dur as i64 * t.req as i64,
+                )
+            })
+            .collect();
+        info.sort_by_key(|&(est, _, _)| std::cmp::Reverse(est));
+        let mut lcts: Vec<i32> = info.iter().map(|&(_, lct, _)| lct).collect();
+        lcts.sort_unstable();
+        lcts.dedup();
+        for &b in &lcts {
+            // Walk ests from high to low, accumulating energy of tasks
+            // fully inside [est, b).
+            let mut energy = 0i64;
+            for &(a, lct, e) in &info {
+                if lct <= b {
+                    energy += e;
+                    if a < b && energy > self.capacity as i64 * (b - a) as i64 {
+                        return Err(Fail);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+}
+
+/// Piecewise-constant resource profile built from compulsory parts:
+/// `steps[k] = (t_k, h_k)` means height `h_k` on `[t_k, t_{k+1})`; height is
+/// 0 before the first and after the last breakpoint.
+struct Profile {
+    steps: Vec<(i32, i32)>,
+}
+
+impl Profile {
+    fn build(events: &[(i32, i32)]) -> Self {
+        let mut steps = Vec::with_capacity(events.len() + 1);
+        let mut h = 0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                h += events[i].1;
+                i += 1;
+            }
+            steps.push((t, h));
+        }
+        Profile { steps }
+    }
+
+    /// Max height over `[from, to)`, subtracting `own_req` wherever the
+    /// interval `own` overlaps (the task's own compulsory contribution).
+    fn max_in(&self, from: i32, to: i32, own: Option<(i32, i32)>, own_req: i32) -> i32 {
+        if from >= to {
+            return 0;
+        }
+        // Index of the step active at `from`: last step with t ≤ from.
+        let mut idx = match self.steps.binary_search_by_key(&from, |&(t, _)| t) {
+            Ok(i) => i as isize,
+            Err(i) => i as isize - 1,
+        };
+        let mut best = 0;
+        loop {
+            let (seg_start, h) = if idx < 0 {
+                (i32::MIN, 0)
+            } else {
+                self.steps[idx as usize]
+            };
+            let seg_end = self
+                .steps
+                .get((idx + 1) as usize)
+                .map_or(i32::MAX, |&(t, _)| t);
+            let lo = seg_start.max(from);
+            let hi = seg_end.min(to);
+            if lo < hi {
+                // Does the own compulsory part cover this whole sub-segment,
+                // part of it, or none? Split mentally: the max over the
+                // sub-segment is h minus own_req only where own covers it.
+                match own {
+                    Some((oa, ob)) if oa < hi && ob > lo => {
+                        // Portion covered by own: height h - own_req;
+                        // uncovered portion (if any): height h.
+                        if oa > lo || ob < hi {
+                            best = best.max(h);
+                        } else {
+                            best = best.max(h - own_req);
+                        }
+                        if oa <= lo && ob >= hi {
+                            best = best.max(h - own_req);
+                        }
+                    }
+                    _ => best = best.max(h),
+                }
+            }
+            if seg_end >= to {
+                break;
+            }
+            idx += 1;
+        }
+        best
+    }
+}
+
+impl Propagator for Cumulative {
+    fn vars(&self) -> Vec<VarId> {
+        self.tasks.iter().map(|t| t.start).collect()
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        // Phase 0: energetic overload check over release/deadline windows.
+        self.energetic_check(s)?;
+        // Phase 1: overload check on the compulsory-part profile.
+        self.events.clear();
+        for t in &self.tasks {
+            if let Some((a, b)) = Self::compulsory(s, t) {
+                self.events.push((a, t.req));
+                self.events.push((b, -t.req));
+            }
+        }
+        self.events.sort_unstable();
+        let mut h = 0;
+        for &(_, d) in &self.events {
+            h += d;
+            if h > self.capacity {
+                return Err(Fail);
+            }
+        }
+
+        // Phase 2: value pruning. Build the profile once, then for each
+        // task and candidate start value v, the task occupies [v, v+dur) at
+        // height req; reject v if any point of that window, on the profile
+        // minus the task's own compulsory part, would exceed capacity.
+        let profile = Profile::build(&self.events);
+        for i in 0..self.tasks.len() {
+            let t = self.tasks[i];
+            if s.is_fixed(t.start) {
+                // Fixed tasks are fully represented in the profile already;
+                // the overload check covers them.
+                continue;
+            }
+            let own = Self::compulsory(s, &t);
+            let mut to_remove: Vec<i32> = Vec::new();
+            // Collect candidate values first (cannot mutate while iterating).
+            let candidates: Vec<i32> = s.dom(t.start).iter().collect();
+            for v in candidates {
+                let peak = profile.max_in(v, v + t.dur, own, t.req);
+                if peak + t.req > self.capacity {
+                    to_remove.push(v);
+                }
+            }
+            for v in to_remove {
+                s.remove_value(t.start, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "cumulative"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    fn cum(s: &Store, specs: &[(VarId, i32, i32)], cap: i32) -> Cumulative {
+        let _ = s;
+        Cumulative::new(
+            specs
+                .iter()
+                .map(|&(start, dur, req)| CumTask { start, dur, req })
+                .collect(),
+            cap,
+        )
+    }
+
+    #[test]
+    fn overload_of_fixed_tasks_fails() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 0);
+        let b = s.new_var(0, 0);
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &[(a, 1, 3), (b, 1, 3)], 4)), &s);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn capacity_respected_at_exact_fit() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 0);
+        let b = s.new_var(0, 0);
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &[(a, 1, 2), (b, 1, 2)], 4)), &s);
+        assert!(e.fixpoint(&mut s).is_ok());
+    }
+
+    #[test]
+    fn compulsory_part_pushes_competitor() {
+        let mut s = Store::new();
+        // Task a fixed at [0,4) with req 3 of cap 4.
+        let a = s.new_var(0, 0);
+        // Task b (req 2) cannot start anywhere in [0,4) − its own dur window.
+        let b = s.new_var(0, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &[(a, 4, 3), (b, 2, 2)], 4)), &s);
+        e.fixpoint(&mut s).unwrap();
+        // b's window [v, v+2) must avoid [0,4) entirely → v ≥ 4.
+        assert_eq!(s.min(b), 4);
+    }
+
+    #[test]
+    fn partial_compulsory_part_prunes_middle_values() {
+        let mut s = Store::new();
+        // a ∈ [2,4], dur 4 → compulsory [4, 6).
+        let a = s.new_var(2, 4);
+        let b = s.new_var(0, 20);
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &[(a, 4, 3), (b, 1, 2)], 4)), &s);
+        e.fixpoint(&mut s).unwrap();
+        // b (req 2) cannot sit inside [4,6) where height is 3.
+        assert!(!s.dom(b).contains(4));
+        assert!(!s.dom(b).contains(5));
+        assert!(s.dom(b).contains(3));
+        assert!(s.dom(b).contains(6));
+    }
+
+    #[test]
+    fn matrix_op_excludes_vector_ops_at_same_cycle() {
+        // Paper semantics: matrix op takes all 4 lanes for 1 cc.
+        let mut s = Store::new();
+        let m = s.new_var(3, 3); // matrix op fixed at cycle 3
+        let v1 = s.new_var(0, 6);
+        let v2 = s.new_var(0, 6);
+        let mut e = Engine::new();
+        e.post(
+            Box::new(cum(&s, &[(m, 1, 4), (v1, 1, 1), (v2, 1, 1)], 4)),
+            &s,
+        );
+        e.fixpoint(&mut s).unwrap();
+        assert!(!s.dom(v1).contains(3));
+        assert!(!s.dom(v2).contains(3));
+    }
+
+    #[test]
+    fn four_lanes_hold_four_vector_ops() {
+        let mut s = Store::new();
+        let vs: Vec<VarId> = (0..4).map(|_| s.new_var(0, 0)).collect();
+        let specs: Vec<(VarId, i32, i32)> = vs.iter().map(|&v| (v, 1, 1)).collect();
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &specs, 4)), &s);
+        assert!(e.fixpoint(&mut s).is_ok());
+    }
+
+    #[test]
+    fn fifth_vector_op_is_displaced() {
+        let mut s = Store::new();
+        let mut specs = Vec::new();
+        for _ in 0..4 {
+            let v = s.new_var(0, 0);
+            specs.push((v, 1, 1));
+        }
+        let fifth = s.new_var(0, 5);
+        specs.push((fifth, 1, 1));
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &specs, 4)), &s);
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.min(fifth), 1);
+    }
+
+    #[test]
+    fn energetic_check_sees_loose_overload() {
+        // 16 unit tasks in a 2-slot window of capacity 4: no task has a
+        // compulsory part, but the energy 16 > 4*2 = 8.
+        let mut s = Store::new();
+        let specs: Vec<(VarId, i32, i32)> =
+            (0..16).map(|_| (s.new_var(0, 1), 1, 1)).collect();
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &specs, 4)), &s);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn energetic_check_accepts_exact_fit() {
+        // 8 unit tasks in a 2-slot window of capacity 4: energy 8 = 8.
+        let mut s = Store::new();
+        let specs: Vec<(VarId, i32, i32)> =
+            (0..8).map(|_| (s.new_var(0, 1), 1, 1)).collect();
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &specs, 4)), &s);
+        assert!(e.fixpoint(&mut s).is_ok());
+    }
+
+    #[test]
+    fn energetic_check_uses_tight_subwindows() {
+        // 3 fixed 2-cycle unit tasks share [5,7) on a unit machine:
+        // energy 6 > 1 * 2 - caught without any search.
+        let mut s = Store::new();
+        let specs: Vec<(VarId, i32, i32)> =
+            (0..3).map(|_| (s.new_var(5, 5), 2, 1)).collect();
+        let mut e = Engine::new();
+        e.post(Box::new(cum(&s, &specs, 1)), &s);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn zero_req_and_zero_dur_tasks_ignored() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 0);
+        let b = s.new_var(0, 0);
+        let c = s.new_var(0, 0);
+        let mut e = Engine::new();
+        e.post(
+            Box::new(cum(&s, &[(a, 1, 5), (b, 0, 9), (c, 1, 0)], 5)),
+            &s,
+        );
+        assert!(e.fixpoint(&mut s).is_ok());
+    }
+}

@@ -1,0 +1,241 @@
+//! Slot/line/page channeling for the EIT vector memory (constraint
+//! group (6) of the paper):
+//!
+//! ```text
+//! line_i = slot_i / nOfBanks
+//! page_i = (slot_i mod nOfBanks) / pageSize
+//! ```
+//!
+//! Slots are enumerated linearly: slot 0 is the first slot of bank 0,
+//! slot 1 the first slot of bank 1, …, slot 16 the second slot of bank 0
+//! (for 16 banks). Slot domains are small (tens to a few hundred values),
+//! so this propagator achieves *domain* consistency by explicit value maps
+//! in both directions.
+
+use crate::domain::Domain;
+use crate::engine::Propagator;
+use crate::store::{PropResult, Store, VarId};
+
+pub struct SlotGeometry {
+    pub slot: VarId,
+    pub line: VarId,
+    pub page: VarId,
+    pub n_banks: i32,
+    pub page_size: i32,
+}
+
+impl SlotGeometry {
+    pub fn new(slot: VarId, line: VarId, page: VarId, n_banks: i32, page_size: i32) -> Self {
+        assert!(n_banks > 0 && page_size > 0);
+        SlotGeometry {
+            slot,
+            line,
+            page,
+            n_banks,
+            page_size,
+        }
+    }
+
+    #[inline]
+    fn line_of(&self, slot: i32) -> i32 {
+        slot.div_euclid(self.n_banks)
+    }
+
+    #[inline]
+    fn page_of(&self, slot: i32) -> i32 {
+        slot.rem_euclid(self.n_banks) / self.page_size
+    }
+}
+
+impl Propagator for SlotGeometry {
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.slot, self.line, self.page]
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        // Forward: images of the slot domain.
+        let mut lines = Vec::new();
+        let mut pages = Vec::new();
+        let mut dead_slots = Vec::new();
+        for v in s.dom(self.slot).iter() {
+            let (ln, pg) = (self.line_of(v), self.page_of(v));
+            if s.dom(self.line).contains(ln) && s.dom(self.page).contains(pg) {
+                lines.push(ln);
+                pages.push(pg);
+            } else {
+                dead_slots.push(v);
+            }
+        }
+        // Backward: slots whose line/page were already pruned die.
+        for v in dead_slots {
+            s.remove_value(self.slot, v)?;
+        }
+        s.intersect(self.line, &Domain::from_values(lines))?;
+        s.intersect(self.page, &Domain::from_values(pages))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "slot-geometry"
+    }
+}
+
+/// Modular channeling `s = m·k + t` with `t ∈ [0, m)`, domain-consistent
+/// over `s` (the modulo-scheduling decomposition: absolute start, stage,
+/// window slot). Enumerates the `s` domain, so it is meant for the
+/// horizon-sized domains of scheduling models.
+pub struct ModChannel {
+    pub s: VarId,
+    pub k: VarId,
+    pub t: VarId,
+    pub modulus: i32,
+}
+
+impl Propagator for ModChannel {
+    fn vars(&self) -> Vec<VarId> {
+        vec![self.s, self.k, self.t]
+    }
+
+    fn propagate(&mut self, store: &mut Store) -> PropResult {
+        let m = self.modulus;
+        let mut ts = Vec::new();
+        let mut ks = Vec::new();
+        let mut dead = Vec::new();
+        for v in store.dom(self.s).iter() {
+            let (k, t) = (v.div_euclid(m), v.rem_euclid(m));
+            if store.dom(self.k).contains(k) && store.dom(self.t).contains(t) {
+                ks.push(k);
+                ts.push(t);
+            } else {
+                dead.push(v);
+            }
+        }
+        for v in dead {
+            store.remove_value(self.s, v)?;
+        }
+        store.intersect(self.t, &Domain::from_values(ts))?;
+        store.intersect(self.k, &Domain::from_values(ks))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "mod-channel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    /// 16 banks, 4-bank pages, as in the EIT architecture.
+    fn setup(n_slots: i32) -> (Store, Engine, VarId, VarId, VarId) {
+        let mut s = Store::new();
+        let slot = s.new_var(0, n_slots - 1);
+        let line = s.new_var(0, 1000);
+        let page = s.new_var(0, 1000);
+        let mut e = Engine::new();
+        e.post(Box::new(SlotGeometry::new(slot, line, page, 16, 4)), &s);
+        e.fixpoint(&mut s).unwrap();
+        (s, e, slot, line, page)
+    }
+
+    #[test]
+    fn initial_images_are_tight() {
+        let (s, _, _, line, page) = setup(64); // 4 lines × 16 banks
+        assert_eq!((s.min(line), s.max(line)), (0, 3));
+        assert_eq!((s.min(page), s.max(page)), (0, 3));
+    }
+
+    #[test]
+    fn fixing_slot_fixes_line_and_page() {
+        let (mut s, mut e, slot, line, page) = setup(64);
+        s.push_level();
+        s.fix(slot, 37).unwrap(); // bank 5, line 2 → page 1
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.value(line), 2);
+        assert_eq!(s.value(page), 1);
+    }
+
+    #[test]
+    fn fixing_page_prunes_slots() {
+        let (mut s, mut e, slot, _, page) = setup(32);
+        s.push_level();
+        s.fix(page, 2).unwrap(); // banks 8..11
+        e.fixpoint(&mut s).unwrap();
+        let slots: Vec<i32> = s.dom(slot).iter().collect();
+        assert_eq!(slots, vec![8, 9, 10, 11, 24, 25, 26, 27]);
+    }
+
+    #[test]
+    fn fixing_line_prunes_slots() {
+        let (mut s, mut e, slot, line, _) = setup(48);
+        s.push_level();
+        s.fix(line, 1).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.min(slot), 16);
+        assert_eq!(s.max(slot), 31);
+    }
+
+    #[test]
+    fn line_and_page_jointly_identify_four_slots() {
+        let (mut s, mut e, slot, line, page) = setup(64);
+        s.push_level();
+        s.fix(line, 3).unwrap();
+        s.fix(page, 0).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        let slots: Vec<i32> = s.dom(slot).iter().collect();
+        assert_eq!(slots, vec![48, 49, 50, 51]);
+    }
+
+    #[test]
+    fn mod_channel_prunes_all_directions() {
+        let mut s = Store::new();
+        let sv = s.new_var(0, 30);
+        let kv = s.new_var(0, 4);
+        let tv = s.new_var(0, 6);
+        let mut e = Engine::new();
+        e.post(Box::new(ModChannel { s: sv, k: kv, t: tv, modulus: 7 }), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        // Restrict the window slot: t ∈ {4,5,6} → s ≡ 4..6 (mod 7).
+        s.remove_below(tv, 4).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        for v in [0, 1, 7, 14, 21] {
+            assert!(!s.dom(sv).contains(v), "s should exclude {v}");
+        }
+        assert!(s.dom(sv).contains(4));
+        assert!(s.dom(sv).contains(12));
+        // Fix the stage: k = 2 → s ∈ [18, 20].
+        s.fix(kv, 2).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!((s.min(sv), s.max(sv)), (18, 20));
+    }
+
+    #[test]
+    fn mod_channel_fixing_s_fixes_k_and_t() {
+        let mut s = Store::new();
+        let sv = s.new_var(0, 100);
+        let kv = s.new_var(0, 20);
+        let tv = s.new_var(0, 6);
+        let mut e = Engine::new();
+        e.post(Box::new(ModChannel { s: sv, k: kv, t: tv, modulus: 7 }), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.fix(sv, 33).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.value(kv), 4);
+        assert_eq!(s.value(tv), 5);
+    }
+
+    #[test]
+    fn impossible_combination_fails() {
+        let (mut s, mut e, _, line, page) = setup(16); // only line 0 exists
+        s.push_level();
+        assert!(s.fix(line, 1).is_err() || {
+            let r = e.fixpoint(&mut s);
+            let _ = page;
+            r.is_err()
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! Linear (in)equality constraints with bounds consistency.
+//!
+//! `LinearLeq` enforces `Σ aᵢ·xᵢ ≤ c`; `LinearEq` enforces `Σ aᵢ·xᵢ = c`
+//! (as the conjunction of the two inequalities, which is bounds-complete
+//! for linear equations). Coefficients may be negative. All arithmetic is
+//! done in `i64` so that model-sized coefficients cannot overflow.
+
+use crate::engine::Propagator;
+use crate::store::{Fail, PropResult, Store, VarId};
+
+/// `Σ aᵢ·xᵢ ≤ c`.
+pub struct LinearLeq {
+    pub terms: Vec<(i64, VarId)>,
+    pub c: i64,
+}
+
+impl LinearLeq {
+    pub fn new(terms: Vec<(i64, VarId)>, c: i64) -> Self {
+        LinearLeq { terms, c }
+    }
+}
+
+#[inline]
+fn term_min(s: &Store, a: i64, x: VarId) -> i64 {
+    if a >= 0 {
+        a * s.min(x) as i64
+    } else {
+        a * s.max(x) as i64
+    }
+}
+
+#[inline]
+fn term_max(s: &Store, a: i64, x: VarId) -> i64 {
+    if a >= 0 {
+        a * s.max(x) as i64
+    } else {
+        a * s.min(x) as i64
+    }
+}
+
+fn prune_leq(s: &mut Store, terms: &[(i64, VarId)], c: i64) -> PropResult {
+    // Sum of minimal contributions; if it already exceeds c, fail.
+    let min_sum: i64 = terms.iter().map(|&(a, x)| term_min(s, a, x)).sum();
+    if min_sum > c {
+        return Err(Fail);
+    }
+    // Each term may use at most c - (min_sum - its own min contribution).
+    for &(a, x) in terms {
+        if a == 0 {
+            continue;
+        }
+        let slack = c - (min_sum - term_min(s, a, x));
+        if a > 0 {
+            // a*x ≤ slack  →  x ≤ floor(slack / a)
+            let ub = slack.div_euclid(a);
+            s.remove_above(x, ub.clamp(i32::MIN as i64, i32::MAX as i64) as i32)?;
+        } else {
+            // a*x ≤ slack with a < 0  →  x ≥ ceil(slack / a)
+            let lb = ceil_div(slack, a);
+            s.remove_below(x, lb.clamp(i32::MIN as i64, i32::MAX as i64) as i32)?;
+        }
+    }
+    Ok(())
+}
+
+/// Ceiling division that is correct for all sign combinations.
+#[inline]
+fn ceil_div(n: i64, d: i64) -> i64 {
+    let q = n / d;
+    let r = n % d;
+    if r != 0 && (r < 0) == (d < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+impl Propagator for LinearLeq {
+    fn vars(&self) -> Vec<VarId> {
+        self.terms.iter().map(|&(_, x)| x).collect()
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        prune_leq(s, &self.terms, self.c)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear<="
+    }
+}
+
+/// `Σ aᵢ·xᵢ = c`.
+pub struct LinearEq {
+    pub terms: Vec<(i64, VarId)>,
+    pub c: i64,
+}
+
+impl LinearEq {
+    pub fn new(terms: Vec<(i64, VarId)>, c: i64) -> Self {
+        LinearEq { terms, c }
+    }
+}
+
+impl Propagator for LinearEq {
+    fn vars(&self) -> Vec<VarId> {
+        self.terms.iter().map(|&(_, x)| x).collect()
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        // ≤ direction.
+        prune_leq(s, &self.terms, self.c)?;
+        // ≥ direction: negate.
+        let neg: Vec<(i64, VarId)> = self.terms.iter().map(|&(a, x)| (-a, x)).collect();
+        prune_leq(s, &neg, -self.c)?;
+        // Max-sum feasibility check.
+        let max_sum: i64 = self.terms.iter().map(|&(a, x)| term_max(s, a, x)).sum();
+        if max_sum < self.c {
+            return Err(Fail);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "linear="
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    #[test]
+    fn ceil_div_signs() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(6, 2), 3);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(7, -2), -3);
+        assert_eq!(ceil_div(-7, -2), 4);
+        assert_eq!(ceil_div(0, 5), 0);
+    }
+
+    #[test]
+    fn leq_prunes_upper_bounds() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        let y = s.new_var(0, 10);
+        let mut e = Engine::new();
+        // x + 2y ≤ 10
+        e.post(Box::new(LinearLeq::new(vec![(1, x), (2, y)], 10)), &s);
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.max(y), 5);
+        assert_eq!(s.max(x), 10);
+        s.push_level();
+        s.remove_below(y, 4).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.max(x), 2);
+    }
+
+    #[test]
+    fn leq_with_negative_coeff() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        let y = s.new_var(0, 10);
+        let mut e = Engine::new();
+        // x - y ≤ 2  →  x ≤ y + 2
+        e.post(Box::new(LinearLeq::new(vec![(1, x), (-1, y)], 2)), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.remove_above(y, 3).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.max(x), 5);
+        s.pop_level();
+        s.push_level();
+        s.remove_below(x, 9).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.min(y), 7);
+    }
+
+    #[test]
+    fn leq_fails_on_overcommit() {
+        let mut s = Store::new();
+        let x = s.new_var(6, 10);
+        let y = s.new_var(6, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(LinearLeq::new(vec![(1, x), (1, y)], 10)), &s);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn eq_fixes_last_var() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        let y = s.new_var(0, 10);
+        let mut e = Engine::new();
+        // x + y = 10
+        e.post(Box::new(LinearEq::new(vec![(1, x), (1, y)], 10)), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.fix(x, 3).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.value(y), 7);
+    }
+
+    #[test]
+    fn eq_detects_unreachable_sum() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 3);
+        let y = s.new_var(0, 3);
+        let mut e = Engine::new();
+        e.post(Box::new(LinearEq::new(vec![(1, x), (1, y)], 9)), &s);
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn eq_with_mixed_coeffs() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 20);
+        let y = s.new_var(0, 20);
+        let mut e = Engine::new();
+        // 2x - 3y = 1
+        e.post(Box::new(LinearEq::new(vec![(2, x), (-3, y)], 1)), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.fix(y, 3).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.value(x), 5);
+    }
+}

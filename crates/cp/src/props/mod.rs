@@ -1,0 +1,24 @@
+//! Propagator implementations.
+//!
+//! Each submodule provides one family of constraints used by the scheduling
+//! and memory-allocation model:
+//!
+//! - [`alldiff`] — the `AllDifferent` global constraint
+//! - [`basic`] — equalities, offsets, disequalities, `max`
+//! - [`linear`] — linear (in)equalities with bounds consistency
+//! - [`cumulative`] — renewable-resource scheduling (time-table filtering)
+//! - [`diff2`] — two-dimensional non-overlap of rectangles
+//! - [`disjunctive`] — unary-resource scheduling with overload checking
+//! - [`geometry`] — the slot/line/page channeling of the EIT vector memory
+//! - [`reify`] — guarded/conditional constraints (the paper's (7)–(9))
+//! - [`table`] — extensional constraint with generalised arc consistency
+
+pub mod alldiff;
+pub mod basic;
+pub mod cumulative;
+pub mod diff2;
+pub mod disjunctive;
+pub mod geometry;
+pub mod linear;
+pub mod reify;
+pub mod table;

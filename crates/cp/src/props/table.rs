@@ -1,0 +1,142 @@
+//! The extensional (`Table`) constraint: a tuple of variables must take
+//! one of an explicit list of allowed value combinations.
+//!
+//! Filtering is generalised arc consistency by simple tabular reduction:
+//! tuples invalidated by current domains are disabled (per search node,
+//! recomputed on each call — the tuple lists in scheduling models are
+//! small), and every value without a supporting live tuple is pruned.
+//! Configuration legality tables (e.g. "which vector-core configuration
+//! may follow which without a stall") are the intended use.
+
+use crate::domain::Domain;
+use crate::engine::Propagator;
+use crate::store::{Fail, PropResult, Store, VarId};
+
+pub struct Table {
+    pub vars: Vec<VarId>,
+    pub tuples: Vec<Vec<i32>>,
+}
+
+impl Table {
+    pub fn new(vars: Vec<VarId>, tuples: Vec<Vec<i32>>) -> Self {
+        for t in &tuples {
+            assert_eq!(t.len(), vars.len(), "tuple arity mismatch");
+        }
+        Table { vars, tuples }
+    }
+}
+
+impl Propagator for Table {
+    fn vars(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn propagate(&mut self, s: &mut Store) -> PropResult {
+        let k = self.vars.len();
+        // Live tuples under the current domains.
+        let live: Vec<&Vec<i32>> = self
+            .tuples
+            .iter()
+            .filter(|t| t.iter().zip(&self.vars).all(|(&v, &x)| s.dom(x).contains(v)))
+            .collect();
+        if live.is_empty() {
+            return Err(Fail);
+        }
+        // Supported values per position.
+        for i in 0..k {
+            let support = Domain::from_values(live.iter().map(|t| t[i]));
+            s.intersect(self.vars[i], &support)?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "table"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    fn setup(domains: &[(i32, i32)], tuples: Vec<Vec<i32>>) -> (Store, Engine, Vec<VarId>) {
+        let mut s = Store::new();
+        let vars: Vec<VarId> = domains.iter().map(|&(l, h)| s.new_var(l, h)).collect();
+        let mut e = Engine::new();
+        e.post(Box::new(Table::new(vars.clone(), tuples)), &s);
+        (s, e, vars)
+    }
+
+    #[test]
+    fn initial_domains_reduce_to_supported_values() {
+        let (mut s, mut e, v) = setup(
+            &[(0, 9), (0, 9)],
+            vec![vec![1, 5], vec![2, 6], vec![2, 7]],
+        );
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.dom(v[0]).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(s.dom(v[1]).iter().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn fixing_one_var_propagates_to_others() {
+        let (mut s, mut e, v) = setup(
+            &[(0, 9), (0, 9), (0, 9)],
+            vec![vec![1, 5, 0], vec![2, 6, 1], vec![2, 7, 1]],
+        );
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.fix(v[0], 2).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(s.value(v[2]), 1);
+        assert_eq!(s.dom(v[1]).iter().collect::<Vec<_>>(), vec![6, 7]);
+    }
+
+    #[test]
+    fn no_live_tuple_fails() {
+        let (mut s, mut e, v) = setup(&[(0, 9), (0, 9)], vec![vec![1, 5], vec![2, 6]]);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.fix(v[0], 1).unwrap();
+        s.remove_value(v[1], 5).unwrap();
+        assert!(e.fixpoint(&mut s).is_err());
+    }
+
+    #[test]
+    fn gac_prunes_unsupported_interior_values() {
+        // v0 ∈ {0,1,2}; tuples support only 0 and 2 → 1 pruned directly.
+        let (mut s, mut e, v) = setup(&[(0, 2), (0, 2)], vec![vec![0, 0], vec![2, 2]]);
+        e.fixpoint(&mut s).unwrap();
+        assert!(!s.dom(v[0]).contains(1));
+        assert!(!s.dom(v[1]).contains(1));
+    }
+
+    #[test]
+    fn works_under_search() {
+        use crate::model::Model;
+        use crate::search::{solve, Phase, SearchConfig, ValSel, VarSel};
+        // A "legal configuration successor" table.
+        let mut m = Model::new();
+        let a = m.new_var(0, 3);
+        let b = m.new_var(0, 3);
+        let c = m.new_var(0, 3);
+        let succ = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 0],
+        ];
+        m.post(Box::new(Table::new(vec![a, b], succ.clone())));
+        m.post(Box::new(Table::new(vec![b, c], succ)));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vec![a, b, c], VarSel::InputOrder, ValSel::Min)],
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        let sol = r.best.unwrap();
+        // Chain must follow the cycle: a→a+1→a+2 (mod 4).
+        assert_eq!((sol.value(a) + 1) % 4, sol.value(b));
+        assert_eq!((sol.value(b) + 1) % 4, sol.value(c));
+    }
+}

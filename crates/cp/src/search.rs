@@ -1,0 +1,792 @@
+//! Depth-first search with branch-and-bound minimization, phased
+//! variable-selection heuristics (§3.5 of the paper), deadlines and
+//! statistics.
+//!
+//! The paper divides the search into three sequential phases — operation
+//! start times, data-node start times, then memory slots — "to start with
+//! the most influential decisions and end with the most trivial ones".
+//! [`Phase`] captures one such group; the brancher always exhausts earlier
+//! phases before touching later ones.
+
+use crate::model::Model;
+use crate::store::VarId;
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Variable-selection heuristic within a phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarSel {
+    /// Pick the first unfixed variable in the given order.
+    InputOrder,
+    /// Pick the unfixed variable with the smallest domain (first-fail).
+    FirstFail,
+    /// Pick the unfixed variable with the smallest lower bound — good for
+    /// start times, where early decisions propagate the most.
+    SmallestMin,
+}
+
+/// Value-selection heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValSel {
+    /// Enumerate values in increasing order.
+    Min,
+    /// Enumerate values in decreasing order.
+    Max,
+    /// Binary domain splitting at the midpoint (lower half first).
+    Split,
+}
+
+/// One search phase: a variable group plus its heuristics.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    pub vars: Vec<VarId>,
+    pub var_sel: VarSel,
+    pub val_sel: ValSel,
+}
+
+impl Phase {
+    pub fn new(vars: Vec<VarId>, var_sel: VarSel, val_sel: ValSel) -> Self {
+        Phase { vars, var_sel, val_sel }
+    }
+}
+
+/// Search-wide configuration.
+#[derive(Clone, Debug, Default)]
+pub struct SearchConfig {
+    pub phases: Vec<Phase>,
+    /// Wall-clock budget; `None` = unbounded.
+    pub timeout: Option<Duration>,
+    /// Explored-node budget; `None` = unbounded.
+    pub node_limit: Option<u64>,
+    /// Optional cross-thread objective bound for portfolio search: the
+    /// search both publishes improvements to and prunes against it.
+    pub shared_bound: Option<Arc<AtomicI32>>,
+    /// Restart-based branch-and-bound: after each incumbent, tighten the
+    /// objective bound *at the root* and re-dive, instead of continuing
+    /// chronologically. With strong propagation this avoids thrashing in
+    /// the subtree where the incumbent was found.
+    pub restart_on_solution: bool,
+}
+
+/// Exit status of a search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchStatus {
+    /// Optimality proven (or, for satisfaction search, a solution found).
+    Optimal,
+    /// A solution was found but the budget expired before the proof.
+    Feasible,
+    /// The whole tree was refuted: no solution exists.
+    Infeasible,
+    /// Budget expired with no solution found.
+    Unknown,
+}
+
+/// A complete assignment snapshot (indexed by `VarId`).
+#[derive(Clone, Debug)]
+pub struct Solution {
+    values: Vec<i32>,
+}
+
+impl Solution {
+    pub fn value(&self, v: VarId) -> i32 {
+        self.values[v.idx()]
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    pub nodes: u64,
+    pub fails: u64,
+    pub solutions: u64,
+    pub max_depth: usize,
+    pub propagations: u64,
+    pub time: Duration,
+}
+
+#[derive(Debug)]
+pub struct SearchResult {
+    pub status: SearchStatus,
+    pub best: Option<Solution>,
+    pub objective: Option<i32>,
+    pub stats: SearchStats,
+    /// The tree was fully exhausted (no budget abort). Under a shared
+    /// portfolio bound this is an optimality certificate for the portfolio
+    /// incumbent even when this thread found no solution itself.
+    pub completed: bool,
+}
+
+impl SearchResult {
+    pub fn is_sat(&self) -> bool {
+        self.best.is_some()
+    }
+}
+
+enum Abort {
+    Timeout,
+    NodeLimit,
+}
+
+struct Dfs<'m> {
+    model: &'m mut Model,
+    phases: Vec<Phase>,
+    objective: Option<VarId>,
+    bound: i32,
+    best: Option<Solution>,
+    best_obj: Option<i32>,
+    deadline: Option<Instant>,
+    node_limit: Option<u64>,
+    shared_bound: Option<Arc<AtomicI32>>,
+    stats: SearchStats,
+    /// In satisfaction mode we stop at the first solution.
+    stop_at_first: bool,
+    /// True once a prune used a bound tighter than our own incumbent's —
+    /// an exhausted tree then proves "no better than the shared bound",
+    /// not infeasibility.
+    external_bound_used: bool,
+    /// Enumeration mode: collect every solution up to the cap.
+    collect: Option<(Vec<Solution>, usize)>,
+}
+
+impl<'m> Dfs<'m> {
+    fn budget_check(&mut self) -> Result<(), Abort> {
+        if let Some(dl) = self.deadline {
+            // Checking the clock is ~20 ns; fine at every node.
+            if Instant::now() >= dl {
+                return Err(Abort::Timeout);
+            }
+        }
+        if let Some(nl) = self.node_limit {
+            if self.stats.nodes >= nl {
+                return Err(Abort::NodeLimit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective objective upper bound, folding in the shared portfolio
+    /// bound when present.
+    fn effective_bound(&mut self) -> i32 {
+        match &self.shared_bound {
+            Some(sb) => {
+                let ext = sb.load(Ordering::Relaxed);
+                if ext < self.bound {
+                    self.external_bound_used = true;
+                }
+                self.bound.min(ext)
+            }
+            None => self.bound,
+        }
+    }
+
+    fn select_var(&self) -> Option<(usize, VarId)> {
+        let s = &self.model.store;
+        for (pi, phase) in self.phases.iter().enumerate() {
+            let unfixed = phase.vars.iter().copied().filter(|&v| !s.is_fixed(v));
+            let pick = match phase.var_sel {
+                VarSel::InputOrder => unfixed.take(1).next(),
+                VarSel::FirstFail => unfixed.min_by_key(|&v| s.size(v)),
+                VarSel::SmallestMin => unfixed.min_by_key(|&v| (s.min(v), s.size(v))),
+            };
+            if let Some(v) = pick {
+                return Some((pi, v));
+            }
+        }
+        None
+    }
+
+    fn record_solution(&mut self) {
+        self.stats.solutions += 1;
+        let s = &self.model.store;
+        let values: Vec<i32> = (0..s.num_vars() as u32)
+            .map(|i| {
+                let v = VarId(i);
+                // Non-decision vars may be unfixed but bounded; take min —
+                // for the objective this is exact (it is functionally
+                // determined), and extraction only reads decision vars.
+                s.dom(v).value().unwrap_or_else(|| s.min(v))
+            })
+            .collect();
+        if let Some(obj) = self.objective {
+            let val = self.model.store.min(obj);
+            self.best_obj = Some(val);
+            self.bound = val; // next solutions must beat this strictly
+            if let Some(sb) = &self.shared_bound {
+                sb.fetch_min(val, Ordering::Relaxed);
+            }
+        }
+        let sol = Solution { values };
+        if let Some((sols, cap)) = &mut self.collect {
+            if sols.len() < *cap {
+                sols.push(sol.clone());
+            }
+        }
+        self.best = Some(sol);
+    }
+
+    /// Enumeration cap reached?
+    fn collection_full(&self) -> bool {
+        matches!(&self.collect, Some((sols, cap)) if sols.len() >= *cap)
+    }
+
+    /// Returns Ok(()) when the subtree is exhausted (normally or by
+    /// pruning); Err on budget exhaustion.
+    fn dfs(&mut self) -> Result<(), Abort> {
+        self.budget_check()?;
+        self.stats.nodes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.model.store.depth());
+
+        // Bound pruning for branch-and-bound.
+        if let Some(obj) = self.objective {
+            let b = self.effective_bound();
+            if b != i32::MAX {
+                if self.model.store.remove_above(obj, b - 1).is_err() {
+                    self.stats.fails += 1;
+                    return Ok(());
+                }
+                if self.model.engine.fixpoint(&mut self.model.store).is_err() {
+                    self.stats.fails += 1;
+                    return Ok(());
+                }
+            }
+        }
+
+        let Some((pi, var)) = self.select_var() else {
+            self.record_solution();
+            return Ok(());
+        };
+
+        let val_sel = self.phases[pi].val_sel;
+        match val_sel {
+            ValSel::Min | ValSel::Max => {
+                // Enumerate values; domains can change between attempts, so
+                // re-read the next candidate each time.
+                loop {
+                    if self.model.store.is_fixed(var) {
+                        // A neighbour's propagation fixed it; descend once.
+                        self.model.store.push_level();
+                        let r = self.dfs();
+                        self.model.store.pop_level();
+                        return r;
+                    }
+                    let v = if val_sel == ValSel::Min {
+                        self.model.store.min(var)
+                    } else {
+                        self.model.store.max(var)
+                    };
+                    // Try var = v.
+                    self.model.store.push_level();
+                    let ok = self.model.store.fix(var, v).is_ok()
+                        && self.model.engine.fixpoint(&mut self.model.store).is_ok();
+                    if ok {
+                        let r = self.dfs();
+                        self.model.store.pop_level();
+                        r?;
+                        if (self.stop_at_first && self.best.is_some())
+                            || self.collection_full()
+                        {
+                            return Ok(());
+                        }
+                    } else {
+                        self.stats.fails += 1;
+                        self.model.store.pop_level();
+                    }
+                    // Refute var = v and continue with the rest.
+                    if self.model.store.remove_value(var, v).is_err()
+                        || self.model.engine.fixpoint(&mut self.model.store).is_err()
+                    {
+                        self.stats.fails += 1;
+                        return Ok(());
+                    }
+                }
+            }
+            ValSel::Split => {
+                let mid = self.model.store.dom(var).split_point();
+                for half in 0..2 {
+                    self.model.store.push_level();
+                    let ok = if half == 0 {
+                        self.model.store.remove_above(var, mid).is_ok()
+                    } else {
+                        self.model.store.remove_below(var, mid + 1).is_ok()
+                    } && self.model.engine.fixpoint(&mut self.model.store).is_ok();
+                    if ok {
+                        let r = self.dfs();
+                        self.model.store.pop_level();
+                        r?;
+                        if (self.stop_at_first && self.best.is_some())
+                            || self.collection_full()
+                        {
+                            return Ok(());
+                        }
+                    } else {
+                        self.stats.fails += 1;
+                        self.model.store.pop_level();
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn run(
+    model: &mut Model,
+    objective: Option<VarId>,
+    config: &SearchConfig,
+    stop_at_first: bool,
+) -> SearchResult {
+    run_with_collect(model, objective, config, stop_at_first, None).0
+}
+
+fn run_with_collect(
+    model: &mut Model,
+    objective: Option<VarId>,
+    config: &SearchConfig,
+    stop_at_first: bool,
+    collect: Option<usize>,
+) -> (SearchResult, Vec<Solution>) {
+    let t0 = Instant::now();
+    let root_ok = model.engine.fixpoint(&mut model.store).is_ok();
+    let restart = config.restart_on_solution && objective.is_some() && !stop_at_first;
+
+    let mut dfs = Dfs {
+        model,
+        phases: config.phases.clone(),
+        objective,
+        bound: i32::MAX,
+        best: None,
+        best_obj: None,
+        deadline: config.timeout.map(|d| t0 + d),
+        node_limit: config.node_limit,
+        shared_bound: config.shared_bound.clone(),
+        stats: SearchStats::default(),
+        stop_at_first: stop_at_first || restart,
+        external_bound_used: false,
+        collect: collect.map(|cap| (Vec::new(), cap)),
+    };
+
+    // Every dive runs under its own backtrack level so search refutations
+    // never permanently mutate the root store (a root-level `remove_value`
+    // could otherwise leave an empty domain behind an exhausted dive).
+    let dive = |dfs: &mut Dfs| -> Result<(), Abort> {
+        dfs.model.store.push_level();
+        let r = dfs.dfs();
+        dfs.model.store.pop_level();
+        r
+    };
+
+    let aborted = if !root_ok {
+        false
+    } else if !restart {
+        dive(&mut dfs).is_err()
+    } else {
+        // Restart BnB: dive to the first (improving) solution, tighten the
+        // bound permanently at the root, and re-dive until refuted.
+        let obj = objective.unwrap();
+        let mut aborted = false;
+        loop {
+            let sols_before = dfs.stats.solutions;
+            match dive(&mut dfs) {
+                Err(_) => {
+                    aborted = true;
+                    break;
+                }
+                Ok(()) => {
+                    if dfs.stats.solutions == sols_before {
+                        break; // exhausted: no better solution exists
+                    }
+                    // Tighten at root (permanent) and go again.
+                    let bound = dfs.effective_bound();
+                    if bound == i32::MIN
+                        || dfs.model.store.remove_above(obj, bound - 1).is_err()
+                        || dfs.model.engine.fixpoint(&mut dfs.model.store).is_err()
+                    {
+                        break; // bound refuted at root: incumbent optimal
+                    }
+                }
+            }
+        }
+        aborted
+    };
+    let completed = root_ok && !aborted;
+
+    let status = if !root_ok {
+        SearchStatus::Infeasible
+    } else {
+        match (&dfs.best, aborted) {
+            (Some(_), false) => SearchStatus::Optimal,
+            (Some(_), true) => SearchStatus::Feasible,
+            // Exhausted with no solution: only a true infeasibility proof
+            // if no external bound narrowed the tree.
+            (None, false) if !dfs.external_bound_used => SearchStatus::Infeasible,
+            (None, false) => SearchStatus::Unknown,
+            (None, true) => SearchStatus::Unknown,
+        }
+    };
+
+    let mut stats = dfs.stats;
+    stats.time = t0.elapsed();
+    stats.propagations = dfs.model.engine.propagations;
+
+    let collected = dfs.collect.take().map(|(v, _)| v).unwrap_or_default();
+    (
+        SearchResult {
+            status,
+            best: dfs.best,
+            objective: dfs.best_obj,
+            stats,
+            completed,
+        },
+        collected,
+    )
+}
+
+/// Enumerate solutions over the phase variables, up to `max_solutions`.
+/// The returned status is `Optimal` when the tree was exhausted (the list
+/// is then complete) and `Feasible` when the cap or a budget cut it short.
+pub fn solve_all(
+    model: &mut Model,
+    config: &SearchConfig,
+    max_solutions: usize,
+) -> (SearchResult, Vec<Solution>) {
+    let (mut r, sols) = run_with_collect(model, None, config, false, Some(max_solutions));
+    if r.status == SearchStatus::Optimal && sols.len() >= max_solutions {
+        r.status = SearchStatus::Feasible; // cap hit: may be incomplete
+    }
+    if r.status == SearchStatus::Infeasible && !sols.is_empty() {
+        // Exhausted after collecting: complete enumeration.
+        r.status = SearchStatus::Optimal;
+    }
+    (r, sols)
+}
+
+/// Find one solution over the phase variables.
+pub fn solve(model: &mut Model, config: &SearchConfig) -> SearchResult {
+    run(model, None, config, true)
+}
+
+/// Minimize `objective` by branch-and-bound over the phase variables.
+pub fn minimize(model: &mut Model, objective: VarId, config: &SearchConfig) -> SearchResult {
+    run(model, Some(objective), config, false)
+}
+
+/// Propagate once at the root without searching; returns false when the
+/// model is already inconsistent (used for quick infeasibility probes).
+pub fn propagate_root(model: &mut Model) -> bool {
+    model.engine.fixpoint(&mut model.store).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::basic::{MaxOf, NeqOffset, XPlusCLeqY};
+    use crate::props::cumulative::{CumTask, Cumulative};
+
+    fn phase_all(model: &Model, var_sel: VarSel, val_sel: ValSel) -> Vec<Phase> {
+        let vars: Vec<VarId> = (0..model.store.num_vars() as u32).map(VarId).collect();
+        vec![Phase::new(vars, var_sel, val_sel)]
+    }
+
+    #[test]
+    fn solve_trivial_satisfaction() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 5);
+        let y = m.new_var(0, 5);
+        m.post(Box::new(NeqOffset { x, y, c: 0 }));
+        let cfg = SearchConfig {
+            phases: phase_all(&m, VarSel::InputOrder, ValSel::Min),
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        assert_eq!(r.status, SearchStatus::Optimal);
+        let sol = r.best.unwrap();
+        assert_ne!(sol.value(x), sol.value(y));
+    }
+
+    #[test]
+    fn infeasible_is_detected() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 0);
+        let y = m.new_var(0, 0);
+        m.post(Box::new(NeqOffset { x, y, c: 0 }));
+        let cfg = SearchConfig {
+            phases: phase_all(&m, VarSel::InputOrder, ValSel::Min),
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        assert_eq!(r.status, SearchStatus::Infeasible);
+        assert!(r.best.is_none());
+    }
+
+    #[test]
+    fn minimize_simple_makespan() {
+        // Two chains a→b, c→d on a unit resource; durations 2.
+        let mut m = Model::new();
+        let horizon = 20;
+        let starts: Vec<VarId> = (0..4).map(|_| m.new_var(0, horizon)).collect();
+        let (a, b, c, d) = (starts[0], starts[1], starts[2], starts[3]);
+        m.post(Box::new(XPlusCLeqY { x: a, c: 2, y: b }));
+        m.post(Box::new(XPlusCLeqY { x: c, c: 2, y: d }));
+        m.post(Box::new(Cumulative::new(
+            starts.iter().map(|&v| CumTask { start: v, dur: 2, req: 1 }).collect(),
+            1,
+        )));
+        let obj = m.new_var(0, horizon + 2);
+        let ends: Vec<VarId> = starts
+            .iter()
+            .map(|&v| {
+                let e = m.new_var(0, horizon + 2);
+                m.post(Box::new(crate::props::basic::XPlusCEqY { x: v, c: 2, y: e }));
+                e
+            })
+            .collect();
+        m.post(Box::new(MaxOf { xs: ends, y: obj }));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(starts.clone(), VarSel::SmallestMin, ValSel::Min)],
+            ..Default::default()
+        };
+        let r = minimize(&mut m, obj, &cfg);
+        assert_eq!(r.status, SearchStatus::Optimal);
+        // 4 tasks × 2 cc on one machine = 8 cc optimum.
+        assert_eq!(r.objective, Some(8));
+    }
+
+    #[test]
+    fn minimize_respects_node_limit() {
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..12).map(|_| m.new_var(0, 30)).collect();
+        for w in vars.windows(2) {
+            m.post(Box::new(NeqOffset { x: w[0], y: w[1], c: 0 }));
+        }
+        let obj = m.new_var(0, 40);
+        m.post(Box::new(MaxOf { xs: vars.clone(), y: obj }));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars, VarSel::FirstFail, ValSel::Max)],
+            node_limit: Some(5),
+            ..Default::default()
+        };
+        let r = minimize(&mut m, obj, &cfg);
+        assert!(matches!(r.status, SearchStatus::Feasible | SearchStatus::Unknown));
+        assert!(r.stats.nodes <= 6);
+    }
+
+    #[test]
+    fn split_branching_finds_optimum() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 100);
+        let y = m.new_var(0, 100);
+        m.post(Box::new(XPlusCLeqY { x, c: 10, y }));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vec![x, y], VarSel::InputOrder, ValSel::Split)],
+            ..Default::default()
+        };
+        let r = minimize(&mut m, y, &cfg);
+        assert_eq!(r.objective, Some(10));
+    }
+
+    #[test]
+    fn phased_search_orders_decisions() {
+        // Phase 1 fixes x, phase 2 fixes y; both must end fixed.
+        let mut m = Model::new();
+        let x = m.new_var(0, 3);
+        let y = m.new_var(0, 3);
+        m.post(Box::new(NeqOffset { x, y, c: 0 }));
+        let cfg = SearchConfig {
+            phases: vec![
+                Phase::new(vec![x], VarSel::InputOrder, ValSel::Max),
+                Phase::new(vec![y], VarSel::InputOrder, ValSel::Min),
+            ],
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        let sol = r.best.unwrap();
+        assert_eq!(sol.value(x), 3); // Max val-sel in phase 1
+        assert_eq!(sol.value(y), 0); // Min val-sel in phase 2
+    }
+
+    #[test]
+    fn shared_bound_prunes() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 100);
+        let shared = Arc::new(AtomicI32::new(5)); // externally known bound
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vec![x], VarSel::InputOrder, ValSel::Max)],
+            shared_bound: Some(shared),
+            ..Default::default()
+        };
+        let r = minimize(&mut m, x, &cfg);
+        // Search may only return objectives strictly below the shared bound.
+        assert!(r.objective.unwrap() < 5);
+    }
+
+    #[test]
+    fn timeout_returns_quickly() {
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..40).map(|_| m.new_var(0, 39)).collect();
+        // All-different via pairwise neq: huge tree.
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                m.post(Box::new(NeqOffset { x: vars[i], y: vars[j], c: 0 }));
+            }
+        }
+        let obj = m.new_var(0, 39);
+        m.post(Box::new(MaxOf { xs: vars.clone(), y: obj }));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars, VarSel::FirstFail, ValSel::Min)],
+            timeout: Some(Duration::from_millis(50)),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let _ = minimize(&mut m, obj, &cfg);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::props::basic::{MaxOf, NeqOffset, XPlusCLeqY};
+
+    #[test]
+    fn solve_all_counts_permutations() {
+        use crate::props::alldiff::AllDifferent;
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..4).map(|_| m.new_var(0, 3)).collect();
+        m.post(Box::new(AllDifferent::new(vars.clone())));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars, VarSel::InputOrder, ValSel::Min)],
+            ..Default::default()
+        };
+        let (r, sols) = solve_all(&mut m, &cfg, 100);
+        assert_eq!(sols.len(), 24); // 4!
+        assert_eq!(r.status, SearchStatus::Optimal);
+        // All distinct.
+        let mut keys: Vec<Vec<i32>> = sols
+            .iter()
+            .map(|s| (0..4).map(|i| s.value(VarId(i))).collect())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 24);
+    }
+
+    #[test]
+    fn solve_all_respects_cap() {
+        use crate::props::alldiff::AllDifferent;
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..4).map(|_| m.new_var(0, 3)).collect();
+        m.post(Box::new(AllDifferent::new(vars.clone())));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars, VarSel::InputOrder, ValSel::Min)],
+            ..Default::default()
+        };
+        let (r, sols) = solve_all(&mut m, &cfg, 5);
+        assert_eq!(sols.len(), 5);
+        assert_eq!(r.status, SearchStatus::Feasible);
+    }
+
+    #[test]
+    fn solve_all_on_unsat_is_empty_and_infeasible() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 0);
+        let y = m.new_var(0, 0);
+        m.post(Box::new(NeqOffset { x, y, c: 0 }));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vec![x, y], VarSel::InputOrder, ValSel::Min)],
+            ..Default::default()
+        };
+        let (r, sols) = solve_all(&mut m, &cfg, 10);
+        assert!(sols.is_empty());
+        assert_eq!(r.status, SearchStatus::Infeasible);
+    }
+
+    #[test]
+    fn stats_count_nodes_and_solutions() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 3);
+        let y = m.new_var(0, 3);
+        m.post(Box::new(NeqOffset { x, y, c: 0 }));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vec![x, y], VarSel::InputOrder, ValSel::Min)],
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        assert_eq!(r.stats.solutions, 1);
+        assert!(r.stats.nodes >= 1);
+        assert!(r.stats.time.as_nanos() > 0);
+        assert!(r.is_sat());
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn max_value_selection_prefers_high_values() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 9);
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vec![x], VarSel::InputOrder, ValSel::Max)],
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        assert_eq!(r.best.unwrap().value(x), 9);
+    }
+
+    #[test]
+    fn restart_bnb_agrees_with_chronological() {
+        // Same model solved both ways must yield the same optimum.
+        let build = |m: &mut Model| -> (Vec<VarId>, VarId) {
+            let starts: Vec<VarId> = (0..5).map(|_| m.new_var(0, 20)).collect();
+            for w in starts.windows(2) {
+                m.post(Box::new(XPlusCLeqY { x: w[0], c: 2, y: w[1] }));
+            }
+            let obj = m.new_var(0, 25);
+            m.post(Box::new(MaxOf { xs: starts.clone(), y: obj }));
+            (starts, obj)
+        };
+        let mut results = Vec::new();
+        for restart in [false, true] {
+            let mut m = Model::new();
+            let (starts, obj) = build(&mut m);
+            let cfg = SearchConfig {
+                phases: vec![Phase::new(starts, VarSel::SmallestMin, ValSel::Min)],
+                restart_on_solution: restart,
+                ..Default::default()
+            };
+            let r = minimize(&mut m, obj, &cfg);
+            assert_eq!(r.status, SearchStatus::Optimal, "restart={restart}");
+            results.push(r.objective);
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn minimize_without_phases_reports_root_solution() {
+        // No decision vars: the root propagation is the whole search.
+        let mut m = Model::new();
+        let x = m.new_var(5, 5);
+        let cfg = SearchConfig::default();
+        let r = minimize(&mut m, x, &cfg);
+        assert_eq!(r.objective, Some(5));
+        assert_eq!(r.status, SearchStatus::Optimal);
+    }
+
+    #[test]
+    fn repeated_searches_on_fresh_models_are_deterministic() {
+        let run = || {
+            let mut m = Model::new();
+            let vars: Vec<VarId> = (0..6).map(|_| m.new_var(0, 5)).collect();
+            for i in 0..vars.len() {
+                for j in (i + 1)..vars.len() {
+                    m.post(Box::new(NeqOffset { x: vars[i], y: vars[j], c: 0 }));
+                }
+            }
+            let cfg = SearchConfig {
+                phases: vec![Phase::new(vars.clone(), VarSel::FirstFail, ValSel::Min)],
+                ..Default::default()
+            };
+            let r = solve(&mut m, &cfg);
+            let sol = r.best.unwrap();
+            vars.iter().map(|&v| sol.value(v)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,430 @@
+//! The variable store: domains plus a trail for chronological backtracking.
+//!
+//! All domain mutation during search goes through [`Store`] methods, which
+//! transparently save the pre-modification domain the first time a variable
+//! is touched at the current search level. [`Store::push_level`] opens a new
+//! level; [`Store::pop_level`] restores every domain changed since the
+//! matching push. Changes made at the root level (before any push) are
+//! permanent, which is how model set-up and branch-and-bound tightening of
+//! the objective bound are expressed.
+
+use crate::domain::Domain;
+use std::fmt;
+
+/// Index of a finite-domain variable in a [`Store`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Raised when a domain becomes empty: the current search node is dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fail;
+
+/// Outcome alias used by every propagation routine.
+pub type PropResult = Result<(), Fail>;
+
+pub struct Store {
+    domains: Vec<Domain>,
+    names: Vec<String>,
+    /// (var, saved domain) entries, chronological.
+    trail: Vec<(u32, Domain)>,
+    /// (trail length, magic) at each open level. The magic identifies the
+    /// level instance: it is never reused, so a variable saved at a popped
+    /// level is correctly re-saved when the *parent* level mutates it.
+    level_marks: Vec<(usize, u64)>,
+    /// Magic of the level at which each var was last trailed; avoids
+    /// trailing the same var twice in one level.
+    saved_at: Vec<u64>,
+    /// Incremented on every `push_level`; never reused.
+    magic: u64,
+    /// Vars whose domain changed since the engine last drained them.
+    dirty: Vec<u32>,
+}
+
+impl Store {
+    pub fn new() -> Self {
+        Store {
+            domains: Vec::new(),
+            names: Vec::new(),
+            trail: Vec::new(),
+            level_marks: Vec::new(),
+            saved_at: Vec::new(),
+            magic: 0,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Create a variable with domain `lo..=hi`.
+    pub fn new_var(&mut self, lo: i32, hi: i32) -> VarId {
+        self.new_var_named(lo, hi, "")
+    }
+
+    /// Create a variable with a diagnostic name.
+    pub fn new_var_named(&mut self, lo: i32, hi: i32, name: &str) -> VarId {
+        assert!(lo <= hi, "empty initial domain {lo}..{hi} for {name}");
+        assert!(
+            self.level_marks.is_empty(),
+            "variables must be created at the root level"
+        );
+        let id = VarId(self.domains.len() as u32);
+        self.domains.push(Domain::interval(lo, hi));
+        self.names.push(name.to_string());
+        self.saved_at.push(0);
+        id
+    }
+
+    /// Create a variable with an explicit (possibly holey) domain.
+    pub fn new_var_with_domain(&mut self, dom: Domain, name: &str) -> VarId {
+        assert!(!dom.is_empty(), "empty initial domain for {name}");
+        assert!(
+            self.level_marks.is_empty(),
+            "variables must be created at the root level"
+        );
+        let id = VarId(self.domains.len() as u32);
+        self.domains.push(dom);
+        self.names.push(name.to_string());
+        self.saved_at.push(0);
+        id
+    }
+
+    /// Create a constant (singleton) variable.
+    pub fn new_const(&mut self, v: i32) -> VarId {
+        self.new_var(v, v)
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.idx()]
+    }
+
+    #[inline]
+    pub fn dom(&self, v: VarId) -> &Domain {
+        &self.domains[v.idx()]
+    }
+
+    #[inline]
+    pub fn min(&self, v: VarId) -> i32 {
+        self.domains[v.idx()].min()
+    }
+
+    #[inline]
+    pub fn max(&self, v: VarId) -> i32 {
+        self.domains[v.idx()].max()
+    }
+
+    #[inline]
+    pub fn is_fixed(&self, v: VarId) -> bool {
+        self.domains[v.idx()].is_fixed()
+    }
+
+    /// The assigned value; panics if not fixed (use in extraction paths).
+    #[inline]
+    pub fn value(&self, v: VarId) -> i32 {
+        self.domains[v.idx()]
+            .value()
+            .expect("variable not fixed")
+    }
+
+    #[inline]
+    pub fn size(&self, v: VarId) -> u64 {
+        self.domains[v.idx()].size()
+    }
+
+    /// Current search depth (0 = root).
+    pub fn depth(&self) -> usize {
+        self.level_marks.len()
+    }
+
+    /// Open a new backtrack level.
+    pub fn push_level(&mut self) {
+        self.magic += 1;
+        self.level_marks.push((self.trail.len(), self.magic));
+    }
+
+    /// Restore every domain changed since the last `push_level`.
+    pub fn pop_level(&mut self) {
+        let (mark, _) = self
+            .level_marks
+            .pop()
+            .expect("pop_level at root");
+        while self.trail.len() > mark {
+            let (var, dom) = self.trail.pop().unwrap();
+            self.domains[var as usize] = dom;
+        }
+        self.dirty.clear();
+    }
+
+    #[inline]
+    fn save(&mut self, v: VarId) {
+        let Some(&(_, level_magic)) = self.level_marks.last() else {
+            return; // root-level changes are permanent
+        };
+        if self.saved_at[v.idx()] != level_magic {
+            self.saved_at[v.idx()] = level_magic;
+            self.trail.push((v.0, self.domains[v.idx()].clone()));
+        }
+    }
+
+    #[inline]
+    fn after_change(&mut self, v: VarId) -> PropResult {
+        if self.domains[v.idx()].is_empty() {
+            Err(Fail)
+        } else {
+            self.dirty.push(v.0);
+            Ok(())
+        }
+    }
+
+    /// Drain the list of changed variables (consumed by the engine).
+    pub(crate) fn take_dirty(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    pub(crate) fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    // ---- mutation API -----------------------------------------------------
+
+    /// `v ≥ lo`.
+    pub fn remove_below(&mut self, v: VarId, lo: i32) -> PropResult {
+        if self.domains[v.idx()].min() >= lo {
+            return Ok(());
+        }
+        self.save(v);
+        self.domains[v.idx()].remove_below(lo);
+        self.after_change(v)
+    }
+
+    /// `v ≤ hi`.
+    pub fn remove_above(&mut self, v: VarId, hi: i32) -> PropResult {
+        if self.domains[v.idx()].max() <= hi {
+            return Ok(());
+        }
+        self.save(v);
+        self.domains[v.idx()].remove_above(hi);
+        self.after_change(v)
+    }
+
+    /// `v ≠ val`.
+    pub fn remove_value(&mut self, v: VarId, val: i32) -> PropResult {
+        if !self.domains[v.idx()].contains(val) {
+            return Ok(());
+        }
+        self.save(v);
+        self.domains[v.idx()].remove_value(val);
+        self.after_change(v)
+    }
+
+    /// `v = val`. Fails if `val` is not in the domain.
+    pub fn fix(&mut self, v: VarId, val: i32) -> PropResult {
+        let d = &self.domains[v.idx()];
+        if d.value() == Some(val) {
+            return Ok(());
+        }
+        if !d.contains(val) {
+            return Err(Fail);
+        }
+        self.save(v);
+        self.domains[v.idx()].fix(val);
+        self.after_change(v)
+    }
+
+    /// `v ∈ [lo, hi]`.
+    pub fn restrict_to_interval(&mut self, v: VarId, lo: i32, hi: i32) -> PropResult {
+        self.remove_below(v, lo)?;
+        self.remove_above(v, hi)
+    }
+
+    /// `v ∈ other` (intersect with an explicit domain).
+    pub fn intersect(&mut self, v: VarId, other: &Domain) -> PropResult {
+        // Probe cheaply: bounds-only fast path.
+        let d = &self.domains[v.idx()];
+        if d.min() >= other.min()
+            && d.max() <= other.max()
+            && other.interval_count() == 1
+        {
+            return Ok(());
+        }
+        self.save(v);
+        let changed = self.domains[v.idx()].intersect(other);
+        if changed {
+            self.after_change(v)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Store(depth={}):", self.depth())?;
+        for (i, d) in self.domains.iter().enumerate() {
+            let name = if self.names[i].is_empty() {
+                format!("x{i}")
+            } else {
+                self.names[i].clone()
+            };
+            writeln!(f, "  {name} = {d:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_restores_domains() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 9);
+        let y = s.new_var(0, 9);
+        s.push_level();
+        s.remove_below(x, 5).unwrap();
+        s.fix(y, 3).unwrap();
+        assert_eq!(s.min(x), 5);
+        assert_eq!(s.value(y), 3);
+        s.pop_level();
+        assert_eq!(s.min(x), 0);
+        assert_eq!(s.dom(y).size(), 10);
+    }
+
+    #[test]
+    fn nested_levels_restore_in_order() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        s.push_level();
+        s.remove_above(x, 8).unwrap();
+        s.push_level();
+        s.remove_above(x, 4).unwrap();
+        s.push_level();
+        s.fix(x, 2).unwrap();
+        s.pop_level();
+        assert_eq!(s.max(x), 4);
+        s.pop_level();
+        assert_eq!(s.max(x), 8);
+        s.pop_level();
+        assert_eq!(s.max(x), 10);
+    }
+
+    #[test]
+    fn root_changes_are_permanent() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        s.remove_below(x, 3).unwrap(); // root-level
+        s.push_level();
+        s.remove_below(x, 7).unwrap();
+        s.pop_level();
+        assert_eq!(s.min(x), 3);
+    }
+
+    #[test]
+    fn fix_outside_domain_fails() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 5);
+        s.push_level();
+        assert_eq!(s.fix(x, 9), Err(Fail));
+    }
+
+    #[test]
+    fn empty_domain_fails_and_pop_recovers() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 5);
+        s.push_level();
+        s.remove_below(x, 4).unwrap();
+        assert_eq!(s.remove_above(x, 3), Err(Fail));
+        s.pop_level();
+        assert_eq!(s.min(x), 0);
+        assert_eq!(s.max(x), 5);
+    }
+
+    #[test]
+    fn dirty_tracks_changes() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 5);
+        let y = s.new_var(0, 5);
+        s.push_level();
+        s.remove_below(x, 1).unwrap();
+        s.remove_below(x, 2).unwrap();
+        s.fix(y, 0).unwrap();
+        let d = s.take_dirty();
+        assert!(d.contains(&x.0) && d.contains(&y.0));
+        assert!(!s.has_dirty());
+    }
+
+    #[test]
+    fn no_op_mutations_do_not_trail() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 5);
+        s.push_level();
+        s.remove_below(x, 0).unwrap();
+        s.remove_above(x, 5).unwrap();
+        s.remove_value(x, 9).unwrap();
+        assert!(s.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn same_level_saves_once_but_restores_original() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 100);
+        s.push_level();
+        for lo in 1..50 {
+            s.remove_below(x, lo).unwrap();
+        }
+        assert_eq!(s.trail.len(), 1);
+        s.pop_level();
+        assert_eq!(s.min(x), 0);
+    }
+
+    /// Regression: a var saved at a *child* level must be re-saved when
+    /// the parent level mutates it after the child was popped; otherwise
+    /// the parent's pop fails to restore it.
+    #[test]
+    fn parent_level_saves_after_child_pop() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        s.push_level(); // parent
+        s.push_level(); // child
+        s.remove_above(x, 8).unwrap(); // saved at child
+        s.pop_level(); // x restored to [0,10]
+        s.remove_above(x, 5).unwrap(); // must be saved at parent
+        s.pop_level();
+        assert_eq!(s.max(x), 10);
+    }
+
+    #[test]
+    fn magic_not_confused_by_pop_then_push() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 10);
+        s.push_level();
+        s.remove_below(x, 2).unwrap();
+        s.pop_level();
+        s.push_level();
+        // If the stamp were reused, this change would not be trailed.
+        s.remove_below(x, 5).unwrap();
+        s.pop_level();
+        assert_eq!(s.min(x), 0);
+    }
+}

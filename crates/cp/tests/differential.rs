@@ -1,0 +1,326 @@
+//! Differential testing of the solver against brute force: random small
+//! CSPs are solved both by exhaustive enumeration and by the CP search;
+//! the outcomes (satisfiability, optimal objective) must agree exactly.
+//!
+//! This is the strongest correctness evidence a solver can have short of
+//! proofs: any unsound propagator (pruning a value that belongs to a
+//! solution) or incomplete search shows up as a disagreement.
+
+use eit_cp::props::alldiff::AllDifferent;
+use eit_cp::props::basic::{NeqOffset, XPlusCEqY, XPlusCLeqY};
+use eit_cp::props::cumulative::{CumTask, Cumulative};
+use eit_cp::props::diff2::{Diff2, Rect};
+use eit_cp::props::disjunctive::{DisjTask, Disjunctive};
+use eit_cp::props::linear::LinearLeq;
+use eit_cp::props::table::Table;
+use eit_cp::{minimize, solve, Model, Phase, SearchConfig, SearchStatus, ValSel, VarId, VarSel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A declarative constraint we can both post and brute-force-check.
+#[derive(Clone, Debug)]
+enum C {
+    Neq(usize, usize),
+    Leq(usize, i32, usize),          // x + c ≤ y
+    EqOff(usize, i32, usize),        // y = x + c
+    LinLeq(Vec<(i64, usize)>, i64),  // Σ aᵢxᵢ ≤ c
+    Cumulative(Vec<(usize, i32, i32)>, i32),
+    Disjunctive(Vec<(usize, i32)>),
+    Diff2(Vec<(usize, usize, i32, i32)>), // (x, y, w, h) fixed extents
+    AllDiff(Vec<usize>),
+    Table(Vec<usize>, Vec<Vec<i32>>),
+}
+
+fn check(c: &C, a: &[i32]) -> bool {
+    match c {
+        C::Neq(x, y) => a[*x] != a[*y],
+        C::Leq(x, k, y) => a[*x] + k <= a[*y],
+        C::EqOff(x, k, y) => a[*y] == a[*x] + k,
+        C::LinLeq(terms, k) => {
+            terms.iter().map(|&(co, v)| co * a[v] as i64).sum::<i64>() <= *k
+        }
+        C::Cumulative(tasks, cap) => {
+            let lo = tasks.iter().map(|&(v, _, _)| a[v]).min().unwrap_or(0);
+            let hi = tasks
+                .iter()
+                .map(|&(v, d, _)| a[v] + d)
+                .max()
+                .unwrap_or(0);
+            (lo..hi).all(|t| {
+                tasks
+                    .iter()
+                    .filter(|&&(v, d, _)| a[v] <= t && t < a[v] + d)
+                    .map(|&(_, _, r)| r)
+                    .sum::<i32>()
+                    <= *cap
+            })
+        }
+        C::Disjunctive(tasks) => {
+            for (i, &(v1, d1)) in tasks.iter().enumerate() {
+                for &(v2, d2) in &tasks[i + 1..] {
+                    if a[v1] < a[v2] + d2 && a[v2] < a[v1] + d1 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        C::Diff2(rects) => {
+            for (i, &(x1, y1, w1, h1)) in rects.iter().enumerate() {
+                for &(x2, y2, w2, h2) in &rects[i + 1..] {
+                    let x_overlap = a[x1] < a[x2] + w2 && a[x2] < a[x1] + w1;
+                    let y_overlap = a[y1] < a[y2] + h2 && a[y2] < a[y1] + h1;
+                    if x_overlap && y_overlap {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        C::AllDiff(vs) => {
+            for (i, &x) in vs.iter().enumerate() {
+                for &y in &vs[i + 1..] {
+                    if a[x] == a[y] {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        C::Table(vs, tuples) => tuples
+            .iter()
+            .any(|t| t.iter().zip(vs).all(|(&tv, &v)| a[v] == tv)),
+    }
+}
+
+fn post(c: &C, m: &mut Model, vars: &[VarId]) {
+    match c {
+        C::Neq(x, y) => {
+            m.post(Box::new(NeqOffset { x: vars[*x], y: vars[*y], c: 0 }));
+        }
+        C::Leq(x, k, y) => {
+            m.post(Box::new(XPlusCLeqY { x: vars[*x], c: *k, y: vars[*y] }));
+        }
+        C::EqOff(x, k, y) => {
+            m.post(Box::new(XPlusCEqY { x: vars[*x], c: *k, y: vars[*y] }));
+        }
+        C::LinLeq(terms, k) => {
+            let t = terms.iter().map(|&(co, v)| (co, vars[v])).collect();
+            m.post(Box::new(LinearLeq::new(t, *k)));
+        }
+        C::Cumulative(tasks, cap) => {
+            let t = tasks
+                .iter()
+                .map(|&(v, d, r)| CumTask { start: vars[v], dur: d, req: r })
+                .collect();
+            m.post(Box::new(Cumulative::new(t, *cap)));
+        }
+        C::Disjunctive(tasks) => {
+            let t = tasks
+                .iter()
+                .map(|&(v, d)| DisjTask { start: vars[v], dur: d })
+                .collect();
+            m.post(Box::new(Disjunctive::new(t)));
+        }
+        C::Diff2(rects) => {
+            let r = rects
+                .iter()
+                .map(|&(x, y, w, h)| {
+                    let wl = m.new_const(w);
+                    let hl = m.new_const(h);
+                    Rect { origin: [vars[x], vars[y]], len: [wl, hl] }
+                })
+                .collect();
+            m.post(Box::new(Diff2::new(r)));
+        }
+        C::AllDiff(vs) => {
+            let v = vs.iter().map(|&i| vars[i]).collect();
+            m.post(Box::new(AllDifferent::new(v)));
+        }
+        C::Table(vs, tuples) => {
+            let v = vs.iter().map(|&i| vars[i]).collect();
+            m.post(Box::new(Table::new(v, tuples.clone())));
+        }
+    }
+}
+
+/// Enumerate all assignments over `n` vars with domain `0..=hi`; return
+/// (any satisfying assignment exists, minimal objective value of
+/// `max(vars)` over satisfying assignments).
+fn brute_force(n: usize, hi: i32, cs: &[C]) -> (bool, Option<i32>) {
+    let mut a = vec![0i32; n];
+    let mut sat = false;
+    let mut best: Option<i32> = None;
+    loop {
+        if cs.iter().all(|c| check(c, &a)) {
+            sat = true;
+            let obj = *a.iter().max().unwrap();
+            best = Some(best.map_or(obj, |b: i32| b.min(obj)));
+        }
+        // Odometer.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return (sat, best);
+            }
+            a[i] += 1;
+            if a[i] > hi {
+                a[i] = 0;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn random_instance(rng: &mut StdRng, n: usize, hi: i32) -> Vec<C> {
+    let mut cs = Vec::new();
+    let n_cons = rng.gen_range(1..5);
+    for _ in 0..n_cons {
+        let c = match rng.gen_range(0..9) {
+            0 => C::Neq(rng.gen_range(0..n), rng.gen_range(0..n)),
+            1 => C::Leq(rng.gen_range(0..n), rng.gen_range(-2..3), rng.gen_range(0..n)),
+            2 => C::EqOff(rng.gen_range(0..n), rng.gen_range(-2..3), rng.gen_range(0..n)),
+            3 => {
+                let k = rng.gen_range(1..=n);
+                let terms = (0..k)
+                    .map(|_| (rng.gen_range(-2i64..3), rng.gen_range(0..n)))
+                    .collect();
+                C::LinLeq(terms, rng.gen_range(-3i64..10))
+            }
+            4 => {
+                let k = rng.gen_range(2..=n);
+                let tasks = (0..k)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_range(1..3), rng.gen_range(1..3)))
+                    .collect();
+                C::Cumulative(tasks, rng.gen_range(1..4))
+            }
+            5 => {
+                let k = rng.gen_range(2..=n);
+                let tasks = (0..k)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_range(1..3)))
+                    .collect();
+                C::Disjunctive(tasks)
+            }
+            6 => {
+                let k = rng.gen_range(2..=n.min(3));
+                let rects = (0..k)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..n),
+                            rng.gen_range(0..n),
+                            rng.gen_range(1..3),
+                            rng.gen_range(1..3),
+                        )
+                    })
+                    .collect();
+                C::Diff2(rects)
+            }
+            7 => {
+                let k = rng.gen_range(2..=n);
+                let mut vs: Vec<usize> = (0..n).collect();
+                for i in (1..vs.len()).rev() {
+                    vs.swap(i, rng.gen_range(0..=i));
+                }
+                vs.truncate(k);
+                C::AllDiff(vs)
+            }
+            _ => {
+                let arity = rng.gen_range(1..=n.min(3));
+                let vs: Vec<usize> = (0..arity).map(|_| rng.gen_range(0..n)).collect();
+                let n_tuples = rng.gen_range(1..6);
+                let tuples = (0..n_tuples)
+                    .map(|_| (0..arity).map(|_| rng.gen_range(0..=hi)).collect())
+                    .collect();
+                C::Table(vs, tuples)
+            }
+        };
+        // Drop degenerate self-referencing binary constraints.
+        let degenerate = matches!(
+            &c,
+            C::Neq(x, y) | C::Leq(x, _, y) | C::EqOff(x, _, y) if x == y
+        );
+        if !degenerate {
+            cs.push(c);
+        }
+        let _ = hi;
+    }
+    cs
+}
+
+fn solver_instance(n: usize, hi: i32, cs: &[C], minimize_obj: bool) -> (bool, Option<i32>) {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..n).map(|_| m.new_var(0, hi)).collect();
+    for c in cs {
+        post(c, &mut m, &vars);
+    }
+    let cfg = SearchConfig {
+        phases: vec![Phase::new(vars.clone(), VarSel::FirstFail, ValSel::Min)],
+        ..Default::default()
+    };
+    if minimize_obj {
+        let obj = m.new_var(0, hi);
+        m.max_of(vars.clone(), obj);
+        let r = minimize(&mut m, obj, &cfg);
+        (r.best.is_some(), r.objective)
+    } else {
+        let r = solve(&mut m, &cfg);
+        (
+            r.status == SearchStatus::Optimal && r.best.is_some(),
+            None,
+        )
+    }
+}
+
+#[test]
+fn satisfiability_agrees_with_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for case in 0..300 {
+        let n = rng.gen_range(2..5);
+        let hi = rng.gen_range(2..5);
+        let cs = random_instance(&mut rng, n, hi);
+        let (bf_sat, _) = brute_force(n, hi, &cs);
+        let (cp_sat, _) = solver_instance(n, hi, &cs, false);
+        assert_eq!(bf_sat, cp_sat, "case {case}: {cs:?}");
+    }
+}
+
+#[test]
+fn optimal_objective_agrees_with_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..300 {
+        let n = rng.gen_range(2..5);
+        let hi = rng.gen_range(2..5);
+        let cs = random_instance(&mut rng, n, hi);
+        let (_, bf_best) = brute_force(n, hi, &cs);
+        let (_, cp_best) = solver_instance(n, hi, &cs, true);
+        assert_eq!(bf_best, cp_best, "case {case}: {cs:?}");
+    }
+}
+
+#[test]
+fn restart_bnb_agrees_with_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for case in 0..200 {
+        let n = rng.gen_range(2..5);
+        let hi = rng.gen_range(2..5);
+        let cs = random_instance(&mut rng, n, hi);
+        let (_, bf_best) = brute_force(n, hi, &cs);
+
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..n).map(|_| m.new_var(0, hi)).collect();
+        for c in &cs {
+            post(c, &mut m, &vars);
+        }
+        let obj = m.new_var(0, hi);
+        m.max_of(vars.clone(), obj);
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars, VarSel::SmallestMin, ValSel::Min)],
+            restart_on_solution: true,
+            ..Default::default()
+        };
+        let r = minimize(&mut m, obj, &cfg);
+        assert_eq!(bf_best, r.objective, "case {case}: {cs:?}");
+    }
+}

@@ -1,0 +1,764 @@
+//! The embedded DSL: architecture-level values that *evaluate eagerly*
+//! (so a DSL program can be run and debugged functionally, as the paper's
+//! Scala embedding is) while *recording* the dataflow IR of everything
+//! they compute.
+//!
+//! Three value types mirror the architecture's data types (§3.1):
+//! [`Scalar`], [`Vector`] (four complex elements — one memory slot) and
+//! [`Matrix`] (four vectors; per §3.2.1 a matrix is *expanded into four
+//! vector data nodes* in the IR and never exists as a data node itself).
+//!
+//! Every operation method creates the corresponding operation node, so
+//! "the operations selected by the programmer during coding will be more
+//! or less the ones used in the machine code" — the merge pass may later
+//! fold pre/post stages, but nothing else is re-selected.
+
+use eit_ir::cplx::Cplx;
+use eit_ir::{CoreOp, DataKind, Graph, NodeId, Opcode, PostOp, PreOp, ScalarOp};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared recording context. Cheap to clone; all values created from the
+/// same `Ctx` append to the same graph.
+#[derive(Clone)]
+pub struct Ctx {
+    g: Rc<RefCell<Graph>>,
+}
+
+impl Ctx {
+    pub fn new(name: &str) -> Self {
+        Ctx {
+            g: Rc::new(RefCell::new(Graph::new(name))),
+        }
+    }
+
+    /// Snapshot of the recorded graph.
+    pub fn graph(&self) -> Graph {
+        self.g.borrow().clone()
+    }
+
+    /// Finish recording and return the graph. If other value handles still
+    /// share the context, a clone of the graph is returned instead.
+    pub fn finish(self) -> Graph {
+        match Rc::try_unwrap(self.g) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => rc.borrow().clone(),
+        }
+    }
+
+    // ---- inputs --------------------------------------------------------
+
+    /// A vector application input.
+    pub fn vector<T: Into<Cplx> + Copy>(&self, vals: [T; 4]) -> Vector {
+        let name = format!("v_in{}", self.g.borrow().len());
+        let id = self.g.borrow_mut().add_data(DataKind::Vector, &name);
+        Vector {
+            ctx: self.clone(),
+            id,
+            val: vals.map(Into::into),
+        }
+    }
+
+    /// A named vector application input.
+    pub fn vector_named<T: Into<Cplx> + Copy>(&self, name: &str, vals: [T; 4]) -> Vector {
+        let id = self.g.borrow_mut().add_data(DataKind::Vector, name);
+        Vector {
+            ctx: self.clone(),
+            id,
+            val: vals.map(Into::into),
+        }
+    }
+
+    /// A scalar application input.
+    pub fn scalar<T: Into<Cplx>>(&self, v: T) -> Scalar {
+        let name = format!("s_in{}", self.g.borrow().len());
+        let id = self.g.borrow_mut().add_data(DataKind::Scalar, &name);
+        Scalar {
+            ctx: self.clone(),
+            id,
+            val: v.into(),
+        }
+    }
+
+    /// A 4×4 matrix input (row-major), expanded into four vector inputs.
+    pub fn matrix<T: Into<Cplx> + Copy>(&self, rows: [[T; 4]; 4]) -> Matrix {
+        Matrix {
+            rows: rows.map(|r| self.vector(r)),
+        }
+    }
+
+    /// Merge four scalars into a vector (a `merge` node, fig. 3/5).
+    pub fn merge(&self, s: [&Scalar; 4]) -> Vector {
+        let mut g = self.g.borrow_mut();
+        let op = g.add_op(Opcode::Merge, "merge");
+        for x in s {
+            g.add_edge(x.id, op);
+        }
+        let out = g.add_data(DataKind::Vector, "merge.out");
+        g.add_edge(op, out);
+        Vector {
+            ctx: self.clone(),
+            id: out,
+            val: [s[0].val, s[1].val, s[2].val, s[3].val],
+        }
+    }
+
+    // ---- internal helpers ------------------------------------------------
+
+    fn unary_vector(&self, op: Opcode, a: &Vector, val: [Cplx; 4], name: &str) -> Vector {
+        let mut g = self.g.borrow_mut();
+        let (_, out) = g.add_op_with_output(op, &[a.id], DataKind::Vector, name);
+        Vector { ctx: self.clone(), id: out, val }
+    }
+
+    fn binary_vector(
+        &self,
+        op: Opcode,
+        a: &Vector,
+        b: &Vector,
+        val: [Cplx; 4],
+        name: &str,
+    ) -> Vector {
+        let mut g = self.g.borrow_mut();
+        let (_, out) = g.add_op_with_output(op, &[a.id, b.id], DataKind::Vector, name);
+        Vector { ctx: self.clone(), id: out, val }
+    }
+
+    fn scalar_unary(&self, sop: ScalarOp, a: &Scalar, val: Cplx, name: &str) -> Scalar {
+        let mut g = self.g.borrow_mut();
+        let (_, out) =
+            g.add_op_with_output(Opcode::Scalar(sop), &[a.id], DataKind::Scalar, name);
+        Scalar { ctx: self.clone(), id: out, val }
+    }
+
+    fn scalar_binary(&self, sop: ScalarOp, a: &Scalar, b: &Scalar, val: Cplx, name: &str) -> Scalar {
+        let mut g = self.g.borrow_mut();
+        let (_, out) =
+            g.add_op_with_output(Opcode::Scalar(sop), &[a.id, b.id], DataKind::Scalar, name);
+        Scalar { ctx: self.clone(), id: out, val }
+    }
+}
+
+/// A complex scalar value with its IR node.
+#[derive(Clone)]
+pub struct Scalar {
+    ctx: Ctx,
+    pub(crate) id: NodeId,
+    val: Cplx,
+}
+
+impl Scalar {
+    /// The evaluated value (functional-debugging view).
+    pub fn value(&self) -> Cplx {
+        self.val
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.id
+    }
+
+    /// `√x` on the scalar accelerator.
+    pub fn sqrt(&self) -> Scalar {
+        self.ctx
+            .scalar_unary(ScalarOp::Sqrt, self, self.val.sqrt(), "sqrt")
+    }
+
+    /// `1/√x` on the scalar accelerator.
+    pub fn rsqrt(&self) -> Scalar {
+        self.ctx
+            .scalar_unary(ScalarOp::RSqrt, self, self.val.rsqrt(), "rsqrt")
+    }
+
+    /// `1/x` on the scalar accelerator.
+    pub fn recip(&self) -> Scalar {
+        self.ctx
+            .scalar_unary(ScalarOp::Recip, self, self.val.recip(), "recip")
+    }
+
+    /// `−x`.
+    pub fn neg(&self) -> Scalar {
+        self.ctx.scalar_unary(ScalarOp::Neg, self, -self.val, "neg")
+    }
+
+    /// `self / other` on the scalar accelerator.
+    pub fn div(&self, other: &Scalar) -> Scalar {
+        self.ctx
+            .scalar_binary(ScalarOp::Div, self, other, self.val / other.val, "div")
+    }
+
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        self.ctx
+            .scalar_binary(ScalarOp::Add, self, other, self.val + other.val, "sadd")
+    }
+
+    pub fn sub(&self, other: &Scalar) -> Scalar {
+        self.ctx
+            .scalar_binary(ScalarOp::Sub, self, other, self.val - other.val, "ssub")
+    }
+
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        self.ctx
+            .scalar_binary(ScalarOp::Mul, self, other, self.val * other.val, "smul")
+    }
+
+    /// CORDIC vectoring: the magnitude `|self|` (phase extraction's
+    /// companion output on the EIT accelerator).
+    pub fn cordic_vec(&self) -> Scalar {
+        self.ctx.scalar_unary(
+            ScalarOp::CordicVec,
+            self,
+            Cplx::real(self.val.abs()),
+            "cordic_vec",
+        )
+    }
+
+    /// CORDIC rotation: rotate `self` by the phase of `other`
+    /// (`self · other/|other|`).
+    pub fn cordic_rot(&self, other: &Scalar) -> Scalar {
+        let phase = if other.val.abs() == 0.0 {
+            Cplx::ONE
+        } else {
+            other.val * (1.0 / other.val.abs())
+        };
+        self.ctx.scalar_binary(
+            ScalarOp::CordicRot,
+            self,
+            other,
+            self.val * phase,
+            "cordic_rot",
+        )
+    }
+}
+
+/// A four-element complex vector with its IR node.
+#[derive(Clone)]
+pub struct Vector {
+    ctx: Ctx,
+    pub(crate) id: NodeId,
+    val: [Cplx; 4],
+}
+
+impl Vector {
+    pub fn value(&self) -> [Cplx; 4] {
+        self.val
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.id
+    }
+
+    /// Dot product `Σ aₖ·conj(bₖ)` — the Hermitian inner product the MIMO
+    /// kernels use (the paper's `v_dotP`). Vector → scalar.
+    pub fn v_dotp(&self, other: &Vector) -> Scalar {
+        let val = self
+            .val
+            .iter()
+            .zip(&other.val)
+            .fold(Cplx::ZERO, |acc, (&a, &b)| acc + a * b.conj());
+        let mut g = self.ctx.g.borrow_mut();
+        let (_, out) = g.add_op_with_output(
+            Opcode::vector(CoreOp::DotP),
+            &[self.id, other.id],
+            DataKind::Scalar,
+            "v_dotp",
+        );
+        Scalar { ctx: self.ctx.clone(), id: out, val }
+    }
+
+    /// Element-wise addition.
+    pub fn v_add(&self, other: &Vector) -> Vector {
+        let val = std::array::from_fn(|k| self.val[k] + other.val[k]);
+        self.ctx
+            .binary_vector(Opcode::vector(CoreOp::Add), self, other, val, "v_add")
+    }
+
+    /// Element-wise subtraction.
+    pub fn v_sub(&self, other: &Vector) -> Vector {
+        let val = std::array::from_fn(|k| self.val[k] - other.val[k]);
+        self.ctx
+            .binary_vector(Opcode::vector(CoreOp::Sub), self, other, val, "v_sub")
+    }
+
+    /// Element-wise (Hadamard) multiplication.
+    pub fn v_mul(&self, other: &Vector) -> Vector {
+        let val = std::array::from_fn(|k| self.val[k] * other.val[k]);
+        self.ctx
+            .binary_vector(Opcode::vector(CoreOp::Mul), self, other, val, "v_mul")
+    }
+
+    /// Vector × scalar.
+    pub fn v_scale(&self, s: &Scalar) -> Vector {
+        let val = self.val.map(|x| x * s.value());
+        let mut g = self.ctx.g.borrow_mut();
+        let (_, out) = g.add_op_with_output(
+            Opcode::vector(CoreOp::Scale),
+            &[self.id, s.id],
+            DataKind::Vector,
+            "v_scale",
+        );
+        Vector { ctx: self.ctx.clone(), id: out, val }
+    }
+
+    /// Squared Euclidean norm `Σ |aₖ|²`. Vector → scalar.
+    pub fn v_squsum(&self) -> Scalar {
+        let val = Cplx::real(self.val.iter().map(|x| x.abs2()).sum());
+        let mut g = self.ctx.g.borrow_mut();
+        let (_, out) = g.add_op_with_output(
+            Opcode::vector(CoreOp::SquSum),
+            &[self.id],
+            DataKind::Scalar,
+            "v_squsum",
+        );
+        Scalar { ctx: self.ctx.clone(), id: out, val }
+    }
+
+    /// Fused multiply-accumulate `self∘b + c` (three operands — the CMAC).
+    pub fn v_mac(&self, b: &Vector, c: &Vector) -> Vector {
+        let val = std::array::from_fn(|k| self.val[k] * b.val[k] + c.val[k]);
+        let mut g = self.ctx.g.borrow_mut();
+        let (_, out) = g.add_op_with_output(
+            Opcode::vector(CoreOp::Mac),
+            &[self.id, b.id, c.id],
+            DataKind::Vector,
+            "v_mac",
+        );
+        Vector { ctx: self.ctx.clone(), id: out, val }
+    }
+
+    /// Lane-wise conjugation — a stand-alone *pre-processing* op
+    /// (hermitian), fig. 6 left.
+    pub fn hermitian(&self) -> Vector {
+        let val = self.val.map(Cplx::conj);
+        self.ctx.unary_vector(
+            Opcode::Vector {
+                pre: Some((PreOp::Hermitian, 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
+            self,
+            val,
+            "hermitian",
+        )
+    }
+
+    /// Zero the lanes whose mask bit (LSB = lane 0) is clear — a
+    /// stand-alone pre-processing op.
+    pub fn mask(&self, m: u8) -> Vector {
+        let val = std::array::from_fn(|k| {
+            if m & (1 << k) != 0 {
+                self.val[k]
+            } else {
+                Cplx::ZERO
+            }
+        });
+        self.ctx.unary_vector(
+            Opcode::Vector {
+                pre: Some((PreOp::Mask(m), 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
+            self,
+            val,
+            "mask",
+        )
+    }
+
+    /// Sort lanes by magnitude, descending — a stand-alone
+    /// *post-processing* op (result sorting, §1.1).
+    pub fn sort(&self) -> Vector {
+        let mut v = self.val;
+        v.sort_by(|a, b| b.abs2().partial_cmp(&a.abs2()).unwrap());
+        self.ctx.unary_vector(
+            Opcode::Vector {
+                pre: None,
+                core: CoreOp::Pass,
+                post: Some(PostOp::Sort),
+            },
+            self,
+            v,
+            "sort",
+        )
+    }
+
+    /// Permute lanes by a packed 4x2-bit code (lane k takes source lane
+    /// `(code >> 2k) & 3`) — a stand-alone pre-processing op.
+    pub fn shuffle(&self, code: u8) -> Vector {
+        let val = std::array::from_fn(|k| self.val[((code >> (2 * k)) & 0b11) as usize]);
+        self.ctx.unary_vector(
+            Opcode::Vector {
+                pre: Some((PreOp::Shuffle(code), 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
+            self,
+            val,
+            "shuffle",
+        )
+    }
+
+    /// Broadcast lane `k` to all lanes (a shuffle with a constant code).
+    pub fn broadcast(&self, k: u8) -> Vector {
+        assert!(k < 4);
+        let code = k | (k << 2) | (k << 4) | (k << 6);
+        self.shuffle(code)
+    }
+
+    /// Extract element `k` (index unit). Vector → scalar.
+    pub fn index(&self, k: u8) -> Scalar {
+        assert!(k < 4);
+        let mut g = self.ctx.g.borrow_mut();
+        let (_, out) = g.add_op_with_output(
+            Opcode::Index(k),
+            &[self.id],
+            DataKind::Scalar,
+            &format!("index{k}"),
+        );
+        Scalar {
+            ctx: self.ctx.clone(),
+            id: out,
+            val: self.val[k as usize],
+        }
+    }
+}
+
+/// A 4×4 complex matrix: four row [`Vector`]s. Never a data node itself
+/// (§3.2.1) — matrix *operations* consume/produce the row vectors.
+#[derive(Clone)]
+pub struct Matrix {
+    rows: [Vector; 4],
+}
+
+impl Matrix {
+    pub fn from_rows(rows: [Vector; 4]) -> Self {
+        Matrix { rows }
+    }
+
+    pub fn row(&self, i: usize) -> &Vector {
+        &self.rows[i]
+    }
+
+    pub fn rows(&self) -> &[Vector; 4] {
+        &self.rows
+    }
+
+    pub fn values(&self) -> [[Cplx; 4]; 4] {
+        [
+            self.rows[0].val,
+            self.rows[1].val,
+            self.rows[2].val,
+            self.rows[3].val,
+        ]
+    }
+
+    fn ctx(&self) -> &Ctx {
+        &self.rows[0].ctx
+    }
+
+    /// Matrix multiplication as a single *matrix operation* node
+    /// (8 vector inputs, 4 vector outputs; occupies all four lanes).
+    pub fn m_mul(&self, other: &Matrix) -> Matrix {
+        let a = self.values();
+        let b = other.values();
+        let mut c = [[Cplx::ZERO; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                for (k, bk) in b.iter().enumerate() {
+                    c[i][j] = c[i][j] + a[i][k] * bk[j];
+                }
+            }
+        }
+        let ctx = self.ctx().clone();
+        let mut g = ctx.g.borrow_mut();
+        let op = g.add_op(Opcode::matrix(CoreOp::Mul), "m_mul");
+        for r in self.rows.iter().chain(&other.rows) {
+            g.add_edge(r.id, op);
+        }
+        let rows = std::array::from_fn(|i| {
+            let out = g.add_data(DataKind::Vector, &format!("m_mul.r{i}"));
+            g.add_edge(op, out);
+            Vector { ctx: ctx.clone(), id: out, val: c[i] }
+        });
+        drop(g);
+        Matrix { rows }
+    }
+
+    /// Row-wise squared sums as one matrix op (fig. 4): 4 vector inputs,
+    /// one vector output holding `‖row_i‖²` in lane `i`.
+    pub fn m_squsum(&self) -> Vector {
+        let val = std::array::from_fn(|i| Cplx::real(self.rows[i].val.iter().map(|x| x.abs2()).sum()));
+        let ctx = self.ctx().clone();
+        let mut g = ctx.g.borrow_mut();
+        let op = g.add_op(Opcode::matrix(CoreOp::SquSum), "m_squsum");
+        for r in &self.rows {
+            g.add_edge(r.id, op);
+        }
+        let out = g.add_data(DataKind::Vector, "m_squsum.out");
+        g.add_edge(op, out);
+        Vector { ctx: ctx.clone(), id: out, val }
+    }
+
+    /// Element-wise matrix addition as one matrix op (8 vector inputs,
+    /// 4 vector outputs).
+    pub fn m_add(&self, other: &Matrix) -> Matrix {
+        let ctx = self.ctx().clone();
+        let mut g = ctx.g.borrow_mut();
+        let op = g.add_op(Opcode::matrix(CoreOp::Add), "m_add");
+        for r in self.rows.iter().chain(&other.rows) {
+            g.add_edge(r.id, op);
+        }
+        let rows = std::array::from_fn(|i| {
+            let out = g.add_data(DataKind::Vector, &format!("m_add.r{i}"));
+            g.add_edge(op, out);
+            let val = std::array::from_fn(|j| self.rows[i].val[j] + other.rows[i].val[j]);
+            Vector { ctx: ctx.clone(), id: out, val }
+        });
+        drop(g);
+        Matrix { rows }
+    }
+
+    /// Element-wise matrix subtraction as one matrix op.
+    pub fn m_sub(&self, other: &Matrix) -> Matrix {
+        let ctx = self.ctx().clone();
+        let mut g = ctx.g.borrow_mut();
+        let op = g.add_op(Opcode::matrix(CoreOp::Sub), "m_sub");
+        for r in self.rows.iter().chain(&other.rows) {
+            g.add_edge(r.id, op);
+        }
+        let rows = std::array::from_fn(|i| {
+            let out = g.add_data(DataKind::Vector, &format!("m_sub.r{i}"));
+            g.add_edge(op, out);
+            let val = std::array::from_fn(|j| self.rows[i].val[j] - other.rows[i].val[j]);
+            Vector { ctx: ctx.clone(), id: out, val }
+        });
+        drop(g);
+        Matrix { rows }
+    }
+
+    /// Conjugate transpose as one matrix op (pre-processing stage,
+    /// 4 inputs → 4 outputs).
+    pub fn m_hermitian(&self) -> Matrix {
+        let a = self.values();
+        let ctx = self.ctx().clone();
+        let mut g = ctx.g.borrow_mut();
+        let op = g.add_op(
+            Opcode::Matrix {
+                pre: Some((PreOp::Hermitian, 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
+            "m_hermitian",
+        );
+        for r in &self.rows {
+            g.add_edge(r.id, op);
+        }
+        let rows = std::array::from_fn(|i| {
+            let out = g.add_data(DataKind::Vector, &format!("m_herm.r{i}"));
+            g.add_edge(op, out);
+            let val = std::array::from_fn(|j| a[j][i].conj());
+            Vector { ctx: ctx.clone(), id: out, val }
+        });
+        drop(g);
+        Matrix { rows }
+    }
+
+    /// Scale every element by a scalar, one matrix op.
+    pub fn m_scale(&self, s: &Scalar) -> Matrix {
+        let ctx = self.ctx().clone();
+        let mut g = ctx.g.borrow_mut();
+        let op = g.add_op(Opcode::matrix(CoreOp::Scale), "m_scale");
+        for r in &self.rows {
+            g.add_edge(r.id, op);
+        }
+        g.add_edge(s.id, op);
+        let rows = std::array::from_fn(|i| {
+            let out = g.add_data(DataKind::Vector, &format!("m_scale.r{i}"));
+            g.add_edge(op, out);
+            Vector {
+                ctx: ctx.clone(),
+                id: out,
+                val: self.rows[i].val.map(|x| x * s.value()),
+            }
+        });
+        drop(g);
+        Matrix { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eit_ir::Category;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn vector_arithmetic_evaluates() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let b = ctx.vector([2.0, 3.0, 4.0, 5.0]);
+        let s = a.v_add(&b);
+        assert_eq!(s.value()[0], Cplx::real(3.0));
+        assert_eq!(s.value()[3], Cplx::real(9.0));
+        let d = a.v_dotp(&b);
+        assert_eq!(d.value(), Cplx::real(2.0 + 6.0 + 12.0 + 20.0));
+    }
+
+    #[test]
+    fn dotp_conjugates_second_operand() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([(0.0, 1.0), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)]);
+        let b = ctx.vector([(0.0, 1.0), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)]);
+        // ⟨i, i⟩ = i·conj(i) = 1
+        assert!(a.v_dotp(&b).value().approx_eq(Cplx::ONE, EPS));
+    }
+
+    #[test]
+    fn squsum_is_real_norm() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([(3.0, 4.0), (0.0, 0.0), (1.0, 0.0), (0.0, 2.0)]);
+        assert!(a.v_squsum().value().approx_eq(Cplx::real(25.0 + 1.0 + 4.0), EPS));
+    }
+
+    #[test]
+    fn mask_zeroes_unset_lanes() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let m = a.mask(0b0101);
+        assert_eq!(m.value()[0], Cplx::real(1.0));
+        assert_eq!(m.value()[1], Cplx::ZERO);
+        assert_eq!(m.value()[2], Cplx::real(3.0));
+        assert_eq!(m.value()[3], Cplx::ZERO);
+    }
+
+    #[test]
+    fn sort_orders_by_magnitude_descending() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([1.0, 4.0, 2.0, 3.0]);
+        let s = a.sort();
+        let mags: Vec<f64> = s.value().iter().map(|x| x.abs()).collect();
+        assert_eq!(mags, vec![4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn scalar_accelerator_ops() {
+        let ctx = Ctx::new("t");
+        let x = ctx.scalar(16.0);
+        assert!(x.sqrt().value().approx_eq(Cplx::real(4.0), EPS));
+        assert!(x.rsqrt().value().approx_eq(Cplx::real(0.25), EPS));
+        assert!(x.recip().value().approx_eq(Cplx::real(1.0 / 16.0), EPS));
+        let y = ctx.scalar(2.0);
+        assert!(x.div(&y).value().approx_eq(Cplx::real(8.0), EPS));
+    }
+
+    #[test]
+    fn index_and_merge_are_inverses() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let parts: Vec<Scalar> = (0..4).map(|k| a.index(k)).collect();
+        let back = ctx.merge([&parts[0], &parts[1], &parts[2], &parts[3]]);
+        assert_eq!(back.value(), a.value());
+    }
+
+    #[test]
+    fn matrix_mul_matches_reference() {
+        let ctx = Ctx::new("t");
+        let a = ctx.matrix([
+            [1.0, 2.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        let b = ctx.matrix([
+            [1.0, 0.0, 0.0, 0.0],
+            [3.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        let c = a.m_mul(&b);
+        // first row: [1+6, 2, 0, 0]
+        assert!(c.values()[0][0].approx_eq(Cplx::real(7.0), EPS));
+        assert!(c.values()[0][1].approx_eq(Cplx::real(2.0), EPS));
+        assert!(c.values()[1][0].approx_eq(Cplx::real(3.0), EPS));
+    }
+
+    #[test]
+    fn hermitian_transposes_and_conjugates() {
+        let ctx = Ctx::new("t");
+        let a = ctx.matrix([
+            [(1.0, 1.0), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+            [(2.0, -3.0), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+            [(0.0, 0.0), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+            [(0.0, 0.0), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+        ]);
+        let h = a.m_hermitian();
+        assert!(h.values()[0][0].approx_eq(Cplx::new(1.0, -1.0), EPS));
+        assert!(h.values()[0][1].approx_eq(Cplx::new(2.0, 3.0), EPS));
+    }
+
+    #[test]
+    fn ir_is_bipartite_and_valid() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let b = ctx.vector([2.0, 3.0, 4.0, 5.0]);
+        let d = a.v_dotp(&b);
+        let _r = d.sqrt();
+        let g = ctx.graph();
+        g.validate().unwrap();
+        assert_eq!(g.count(Category::VectorOp), 1);
+        assert_eq!(g.count(Category::ScalarOp), 1);
+        assert_eq!(g.count(Category::VectorData), 2);
+        assert_eq!(g.count(Category::ScalarData), 2);
+    }
+
+    #[test]
+    fn matrix_expands_to_four_vector_nodes() {
+        let ctx = Ctx::new("t");
+        let a = ctx.matrix([[1.0; 4]; 4]);
+        let _ = a.m_squsum();
+        let g = ctx.graph();
+        g.validate().unwrap();
+        // 4 input vectors + 1 output vector; no "matrix data" exists.
+        assert_eq!(g.count(Category::VectorData), 5);
+        assert_eq!(g.count(Category::MatrixOp), 1);
+    }
+
+    #[test]
+    fn shuffle_and_broadcast() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let rev = a.shuffle(0b00_01_10_11);
+        assert_eq!(rev.value()[0], Cplx::real(4.0));
+        assert_eq!(rev.value()[3], Cplx::real(1.0));
+        let b2 = a.broadcast(2);
+        for k in 0..4 {
+            assert_eq!(b2.value()[k], Cplx::real(3.0));
+        }
+    }
+
+    #[test]
+    fn cordic_ops_evaluate() {
+        let ctx = Ctx::new("t");
+        let z = ctx.scalar((3.0, 4.0));
+        assert!(z.cordic_vec().value().approx_eq(Cplx::real(5.0), 1e-12));
+        let one = ctx.scalar(1.0);
+        // Rotating 1 by the phase of z gives z/|z|.
+        let r = one.cordic_rot(&z);
+        assert!(r.value().approx_eq(Cplx::new(0.6, 0.8), 1e-12));
+    }
+
+    #[test]
+    fn mac_fuses_three_operands() {
+        let ctx = Ctx::new("t");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let b = ctx.vector([2.0, 2.0, 2.0, 2.0]);
+        let c = ctx.vector([1.0, 1.0, 1.0, 1.0]);
+        let r = a.v_mac(&b, &c);
+        assert_eq!(r.value()[3], Cplx::real(9.0));
+        let g = ctx.graph();
+        let macs: Vec<_> = g
+            .ids()
+            .filter(|&i| matches!(g.opcode(i), Some(Opcode::Vector { core: CoreOp::Mac, .. })))
+            .collect();
+        assert_eq!(g.preds(macs[0]).len(), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # eit-dsl — the embedded domain-specific language
+//!
+//! The Rust counterpart of the paper's Scala DSL (§3.1): architecture-
+//! specific data types ([`Scalar`], [`Vector`], [`Matrix`]) whose
+//! operations each correspond to one operation implemented by the EIT
+//! architecture. Running a DSL program does two things at once:
+//!
+//! 1. **evaluates** it over complex numbers — the functional-debugging
+//!    role the paper assigns to running the Scala embedding;
+//! 2. **records** the bipartite dataflow IR ([`eit_ir::Graph`]) that the
+//!    scheduler consumes.
+//!
+//! ```
+//! use eit_dsl::Ctx;
+//!
+//! // Listing 1 of the paper, one entry: C[0][1] = row0 · conj(row1).
+//! let ctx = Ctx::new("demo");
+//! let v1 = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+//! let v2 = ctx.vector([2.0, 3.0, 4.0, 5.0]);
+//! let c01 = v1.v_dotp(&v2);
+//! assert_eq!(c01.value().re, 2.0 + 6.0 + 12.0 + 20.0);
+//!
+//! let graph = ctx.finish();
+//! graph.validate().unwrap();
+//! ```
+
+pub mod ctx;
+pub mod ops;
+
+pub use eit_ir::cplx;
+pub use eit_ir::Cplx;
+pub use ctx::{Ctx, Matrix, Scalar, Vector};

@@ -1,0 +1,108 @@
+//! Operator overloading for DSL values: `&a + &b` ≡ `a.v_add(&b)` and so
+//! on. Implemented on references because every operation *records* into
+//! the shared context — values are handles, not plain data.
+
+use crate::ctx::{Scalar, Vector};
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        self.v_add(rhs)
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        self.v_sub(rhs)
+    }
+}
+
+/// Element-wise (Hadamard) product.
+impl Mul for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: &Vector) -> Vector {
+        self.v_mul(rhs)
+    }
+}
+
+/// Vector × scalar scaling.
+impl Mul<&Scalar> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: &Scalar) -> Vector {
+        self.v_scale(rhs)
+    }
+}
+
+impl Add for &Scalar {
+    type Output = Scalar;
+    fn add(self, rhs: &Scalar) -> Scalar {
+        Scalar::add(self, rhs)
+    }
+}
+
+impl Sub for &Scalar {
+    type Output = Scalar;
+    fn sub(self, rhs: &Scalar) -> Scalar {
+        Scalar::sub(self, rhs)
+    }
+}
+
+impl Mul for &Scalar {
+    type Output = Scalar;
+    fn mul(self, rhs: &Scalar) -> Scalar {
+        Scalar::mul(self, rhs)
+    }
+}
+
+impl Neg for &Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ctx::Ctx;
+    use eit_ir::Cplx;
+
+    #[test]
+    fn vector_operators_record_ops() {
+        let ctx = Ctx::new("ops");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let b = ctx.vector([4.0, 3.0, 2.0, 1.0]);
+        let sum = &a + &b;
+        let diff = &a - &b;
+        let prod = &a * &b;
+        assert_eq!(sum.value()[0], Cplx::real(5.0));
+        assert_eq!(diff.value()[0], Cplx::real(-3.0));
+        assert_eq!(prod.value()[0], Cplx::real(4.0));
+        let g = ctx.graph();
+        assert_eq!(g.count(eit_ir::Category::VectorOp), 3);
+    }
+
+    #[test]
+    fn scalar_operators_and_scaling() {
+        let ctx = Ctx::new("ops");
+        let a = ctx.vector([1.0, 1.0, 1.0, 1.0]);
+        let s = ctx.scalar(2.0);
+        let t = ctx.scalar(3.0);
+        let scaled = &a * &(&s * &t);
+        assert_eq!(scaled.value()[2], Cplx::real(6.0));
+        let u = &(&s + &t) - &s;
+        assert_eq!(u.value(), Cplx::real(3.0));
+        let n = -&s;
+        assert_eq!(n.value(), Cplx::real(-2.0));
+    }
+
+    #[test]
+    fn operator_chains_build_valid_ir() {
+        let ctx = Ctx::new("ops");
+        let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+        let b = ctx.vector([2.0, 2.0, 2.0, 2.0]);
+        let _ = &(&(&a + &b) * &b) - &a;
+        ctx.finish().validate().unwrap();
+    }
+}

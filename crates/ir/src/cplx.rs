@@ -1,0 +1,208 @@
+//! Complex arithmetic for the DSL's evaluation semantics.
+//!
+//! The EIT vector core computes on complex-valued samples (CMAC units);
+//! the DSL therefore evaluates every expression over `Cplx` while it
+//! records the IR, which is what makes a DSL program *runnable* for
+//! functional debugging (the role the paper gives the Scala embedding).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Cplx {
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// Real number as a complex value.
+    pub fn real(re: f64) -> Self {
+        Cplx { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Cplx { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `|z|²` (always real, returned as `f64`).
+    pub fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.abs2().sqrt()
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        // For the common case of non-negative reals (norms), stay exact.
+        if self.im == 0.0 && self.re >= 0.0 {
+            return Cplx::real(self.re.sqrt());
+        }
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).sqrt();
+        let im = ((r - self.re) / 2.0).sqrt() * self.im.signum();
+        Cplx { re, im }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    pub fn recip(self) -> Self {
+        let d = self.abs2();
+        Cplx { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Reciprocal square root `1/√z`.
+    pub fn rsqrt(self) -> Self {
+        self.sqrt().recip()
+    }
+
+    /// Approximate equality within `eps` (component-wise).
+    pub fn approx_eq(self, other: Cplx, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    fn add(self, o: Cplx) -> Cplx {
+        Cplx { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    fn sub(self, o: Cplx) -> Cplx {
+        Cplx { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    fn mul(self, o: Cplx) -> Cplx {
+        Cplx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Div for Cplx {
+    type Output = Cplx;
+    // Division via the reciprocal is the intended formula, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, o: Cplx) -> Cplx {
+        self * o.recip()
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    fn neg(self) -> Cplx {
+        Cplx { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for Cplx {
+    type Output = Cplx;
+    fn mul(self, s: f64) -> Cplx {
+        Cplx { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl From<f64> for Cplx {
+    fn from(re: f64) -> Self {
+        Cplx::real(re)
+    }
+}
+
+impl From<(f64, f64)> for Cplx {
+    fn from((re, im): (f64, f64)) -> Self {
+        Cplx { re, im }
+    }
+}
+
+impl fmt::Debug for Cplx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.im < 0.0 {
+            write!(f, "{}{}i", self.re, self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Cplx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn field_axioms_spotchecks() {
+        let a = Cplx::new(1.5, -2.0);
+        let b = Cplx::new(-0.5, 3.0);
+        let c = Cplx::new(2.0, 0.25);
+        assert!((a + b - b).approx_eq(a, EPS));
+        assert!((a * b / b).approx_eq(a, EPS));
+        assert!(((a + b) * c).approx_eq(a * c + b * c, EPS));
+        assert!((a * b).approx_eq(b * a, EPS));
+    }
+
+    #[test]
+    fn conj_and_abs() {
+        let z = Cplx::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.conj(), Cplx::new(3.0, -4.0));
+        assert!((z * z.conj()).approx_eq(Cplx::real(25.0), EPS));
+    }
+
+    #[test]
+    fn sqrt_of_positive_real_is_exact() {
+        assert_eq!(Cplx::real(9.0).sqrt(), Cplx::real(3.0));
+        assert_eq!(Cplx::real(0.0).sqrt(), Cplx::ZERO);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(2.0, 3.0), (-1.0, 1.0), (-4.0, 0.0), (0.5, -0.7)] {
+            let z = Cplx::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-10), "z={z:?}");
+            // principal branch: non-negative real part
+            assert!(s.re >= 0.0 || (s.re == 0.0 && s.im >= 0.0));
+        }
+    }
+
+    #[test]
+    fn recip_and_rsqrt() {
+        let z = Cplx::new(0.0, 2.0);
+        assert!((z * z.recip()).approx_eq(Cplx::ONE, EPS));
+        let r = Cplx::real(4.0).rsqrt();
+        assert!(r.approx_eq(Cplx::real(0.5), EPS));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cplx::real(2.0).to_string(), "2");
+        assert_eq!(Cplx::new(1.0, 1.0).to_string(), "1+1i");
+        assert_eq!(Cplx::new(1.0, -1.0).to_string(), "1-1i");
+    }
+}

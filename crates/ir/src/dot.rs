@@ -1,0 +1,92 @@
+//! Graphviz DOT rendering of the IR — the visualisation the paper's
+//! figures 3–5 show (ovals for operations, boxes for data nodes).
+
+use crate::graph::Graph;
+use crate::node::NodeKind;
+
+/// Render the graph in Graphviz DOT syntax. Operation nodes are ovals,
+/// data nodes are boxes (the paper's drawing convention); application
+/// inputs are shaded.
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph \"");
+    out.push_str(&g.name.replace('"', "'"));
+    out.push_str("\" {\n  rankdir=TB;\n");
+    for id in g.ids() {
+        let node = g.node(id);
+        let (shape, extra) = match node.kind {
+            NodeKind::Op(_) => ("ellipse", ""),
+            NodeKind::Data(_) => {
+                if g.preds(id).is_empty() {
+                    ("box", ", style=filled, fillcolor=lightgrey")
+                } else {
+                    ("box", "")
+                }
+            }
+        };
+        let label = if node.name.is_empty() {
+            format!("{:?}", g.category(id))
+        } else {
+            node.name.replace('"', "'")
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={shape}{extra}];\n",
+            id.0, label
+        ));
+    }
+    for (f, t) in g.edges() {
+        out.push_str(&format!("  n{} -> n{};\n", f.0, t.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{CoreOp, DataKind, Opcode};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let mut g = Graph::new("fig3 \"demo\"");
+        let a = g.add_data(DataKind::Vector, "v1");
+        let b = g.add_data(DataKind::Vector, "v2");
+        let (_, d) = g.add_op_with_output(
+            Opcode::vector(CoreOp::DotP),
+            &[a, b],
+            DataKind::Scalar,
+            "v_dotp",
+        );
+        let _ = d;
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        // Ovals for ops, boxes for data, shaded inputs.
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=box, style=filled"));
+        // All edges present.
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        // Quotes in names are sanitised.
+        assert!(!dot.contains("\"fig3 \"demo\"\""));
+    }
+
+    #[test]
+    fn every_node_rendered_once() {
+        let k_nodes = 10;
+        let mut g = Graph::new("t");
+        let mut prev = g.add_data(DataKind::Scalar, "s0");
+        for i in 0..(k_nodes - 1) / 2 {
+            let (_, d) = g.add_op_with_output(
+                Opcode::Scalar(crate::node::ScalarOp::Neg),
+                &[prev],
+                DataKind::Scalar,
+                &format!("n{i}"),
+            );
+            prev = d;
+        }
+        let dot = to_dot(&g);
+        for id in g.ids() {
+            assert!(dot.contains(&format!("n{} [", id.0)));
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Node taxonomy of the intermediate representation (§3.2 of the paper).
+//!
+//! The IR is a bipartite dataflow DAG of *operation* nodes and *data*
+//! nodes. Every node belongs to one of the paper's seven categories:
+//! `vector_op`, `matrix_op`, `scalar_op`, `index`, `merge`, `vector_data`,
+//! `scalar_data`.
+//!
+//! Vector-core operations mirror the EIT pipeline: an optional
+//! *pre-processing* stage (PE2), the *core* CMAC stage (PE3) and an
+//! optional *post-processing* stage (PE4). A stand-alone pre- or
+//! post-processing operation is encoded with [`CoreOp::Pass`]; the merge
+//! pass (fig. 6) later folds such nodes into their neighbours so that each
+//! remaining vector node models one trip through the seven-stage pipeline.
+
+use std::fmt;
+
+/// Pre-processing operations executed by PE2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PreOp {
+    /// Conjugate-transpose preparation of an operand (matrix Hermitian).
+    Hermitian,
+    /// Element masking with a 4-bit lane mask.
+    Mask(u8),
+    /// Lane shuffle/broadcast with a packed 4×2-bit permutation.
+    Shuffle(u8),
+}
+
+/// Core CMAC-stage operations executed by PE3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoreOp {
+    /// Identity: the node only pre- or post-processes.
+    Pass,
+    /// Element-wise complex addition.
+    Add,
+    /// Element-wise complex subtraction.
+    Sub,
+    /// Element-wise complex multiplication.
+    Mul,
+    /// Vector × scalar scaling.
+    Scale,
+    /// Dot product (conjugating the second operand), vector → scalar.
+    DotP,
+    /// Squared Euclidean norm, vector → scalar.
+    SquSum,
+    /// Fused multiply-accumulate `a∘b + c` (three operands).
+    Mac,
+}
+
+/// Post-processing operations executed by PE4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PostOp {
+    /// Sort lanes by magnitude, descending.
+    Sort,
+    /// Element-wise conjugation of the result.
+    Conj,
+    /// Negate the result.
+    Neg,
+}
+
+/// Operations of the scalar accelerator (division / square root / CORDIC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    Sqrt,
+    /// Reciprocal square root `1/√x`.
+    RSqrt,
+    Div,
+    Recip,
+    /// CORDIC rotation (Givens rotation angle application).
+    CordicRot,
+    /// CORDIC vectoring (magnitude/phase extraction).
+    CordicVec,
+    Add,
+    Sub,
+    Mul,
+    Neg,
+}
+
+/// Complete operation descriptor of an operation node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// A vector operation: one lane of the vector core, one trip through
+    /// the pipeline. `pre` carries the operand index it applies to.
+    Vector {
+        pre: Option<(PreOp, u8)>,
+        core: CoreOp,
+        post: Option<PostOp>,
+    },
+    /// A matrix operation: all four lanes simultaneously.
+    Matrix {
+        pre: Option<(PreOp, u8)>,
+        core: CoreOp,
+        post: Option<PostOp>,
+    },
+    /// A scalar-accelerator operation.
+    Scalar(ScalarOp),
+    /// Extract element `k` of a vector (index unit).
+    Index(u8),
+    /// Merge four scalars into a vector (merge unit).
+    Merge,
+}
+
+impl Opcode {
+    /// Plain vector core op without pre/post stages.
+    pub fn vector(core: CoreOp) -> Self {
+        Opcode::Vector { pre: None, core, post: None }
+    }
+
+    /// Plain matrix core op without pre/post stages.
+    pub fn matrix(core: CoreOp) -> Self {
+        Opcode::Matrix { pre: None, core, post: None }
+    }
+
+    /// Does this opcode execute on the vector core (either as a vector or
+    /// a matrix operation)?
+    pub fn on_vector_core(&self) -> bool {
+        matches!(self, Opcode::Vector { .. } | Opcode::Matrix { .. })
+    }
+
+    /// The *configuration* the vector core must hold to execute this op.
+    /// Two vector ops may share a cycle only if their configurations are
+    /// equal (paper's constraint (3)); reconfiguration counting in the
+    /// modulo scheduler compares these too.
+    pub fn config(&self) -> Option<VectorConfig> {
+        match *self {
+            Opcode::Vector { pre, core, post } | Opcode::Matrix { pre, core, post } => {
+                Some(VectorConfig {
+                    pre,
+                    core,
+                    post,
+                    matrix: matches!(self, Opcode::Matrix { .. }),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The vector core's configuration word (abstracted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VectorConfig {
+    pub pre: Option<(PreOp, u8)>,
+    pub core: CoreOp,
+    pub post: Option<PostOp>,
+    pub matrix: bool,
+}
+
+/// Data node payload kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataKind {
+    /// A four-element complex vector (occupies one memory slot).
+    Vector,
+    /// A complex scalar (held in the scalar register file).
+    Scalar,
+}
+
+/// What a node is: an operation or a datum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    Op(Opcode),
+    Data(DataKind),
+}
+
+/// The seven categories of §3.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    VectorOp,
+    MatrixOp,
+    ScalarOp,
+    Index,
+    Merge,
+    VectorData,
+    ScalarData,
+}
+
+impl Category {
+    pub fn is_op(self) -> bool {
+        !matches!(self, Category::VectorData | Category::ScalarData)
+    }
+
+    pub fn is_data(self) -> bool {
+        !self.is_op()
+    }
+}
+
+impl fmt::Display for Category {
+    /// snake_case of the variant name, matching the paper's naming
+    /// (`vector_op`, `scalar_data`, …).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dbg = format!("{self:?}");
+        let mut out = String::new();
+        for (i, ch) in dbg.chars().enumerate() {
+            if ch.is_uppercase() {
+                if i > 0 {
+                    out.push('_');
+                }
+                out.push(ch.to_ascii_lowercase());
+            } else {
+                out.push(ch);
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+impl NodeKind {
+    pub fn category(&self) -> Category {
+        match self {
+            NodeKind::Op(Opcode::Vector { .. }) => Category::VectorOp,
+            NodeKind::Op(Opcode::Matrix { .. }) => Category::MatrixOp,
+            NodeKind::Op(Opcode::Scalar(_)) => Category::ScalarOp,
+            NodeKind::Op(Opcode::Index(_)) => Category::Index,
+            NodeKind::Op(Opcode::Merge) => Category::Merge,
+            NodeKind::Data(DataKind::Vector) => Category::VectorData,
+            NodeKind::Data(DataKind::Scalar) => Category::ScalarData,
+        }
+    }
+}
+
+/// Identifier of a node within its [`crate::graph::Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One IR node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub kind: NodeKind,
+    /// Human-readable label carried from the DSL (for dumps/debugging).
+    pub name: String,
+}
+
+impl Node {
+    pub fn category(&self) -> Category {
+        self.kind.category()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_paper_taxonomy() {
+        assert_eq!(
+            NodeKind::Op(Opcode::vector(CoreOp::DotP)).category(),
+            Category::VectorOp
+        );
+        assert_eq!(
+            NodeKind::Op(Opcode::matrix(CoreOp::SquSum)).category(),
+            Category::MatrixOp
+        );
+        assert_eq!(
+            NodeKind::Op(Opcode::Scalar(ScalarOp::Sqrt)).category(),
+            Category::ScalarOp
+        );
+        assert_eq!(NodeKind::Op(Opcode::Index(2)).category(), Category::Index);
+        assert_eq!(NodeKind::Op(Opcode::Merge).category(), Category::Merge);
+        assert_eq!(
+            NodeKind::Data(DataKind::Vector).category(),
+            Category::VectorData
+        );
+        assert_eq!(
+            NodeKind::Data(DataKind::Scalar).category(),
+            Category::ScalarData
+        );
+    }
+
+    #[test]
+    fn display_category_is_snake_case() {
+        assert_eq!(Category::VectorOp.to_string(), "vector_op");
+        assert_eq!(Category::ScalarData.to_string(), "scalar_data");
+    }
+
+    #[test]
+    fn config_equality_distinguishes_stages() {
+        let plain = Opcode::vector(CoreOp::Add);
+        let with_post = Opcode::Vector {
+            pre: None,
+            core: CoreOp::Add,
+            post: Some(PostOp::Sort),
+        };
+        assert_ne!(plain.config(), with_post.config());
+        assert_eq!(plain.config(), Opcode::vector(CoreOp::Add).config());
+        // Matrix vs vector with the same stages differ in configuration.
+        assert_ne!(
+            Opcode::matrix(CoreOp::Add).config(),
+            Opcode::vector(CoreOp::Add).config()
+        );
+        assert!(Opcode::Scalar(ScalarOp::Div).config().is_none());
+    }
+
+    #[test]
+    fn op_data_partition() {
+        assert!(Category::VectorOp.is_op());
+        assert!(Category::Index.is_op());
+        assert!(Category::Merge.is_op());
+        assert!(Category::VectorData.is_data());
+        assert!(!Category::VectorData.is_op());
+    }
+}

@@ -1,0 +1,5 @@
+//! IR-to-IR transformations applied before scheduling.
+
+pub mod cse;
+pub mod dce;
+pub mod merge;

@@ -1,0 +1,59 @@
+//! Write your own kernel and push it through the whole toolchain with a
+//! single call — validate → CSE → merge → schedule → machine listing —
+//! then inspect what each stage did.
+//!
+//! The kernel here is a small adaptive-beamforming step: weight vectors
+//! are correlated against a steering vector, normalised through the
+//! accelerator, and combined — deliberately written with a duplicated
+//! subexpression and a pre/post chain so the optimisation passes have
+//! something to do.
+//!
+//! Run: `cargo run --release --example custom_kernel`
+
+use eit::core::pipeline::{compile, CompileOptions};
+use eit::arch::ArchSpec;
+use eit::dsl::Ctx;
+
+fn main() {
+    let ctx = Ctx::new("beamform");
+    let w1 = ctx.vector([(0.6, 0.1), (0.3, -0.2), (0.1, 0.4), (0.7, 0.0)]);
+    let w2 = ctx.vector([(0.2, -0.3), (0.8, 0.1), (0.4, 0.2), (0.1, -0.1)]);
+    let steer = ctx.vector([(1.0, 0.0), (0.7, 0.7), (0.0, 1.0), (-0.7, 0.7)]);
+
+    // Correlations — note v_dotp(steer) appears twice with w1: the CSE
+    // pass will fold the duplicate.
+    let c1 = w1.v_dotp(&steer);
+    let c1_again = w1.v_dotp(&steer);
+    let c2 = w2.v_dotp(&steer);
+
+    // Normalise through the accelerator.
+    let power = c1.mul(&c1_again).add(&c2.mul(&c2));
+    let inv = power.rsqrt();
+
+    // Conjugate + combine + sort: a pre/post chain the merge pass folds.
+    let combined = w1.hermitian().v_mul(&w2).sort();
+    let _beam = combined.v_scale(&inv);
+
+    println!("DSL evaluated: |c1| = {:.4}, power = {:.4}", c1.value().abs(), power.value().re);
+
+    let spec = ArchSpec::eit();
+    let out = compile(ctx.finish(), &spec, &CompileOptions::default())
+        .expect("beamforming kernel compiles");
+
+    println!(
+        "passes: CSE folded {} op(s); merge folded {} pre + {} post",
+        out.cse.ops_removed, out.merge.pre_merges, out.merge.post_merges
+    );
+    println!(
+        "schedule: {} cc ({:?}), {} nodes explored in {:?}",
+        out.schedule.makespan, out.status, out.solver.nodes, out.solver.time
+    );
+    println!(
+        "machine code: {} instructions, {} reconfiguration switch(es), utilization {:.1}%",
+        out.program.n_instructions,
+        out.program.reconfig_switches,
+        out.program.utilization * 100.0
+    );
+    println!("\n{}", out.program.listing);
+    print!("{}", eit::arch::render_gantt(&out.graph, &spec, &out.schedule));
+}

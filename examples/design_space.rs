@@ -1,0 +1,83 @@
+//! Design-space exploration beyond the paper: because the machine model
+//! is fully parameterisable, the scheduler doubles as an architecture
+//! evaluation tool — vary lanes, memory and reconfiguration cost and
+//! watch the schedule respond.
+//!
+//! Run: `cargo run --release --example design_space`
+
+use eit::arch::ArchSpec;
+use eit::core::{modulo_schedule, schedule, ModuloOptions, SchedulerOptions};
+use std::time::Duration;
+
+fn opts() -> SchedulerOptions {
+    SchedulerOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let kernel = eit::apps::qrd::build();
+    let mut graph = kernel.graph.clone();
+    eit::ir::merge_pipeline_ops(&mut graph);
+
+    println!("QRD latency vs lane count (memory fixed at 64 slots)");
+    println!("{:<8} {:>14} {:>14}", "lanes", "makespan (cc)", "modulo II");
+    for lanes in [1u32, 2, 4, 8] {
+        let mut spec = ArchSpec::eit();
+        spec.n_lanes = lanes;
+        let r = schedule(&graph, &spec, &opts());
+        let ii = modulo_schedule(
+            &graph,
+            &spec,
+            &ModuloOptions {
+                timeout_per_ii: Duration::from_secs(20),
+                total_timeout: Duration::from_secs(60),
+                ..Default::default()
+            },
+        )
+        .map(|m| m.actual_ii);
+        println!(
+            "{:<8} {:>14} {:>14}",
+            lanes,
+            r.makespan.map_or("-".into(), |m| m.to_string()),
+            ii.map_or("-".into(), |m| m.to_string()),
+        );
+    }
+
+    println!();
+    println!("QRD modulo II vs reconfiguration cost (excluding-model, stalls post hoc)");
+    println!("{:<14} {:>10} {:>12} {:>12}", "reconfig cc", "issue II", "actual II", "thr");
+    for cost in [0i32, 1, 2, 4] {
+        let mut spec = ArchSpec::eit();
+        spec.reconfig_cost = cost;
+        if let Some(m) = modulo_schedule(
+            &graph,
+            &spec,
+            &ModuloOptions {
+                timeout_per_ii: Duration::from_secs(20),
+                total_timeout: Duration::from_secs(60),
+                ..Default::default()
+            },
+        ) {
+            println!(
+                "{:<14} {:>10} {:>12} {:>12.4}",
+                cost, m.ii_issue, m.actual_ii, m.throughput
+            );
+        }
+    }
+
+    println!();
+    println!("QRD minimum-memory frontier (scheduler as a sizing tool)");
+    println!("{:<8} {:>14} {:>12}", "slots", "makespan (cc)", "status");
+    for slots in [12u32, 10, 8, 7] {
+        let spec = ArchSpec::eit().with_slots(slots);
+        let r = schedule(&graph, &spec, &opts());
+        println!(
+            "{:<8} {:>14} {:>12}",
+            slots,
+            r.makespan.map_or("-".into(), |m| m.to_string()),
+            format!("{:?}", r.status),
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! MIMO pre-processing: schedule the MMSE-QRD kernel — the paper's main
+//! workload — end to end, validating the schedule on the simulator and
+//! inspecting memory pressure.
+//!
+//! This is the workflow of §4.2: one QRD iteration, scheduled with
+//! combined memory allocation, at several memory sizes.
+//!
+//! Run: `cargo run --release --example mimo_qrd`
+
+use eit::arch::{simulate, ArchSpec};
+use eit::core::{schedule, SchedulerOptions};
+use eit::cp::SearchStatus;
+use std::time::Duration;
+
+fn main() {
+    let kernel = eit::apps::qrd::build();
+    let mut graph = kernel.graph.clone();
+    eit::ir::merge_pipeline_ops(&mut graph);
+    let lm = eit::ir::LatencyModel::default();
+    println!("MMSE-QRD kernel: {}", graph.summary(&lm.of(&graph)));
+
+    for slots in [64u32, 16, 8, 7] {
+        let spec = ArchSpec::eit().with_slots(slots);
+        let result = schedule(
+            &graph,
+            &spec,
+            &SchedulerOptions {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            },
+        );
+        match (&result.schedule, result.status) {
+            (Some(sched), status) => {
+                // Full functional replay: the schedule must produce the
+                // same Q/R values the DSL evaluation did.
+                let report = simulate(&graph, &spec, sched, &kernel.inputs);
+                assert!(report.ok(), "slots={slots}: {:?}", report.violations);
+                for (node, expect) in &kernel.expected {
+                    assert!(
+                        report.values[node].approx_eq(expect, 1e-9),
+                        "slots={slots}: output {node:?} differs"
+                    );
+                }
+                println!(
+                    "{slots:>3} slots: {} cc ({status:?}), {} slots used, \
+                     lanes {:.1}% / accel {:.1}% / idx-merge {:.1}%, \
+                     {} reconfig switches — outputs verified",
+                    sched.makespan,
+                    sched.slots_used(&graph),
+                    report.units.vector * 100.0,
+                    report.units.accelerator * 100.0,
+                    report.units.index_merge * 100.0,
+                    report.reconfig_switches,
+                );
+            }
+            (None, SearchStatus::Infeasible) => {
+                println!("{slots:>3} slots: infeasible — below the kernel's live-set floor");
+            }
+            (None, status) => println!("{slots:>3} slots: no schedule ({status:?})"),
+        }
+    }
+
+    println!();
+    println!(
+        "The schedule length never moves while memory suffices: the critical \
+         path through the\nvector pipeline and the rsqrt accelerator dominates \
+         (the paper's Table 1 observation)."
+    );
+}

@@ -1,0 +1,259 @@
+//! Golden tests for the IR shapes the paper draws: fig. 3 (MATMUL),
+//! fig. 4/5 (matrix op vs vector expansion), fig. 6 (merging), and the
+//! XML interchange round-trip for every kernel.
+
+use eit::dsl::Ctx;
+use eit::ir::{
+    from_xml, merge_pipeline_ops, to_xml, Category, CoreOp, DataKind, Opcode, PostOp, PreOp,
+};
+
+#[test]
+fn fig3_matmul_ir_census() {
+    let k = eit::apps::by_name("matmul").unwrap();
+    let g = &k.graph;
+    assert_eq!(g.len(), 44);
+    assert_eq!(g.edge_count(), 68);
+    assert_eq!(g.count(Category::VectorOp), 16);
+    assert_eq!(g.count(Category::Merge), 4);
+    assert_eq!(g.count(Category::Index), 0);
+    assert_eq!(g.count(Category::ScalarData), 16);
+    assert_eq!(g.count(Category::VectorData), 8);
+    // Every v_dotP consumes exactly two vectors (column access is free in
+    // the paged memory — no transpose nodes exist).
+    for n in g.ids() {
+        if g.category(n) == Category::VectorOp {
+            assert_eq!(g.preds(n).len(), 2);
+        }
+    }
+}
+
+#[test]
+fn fig4_fig5_matrix_vs_vector_expansion() {
+    // Matrix form: one matrix_op node, no merges.
+    let ctx = Ctx::new("m");
+    let a = ctx.matrix([[2.0; 4]; 4]);
+    let v = a.m_squsum();
+    assert_eq!(v.value()[0].re, 16.0);
+    let gm = ctx.finish();
+    assert_eq!(gm.count(Category::MatrixOp), 1);
+    assert_eq!(gm.count(Category::Merge), 0);
+
+    // Vector form: four v_squsum + a merge node.
+    let ctx = Ctx::new("v");
+    let rows: Vec<_> = (0..4).map(|_| ctx.vector([2.0; 4])).collect();
+    let sums: Vec<_> = rows.iter().map(|r| r.v_squsum()).collect();
+    let merged = ctx.merge([&sums[0], &sums[1], &sums[2], &sums[3]]);
+    assert_eq!(merged.value()[0].re, 16.0);
+    let gv = ctx.finish();
+    assert_eq!(gv.count(Category::VectorOp), 4);
+    assert_eq!(gv.count(Category::Merge), 1);
+
+    // Same semantics, fewer nodes for the matrix version (fig. 4 vs 5).
+    assert!(gm.len() < gv.len());
+}
+
+#[test]
+fn fig6_both_merge_patterns() {
+    // Left: pre-processing into a core op.
+    let ctx = Ctx::new("left");
+    let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+    let b = ctx.vector([1.0, 1.0, 1.0, 1.0]);
+    let ah = a.hermitian();
+    let _ = ah.v_mul(&b);
+    let mut g = ctx.finish();
+    let stats = merge_pipeline_ops(&mut g);
+    assert_eq!(stats.pre_merges, 1);
+    let folded: Vec<_> = g
+        .ids()
+        .filter_map(|n| g.opcode(n))
+        .filter(|o| matches!(o, Opcode::Vector { pre: Some(_), core: CoreOp::Mul, .. }))
+        .collect();
+    assert_eq!(folded.len(), 1);
+
+    // Right: post-processing out of a core op.
+    let ctx = Ctx::new("right");
+    let a = ctx.vector([1.0, 4.0, 2.0, 3.0]);
+    let b = ctx.vector([1.0, 1.0, 1.0, 1.0]);
+    let m = a.v_mul(&b);
+    let _ = m.sort();
+    let mut g = ctx.finish();
+    let stats = merge_pipeline_ops(&mut g);
+    assert_eq!(stats.post_merges, 1);
+    let folded: Vec<_> = g
+        .ids()
+        .filter_map(|n| g.opcode(n))
+        .filter(|o| {
+            matches!(o, Opcode::Vector { core: CoreOp::Mul, post: Some(PostOp::Sort), .. })
+        })
+        .collect();
+    assert_eq!(folded.len(), 1);
+}
+
+#[test]
+fn merge_pass_preserves_semantics_through_simulation() {
+    // Schedule + simulate a chain before and after merging; the final
+    // value must be identical.
+    use eit::arch::{simulate, ArchSpec};
+    use eit::core::{schedule, SchedulerOptions};
+    use eit::ir::sem::Value;
+    use std::collections::HashMap;
+
+    let build = || {
+        let ctx = Ctx::new("chain");
+        let a = ctx.vector([1.0, -2.0, 3.0, -4.0]);
+        let b = ctx.vector([2.0, 2.0, 2.0, 2.0]);
+        let h = a.hermitian();
+        let m = h.v_mul(&b);
+        let s = m.sort();
+        (ctx.finish(), a, b, s)
+    };
+
+    let mut results = Vec::new();
+    for merged in [false, true] {
+        let (mut g, a, b, s) = build();
+        if merged {
+            merge_pipeline_ops(&mut g);
+        }
+        let spec = ArchSpec::eit();
+        let r = schedule(&g, &spec, &SchedulerOptions::default());
+        let sched = r.schedule.unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(a.node(), Value::V(a.value()));
+        inputs.insert(b.node(), Value::V(b.value()));
+        let report = simulate(&g, &spec, &sched, &inputs);
+        assert!(report.ok(), "merged={merged}: {:?}", report.violations);
+        let out = g.outputs()[0];
+        results.push(report.values[&out]);
+        // The DSL's eager value agrees too.
+        assert!(report.values[&out].approx_eq(&Value::V(s.value()), 1e-9));
+    }
+    assert!(results[0].approx_eq(&results[1], 1e-12));
+}
+
+#[test]
+fn xml_roundtrip_every_kernel() {
+    for name in ["qrd", "arf", "matmul"] {
+        let k = eit::apps::by_name(name).unwrap();
+        let xml = to_xml(&k.graph);
+        let g2 = from_xml(&xml).unwrap();
+        assert_eq!(g2.len(), k.graph.len(), "{name}");
+        assert_eq!(g2.edge_count(), k.graph.edge_count(), "{name}");
+        for id in k.graph.ids() {
+            assert_eq!(g2.node(id).kind, k.graph.node(id).kind, "{name} {id:?}");
+            assert_eq!(g2.preds(id), k.graph.preds(id), "{name} {id:?}");
+        }
+        // Round-tripping twice is the identity on the text.
+        assert_eq!(xml, to_xml(&g2), "{name}");
+    }
+}
+
+#[test]
+fn merged_graphs_survive_xml() {
+    let ctx = Ctx::new("m");
+    let a = ctx.vector([1.0, 2.0, 3.0, 4.0]);
+    let b = ctx.vector([1.0, 1.0, 1.0, 1.0]);
+    let h = a.hermitian();
+    let m = h.v_mul(&b);
+    let _ = m.sort();
+    let mut g = ctx.finish();
+    merge_pipeline_ops(&mut g);
+    let g2 = from_xml(&to_xml(&g)).unwrap();
+    // The merged opcode (pre+core+post in one node) round-trips intact.
+    let ops: Vec<_> = g2.ids().filter_map(|n| g2.opcode(n)).collect();
+    assert!(ops.iter().any(|o| matches!(
+        o,
+        Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Mul, post: Some(PostOp::Sort) }
+    )));
+}
+
+#[test]
+fn dsl_matrix_expansion_has_no_matrix_data() {
+    // §3.2.1: matrices exist only as operations, never as data nodes.
+    let ctx = Ctx::new("m");
+    let a = ctx.matrix([[1.0; 4]; 4]);
+    let b = ctx.matrix([[2.0; 4]; 4]);
+    let _ = a.m_mul(&b);
+    let g = ctx.finish();
+    for n in g.ids() {
+        assert!(
+            matches!(
+                g.category(n),
+                Category::VectorData | Category::ScalarData | Category::MatrixOp
+            ) || g.category(n).is_op(),
+            "unexpected node category {:?}",
+            g.category(n)
+        );
+    }
+    assert_eq!(g.count(Category::MatrixOp), 1);
+    assert_eq!(g.count(Category::VectorData), 12); // 8 in + 4 out
+    assert_eq!(g.node(eit::ir::NodeId(0)).kind, eit::ir::NodeKind::Data(DataKind::Vector));
+}
+
+#[test]
+fn matrix_dsl_evaluation_matches_canonical_semantics() {
+    use eit::ir::sem::{apply, Value};
+    use eit::ir::{CoreOp, Opcode};
+    let ctx = Ctx::new("m");
+    let a = ctx.matrix([
+        [1.0, 2.0, 0.5, -1.0],
+        [0.0, 1.0, 2.0, 0.25],
+        [3.0, -2.0, 1.0, 0.0],
+        [0.5, 0.5, -0.5, 1.0],
+    ]);
+    let b = ctx.matrix([
+        [2.0, 0.0, 1.0, 0.0],
+        [1.0, 1.0, 0.0, -1.0],
+        [0.0, 2.0, 1.0, 0.5],
+        [-1.0, 0.0, 0.0, 2.0],
+    ]);
+    for (dsl_rows, op, arity) in [
+        (a.m_mul(&b).values(), Opcode::matrix(CoreOp::Mul), 8usize),
+        (a.m_add(&b).values(), Opcode::matrix(CoreOp::Add), 8),
+        (a.m_sub(&b).values(), Opcode::matrix(CoreOp::Sub), 8),
+    ] {
+        let mut inputs: Vec<Value> = a.rows().iter().map(|r| Value::V(r.value())).collect();
+        inputs.extend(b.rows().iter().map(|r| Value::V(r.value())));
+        inputs.truncate(arity);
+        let canon = apply(&op, &inputs).unwrap();
+        for (i, out) in canon.iter().enumerate() {
+            assert!(out.approx_eq(&Value::V(dsl_rows[i]), 1e-9), "{op:?} row {i}");
+        }
+    }
+    // m_squsum and m_scale (different arities).
+    let sq = a.m_squsum();
+    let canon = apply(
+        &Opcode::matrix(CoreOp::SquSum),
+        &a.rows().iter().map(|r| Value::V(r.value())).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    assert!(canon[0].approx_eq(&Value::V(sq.value()), 1e-9));
+    let s = ctx.scalar(3.0);
+    let scaled = a.m_scale(&s);
+    let mut inputs: Vec<Value> = a.rows().iter().map(|r| Value::V(r.value())).collect();
+    inputs.push(Value::S(s.value()));
+    let canon = apply(&Opcode::matrix(CoreOp::Scale), &inputs).unwrap();
+    for (i, out) in canon.iter().enumerate() {
+        assert!(out.approx_eq(&Value::V(scaled.values()[i]), 1e-9), "scale row {i}");
+    }
+}
+
+#[test]
+fn renderers_handle_real_kernels() {
+    use eit::core::{schedule, SchedulerOptions};
+    let kernel = eit::apps::by_name("matmul").unwrap();
+    let mut g = kernel.graph.clone();
+    merge_pipeline_ops(&mut g);
+    let spec = eit::arch::ArchSpec::eit();
+    let s = schedule(&g, &spec, &SchedulerOptions::default())
+        .schedule
+        .unwrap();
+    let gantt = eit::arch::render_gantt(&g, &spec, &s);
+    assert_eq!(gantt.lines().count(), 1 + 4 + 2);
+    assert!(gantt.contains("lane0 |A"));
+    let vcd = eit::arch::to_vcd(&g, &spec, &s);
+    assert!(vcd.contains("$enddefinitions $end"));
+    let dot = eit::ir::to_dot(&g);
+    assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    let listing = eit::core::generate(&g, &spec, &s).listing;
+    assert!(listing.contains("memory map"));
+}

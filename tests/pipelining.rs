@@ -1,0 +1,171 @@
+//! Integration tests for the §4.3 multi-iteration techniques: overlapped
+//! execution and modulo scheduling, across all kernels.
+
+use eit::arch::{validate_structure_with, ArchSpec};
+use eit::core::{
+    bundles_from_schedule, ii_lower_bound, manual_style_bundles, modulo_schedule,
+    overlapped_execution, schedule, validate_modulo, ModuloOptions, SchedulerOptions,
+};
+use std::time::Duration;
+
+fn merged(name: &str) -> eit::ir::Graph {
+    let k = eit::apps::by_name(name).unwrap();
+    let mut g = k.graph.clone();
+    eit::ir::merge_pipeline_ops(&mut g);
+    g
+}
+
+fn sched_opts() -> SchedulerOptions {
+    SchedulerOptions {
+        timeout: Some(Duration::from_secs(120)),
+        ..Default::default()
+    }
+}
+
+fn modulo_opts(include: bool) -> ModuloOptions {
+    ModuloOptions {
+        include_reconfig: include,
+        timeout_per_ii: Duration::from_secs(60),
+        total_timeout: Duration::from_secs(240),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn overlap_improves_throughput_for_every_kernel() {
+    let spec = ArchSpec::eit();
+    for name in ["qrd", "arf", "matmul"] {
+        let g = merged(name);
+        let single = schedule(&g, &spec, &sched_opts()).schedule.unwrap();
+        let serial_thr = 1.0 / single.makespan as f64;
+        let bundles = bundles_from_schedule(&g, &single);
+        let m = 12;
+        let ov = overlapped_execution(&g, &spec, &bundles, m);
+        assert!(
+            validate_structure_with(&ov.graph, &spec, &ov.schedule, false).is_empty(),
+            "{name}"
+        );
+        assert!(
+            ov.throughput > serial_thr,
+            "{name}: overlap {:.4} vs serial {serial_thr:.4}",
+            ov.throughput
+        );
+    }
+}
+
+#[test]
+fn overlap_reconfigurations_bounded_by_bundle_count() {
+    let spec = ArchSpec::eit();
+    for name in ["qrd", "arf"] {
+        let g = merged(name);
+        let bundles = manual_style_bundles(&g, &spec);
+        let ov = overlapped_execution(&g, &spec, &bundles, 12);
+        // The whole point of the technique: reconfigurations don't scale
+        // with the iteration count.
+        assert!(
+            ov.reconfig_switches < bundles.len(),
+            "{name}: {} switches vs {} bundles",
+            ov.reconfig_switches,
+            bundles.len()
+        );
+    }
+}
+
+#[test]
+fn overlap_throughput_grows_with_m_then_saturates() {
+    let spec = ArchSpec::eit();
+    let g = merged("qrd");
+    let bundles = manual_style_bundles(&g, &spec);
+    let t4 = overlapped_execution(&g, &spec, &bundles, 4).throughput;
+    let t12 = overlapped_execution(&g, &spec, &bundles, 12).throughput;
+    let t24 = overlapped_execution(&g, &spec, &bundles, 24).throughput;
+    assert!(t12 > t4);
+    // Past full latency masking, throughput changes little.
+    assert!((t24 - t12).abs() / t12 < 0.25, "t12={t12} t24={t24}");
+}
+
+#[test]
+fn modulo_excl_reaches_lower_bound_or_better_than_serial() {
+    let spec = ArchSpec::eit();
+    for name in ["qrd", "arf", "matmul"] {
+        let g = merged(name);
+        let lb = ii_lower_bound(&g, &spec);
+        let r = modulo_schedule(&g, &spec, &modulo_opts(false)).unwrap();
+        assert!(r.ii_issue >= lb, "{name}");
+        assert!(validate_modulo(&g, &spec, &r, 4).is_empty(), "{name}");
+        let serial = schedule(&g, &spec, &sched_opts()).makespan.unwrap();
+        assert!(r.actual_ii <= serial, "{name}: II {} vs serial {serial}", r.actual_ii);
+    }
+}
+
+#[test]
+fn modulo_incl_beats_excl_when_reconfigs_matter() {
+    // The paper's central Table 3 claim.
+    let spec = ArchSpec::eit();
+    for name in ["qrd", "arf"] {
+        let g = merged(name);
+        let excl = modulo_schedule(&g, &spec, &modulo_opts(false)).unwrap();
+        let incl = modulo_schedule(&g, &spec, &modulo_opts(true)).unwrap();
+        assert!(
+            incl.actual_ii < excl.actual_ii,
+            "{name}: incl {} !< excl {}",
+            incl.actual_ii,
+            excl.actual_ii
+        );
+        assert!(incl.switches <= excl.switches, "{name}");
+        assert!(validate_modulo(&g, &spec, &incl, 4).is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn matmul_needs_no_steady_state_reconfiguration() {
+    let spec = ArchSpec::eit();
+    let g = merged("matmul");
+    let excl = modulo_schedule(&g, &spec, &modulo_opts(false)).unwrap();
+    let incl = modulo_schedule(&g, &spec, &modulo_opts(true)).unwrap();
+    assert_eq!(excl.switches, 0);
+    assert_eq!(excl.actual_ii, incl.actual_ii);
+    assert_eq!(excl.actual_ii, 4); // resource bound: 16 dotp / 4 lanes
+    assert!((excl.throughput - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn modulo_unrolled_iterations_respect_all_units() {
+    // Deep unroll: 10 iterations at the issue II, validated structurally.
+    let spec = ArchSpec::eit();
+    let g = merged("arf");
+    let r = modulo_schedule(&g, &spec, &modulo_opts(true)).unwrap();
+    let v = validate_modulo(&g, &spec, &r, 10);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn reconfig_cost_scales_post_hoc_stalls() {
+    let g = merged("arf");
+    let mut cheap = ArchSpec::eit();
+    cheap.reconfig_cost = 0;
+    let mut pricey = ArchSpec::eit();
+    pricey.reconfig_cost = 3;
+    let r0 = modulo_schedule(&g, &cheap, &modulo_opts(false)).unwrap();
+    let r3 = modulo_schedule(&g, &pricey, &modulo_opts(false)).unwrap();
+    assert_eq!(r0.actual_ii, r0.ii_issue); // free reconfigs
+    assert_eq!(r3.actual_ii, r3.ii_issue + 3 * r3.switches as i32);
+}
+
+#[test]
+fn modulo_qrd_steady_state_fits_memory() {
+    // Extension beyond the paper: its modulo experiments *assume* enough
+    // memory; here the steady state (4 in-flight QRD iterations at the
+    // issue II) is actually allocated and validated with the full memory
+    // model — banks, pages, lines, lifetimes.
+    use eit::core::allocate_modulo_memory;
+    let spec = ArchSpec::eit();
+    let g = merged("qrd");
+    let r = modulo_schedule(&g, &spec, &modulo_opts(false)).unwrap();
+    let (big, sched) =
+        allocate_modulo_memory(&g, &spec, &r, 4).expect("QRD steady state fits 64 slots");
+    let v = eit::arch::validate_structure(&big, &spec, &sched);
+    assert!(v.is_empty(), "{v:?}");
+    // Report-worthy number: how many slots the steady state needs.
+    assert!(sched.slots_used(&big) <= 64);
+}
