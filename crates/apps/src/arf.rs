@@ -24,7 +24,9 @@ pub fn build() -> Kernel {
     // Deterministic input generator (no RNG dependency needed here).
     let mut seed = 0x2545F491u64;
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
     };
     let mut vin = |name: &str| -> Vector {
@@ -42,9 +44,7 @@ pub fn build() -> Kernel {
     // Stage 2: 4 additions.
     let a1: Vec<Vector> = (0..4).map(|i| m1[2 * i].v_add(&m1[2 * i + 1])).collect();
     // Stage 3: 8 multiplications (each partial sum feeds two lattice taps).
-    let m2: Vec<Vector> = (0..8)
-        .map(|i| a1[i / 2].v_mul(&c[8 + i]))
-        .collect();
+    let m2: Vec<Vector> = (0..8).map(|i| a1[i / 2].v_mul(&c[8 + i])).collect();
     // Stage 4: 4 additions across the lattice.
     let a2 = [
         m2[0].v_add(&m2[2]),
@@ -85,7 +85,10 @@ mod tests {
             .filter(|&i| {
                 matches!(
                     k.graph.opcode(i),
-                    Some(eit_ir::Opcode::Vector { core: eit_ir::CoreOp::Mul, .. })
+                    Some(eit_ir::Opcode::Vector {
+                        core: eit_ir::CoreOp::Mul,
+                        ..
+                    })
                 )
             })
             .count();
@@ -95,7 +98,10 @@ mod tests {
             .filter(|&i| {
                 matches!(
                     k.graph.opcode(i),
-                    Some(eit_ir::Opcode::Vector { core: eit_ir::CoreOp::Add, .. })
+                    Some(eit_ir::Opcode::Vector {
+                        core: eit_ir::CoreOp::Add,
+                        ..
+                    })
                 )
             })
             .count();
@@ -144,7 +150,9 @@ mod tests {
         let a3 = [a2[0] + a2[2], a2[1] + a2[3]];
         let out2 = (a3[0] + a3[1]) + a3[1];
         let sink = k.graph.outputs()[0];
-        let Value::V(v) = k.expected[&sink] else { panic!() };
+        let Value::V(v) = k.expected[&sink] else {
+            panic!()
+        };
         assert!(v[0].approx_eq(out2, 1e-9));
     }
 }

@@ -20,7 +20,9 @@ pub fn build() -> Kernel {
 
     let mut seed = 0xC0FFEEu64;
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
     };
     let mut block = |name: &str| -> Matrix {
@@ -35,14 +37,8 @@ pub fn build() -> Kernel {
     };
 
     // A and B as 2×2 grids of 4×4 blocks.
-    let a: [[Matrix; 2]; 2] = [
-        [block("a11"), block("a12")],
-        [block("a21"), block("a22")],
-    ];
-    let b: [[Matrix; 2]; 2] = [
-        [block("b11"), block("b12")],
-        [block("b21"), block("b22")],
-    ];
+    let a: [[Matrix; 2]; 2] = [[block("a11"), block("a12")], [block("a21"), block("a22")]];
+    let b: [[Matrix; 2]; 2] = [[block("b11"), block("b12")], [block("b21"), block("b22")]];
 
     let mut expected = HashMap::new();
     for i in 0..2 {
@@ -118,7 +114,9 @@ mod tests {
         for (idx, &o) in outs.iter().enumerate() {
             let (blk, r) = (idx / 4, idx % 4);
             let (bi, bj) = (blk / 2, blk % 2);
-            let Value::V(got) = k.expected[&o] else { panic!() };
+            let Value::V(got) = k.expected[&o] else {
+                panic!()
+            };
             for c in 0..4 {
                 assert!(
                     got[c].approx_eq(c8[bi * 4 + r][bj * 4 + c], 1e-9),

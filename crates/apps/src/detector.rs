@@ -47,7 +47,11 @@ pub fn build_with(h_cols: [[Cplx; 4]; 4], sigma: f64, y: [Cplx; 4]) -> Kernel {
                 [h_cols[j][0], h_cols[j][1], h_cols[j][2], h_cols[j][3]],
             );
             let bot_vals: [Cplx; 4] = std::array::from_fn(|i| {
-                if i == j { Cplx::real(sigma) } else { Cplx::ZERO }
+                if i == j {
+                    Cplx::real(sigma)
+                } else {
+                    Cplx::ZERO
+                }
             });
             let bot = ctx.vector_named(&format!("sig{j}"), bot_vals);
             inputs.insert(top.node(), Value::V(top.value()));
@@ -68,10 +72,7 @@ pub fn build_with(h_cols: [[Cplx; 4]; 4], sigma: f64, y: [Cplx; 4]) -> Kernel {
         let q_top = cols[k].top.v_scale(&inv);
         let q_bot = cols[k].bot.v_scale(&inv);
         for j in (k + 1)..4 {
-            let r_kj = cols[j]
-                .top
-                .v_dotp(&q_top)
-                .add(&cols[j].bot.v_dotp(&q_bot));
+            let r_kj = cols[j].top.v_dotp(&q_top).add(&cols[j].bot.v_dotp(&q_bot));
             let p_top = q_top.v_scale(&r_kj);
             let p_bot = q_bot.v_scale(&r_kj);
             cols[j] = Col {
@@ -126,12 +127,7 @@ mod tests {
         for col in 0..4 {
             // Partial pivot.
             let piv = (col..4)
-                .max_by(|&i, &j| {
-                    a[i][col]
-                        .abs2()
-                        .partial_cmp(&a[j][col].abs2())
-                        .unwrap()
-                })
+                .max_by(|&i, &j| a[i][col].abs2().partial_cmp(&a[j][col].abs2()).unwrap())
                 .unwrap();
             a.swap(col, piv);
             b.swap(col, piv);
@@ -188,7 +184,9 @@ mod tests {
             .iter()
             .find(|&&n| kernel.expected.contains_key(&n))
             .unwrap();
-        let Value::V(x_got) = kernel.expected[sym] else { panic!() };
+        let Value::V(x_got) = kernel.expected[sym] else {
+            panic!()
+        };
         for k in 0..4 {
             assert!(
                 x_got[k].approx_eq(x_ref[k], 1e-9),

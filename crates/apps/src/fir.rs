@@ -22,7 +22,9 @@ pub fn build() -> Kernel {
 
     let mut seed = 0x9E3779B9u64;
     let mut next = || {
-        seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        seed = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
     };
     let mut vin = |name: &str| -> Vector {
@@ -64,10 +66,7 @@ mod tests {
         assert_eq!(k.graph.inputs().len(), 2 * TAPS);
         // Serial chain: critical path = TAPS pipeline trips.
         let lm = eit_ir::LatencyModel::default();
-        assert_eq!(
-            k.graph.critical_path(&lm.of(&k.graph)) as usize,
-            TAPS * 7
-        );
+        assert_eq!(k.graph.critical_path(&lm.of(&k.graph)) as usize, TAPS * 7);
     }
 
     #[test]
@@ -81,7 +80,9 @@ mod tests {
             }
         };
         let out = k.graph.outputs()[0];
-        let Value::V(got) = k.expected[&out] else { panic!() };
+        let Value::V(got) = k.expected[&out] else {
+            panic!()
+        };
         for l in 0..4 {
             let mut acc = Cplx::ZERO;
             for i in 0..TAPS {

@@ -75,13 +75,13 @@ mod tests {
             [3.0, 4.0, 5.0, 6.0],
             [4.0, 5.0, 6.0, 7.0],
         ];
-        let dot = |x: &[f64; 4], y: &[f64; 4]| -> f64 {
-            x.iter().zip(y).map(|(a, b)| a * b).sum()
-        };
+        let dot = |x: &[f64; 4], y: &[f64; 4]| -> f64 { x.iter().zip(y).map(|(a, b)| a * b).sum() };
         let outs = k.graph.outputs();
         assert_eq!(outs.len(), 4);
         for (i, &o) in outs.iter().enumerate() {
-            let Value::V(v) = k.expected[&o] else { panic!() };
+            let Value::V(v) = k.expected[&o] else {
+                panic!()
+            };
             for j in 0..4 {
                 assert!(v[j].approx_eq(Cplx::real(dot(&rows[i], &rows[j])), 1e-9));
             }

@@ -59,7 +59,11 @@ pub fn build_with(h_cols: [[Cplx; 4]; 4], sigma: f64) -> Kernel {
                 [h_cols[j][0], h_cols[j][1], h_cols[j][2], h_cols[j][3]],
             );
             let bot_vals: [Cplx; 4] = std::array::from_fn(|i| {
-                if i == j { Cplx::real(sigma) } else { Cplx::ZERO }
+                if i == j {
+                    Cplx::real(sigma)
+                } else {
+                    Cplx::ZERO
+                }
             });
             let bot = ctx.vector_named(&format!("sig{j}"), bot_vals);
             inputs.insert(top.node(), Value::V(top.value()));
@@ -182,9 +186,8 @@ mod tests {
         let mut cols: Vec<(eit_dsl::Vector, eit_dsl::Vector)> = (0..4)
             .map(|j| {
                 let top = ctx.vector([h[j][0], h[j][1], h[j][2], h[j][3]]);
-                let bot_vals: [Cplx; 4] = std::array::from_fn(|i| {
-                    if i == j { Cplx::real(0.5) } else { Cplx::ZERO }
-                });
+                let bot_vals: [Cplx; 4] =
+                    std::array::from_fn(|i| if i == j { Cplx::real(0.5) } else { Cplx::ZERO });
                 (top, ctx.vector(bot_vals))
             })
             .collect();
@@ -206,10 +209,7 @@ mod tests {
             }
             for j in (k + 1)..4 {
                 let r_kj = cols[j].0.v_dotp(&q_top).add(&cols[j].1.v_dotp(&q_bot));
-                assert!(
-                    r_kj.value().approx_eq(r_ref[k][j], 1e-9),
-                    "r[{k}][{j}]"
-                );
+                assert!(r_kj.value().approx_eq(r_ref[k][j], 1e-9), "r[{k}][{j}]");
                 let p_top = q_top.v_scale(&r_kj);
                 let p_bot = q_bot.v_scale(&r_kj);
                 cols[j] = (cols[j].0.v_sub(&p_top), cols[j].1.v_sub(&p_bot));

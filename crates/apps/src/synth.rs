@@ -113,14 +113,25 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = build(SynthParams::default());
-        let b = build(SynthParams { seed: 7, ..Default::default() });
+        let b = build(SynthParams {
+            seed: 7,
+            ..Default::default()
+        });
         assert_ne!(eit_ir::to_xml(&a.graph), eit_ir::to_xml(&b.graph));
     }
 
     #[test]
     fn scales_with_parameters() {
-        let small = build(SynthParams { layers: 2, width: 3, ..Default::default() });
-        let large = build(SynthParams { layers: 6, width: 10, ..Default::default() });
+        let small = build(SynthParams {
+            layers: 2,
+            width: 3,
+            ..Default::default()
+        });
+        let large = build(SynthParams {
+            layers: 6,
+            width: 10,
+            ..Default::default()
+        });
         assert!(large.graph.len() > 2 * small.graph.len());
         small.graph.validate().unwrap();
         large.graph.validate().unwrap();

@@ -164,10 +164,18 @@ impl fmt::Display for ConfigStream {
                 write!(f, "IM[1] ")?;
             }
             if !c.reads.is_empty() {
-                write!(f, "R{:?} ", c.reads.iter().map(|&(_, s)| s).collect::<Vec<_>>())?;
+                write!(
+                    f,
+                    "R{:?} ",
+                    c.reads.iter().map(|&(_, s)| s).collect::<Vec<_>>()
+                )?;
             }
             if !c.writes.is_empty() {
-                write!(f, "W{:?}", c.writes.iter().map(|&(_, s)| s).collect::<Vec<_>>())?;
+                write!(
+                    f,
+                    "W{:?}",
+                    c.writes.iter().map(|&(_, s)| s).collect::<Vec<_>>()
+                )?;
             }
             writeln!(f)?;
         }
@@ -186,9 +194,12 @@ mod tests {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (o1, _) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
-        let (o2, _) = g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "y");
-        let (o3, _) = g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "z");
+        let (o1, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let (o2, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "y");
+        let (o3, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "z");
         let mut s = Schedule::new(g.len());
         s.start[o1.idx()] = 0;
         s.start[o2.idx()] = 1;
@@ -206,8 +217,10 @@ mod tests {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (o1, _) = g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[a, b], DataKind::Scalar, "x");
-        let (o2, _) = g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[b, a], DataKind::Scalar, "y");
+        let (o1, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[a, b], DataKind::Scalar, "x");
+        let (o2, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[b, a], DataKind::Scalar, "y");
         let mut s = Schedule::new(g.len());
         s.start[o1.idx()] = 0;
         s.start[o2.idx()] = 1;
@@ -224,7 +237,8 @@ mod tests {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (o, out) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let (o, out) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
         let mut s = Schedule::new(g.len());
         s.start[o.idx()] = 2;
         s.start[out.idx()] = 9;
@@ -240,7 +254,9 @@ mod tests {
     #[test]
     fn utilization_counts_matrix_as_four_lanes() {
         let mut g = Graph::new("t");
-        let ins: Vec<NodeId> = (0..4).map(|i| g.add_data(DataKind::Vector, &format!("i{i}"))).collect();
+        let ins: Vec<NodeId> = (0..4)
+            .map(|i| g.add_data(DataKind::Vector, &format!("i{i}")))
+            .collect();
         let m = g.add_op(Opcode::matrix(CoreOp::SquSum), "m");
         for &i in &ins {
             g.add_edge(i, m);

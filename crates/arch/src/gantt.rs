@@ -42,7 +42,11 @@ pub fn render_gantt(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
     for (t, c) in cs.cycles.iter().enumerate() {
         if let Some(cfg) = c.vector_config {
             let ch = if cfg.matrix { '#' } else { letter_of(cfg) };
-            let count = if cfg.matrix { lanes } else { c.vector_ops.len().min(lanes) };
+            let count = if cfg.matrix {
+                lanes
+            } else {
+                c.vector_ops.len().min(lanes)
+            };
             for row in lane_rows.iter_mut().take(count) {
                 row[t] = ch;
             }

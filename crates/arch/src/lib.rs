@@ -31,9 +31,14 @@ pub mod vcd;
 
 pub use code::{ConfigStream, Cycle};
 pub use gantt::render_gantt;
+pub use memory::{
+    check_access, matrix_accessible_in_one_cycle, AccessViolation, Geometry, VectorMemory,
+};
 pub use persist::{schedule_from_text, schedule_to_text, PersistError};
-pub use memory::{check_access, matrix_accessible_in_one_cycle, AccessViolation, Geometry, VectorMemory};
 pub use schedule::Schedule;
-pub use sim::{simulate, validate_structure, validate_structure_with, SimReport, UnitUtilization, Violation};
+pub use sim::{
+    simulate, validate_structure, validate_structure_with, SimCounters, SimReport, UnitUtilization,
+    Violation,
+};
 pub use spec::ArchSpec;
 pub use vcd::to_vcd;

@@ -85,12 +85,7 @@ impl fmt::Display for AccessViolation {
     }
 }
 
-fn check_direction(
-    geo: &Geometry,
-    slots: &[u32],
-    write: bool,
-    out: &mut Vec<AccessViolation>,
-) {
+fn check_direction(geo: &Geometry, slots: &[u32], write: bool, out: &mut Vec<AccessViolation>) {
     // Rule 1: one access per bank per direction.
     let mut by_bank: Vec<Vec<u32>> = vec![Vec::new(); geo.n_banks as usize];
     for &s in slots {
@@ -99,9 +94,15 @@ fn check_direction(
     for (bank, ss) in by_bank.iter().enumerate() {
         if ss.len() > 1 {
             out.push(if write {
-                AccessViolation::BankWriteConflict { bank: bank as u32, slots: ss.clone() }
+                AccessViolation::BankWriteConflict {
+                    bank: bank as u32,
+                    slots: ss.clone(),
+                }
             } else {
-                AccessViolation::BankReadConflict { bank: bank as u32, slots: ss.clone() }
+                AccessViolation::BankReadConflict {
+                    bank: bank as u32,
+                    slots: ss.clone(),
+                }
             });
         }
     }
@@ -115,17 +116,16 @@ fn check_direction(
         lines.sort_unstable();
         lines.dedup();
         if lines.len() > 1 {
-            out.push(AccessViolation::PageLineConflict { page: page as u32, lines });
+            out.push(AccessViolation::PageLineConflict {
+                page: page as u32,
+                lines,
+            });
         }
     }
 }
 
 /// Check one cycle's worth of simultaneous accesses.
-pub fn check_access(
-    spec: &ArchSpec,
-    reads: &[u32],
-    writes: &[u32],
-) -> Vec<AccessViolation> {
+pub fn check_access(spec: &ArchSpec, reads: &[u32], writes: &[u32]) -> Vec<AccessViolation> {
     let geo = Geometry::of(spec);
     let mut out = Vec::new();
     if reads.len() > spec.max_vector_reads as usize {
@@ -233,9 +233,9 @@ mod tests {
         let slots = [8, 9, 12, 29];
         assert!(!matrix_accessible_in_one_cycle(&s, &slots));
         let v = check_access(&s, &slots, &[]);
-        assert!(v.iter().any(
-            |x| matches!(x, AccessViolation::PageLineConflict { page: 3, .. })
-        ));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AccessViolation::PageLineConflict { page: 3, .. })));
     }
 
     /// fig. 8 matrix C: distinct banks, one line per page → accessible.
@@ -254,7 +254,9 @@ mod tests {
         // 9 reads from 9 distinct banks, same line: over the 8-read budget.
         let reads: Vec<u32> = (0..9).collect();
         let v = check_access(&s, &reads, &[]);
-        assert!(v.iter().any(|x| matches!(x, AccessViolation::TooManyReads { count: 9, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AccessViolation::TooManyReads { count: 9, .. })));
     }
 
     #[test]
@@ -262,7 +264,9 @@ mod tests {
         let s = ArchSpec::eit();
         let writes: Vec<u32> = (0..5).collect();
         let v = check_access(&s, &[], &writes);
-        assert!(v.iter().any(|x| matches!(x, AccessViolation::TooManyWrites { count: 5, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AccessViolation::TooManyWrites { count: 5, .. })));
     }
 
     #[test]

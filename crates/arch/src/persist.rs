@@ -90,9 +90,7 @@ pub fn schedule_from_text(src: &str) -> Result<Schedule, PersistError> {
         }
         for tok in parts {
             if let Some(v) = tok.strip_prefix("start=") {
-                sched.start[idx] = v
-                    .parse()
-                    .map_err(|_| PersistError::BadLine(line.into()))?;
+                sched.start[idx] = v.parse().map_err(|_| PersistError::BadLine(line.into()))?;
             } else if let Some(v) = tok.strip_prefix("slot=") {
                 sched.slot[idx] = if v == "-" {
                     None
@@ -106,7 +104,10 @@ pub fn schedule_from_text(src: &str) -> Result<Schedule, PersistError> {
         count += 1;
     }
     if count != nodes {
-        return Err(PersistError::WrongCount { expected: nodes, got: count });
+        return Err(PersistError::WrongCount {
+            expected: nodes,
+            got: count,
+        });
     }
     Ok(sched)
 }
@@ -157,7 +158,10 @@ mod tests {
         let txt = "schedule v1 makespan=5 nodes=2\n0 start=1 slot=-\n";
         assert!(matches!(
             schedule_from_text(txt),
-            Err(PersistError::WrongCount { expected: 2, got: 1 })
+            Err(PersistError::WrongCount {
+                expected: 2,
+                got: 1
+            })
         ));
         let txt = "schedule v1 makespan=5 nodes=1\n7 start=1 slot=-\n";
         assert!(matches!(

@@ -84,8 +84,10 @@ mod tests {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (o1, _) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
-        let (o2, _) = g.add_op_with_output(Opcode::vector(CoreOp::Sub), &[a, b], DataKind::Vector, "y");
+        let (o1, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let (o2, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Sub), &[a, b], DataKind::Vector, "y");
         let mut s = Schedule::new(g.len());
         s.start[o1.idx()] = 3;
         s.start[o2.idx()] = 9;
@@ -96,7 +98,8 @@ mod tests {
     fn output_lifetime_is_one_cycle() {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
-        let (_, out) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, a], DataKind::Vector, "x");
+        let (_, out) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, a], DataKind::Vector, "x");
         let mut s = Schedule::new(g.len());
         s.start[out.idx()] = 7;
         assert_eq!(s.lifetime(&g, out), (7, 8));

@@ -23,31 +23,73 @@
 //! vector-core accesses count against the memory ports; graph inputs are
 //! pre-loaded before cycle 0.
 
-use crate::memory::{check_access, VectorMemory};
+use crate::code::ConfigStream;
+use crate::memory::{check_access, Geometry, VectorMemory};
 use crate::schedule::Schedule;
 use crate::spec::ArchSpec;
 use eit_ir::sem::{apply, Value};
-use eit_ir::{Category, Graph, NodeId};
+use eit_ir::{Category, Graph, NodeId, VectorConfig};
 use std::collections::HashMap;
 use std::fmt;
 
 /// One broken rule found during validation/replay.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Violation {
-    NegativeStart { node: NodeId },
-    Precedence { from: NodeId, to: NodeId },
-    DataStart { op: NodeId, data: NodeId },
-    LaneOverflow { cycle: i32, used: u32 },
-    ConfigConflict { cycle: i32 },
-    AcceleratorOverlap { a: NodeId, b: NodeId },
-    IndexMergeOverlap { a: NodeId, b: NodeId },
-    Memory { cycle: i32, detail: crate::memory::AccessViolation },
-    MissingSlot { data: NodeId },
-    SlotOutOfRange { data: NodeId, slot: u32 },
-    SlotLifetimeOverlap { a: NodeId, b: NodeId, slot: u32 },
-    StaleRead { reader: NodeId, data: NodeId, slot: u32, found: Option<NodeId> },
-    MissingInput { data: NodeId },
-    Semantic { op: NodeId, error: String },
+    NegativeStart {
+        node: NodeId,
+    },
+    Precedence {
+        from: NodeId,
+        to: NodeId,
+    },
+    DataStart {
+        op: NodeId,
+        data: NodeId,
+    },
+    LaneOverflow {
+        cycle: i32,
+        used: u32,
+    },
+    ConfigConflict {
+        cycle: i32,
+    },
+    AcceleratorOverlap {
+        a: NodeId,
+        b: NodeId,
+    },
+    IndexMergeOverlap {
+        a: NodeId,
+        b: NodeId,
+    },
+    Memory {
+        cycle: i32,
+        detail: crate::memory::AccessViolation,
+    },
+    MissingSlot {
+        data: NodeId,
+    },
+    SlotOutOfRange {
+        data: NodeId,
+        slot: u32,
+    },
+    SlotLifetimeOverlap {
+        a: NodeId,
+        b: NodeId,
+        slot: u32,
+    },
+    StaleRead {
+        reader: NodeId,
+        data: NodeId,
+        slot: u32,
+        found: Option<NodeId>,
+    },
+    MissingInput {
+        data: NodeId,
+    },
+    Semantic {
+        op: NodeId,
+        error: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -67,6 +109,87 @@ pub struct UnitUtilization {
     pub index_merge: f64,
 }
 
+/// Activity counters beyond the headline utilization numbers, computed
+/// from the configuration stream: occupancy histograms, per-bank traffic,
+/// port-pressure peaks and the reconfiguration timeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimCounters {
+    /// `lane_histogram[k]` = cycles issuing exactly `k` lane-worths of
+    /// vector work (a matrix op counts as 4); index runs `0..=n_lanes`.
+    pub lane_histogram: Vec<u64>,
+    /// Physical (broadcast-deduplicated) reads served per bank over the
+    /// whole run.
+    pub bank_reads: Vec<u64>,
+    /// Writes landed per bank over the whole run.
+    pub bank_writes: Vec<u64>,
+    /// Highest simultaneous read count, and the first cycle it occurs.
+    pub peak_reads: u32,
+    pub peak_reads_cycle: i32,
+    /// Highest simultaneous write count, and the first cycle it occurs.
+    pub peak_writes: u32,
+    pub peak_writes_cycle: i32,
+    /// Every configuration load `(cycle, config)`, the initial one
+    /// included — the timeline behind [`SimReport::config_loads`].
+    pub reconfig_timeline: Vec<(i32, VectorConfig)>,
+}
+
+impl SimCounters {
+    /// Tally the stream. Reads are broadcast-deduplicated per cycle to
+    /// match the port rules ([`check_access`] sees the same sets).
+    pub fn from_stream(cs: &ConfigStream, g: &Graph, spec: &ArchSpec) -> Self {
+        let geo = Geometry::of(spec);
+        let mut c = SimCounters {
+            lane_histogram: vec![0; spec.n_lanes as usize + 1],
+            bank_reads: vec![0; spec.n_banks as usize],
+            bank_writes: vec![0; spec.n_banks as usize],
+            ..Default::default()
+        };
+        let mut prev_cfg: Option<VectorConfig> = None;
+        for (t, cyc) in cs.cycles.iter().enumerate() {
+            let t = t as i32;
+            let lanes: u32 = cyc
+                .vector_ops
+                .iter()
+                .map(|&op| {
+                    if g.category(op) == Category::MatrixOp {
+                        4
+                    } else {
+                        1
+                    }
+                })
+                .sum();
+            let k = (lanes as usize).min(c.lane_histogram.len() - 1);
+            c.lane_histogram[k] += 1;
+
+            let mut slots: Vec<u32> = cyc.reads.iter().map(|&(_, s)| s).collect();
+            slots.sort_unstable();
+            slots.dedup();
+            for &s in &slots {
+                c.bank_reads[geo.bank(s) as usize] += 1;
+            }
+            if slots.len() as u32 > c.peak_reads {
+                c.peak_reads = slots.len() as u32;
+                c.peak_reads_cycle = t;
+            }
+            for &(_, s) in &cyc.writes {
+                c.bank_writes[geo.bank(s) as usize] += 1;
+            }
+            if cyc.writes.len() as u32 > c.peak_writes {
+                c.peak_writes = cyc.writes.len() as u32;
+                c.peak_writes_cycle = t;
+            }
+
+            if let Some(cfg) = cyc.vector_config {
+                if prev_cfg != Some(cfg) {
+                    c.reconfig_timeline.push((t, cfg));
+                }
+                prev_cfg = Some(cfg);
+            }
+        }
+        c
+    }
+}
+
 /// Outcome of [`simulate`].
 #[derive(Debug)]
 pub struct SimReport {
@@ -80,6 +203,7 @@ pub struct SimReport {
     pub units: UnitUtilization,
     pub reconfig_switches: usize,
     pub config_loads: usize,
+    pub counters: SimCounters,
 }
 
 impl SimReport {
@@ -144,7 +268,13 @@ pub fn validate_structure_with(
     for (&cycle, ops) in &by_cycle {
         let used: u32 = ops
             .iter()
-            .map(|&o| if g.category(o) == Category::MatrixOp { 4 } else { 1 })
+            .map(|&o| {
+                if g.category(o) == Category::MatrixOp {
+                    4
+                } else {
+                    1
+                }
+            })
             .sum();
         if used > spec.n_lanes {
             out.push(Violation::LaneOverflow { cycle, used });
@@ -193,9 +323,7 @@ pub fn validate_structure_with(
         if g.category(n) == Category::VectorData {
             match sched.slot_of(n) {
                 None => out.push(Violation::MissingSlot { data: n }),
-                Some(s) if s >= n_slots => {
-                    out.push(Violation::SlotOutOfRange { data: n, slot: s })
-                }
+                Some(s) if s >= n_slots => out.push(Violation::SlotOutOfRange { data: n, slot: s }),
                 _ => {}
             }
         }
@@ -255,7 +383,10 @@ pub fn validate_structure_with(
         r.dedup();
         let w = writes_at.get(&t).unwrap_or(&empty);
         for v in check_access(spec, &r, w) {
-            out.push(Violation::Memory { cycle: t, detail: v });
+            out.push(Violation::Memory {
+                cycle: t,
+                detail: v,
+            });
         }
     }
 
@@ -319,14 +450,23 @@ pub fn simulate(
     let mut mem = VectorMemory::new(spec.n_slots());
     #[derive(Clone, Copy)]
     enum Ev {
-        Read { reader: NodeId, data: NodeId, slot: u32 },
-        Write { data: NodeId, slot: u32 },
+        Read {
+            reader: NodeId,
+            data: NodeId,
+            slot: u32,
+        },
+        Write {
+            data: NodeId,
+            slot: u32,
+        },
     }
     let mut events: Vec<(i32, u8, Ev)> = Vec::new(); // (cycle, order: read=0, write=1)
     for n in g.ids() {
         match g.category(n) {
             Category::VectorData => {
-                let Some(slot) = sched.slot_of(n) else { continue };
+                let Some(slot) = sched.slot_of(n) else {
+                    continue;
+                };
                 if slot >= spec.n_slots() {
                     continue;
                 }
@@ -348,7 +488,11 @@ pub fn simulate(
                                 events.push((
                                     sched.start_of(n),
                                     0,
-                                    Ev::Read { reader: n, data: d, slot },
+                                    Ev::Read {
+                                        reader: n,
+                                        data: d,
+                                        slot,
+                                    },
                                 ));
                             }
                         }
@@ -382,11 +526,15 @@ pub fn simulate(
             .collect();
         for &(_, _, ev) in this_cycle {
             if let Ev::Read { reader, data, slot } = ev {
-                let ok = mem.read(slot, data).is_ok()
-                    || forwarded.contains(&(slot, data));
+                let ok = mem.read(slot, data).is_ok() || forwarded.contains(&(slot, data));
                 if !ok {
                     let found = mem.read(slot, data).err().flatten();
-                    violations.push(Violation::StaleRead { reader, data, slot, found });
+                    violations.push(Violation::StaleRead {
+                        reader,
+                        data,
+                        slot,
+                        found,
+                    });
                 }
             }
         }
@@ -403,7 +551,8 @@ pub fn simulate(
     }
 
     // Metrics.
-    let cs = crate::code::ConfigStream::from_schedule(g, spec, sched);
+    let cs = ConfigStream::from_schedule(g, spec, sched);
+    let counters = SimCounters::from_stream(&cs, g, spec);
     let lane_cycles = cs.lane_cycles_used(g);
     let total = (sched.makespan + 1).max(1) as f64;
     let mut accel_busy = 0i64;
@@ -411,9 +560,7 @@ pub fn simulate(
     for n in g.ids() {
         match g.category(n) {
             Category::ScalarOp => accel_busy += lat.duration(&g.node(n).kind) as i64,
-            Category::Index | Category::Merge => {
-                im_busy += lat.duration(&g.node(n).kind) as i64
-            }
+            Category::Index | Category::Merge => im_busy += lat.duration(&g.node(n).kind) as i64,
             _ => {}
         }
     }
@@ -430,6 +577,7 @@ pub fn simulate(
         makespan: sched.makespan,
         violations,
         values,
+        counters,
     }
 }
 
@@ -443,8 +591,12 @@ mod tests {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (o, out) =
-            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "add");
+        let (o, out) = g.add_op_with_output(
+            Opcode::vector(CoreOp::Add),
+            &[a, b],
+            DataKind::Vector,
+            "add",
+        );
         let mut s = Schedule::new(g.len());
         s.start[o.idx()] = 0;
         s.start[out.idx()] = 7;
@@ -468,15 +620,34 @@ mod tests {
     }
 
     #[test]
+    fn counters_track_banks_peaks_and_reconfigs() {
+        let (g, s, inputs) = tiny();
+        let rep = simulate(&g, &ArchSpec::eit(), &s, &inputs);
+        let c = &rep.counters;
+        // One issuing cycle with 1 lane busy, the rest idle.
+        assert_eq!(c.lane_histogram[1], 1);
+        assert_eq!(c.lane_histogram[0], 7);
+        // Slots 0 and 1 (banks 0, 1) read at cc 0; slot 2 written at cc 7.
+        assert_eq!(c.bank_reads[0], 1);
+        assert_eq!(c.bank_reads[1], 1);
+        assert_eq!(c.bank_writes[2], 1);
+        assert_eq!((c.peak_reads, c.peak_reads_cycle), (2, 0));
+        assert_eq!((c.peak_writes, c.peak_writes_cycle), (1, 7));
+        // The timeline is exactly the config loads, here the initial one.
+        assert_eq!(c.reconfig_timeline.len(), rep.config_loads);
+        assert_eq!(c.reconfig_timeline[0].0, 0);
+    }
+
+    #[test]
     fn premature_consumer_flagged() {
         let (g, mut s, inputs) = tiny();
         let out = g.outputs()[0];
         s.start[out.idx()] = 5; // before the pipeline finishes
         let r = simulate(&g, &ArchSpec::eit(), &s, &inputs);
-        assert!(r
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::Precedence { .. } | Violation::DataStart { .. })));
+        assert!(r.violations.iter().any(|v| matches!(
+            v,
+            Violation::Precedence { .. } | Violation::DataStart { .. }
+        )));
     }
 
     #[test]
@@ -529,7 +700,9 @@ mod tests {
         s.slot[b.idx()] = Some(1);
         s.makespan = 7;
         let v = validate_structure(&g, &ArchSpec::eit(), &s);
-        assert!(v.iter().any(|x| matches!(x, Violation::LaneOverflow { used: 5, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::LaneOverflow { used: 5, .. })));
     }
 
     #[test]
@@ -537,8 +710,10 @@ mod tests {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (o1, d1) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
-        let (o2, d2) = g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "y");
+        let (o1, d1) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "x");
+        let (o2, d2) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[a, b], DataKind::Vector, "y");
         let mut s = Schedule::new(g.len());
         s.start[o1.idx()] = 0;
         s.start[o2.idx()] = 0;
@@ -550,7 +725,9 @@ mod tests {
         s.slot[d2.idx()] = Some(3);
         s.makespan = 7;
         let v = validate_structure(&g, &ArchSpec::eit(), &s);
-        assert!(v.iter().any(|x| matches!(x, Violation::ConfigConflict { cycle: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ConfigConflict { cycle: 0 })));
     }
 
     #[test]
@@ -577,7 +754,9 @@ mod tests {
         s.start[d2.idx()] = 9;
         s.makespan = 9;
         let v = validate_structure(&g, &spec, &s);
-        assert!(v.iter().any(|x| matches!(x, Violation::AcceleratorOverlap { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::AcceleratorOverlap { .. })));
     }
 
     #[test]
@@ -587,9 +766,12 @@ mod tests {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (o1, d1) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "p1");
-        let (o2, d2) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "p2");
-        let (o3, d3) = g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[d1, b], DataKind::Vector, "c");
+        let (o1, d1) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "p1");
+        let (o2, d2) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "p2");
+        let (o3, d3) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[d1, b], DataKind::Vector, "c");
         let mut s = Schedule::new(g.len());
         s.start[o1.idx()] = 0;
         s.start[d1.idx()] = 7;
@@ -607,7 +789,10 @@ mod tests {
         inputs.insert(a, Value::V([Cplx::real(1.0); 4]));
         inputs.insert(b, Value::V([Cplx::real(2.0); 4]));
         let r = simulate(&g, &ArchSpec::eit(), &s, &inputs);
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::StaleRead { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::StaleRead { .. })));
         assert!(r
             .violations
             .iter()
@@ -618,7 +803,10 @@ mod tests {
     fn missing_input_reported() {
         let (g, s, _) = tiny();
         let r = simulate(&g, &ArchSpec::eit(), &s, &HashMap::new());
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::MissingInput { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingInput { .. })));
     }
 }
 
@@ -657,7 +845,9 @@ mod more_tests {
         let rep = simulate(&g, &spec, &s, &inputs);
         assert!(rep.ok(), "{:?}", rep.violations);
         // row k has 4 elements of value k+1 → squsum = 4(k+1)².
-        let Value::V(v) = rep.values[&out] else { panic!() };
+        let Value::V(v) = rep.values[&out] else {
+            panic!()
+        };
         for (k, &vk) in v.iter().enumerate() {
             let expect = 4.0 * ((k + 1) * (k + 1)) as f64;
             assert!(vk.approx_eq(Cplx::real(expect), 1e-9));
@@ -676,7 +866,9 @@ mod more_tests {
         s.start[d.idx()] = 6;
         s.slot[a.idx()] = Some(0);
         let v = validate_structure(&g, &ArchSpec::eit(), &s);
-        assert!(v.iter().any(|x| matches!(x, Violation::NegativeStart { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::NegativeStart { .. })));
     }
 
     #[test]
@@ -698,7 +890,10 @@ mod more_tests {
         assert!(
             v.iter().any(|x| matches!(
                 x,
-                Violation::Memory { detail: crate::memory::AccessViolation::PageLineConflict { .. }, .. }
+                Violation::Memory {
+                    detail: crate::memory::AccessViolation::PageLineConflict { .. },
+                    ..
+                }
             )),
             "{v:?}"
         );

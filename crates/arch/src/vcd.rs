@@ -39,7 +39,11 @@ pub fn to_vcd(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
     let _ = writeln!(out, "$date eit-vector schedule dump $end");
     let _ = writeln!(out, "$version eit-arch vcd exporter $end");
     let _ = writeln!(out, "$timescale 1ns $end");
-    let _ = writeln!(out, "$scope module {} $end", if g.name.is_empty() { "kernel" } else { &g.name });
+    let _ = writeln!(
+        out,
+        "$scope module {} $end",
+        if g.name.is_empty() { "kernel" } else { &g.name }
+    );
 
     let mut ids = Vec::new();
     let mut next_id = 0usize;
@@ -107,7 +111,13 @@ pub fn to_vcd(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
         let active = c
             .vector_ops
             .iter()
-            .map(|&op| if g.category(op) == Category::MatrixOp { lanes } else { 1 })
+            .map(|&op| {
+                if g.category(op) == Category::MatrixOp {
+                    lanes
+                } else {
+                    1
+                }
+            })
             .sum::<usize>()
             .min(lanes);
         for l in lanes_now.iter_mut().take(active) {

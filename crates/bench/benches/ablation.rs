@@ -32,7 +32,10 @@ fn bench_merge_pass(c: &mut Criterion) {
             let r = schedule(
                 &g,
                 &ArchSpec::eit(),
-                &SchedulerOptions { timeout: Some(Duration::from_secs(30)), ..Default::default() },
+                &SchedulerOptions {
+                    timeout: Some(Duration::from_secs(30)),
+                    ..Default::default()
+                },
             );
             r.makespan.unwrap()
         })
@@ -44,7 +47,10 @@ fn bench_merge_pass(c: &mut Criterion) {
             let r = schedule(
                 &g,
                 &ArchSpec::eit(),
-                &SchedulerOptions { timeout: Some(Duration::from_secs(30)), ..Default::default() },
+                &SchedulerOptions {
+                    timeout: Some(Duration::from_secs(30)),
+                    ..Default::default()
+                },
             );
             r.makespan.unwrap()
         })
@@ -113,5 +119,10 @@ fn bench_phased_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_merge_pass, bench_restart_bnb, bench_phased_search);
+criterion_group!(
+    benches,
+    bench_merge_pass,
+    bench_restart_bnb,
+    bench_phased_search
+);
 criterion_main!(benches);

@@ -37,7 +37,11 @@ fn bench_propagation(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Model::new();
             let tasks: Vec<CumTask> = (0..100)
-                .map(|_| CumTask { start: m.new_var(0, 200), dur: 2, req: 1 })
+                .map(|_| CumTask {
+                    start: m.new_var(0, 200),
+                    dur: 2,
+                    req: 1,
+                })
                 .collect();
             m.cumulative(tasks, 4);
             assert!(eit_cp::search::propagate_root(&mut m));
@@ -52,7 +56,10 @@ fn bench_propagation(c: &mut Criterion) {
                     let x = m.new_var(0, 100);
                     let y = m.new_var(0, 15);
                     let l = m.new_var(1, 20);
-                    Rect { origin: [x, y], len: [l, one] }
+                    Rect {
+                        origin: [x, y],
+                        len: [l, one],
+                    }
                 })
                 .collect();
             m.diff2(rects);
@@ -65,7 +72,12 @@ fn bench_synthetic_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver/synthetic_schedule");
     group.sample_size(10);
     for (layers, width) in [(2usize, 4usize), (4, 6), (6, 8)] {
-        let k = build(SynthParams { layers, width, seed: 7, ..Default::default() });
+        let k = build(SynthParams {
+            layers,
+            width,
+            seed: 7,
+            ..Default::default()
+        });
         let mut g = k.graph.clone();
         eit_ir::merge_pipeline_ops(&mut g);
         let n = g.len();
@@ -90,25 +102,28 @@ fn bench_search_heuristics(c: &mut Criterion) {
     // N-ary all-different-style packing via cumulative, comparing value
     // selection strategies on the same model.
     for val in [ValSel::Min, ValSel::Split] {
-        c.bench_function(
-            &format!("solver/packing_valsel_{:?}", val),
-            |b| {
-                b.iter(|| {
-                    let mut m = Model::new();
-                    let vars: Vec<_> = (0..24).map(|_| m.new_var(0, 11)).collect();
-                    m.cumulative(
-                        vars.iter().map(|&v| CumTask { start: v, dur: 1, req: 1 }).collect(),
-                        2,
-                    );
-                    let cfg = SearchConfig {
-                        phases: vec![Phase::new(vars, VarSel::FirstFail, val)],
-                        ..Default::default()
-                    };
-                    let r = eit_cp::solve(&mut m, &cfg);
-                    assert!(r.is_sat());
-                })
-            },
-        );
+        c.bench_function(&format!("solver/packing_valsel_{:?}", val), |b| {
+            b.iter(|| {
+                let mut m = Model::new();
+                let vars: Vec<_> = (0..24).map(|_| m.new_var(0, 11)).collect();
+                m.cumulative(
+                    vars.iter()
+                        .map(|&v| CumTask {
+                            start: v,
+                            dur: 1,
+                            req: 1,
+                        })
+                        .collect(),
+                    2,
+                );
+                let cfg = SearchConfig {
+                    phases: vec![Phase::new(vars, VarSel::FirstFail, val)],
+                    ..Default::default()
+                };
+                let r = eit_cp::solve(&mut m, &cfg);
+                assert!(r.is_sat());
+            })
+        });
     }
 }
 

@@ -18,16 +18,23 @@
 //!   --emit dot          dump the (merged) IR as Graphviz DOT
 //!   --emit vcd          dump the schedule as a VCD waveform
 //!   --emit gantt        print a Gantt chart of the schedule instead of a listing
+//!   --trace FILE        write the solver's search events as JSON lines
+//!   --profile           print the per-propagator profile table (stderr)
+//!   --metrics FILE      write machine-readable run metrics as JSON
 //! ```
 //!
 //! Example: `cargo run --release -p eit-bench --bin eitc -- qrd --slots 16`
 
 use eit_arch::ArchSpec;
+use eit_bench::RunMetrics;
 use eit_core::pipeline::{compile, CompileError, CompileOptions};
 use eit_core::{
     bundles_from_schedule, modulo_schedule, overlapped_execution, ModuloOptions, SchedulerOptions,
 };
-use eit_ir::Graph;
+use eit_cp::trace::{JsonlSink, TraceHandle};
+use eit_ir::sem::Value;
+use eit_ir::{Graph, NodeId};
+use std::collections::HashMap;
 use std::process::exit;
 use std::time::Duration;
 
@@ -43,13 +50,23 @@ struct Args {
     emit_gantt: bool,
     emit_dot: bool,
     emit_vcd: bool,
+    trace: Option<String>,
+    profile: bool,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!("usage: eitc <qrd|arf|matmul|fir|detector|blockmm|path.xml>");
     eprintln!("            [--slots N] [--no-memory] [--no-merge]");
-    eprintln!("            [--modulo [incl]] [--overlap M] [--timeout SECS] [--emit xml]");
+    eprintln!("            [--modulo [incl]] [--overlap M] [--timeout SECS]");
+    eprintln!("            [--emit xml|gantt|dot|vcd]");
+    eprintln!("            [--trace FILE] [--profile] [--metrics FILE]");
     exit(2);
+}
+
+fn bad_arg(what: &str) -> ! {
+    eprintln!("eitc: unrecognized argument '{what}'");
+    usage();
 }
 
 fn parse_args() -> Args {
@@ -65,11 +82,19 @@ fn parse_args() -> Args {
         emit_gantt: false,
         emit_dot: false,
         emit_vcd: false,
+        trace: None,
+        profile: false,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--slots" => args.slots = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--slots" => {
+                args.slots = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--no-memory" => args.memory = false,
             "--no-merge" => args.merge = false,
             "--modulo" => {
@@ -80,20 +105,31 @@ fn parse_args() -> Args {
                 args.modulo = Some(incl);
             }
             "--overlap" => {
-                args.overlap = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                args.overlap = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--timeout" => {
-                args.timeout = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                args.timeout = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--emit" => match it.next().as_deref() {
                 Some("xml") => args.emit_xml = true,
                 Some("gantt") => args.emit_gantt = true,
                 Some("dot") => args.emit_dot = true,
                 Some("vcd") => args.emit_vcd = true,
-                _ => usage(),
+                Some(other) => bad_arg(&format!("--emit {other}")),
+                None => usage(),
             },
+            "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
+            "--profile" => args.profile = true,
+            "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             k if !k.starts_with('-') && args.kernel.is_empty() => args.kernel = k.to_string(),
-            _ => usage(),
+            other => bad_arg(other),
         }
     }
     if args.kernel.is_empty() {
@@ -102,19 +138,22 @@ fn parse_args() -> Args {
     args
 }
 
-fn load_graph(name: &str) -> Graph {
+/// The graph plus, for built-in kernels, its reference input values (so
+/// the metrics can include a simulator section).
+fn load_graph(name: &str) -> (Graph, HashMap<NodeId, Value>) {
     if name.ends_with(".xml") {
         let src = std::fs::read_to_string(name).unwrap_or_else(|e| {
             eprintln!("eitc: cannot read {name}: {e}");
             exit(1);
         });
-        eit_ir::from_xml(&src).unwrap_or_else(|e| {
+        let g = eit_ir::from_xml(&src).unwrap_or_else(|e| {
             eprintln!("eitc: cannot parse {name}: {e}");
             exit(1);
-        })
+        });
+        (g, HashMap::new())
     } else {
         match eit_apps::by_name(name) {
-            Some(k) => k.graph,
+            Some(k) => (k.graph, k.inputs),
             None => {
                 eprintln!("eitc: unknown kernel {name}");
                 exit(1);
@@ -125,7 +164,7 @@ fn load_graph(name: &str) -> Graph {
 
 fn main() {
     let args = parse_args();
-    let mut g = load_graph(&args.kernel);
+    let (mut g, inputs) = load_graph(&args.kernel);
     if let Err(e) = g.validate() {
         eprintln!("eitc: invalid IR: {e}");
         exit(1);
@@ -148,6 +187,14 @@ fn main() {
     let spec = ArchSpec::eit().with_slots(args.slots);
     let timeout = Duration::from_secs(args.timeout);
 
+    let trace = args.trace.as_ref().map(|path| {
+        let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("eitc: cannot open trace file {path}: {e}");
+            exit(1);
+        });
+        TraceHandle::new(sink)
+    });
+
     if let Some(include_reconfig) = args.modulo {
         let r = modulo_schedule(
             &g,
@@ -167,11 +214,10 @@ fn main() {
             "; modulo schedule: II {} ({} switches, actual {}), throughput {:.4} iter/cc",
             r.ii_issue, r.switches, r.actual_ii, r.throughput
         );
-        let mut rows: Vec<(i32, String)> = r
-            .t
-            .iter()
-            .map(|(&n, &t)| (t, format!("  t={t:3} k={:2}  {}", r.k[&n], g.node(n).name)))
-            .collect();
+        let mut rows: Vec<(i32, String)> =
+            r.t.iter()
+                .map(|(&n, &t)| (t, format!("  t={t:3} k={:2}  {}", r.k[&n], g.node(n).name)))
+                .collect();
         rows.sort();
         for (_, row) in rows {
             println!("{row}");
@@ -189,6 +235,8 @@ fn main() {
             scheduler: SchedulerOptions {
                 memory: args.memory,
                 timeout: Some(timeout),
+                trace,
+                profile: args.profile || args.metrics.is_some(),
                 ..Default::default()
             },
             ..Default::default()
@@ -205,6 +253,31 @@ fn main() {
         }
     };
 
+    if args.profile {
+        let total: u64 = out.propagator_profile.iter().map(|p| p.invocations).sum();
+        eprint!(
+            "{}",
+            eit_cp::render_profile_table(&out.propagator_profile, total)
+        );
+    }
+
+    if let Some(path) = &args.metrics {
+        let mut m = RunMetrics::new("eitc", &args.kernel);
+        m.arch(&spec)
+            .solver(out.status, Some(out.schedule.makespan), &out.solver, None)
+            .spans(&out.timings)
+            .propagators(&out.propagator_profile)
+            .program(&out.program);
+        if args.memory && !inputs.is_empty() {
+            let rep = eit_arch::simulate(&out.graph, &spec, &out.schedule, &inputs);
+            m.sim(&rep);
+        }
+        if let Err(e) = m.write_to(path) {
+            eprintln!("eitc: cannot write metrics to {path}: {e}");
+            exit(1);
+        }
+    }
+
     if let Some(m) = args.overlap {
         let bundles = bundles_from_schedule(&out.graph, &out.schedule);
         let ov = overlapped_execution(&out.graph, &spec, &bundles, m);
@@ -219,7 +292,10 @@ fn main() {
     }
 
     if args.emit_gantt {
-        print!("{}", eit_arch::render_gantt(&out.graph, &spec, &out.schedule));
+        print!(
+            "{}",
+            eit_arch::render_gantt(&out.graph, &spec, &out.schedule)
+        );
         return;
     }
     if args.emit_vcd {

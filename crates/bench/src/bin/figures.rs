@@ -76,12 +76,21 @@ fn fig6() {
     let a = g.add_data(DataKind::Vector, "a");
     let b = g.add_data(DataKind::Vector, "b");
     let (_, ah) = g.add_op_with_output(
-        Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Pass, post: None },
+        Opcode::Vector {
+            pre: Some((PreOp::Hermitian, 0)),
+            core: CoreOp::Pass,
+            post: None,
+        },
         &[a],
         DataKind::Vector,
         "herm",
     );
-    g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[ah, b], DataKind::Vector, "mul");
+    g.add_op_with_output(
+        Opcode::vector(CoreOp::Mul),
+        &[ah, b],
+        DataKind::Vector,
+        "mul",
+    );
     let before = g.len();
     let st = merge_pipeline_ops(&mut g);
     println!(
@@ -97,7 +106,11 @@ fn fig6() {
         .collect();
     let (_, v) = g.add_op_with_output(Opcode::matrix(CoreOp::SquSum), &ins, DataKind::Vector, "ss");
     g.add_op_with_output(
-        Opcode::Vector { pre: None, core: CoreOp::Pass, post: Some(PostOp::Sort) },
+        Opcode::Vector {
+            pre: None,
+            core: CoreOp::Pass,
+            post: Some(PostOp::Sort),
+        },
         &[v],
         DataKind::Vector,
         "sort",
@@ -126,7 +139,11 @@ fn fig8() {
         assert_eq!(ok, expect, "fig. 8 case {label}");
         println!(
             "  matrix {label}: slots {slots:?} → {}",
-            if ok { "accessible in 1 cycle" } else { "NOT accessible" }
+            if ok {
+                "accessible in 1 cycle"
+            } else {
+                "NOT accessible"
+            }
         );
     }
 }

@@ -16,14 +16,22 @@ fn main() {
     );
     let spec = ArchSpec::eit();
     for (layers, width) in [(2usize, 4usize), (3, 6), (4, 8), (5, 10), (6, 12)] {
-        let k = build(SynthParams { layers, width, seed: 11, scalar_fraction: 0.15 });
+        let k = build(SynthParams {
+            layers,
+            width,
+            seed: 11,
+            scalar_fraction: 0.15,
+        });
         let mut g = k.graph.clone();
         eit_ir::merge_pipeline_ops(&mut g);
         let ops = g.ids().filter(|&n| g.category(n).is_op()).count();
         let r = schedule(
             &g,
             &spec,
-            &SchedulerOptions { timeout: Some(Duration::from_secs(60)), ..Default::default() },
+            &SchedulerOptions {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            },
         );
         let heur = list_schedule(&g, &spec, false)
             .map(|h| h.schedule.makespan.to_string())

@@ -9,22 +9,22 @@
 //! a timeout at 9 and an infeasibility proof at 8; our kernel's live-set
 //! floor sits at 8 slots (it has 8 vector inputs alive at cycle 0).
 //!
-//! Run: `cargo run --release -p eit-bench --bin table1`
+//! Run: `cargo run --release -p eit-bench --bin table1 [--metrics FILE]`
 
 use eit_arch::ArchSpec;
-use eit_bench::{graph_props, prepared, rule};
+use eit_bench::{graph_props, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics};
 use eit_core::{schedule, SchedulerOptions};
 use eit_cp::SearchStatus;
 use std::time::Duration;
 
 fn main() {
+    let metrics_path = metrics_arg();
+    let mut rows = Vec::new();
     let p = prepared("qrd");
     let (v, e, cp) = graph_props(&p.graph);
     let vd = p.graph.count(eit_ir::Category::VectorData);
     println!("Table 1: scheduling QRD with memory allocation");
-    println!(
-        "application properties: |V| = {v}, |E| = {e}, |Cr.P| = {cp}, #v_data = {vd}"
-    );
+    println!("application properties: |V| = {v}, |E| = {e}, |Cr.P| = {cp}, #v_data = {vd}");
     println!("(paper: |V| = 143, |E| = 194, |Cr.P| = 169, #v_data = 49)");
     rule(78);
     println!(
@@ -69,8 +69,30 @@ fn main() {
             status,
             r.stats.time.as_secs_f64() * 1e3
         );
+        rows.push(Json::Obj(vec![
+            ("slots".into(), Json::int(slots as u64)),
+            ("status".into(), Json::str(status)),
+            (
+                "makespan".into(),
+                r.makespan.map_or(Json::Null, |m| Json::num(m as f64)),
+            ),
+            (
+                "slots_used".into(),
+                r.schedule
+                    .as_ref()
+                    .map_or(Json::Null, |s| Json::int(s.slots_used(&p.graph) as u64)),
+            ),
+            ("nodes".into(), Json::int(r.stats.nodes)),
+            ("time_us".into(), Json::int(r.stats.time.as_micros() as u64)),
+        ]));
     }
     rule(78);
     println!("paper reference: 173 cc at 64/32/16/10 slots (33/28/16/10 used, ~1.8 s),");
     println!("                 9 slots → timeout, 8 slots → infeasible");
+
+    if let Some(path) = metrics_path {
+        let mut m = RunMetrics::new("table1", "qrd");
+        m.arch(&ArchSpec::eit()).section("rows", Json::Arr(rows));
+        write_metrics(&m, &path);
+    }
 }

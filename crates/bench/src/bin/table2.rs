@@ -15,16 +15,16 @@
 //! reconfigurations stay around 1.5–2 per iteration, and the automated
 //! flow lands within ~20 % of the manual baseline.
 //!
-//! Run: `cargo run --release -p eit-bench --bin table2`
+//! Run: `cargo run --release -p eit-bench --bin table2 [--metrics FILE]`
 
-use eit_bench::{eit, prepared, rule};
+use eit_bench::{eit, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics};
 use eit_core::{
     bundles_from_schedule, manual_style_bundles, overlapped_execution, schedule, Bundle,
     SchedulerOptions,
 };
 use std::time::Duration;
 
-fn row(label: &str, bundles: &[Bundle], p: &eit_bench::Prepared, m: usize) {
+fn row(label: &str, bundles: &[Bundle], p: &eit_bench::Prepared, m: usize) -> Json {
     let spec = eit();
     let r = overlapped_execution(&p.graph, &spec, bundles, m);
     // Structural validation (memory excluded, as in the paper's manual
@@ -40,6 +40,13 @@ fn row(label: &str, bundles: &[Bundle], p: &eit_bench::Prepared, m: usize) {
         r.reconfig_switches as f64 / m as f64,
         r.throughput
     );
+    Json::Obj(vec![
+        ("variant".into(), Json::str(label)),
+        ("instructions".into(), Json::int(r.n_bundles as u64)),
+        ("makespan".into(), Json::num(r.makespan as f64)),
+        ("reconfigs".into(), Json::int(r.reconfig_switches as u64)),
+        ("throughput".into(), Json::num(r.throughput)),
+    ])
 }
 
 fn main() {
@@ -55,7 +62,7 @@ fn main() {
 
     // Manual: instruction-count-minimising greedy, no memory allocation.
     let manual = manual_style_bundles(&p.graph, &eit());
-    row("manual", &manual, &p, m);
+    let manual_row = row("manual", &manual, &p, m);
 
     // Automated: CP schedule with memory allocation, bundles extracted.
     let r = schedule(
@@ -68,9 +75,19 @@ fn main() {
     );
     let s = r.schedule.expect("QRD must schedule");
     let auto = bundles_from_schedule(&p.graph, &s);
-    row("automated", &auto, &p, m);
+    let auto_row = row("automated", &auto, &p, m);
 
     rule(78);
     println!("paper reference: manual 460 cc, 18 reconf (1.5/iter), 0.026 iter/cc;");
     println!("                 automated 540 cc, 24 reconf (2/iter), 0.022 iter/cc");
+
+    if let Some(path) = metrics_arg() {
+        let mut metrics = RunMetrics::new("table2", "qrd");
+        metrics
+            .arch(&eit())
+            .solver(r.status, r.makespan, &r.stats, r.winner)
+            .section("iterations", Json::int(m as u64))
+            .section("rows", Json::Arr(vec![manual_row, auto_row]));
+        write_metrics(&metrics, &path);
+    }
 }

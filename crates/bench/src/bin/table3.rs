@@ -9,13 +9,15 @@
 //! configuration needs no steady-state reconfiguration at all, so both
 //! models tie at the resource-bound II of 4 with throughput 0.250.
 //!
-//! Run: `cargo run --release -p eit-bench --bin table3`
+//! Run: `cargo run --release -p eit-bench --bin table3 [--metrics FILE]`
 
-use eit_bench::{eit, graph_props, prepared, rule};
+use eit_bench::{eit, graph_props, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics};
 use eit_core::{modulo_schedule, validate_modulo, ModuloOptions};
 use std::time::Duration;
 
 fn main() {
+    let metrics_path = metrics_arg();
+    let mut rows = Vec::new();
     println!("Table 3: modulo scheduling, excluding vs including reconfigurations");
     rule(110);
     println!(
@@ -86,6 +88,23 @@ fn main() {
             if incl.timed_out { "timeout*" } else { "" },
             incl.opt_time.as_secs_f64() * 1e3,
         );
+        rows.push(Json::Obj(vec![
+            ("app".into(), Json::str(name)),
+            ("nodes".into(), Json::int(v as u64)),
+            ("edges".into(), Json::int(e as u64)),
+            ("critical_path".into(), Json::num(cp as f64)),
+            ("excl_ii_issue".into(), Json::num(excl.ii_issue as f64)),
+            ("excl_switches".into(), Json::int(rec_col as u64)),
+            ("excl_actual_ii".into(), Json::num(excl.actual_ii as f64)),
+            ("excl_throughput".into(), Json::num(excl.throughput)),
+            ("incl_actual_ii".into(), Json::num(incl.actual_ii as f64)),
+            ("incl_throughput".into(), Json::num(incl.throughput)),
+            ("incl_timed_out".into(), Json::Bool(incl.timed_out)),
+            (
+                "incl_opt_time_us".into(),
+                Json::int(incl.opt_time.as_micros() as u64),
+            ),
+        ]));
     }
     rule(110);
     println!("left block: optimisation excluding reconfigurations (stalls added post hoc);");
@@ -93,4 +112,10 @@ fn main() {
     println!("paper reference: QRD (143,194,169) 32/23/55/0.018 vs 46/0.022 (3055 ms, timeout);");
     println!("                 ARF (88,128,56) 16/16/32/0.031 vs 24/0.042 (80061 ms);");
     println!("                 MATMUL (44,68,8) 4/1/4/0.250 vs 4/0.250 (2135 ms)");
+
+    if let Some(path) = metrics_path {
+        let mut m = RunMetrics::new("table3", "qrd+arf+matmul");
+        m.arch(&eit()).section("rows", Json::Arr(rows));
+        write_metrics(&m, &path);
+    }
 }

@@ -6,6 +6,12 @@
 //! side with the paper's published numbers, and EXPERIMENTS.md records a
 //! captured run.
 
+pub mod json;
+pub mod metrics;
+
+pub use json::Json;
+pub use metrics::RunMetrics;
+
 use eit_arch::ArchSpec;
 use eit_ir::{merge_pipeline_ops, Graph, LatencyModel};
 
@@ -44,6 +50,30 @@ pub fn eit() -> ArchSpec {
 /// Print a horizontal rule sized to `width`.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// `--metrics FILE` support for the table binaries: the target path when
+/// the flag is present on the command line.
+pub fn metrics_arg() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--metrics" {
+            return Some(it.next().unwrap_or_else(|| {
+                eprintln!("--metrics needs a file path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Write `metrics` to `path`, exiting with a message on failure.
+pub fn write_metrics(metrics: &RunMetrics, path: &str) {
+    if let Err(e) = metrics.write_to(path) {
+        eprintln!("cannot write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("; metrics written to {path}");
 }
 
 #[cfg(test)]

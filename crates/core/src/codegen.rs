@@ -60,7 +60,10 @@ pub fn generate(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> Program {
     let _ = writeln!(out, "; makespan: {} cc", sched.makespan);
 
     // Memory map.
-    let _ = writeln!(out, ";\n; memory map (slot: bank/line/page <- datum [lifetime))");
+    let _ = writeln!(
+        out,
+        ";\n; memory map (slot: bank/line/page <- datum [lifetime))"
+    );
     let mut vdata: Vec<NodeId> = g
         .ids()
         .filter(|&n| g.category(n) == Category::VectorData)

@@ -18,6 +18,7 @@ pub mod codegen;
 pub mod list_sched;
 pub mod model;
 pub mod modulo;
+pub mod obs;
 pub mod overlap;
 pub mod pipeline;
 pub mod portfolio;
@@ -26,10 +27,14 @@ pub mod replicate;
 pub use codegen::{generate, Program};
 pub use list_sched::{list_schedule, ListScheduleResult};
 pub use model::{build_model, schedule, BuiltModel, ScheduleResult, SchedulerOptions};
-pub use modulo::{allocate_modulo_memory, ii_lower_bound, modulo_schedule, schedule_at_ii, validate_modulo, IiOutcome, ModuloOptions, ModuloResult};
+pub use modulo::{
+    allocate_modulo_memory, ii_lower_bound, modulo_schedule, schedule_at_ii, validate_modulo,
+    IiOutcome, ModuloOptions, ModuloResult,
+};
+pub use obs::PhaseTimings;
 pub use overlap::{
     bundles_from_schedule, manual_style_bundles, overlapped_execution, Bundle, OverlapResult,
 };
-pub use pipeline::{compile, Compiled, CompileError, CompileOptions};
+pub use pipeline::{compile, CompileError, CompileOptions, Compiled};
 pub use portfolio::schedule_portfolio;
 pub use replicate::replicate;

@@ -54,12 +54,7 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
     let order = g.topo_order()?;
     let mut rank: Vec<i32> = vec![0; g.len()];
     for &u in order.iter().rev() {
-        let tail = g
-            .succs(u)
-            .iter()
-            .map(|&v| rank[v.idx()])
-            .max()
-            .unwrap_or(0);
+        let tail = g.succs(u).iter().map(|&v| rank[v.idx()]).max().unwrap_or(0);
         rank[u.idx()] = tail + latency(u);
     }
 
@@ -144,11 +139,7 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
                 // Memory feasibility (reads at t, writes at t + latency).
                 let mut new_slots: Vec<(NodeId, u32)> = Vec::new();
                 if ok && with_memory && need_lanes > 0 {
-                    let mut reads: Vec<u32> = machine
-                        .reads_at
-                        .get(&t)
-                        .cloned()
-                        .unwrap_or_default();
+                    let mut reads: Vec<u32> = machine.reads_at.get(&t).cloned().unwrap_or_default();
                     for &d in g.preds(op) {
                         if g.category(d) == Category::VectorData {
                             if let Some(s) = sched.slot_of(d) {
@@ -159,11 +150,8 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
                     reads.sort_unstable();
                     reads.dedup();
                     let wb = t + latency(op);
-                    let mut writes: Vec<u32> = machine
-                        .writes_at
-                        .get(&wb)
-                        .cloned()
-                        .unwrap_or_default();
+                    let mut writes: Vec<u32> =
+                        machine.writes_at.get(&wb).cloned().unwrap_or_default();
                     // First-fit output slots.
                     for &d in g.succs(op) {
                         if g.category(d) == Category::VectorData {
@@ -259,10 +247,7 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
     // are known now) — simple approach: assign inputs to distinct fresh
     // slots; feasible iff enough slots remain.
     if with_memory {
-        let mut used: Vec<u32> = g
-            .ids()
-            .filter_map(|n| sched.slot[n.idx()])
-            .collect();
+        let mut used: Vec<u32> = g.ids().filter_map(|n| sched.slot[n.idx()]).collect();
         used.sort_unstable();
         used.dedup();
         for n in g.ids() {
@@ -275,21 +260,13 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
                         continue;
                     }
                     for &c in g.succs(n) {
-                        if matches!(
-                            g.category(c),
-                            Category::VectorOp | Category::MatrixOp
-                        ) {
+                        if matches!(g.category(c), Category::VectorOp | Category::MatrixOp) {
                             let t = sched.start_of(c);
-                            let mut reads =
-                                machine.reads_at.get(&t).cloned().unwrap_or_default();
+                            let mut reads = machine.reads_at.get(&t).cloned().unwrap_or_default();
                             reads.push(s);
                             reads.sort_unstable();
                             reads.dedup();
-                            let writes = machine
-                                .writes_at
-                                .get(&t)
-                                .cloned()
-                                .unwrap_or_default();
+                            let writes = machine.writes_at.get(&t).cloned().unwrap_or_default();
                             if !check_access(spec, &reads, &writes).is_empty() {
                                 continue 'cand;
                             }

@@ -17,14 +17,19 @@
 //! | (11) slot reuse | `Diff2` over `(s, slot, life, 1)` rectangles |
 //! | §3.5 search | three [`Phase`]s: op starts → data starts → slots |
 
+use crate::obs::PhaseTimings;
 use eit_arch::{ArchSpec, Schedule};
 use eit_cp::props::cumulative::CumTask;
-use eit_cp::props::disjunctive::DisjTask;
 use eit_cp::props::diff2::Rect;
+use eit_cp::props::disjunctive::DisjTask;
 use eit_cp::props::reify::GuardedPair;
-use eit_cp::{minimize, Model, Phase, SearchConfig, SearchStats, SearchStatus, ValSel, VarId, VarSel};
+use eit_cp::trace::TraceHandle;
+use eit_cp::{
+    minimize, Model, Phase, PropProfile, SearchConfig, SearchStats, SearchStatus, ValSel, VarId,
+    VarSel,
+};
 use eit_ir::{Category, Graph, NodeId};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Options for [`schedule`].
 #[derive(Clone, Debug)]
@@ -43,6 +48,11 @@ pub struct SchedulerOptions {
     /// minimize the number of memory slots used (the highest slot index
     /// + 1). Costs a second branch-and-bound run.
     pub minimize_slots: bool,
+    /// Structured search-event sink, forwarded to the solver.
+    pub trace: Option<TraceHandle>,
+    /// Per-propagator profiling with wall-time attribution; the profile
+    /// comes back in [`ScheduleResult::propagator_profile`].
+    pub profile: bool,
 }
 
 impl Default for SchedulerOptions {
@@ -53,6 +63,8 @@ impl Default for SchedulerOptions {
             timeout: Some(Duration::from_secs(600)), // the paper's 10 min
             node_limit: None,
             minimize_slots: false,
+            trace: None,
+            profile: false,
         }
     }
 }
@@ -69,19 +81,27 @@ pub struct BuiltModel {
     /// The §3.5 three-phase search.
     pub phases: Vec<Phase>,
     pub horizon: i32,
+    /// Build-time spans: `model_build` (total) and the nested
+    /// `longest_path` preprocessing.
+    pub timings: PhaseTimings,
 }
 
 /// A safe horizon: every op executed serially.
 pub fn serial_horizon(g: &Graph, spec: &ArchSpec) -> i32 {
     let lat = &spec.latencies;
     g.ids()
-        .map(|i| lat.latency(&g.node(i).kind).max(lat.duration(&g.node(i).kind)))
+        .map(|i| {
+            lat.latency(&g.node(i).kind)
+                .max(lat.duration(&g.node(i).kind))
+        })
         .sum::<i32>()
         .max(1)
 }
 
 /// Build the paper's model for `g` on `spec`.
 pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> BuiltModel {
+    let build_start = Instant::now();
+    let mut timings = PhaseTimings::new();
     let lat = spec.latencies;
     let horizon = opts.horizon.unwrap_or_else(|| serial_horizon(g, spec));
     let mut m = Model::new();
@@ -107,17 +127,13 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
     // lower bound, and the critical path is a sound lower bound on the
     // makespan (these are implied by (1)/(4) but save the solver from
     // rediscovering them at every node).
-    let es = g.earliest_starts(&|i| latency(i));
+    let es = timings.time("longest_path", || g.earliest_starts(&|i| latency(i)));
     for i in g.ids() {
         m.store
             .remove_below(start[i.idx()], es[i.idx()])
             .expect("earliest start exceeds horizon");
     }
-    let critical_path = g
-        .ids()
-        .map(|i| es[i.idx()] + latency(i))
-        .max()
-        .unwrap_or(0);
+    let critical_path = g.ids().map(|i| es[i.idx()] + latency(i)).max().unwrap_or(0);
 
     // (1) precedence on every edge; (4) exact data start.
     for (from, to) in g.edges() {
@@ -139,7 +155,11 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
             .map(|&i| CumTask {
                 start: start[i.idx()],
                 dur: duration(i),
-                req: if g.category(i) == Category::MatrixOp { 4 } else { 1 },
+                req: if g.category(i) == Category::MatrixOp {
+                    4
+                } else {
+                    1
+                },
             })
             .collect(),
         spec.n_lanes as i32,
@@ -152,7 +172,10 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
         m.disjunctive(
             scalar_ops
                 .iter()
-                .map(|&i| DisjTask { start: start[i.idx()], dur: duration(i) })
+                .map(|&i| DisjTask {
+                    start: start[i.idx()],
+                    dur: duration(i),
+                })
                 .collect(),
         );
     }
@@ -164,7 +187,10 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
         m.disjunctive(
             im_ops
                 .iter()
-                .map(|&i| DisjTask { start: start[i.idx()], dur: duration(i) })
+                .map(|&i| DisjTask {
+                    start: start[i.idx()],
+                    dur: duration(i),
+                })
                 .collect(),
         );
     }
@@ -356,6 +382,8 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
         phases.push(Phase::new(slots, VarSel::FirstFail, ValSel::Min));
     }
 
+    timings.push("model_build", build_start.elapsed());
+
     BuiltModel {
         model: m,
         start,
@@ -363,6 +391,7 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
         objective,
         phases,
         horizon,
+        timings,
     }
 }
 
@@ -373,6 +402,14 @@ pub struct ScheduleResult {
     pub status: SearchStatus,
     pub stats: SearchStats,
     pub makespan: Option<i32>,
+    /// Wall-clock spans: model build, longest-path, search, extraction
+    /// (and the optional slot-minimisation pass).
+    pub timings: PhaseTimings,
+    /// Winning strategy index when a portfolio produced this result.
+    pub winner: Option<usize>,
+    /// Per-propagator accounting (aggregated by name, sorted by cost);
+    /// empty unless [`SchedulerOptions::profile`] was set.
+    pub propagator_profile: Vec<PropProfile>,
 }
 
 /// Extract a [`Schedule`] from a solver solution.
@@ -390,19 +427,35 @@ fn extract(g: &Graph, spec: &ArchSpec, built: &BuiltModel, sol: &eit_cp::Solutio
 /// branch-and-bound, extract the best schedule.
 pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> ScheduleResult {
     let mut built = build_model(g, spec, opts);
+    let mut timings = PhaseTimings::new();
+    timings.extend(&built.timings);
+    if opts.profile {
+        built.model.engine.enable_profiling();
+    }
     let cfg = SearchConfig {
         phases: built.phases.clone(),
         timeout: opts.timeout,
         node_limit: opts.node_limit,
         shared_bound: None,
         restart_on_solution: true,
+        trace: opts.trace.clone(),
     };
-    let r = minimize(&mut built.model, built.objective, &cfg);
-    let mut schedule = r.best.as_ref().map(|sol| extract(g, spec, &built, sol));
+    let r = timings.time("search", || {
+        minimize(&mut built.model, built.objective, &cfg)
+    });
+    let mut schedule = timings.time("extract", || {
+        r.best.as_ref().map(|sol| extract(g, spec, &built, sol))
+    });
+    let propagator_profile = if opts.profile {
+        built.model.engine.profile_by_name()
+    } else {
+        Vec::new()
+    };
 
     // Optional second lexicographic pass: fix the optimal makespan and
     // minimize the slot footprint (max slot index used).
     if let (true, Some(best_makespan), true) = (opts.minimize_slots, r.objective, opts.memory) {
+        let t_slots = Instant::now();
         let mut built2 = build_model(g, spec, opts);
         built2
             .model
@@ -419,12 +472,14 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
                 node_limit: opts.node_limit,
                 shared_bound: None,
                 restart_on_solution: true,
+                trace: opts.trace.clone(),
             };
             let r2 = minimize(&mut built2.model, max_slot, &cfg2);
             if let Some(sol) = r2.best.as_ref() {
                 schedule = Some(extract(g, spec, &built2, sol));
             }
         }
+        timings.push("minimize_slots", t_slots.elapsed());
     }
 
     ScheduleResult {
@@ -432,6 +487,9 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
         schedule,
         status: r.status,
         stats: r.stats,
+        timings,
+        winner: None,
+        propagator_profile,
     }
 }
 
@@ -495,7 +553,10 @@ mod tests {
         let with_mem = schedule(
             &g,
             &spec,
-            &SchedulerOptions { timeout: Some(Duration::from_secs(30)), ..Default::default() },
+            &SchedulerOptions {
+                timeout: Some(Duration::from_secs(30)),
+                ..Default::default()
+            },
         );
         let without = schedule(
             &g,

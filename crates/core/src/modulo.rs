@@ -146,7 +146,11 @@ pub fn count_window_switches(g: &Graph, t: &HashMap<NodeId, i32>) -> usize {
 #[derive(Debug)]
 pub enum IiOutcome {
     /// (t, k, s) assignments.
-    Feasible(HashMap<NodeId, i32>, HashMap<NodeId, i32>, HashMap<NodeId, i32>),
+    Feasible(
+        HashMap<NodeId, i32>,
+        HashMap<NodeId, i32>,
+        HashMap<NodeId, i32>,
+    ),
     Infeasible,
     Timeout,
 }
@@ -214,7 +218,11 @@ pub fn schedule_at_ii(
                 .map(|&n| CumTask {
                     start: t_var[&n],
                     dur: duration(n),
-                    req: if matrix4 && g.category(n) == Category::MatrixOp { 4 } else { 1 },
+                    req: if matrix4 && g.category(n) == Category::MatrixOp {
+                        4
+                    } else {
+                        1
+                    },
                 })
                 .collect();
             if !tasks.is_empty() {
@@ -301,7 +309,10 @@ pub fn schedule_at_ii(
                 m.linear_leq(vec![(1, b), (-1, t_var[&op])], 0);
                 m.linear_leq(vec![(1, t_var[&op]), (-1, b), (-1, len)], -1);
             }
-            rects.push(Rect { origin: [b, zero], len: [len, one] });
+            rects.push(Rect {
+                origin: [b, zero],
+                len: [len, one],
+            });
             len_terms.push((1, len));
             band_vars.push(b);
             band_vars.push(len);
@@ -318,14 +329,8 @@ pub fn schedule_at_ii(
     // Search: configuration bands first (they shape the window), then
     // absolute op starts — list-scheduling style, as in the main model —
     // then any window/stage variables propagation left open, then data.
-    let t_list: Vec<VarId> = g
-        .ids()
-        .filter_map(|n| t_var.get(&n).copied())
-        .collect();
-    let k_list: Vec<VarId> = g
-        .ids()
-        .filter_map(|n| k_var.get(&n).copied())
-        .collect();
+    let t_list: Vec<VarId> = g.ids().filter_map(|n| t_var.get(&n).copied()).collect();
+    let k_list: Vec<VarId> = g.ids().filter_map(|n| k_var.get(&n).copied()).collect();
     let op_s: Vec<VarId> = g
         .ids()
         .filter(|&n| g.category(n).is_op())
@@ -354,6 +359,7 @@ pub fn schedule_at_ii(
         node_limit: None,
         shared_bound: None,
         restart_on_solution: false,
+        trace: None,
     };
     let r = solve(&mut m, &cfg);
     match r.status {
@@ -361,10 +367,7 @@ pub fn schedule_at_ii(
             let sol = r.best.unwrap();
             let t_out = t_var.iter().map(|(&n, &v)| (n, sol.value(v))).collect();
             let k_out = k_var.iter().map(|(&n, &v)| (n, sol.value(v))).collect();
-            let s_out = g
-                .ids()
-                .map(|n| (n, sol.value(s_var[n.idx()])))
-                .collect();
+            let s_out = g.ids().map(|n| (n, sol.value(s_var[n.idx()]))).collect();
             IiOutcome::Feasible(t_out, k_out, s_out)
         }
         SearchStatus::Infeasible => IiOutcome::Infeasible,
@@ -399,7 +402,11 @@ pub fn modulo_schedule(g: &Graph, spec: &ArchSpec, opts: &ModuloOptions) -> Opti
             IiOutcome::Feasible(t, k, s) => {
                 let switches = if opts.include_reconfig {
                     let groups = config_groups(g).len();
-                    if groups > 1 { groups } else { 0 }
+                    if groups > 1 {
+                        groups
+                    } else {
+                        0
+                    }
                 } else {
                     count_window_switches(g, &t)
                 };
@@ -508,7 +515,10 @@ mod tests {
         let incl = modulo_schedule(
             &g,
             &spec,
-            &ModuloOptions { include_reconfig: true, ..Default::default() },
+            &ModuloOptions {
+                include_reconfig: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(incl.ii_issue >= excl.ii_issue);
@@ -676,7 +686,10 @@ pub fn allocate_modulo_memory(
         let (s0, s1) = sched.lifetime(&big, d);
         let x = m.new_const(s0);
         let life = m.new_const((s1 - s0).max(1));
-        rects.push(Rect { origin: [x, slot[d.idx()].unwrap()], len: [life, one] });
+        rects.push(Rect {
+            origin: [x, slot[d.idx()].unwrap()],
+            len: [life, one],
+        });
     }
     m.diff2(rects);
 

@@ -1,0 +1,84 @@
+//! Phase timing spans for the scheduler pipeline.
+//!
+//! A [`PhaseTimings`] is an ordered list of named wall-clock spans
+//! (model build, longest-path preprocessing, search, extraction,
+//! validation, simulation…). Spans may nest — `model_build` includes
+//! `longest_path` — so [`PhaseTimings::total`] is not meaningful across
+//! arbitrary span sets; callers sum the top-level spans they know are
+//! disjoint.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Named wall-clock spans in the order they were recorded.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimings {
+    pub spans: Vec<(String, Duration)>,
+}
+
+impl PhaseTimings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `f`'s wall time under `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.push(name, t0.elapsed());
+        r
+    }
+
+    pub fn push(&mut self, name: &str, d: Duration) {
+        self.spans.push((name.to_string(), d));
+    }
+
+    /// First span recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// Append all of `other`'s spans (used to fold a callee's timings
+    /// into the caller's).
+    pub fn extend(&mut self, other: &PhaseTimings) {
+        self.spans.extend(other.spans.iter().cloned());
+    }
+
+    /// Sum of all recorded spans. Only meaningful when the spans are
+    /// disjoint (see module docs).
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Human-readable table, one span per line, in record order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<28} {:>12}", "phase", "time_us");
+        for (name, d) in &self.spans {
+            let _ = writeln!(out, "{:<28} {:>12}", name, d.as_micros());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_order_and_extend() {
+        let mut t = PhaseTimings::new();
+        let x = t.time("a", || 42);
+        assert_eq!(x, 42);
+        t.push("b", Duration::from_micros(5));
+        let mut outer = PhaseTimings::new();
+        outer.push("pre", Duration::from_micros(1));
+        outer.extend(&t);
+        assert_eq!(outer.spans.len(), 3);
+        assert_eq!(outer.spans[1].0, "a");
+        assert_eq!(outer.get("b"), Some(Duration::from_micros(5)));
+        assert!(outer.total() >= Duration::from_micros(6));
+        let table = outer.render();
+        assert!(table.contains("phase") && table.contains("pre"));
+    }
+}

@@ -273,7 +273,11 @@ mod tests {
         let bundles = manual_style_bundles(&g, &ArchSpec::eit());
         let total: usize = bundles
             .iter()
-            .map(|b| b.vector_ops.len() + usize::from(b.scalar_op.is_some()) + usize::from(b.index_merge_op.is_some()))
+            .map(|b| {
+                b.vector_ops.len()
+                    + usize::from(b.scalar_op.is_some())
+                    + usize::from(b.index_merge_op.is_some())
+            })
             .sum();
         assert_eq!(total, 2);
         assert_eq!(bundles.len(), 2); // dependent ops cannot share a bundle

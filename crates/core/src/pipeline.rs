@@ -20,8 +20,9 @@
 
 use crate::codegen::{generate, Program};
 use crate::model::{schedule, SchedulerOptions};
+use crate::obs::PhaseTimings;
 use eit_arch::{ArchSpec, Schedule};
-use eit_cp::{SearchStats, SearchStatus};
+use eit_cp::{PropProfile, SearchStats, SearchStatus};
 use eit_ir::{CseStats, Graph, IrError, MergeStats};
 use std::fmt;
 
@@ -80,6 +81,12 @@ pub struct Compiled {
     pub cse: CseStats,
     pub merge: MergeStats,
     pub solver: SearchStats,
+    /// Wall-clock spans across all stages (validate, passes, the
+    /// scheduler's own spans, codegen).
+    pub timings: PhaseTimings,
+    /// Per-propagator accounting; empty unless
+    /// [`SchedulerOptions::profile`] was set.
+    pub propagator_profile: Vec<PropProfile>,
 }
 
 /// Run the full toolchain on `graph`.
@@ -88,27 +95,33 @@ pub fn compile(
     spec: &ArchSpec,
     opts: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
-    graph.validate().map_err(CompileError::InvalidIr)?;
+    let mut timings = PhaseTimings::new();
+    timings
+        .time("validate", || graph.validate())
+        .map_err(CompileError::InvalidIr)?;
 
     let cse = if opts.cse {
-        eit_ir::eliminate_common_subexpressions(&mut graph)
+        timings.time("cse", || {
+            eit_ir::eliminate_common_subexpressions(&mut graph)
+        })
     } else {
         CseStats::default()
     };
     let merge = if opts.merge {
-        eit_ir::merge_pipeline_ops(&mut graph)
+        timings.time("merge", || eit_ir::merge_pipeline_ops(&mut graph))
     } else {
         MergeStats::default()
     };
     debug_assert!(graph.validate().is_ok());
 
     let result = schedule(&graph, spec, &opts.scheduler);
+    timings.extend(&result.timings);
     let sched = match (result.schedule, result.status) {
         (Some(s), _) => s,
         (None, SearchStatus::Infeasible) => return Err(CompileError::Infeasible),
         (None, _) => return Err(CompileError::Timeout),
     };
-    let program = generate(&graph, spec, &sched);
+    let program = timings.time("codegen", || generate(&graph, spec, &sched));
 
     Ok(Compiled {
         graph,
@@ -118,6 +131,8 @@ pub fn compile(
         cse,
         merge,
         solver: result.stats,
+        timings,
+        propagator_profile: result.propagator_profile,
     })
 }
 
@@ -211,7 +226,10 @@ mod tests {
         let out = compile(
             ctx.finish(),
             &ArchSpec::eit(),
-            &CompileOptions { cse: false, ..opts(30) },
+            &CompileOptions {
+                cse: false,
+                ..opts(30)
+            },
         )
         .unwrap();
         assert_eq!(out.cse.ops_removed, 0);

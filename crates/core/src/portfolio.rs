@@ -10,8 +10,9 @@
 //! bound found anywhere prunes everyone.
 
 use crate::model::{build_model, SchedulerOptions};
+use crate::obs::PhaseTimings;
 use eit_arch::{ArchSpec, Schedule};
-use eit_cp::portfolio::{race, Strategy};
+use eit_cp::portfolio::{race_with_report, Strategy};
 use eit_cp::{Phase, SearchConfig, ValSel, VarSel};
 use eit_ir::Graph;
 use std::sync::Arc;
@@ -59,6 +60,7 @@ pub fn schedule_portfolio(
                     node_limit: opts.node_limit,
                     shared_bound: None, // installed by race()
                     restart_on_solution: true,
+                    trace: opts.trace.clone(),
                 };
                 (built.model, built.objective, cfg)
             });
@@ -66,19 +68,22 @@ pub fn schedule_portfolio(
         })
         .collect();
 
-    let r = race(strategies);
+    let mut timings = PhaseTimings::new();
+    let (r, report) = timings.time("portfolio_race", || race_with_report(strategies));
 
     // Extract the schedule by re-building one model to recover the
     // variable layout (deterministic), then reading the winning solution.
-    let schedule = r.best.as_ref().map(|sol| {
-        let built = build_model(&g, &spec, &opts);
-        let mut s = Schedule::new(g.len());
-        for i in g.ids() {
-            s.start[i.idx()] = sol.value(built.start[i.idx()]);
-            s.slot[i.idx()] = built.slot[i.idx()].map(|v| sol.value(v) as u32);
-        }
-        s.compute_makespan(&g, &spec.latencies.of(&g));
-        s
+    let schedule = timings.time("extract", || {
+        r.best.as_ref().map(|sol| {
+            let built = build_model(&g, &spec, &opts);
+            let mut s = Schedule::new(g.len());
+            for i in g.ids() {
+                s.start[i.idx()] = sol.value(built.start[i.idx()]);
+                s.slot[i.idx()] = built.slot[i.idx()].map(|v| sol.value(v) as u32);
+            }
+            s.compute_makespan(&g, &spec.latencies.of(&g));
+            s
+        })
     });
 
     crate::model::ScheduleResult {
@@ -86,6 +91,10 @@ pub fn schedule_portfolio(
         schedule,
         status: r.status,
         stats: r.stats,
+        timings,
+        winner: Some(report.winner),
+        // Racers each own their engine; no per-propagator profile here.
+        propagator_profile: Vec::new(),
     }
 }
 
@@ -133,7 +142,10 @@ mod tests {
         let r = schedule_portfolio(
             &g,
             &spec,
-            &SchedulerOptions { timeout: Some(Duration::from_secs(10)), ..Default::default() },
+            &SchedulerOptions {
+                timeout: Some(Duration::from_secs(10)),
+                ..Default::default()
+            },
         );
         assert_eq!(r.status, SearchStatus::Infeasible);
     }

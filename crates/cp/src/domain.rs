@@ -22,7 +22,9 @@ impl Domain {
         if lo > hi {
             Domain { ivs: Vec::new() }
         } else {
-            Domain { ivs: vec![(lo, hi)] }
+            Domain {
+                ivs: vec![(lo, hi)],
+            }
         }
     }
 

@@ -9,6 +9,8 @@
 
 use crate::store::{Fail, PropResult, Store, VarId};
 use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 /// A filtering algorithm attached to a set of variables.
 ///
@@ -32,6 +34,59 @@ pub trait Propagator: Send {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PropId(pub u32);
 
+/// Per-propagator accounting, indexed by [`PropId`].
+///
+/// Counters are always maintained (two integer adds per invocation);
+/// wall-clock attribution is off by default because reading the clock
+/// twice per propagation is the one genuinely expensive part — enable it
+/// with [`Engine::enable_profiling`].
+#[derive(Clone, Copy, Debug)]
+pub struct PropProfile {
+    /// Diagnostic name as reported by [`Propagator::name`].
+    pub name: &'static str,
+    /// Times `propagate` ran.
+    pub invocations: u64,
+    /// Domain mutations performed across all invocations.
+    pub prunings: u64,
+    /// Invocations that ended in `Err(Fail)`.
+    pub failures: u64,
+    /// Cumulative wall time; zero unless timing was enabled.
+    pub time: Duration,
+}
+
+/// Render aggregated profile rows (as from [`Engine::profile_by_name`])
+/// plus a total line. `total_invocations` is the engine's propagation
+/// count, which the invocation column must sum to.
+pub fn render_profile_table(rows: &[PropProfile], total_invocations: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>10} {:>12}",
+        "propagator", "invocations", "prunings", "failures", "time_us"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>12} {:>10} {:>12}",
+            r.name,
+            r.invocations,
+            r.prunings,
+            r.failures,
+            r.time.as_micros()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>10} {:>12}",
+        "total",
+        total_invocations,
+        rows.iter().map(|r| r.prunings).sum::<u64>(),
+        rows.iter().map(|r| r.failures).sum::<u64>(),
+        rows.iter().map(|r| r.time.as_micros()).sum::<u128>()
+    );
+    out
+}
+
 pub struct Engine {
     props: Vec<Box<dyn Propagator>>,
     /// var index → subscribed propagator ids.
@@ -40,6 +95,10 @@ pub struct Engine {
     queue: VecDeque<u32>,
     /// Total number of `propagate` invocations (statistics).
     pub propagations: u64,
+    /// Parallel to `props`.
+    profiles: Vec<PropProfile>,
+    /// When true, attribute wall time to each propagator run.
+    timed_profiling: bool,
 }
 
 impl Engine {
@@ -50,7 +109,47 @@ impl Engine {
             queued: Vec::new(),
             queue: VecDeque::new(),
             propagations: 0,
+            profiles: Vec::new(),
+            timed_profiling: false,
         }
+    }
+
+    /// Turn on per-propagator wall-time attribution (counters are always
+    /// on). Call before solving; timing starts from the next fixpoint.
+    pub fn enable_profiling(&mut self) {
+        self.timed_profiling = true;
+    }
+
+    /// Per-propagator accounting, one entry per registered propagator in
+    /// [`PropId`] order.
+    pub fn profiles(&self) -> &[PropProfile] {
+        &self.profiles
+    }
+
+    /// Profiles aggregated by propagator name, sorted by descending cost
+    /// (time when timing was on, else prunings).
+    pub fn profile_by_name(&self) -> Vec<PropProfile> {
+        let mut by_name: Vec<PropProfile> = Vec::new();
+        for p in &self.profiles {
+            match by_name.iter_mut().find(|a| a.name == p.name) {
+                Some(a) => {
+                    a.invocations += p.invocations;
+                    a.prunings += p.prunings;
+                    a.failures += p.failures;
+                    a.time += p.time;
+                }
+                None => by_name.push(*p),
+            }
+        }
+        by_name.sort_by(|a, b| {
+            (b.time, b.prunings, b.invocations).cmp(&(a.time, a.prunings, a.invocations))
+        });
+        by_name
+    }
+
+    /// Render the sorted "propagator flamegraph" table.
+    pub fn profile_table(&self) -> String {
+        render_profile_table(&self.profile_by_name(), self.propagations)
     }
 
     pub fn num_propagators(&self) -> usize {
@@ -70,6 +169,13 @@ impl Engine {
         if self.subs.len() < store.num_vars() {
             self.subs.resize(store.num_vars(), Vec::new());
         }
+        self.profiles.push(PropProfile {
+            name: p.name(),
+            invocations: 0,
+            prunings: 0,
+            failures: 0,
+            time: Duration::ZERO,
+        });
         self.props.push(p);
         self.queued.push(true);
         self.queue.push_back(id);
@@ -107,15 +213,27 @@ impl Engine {
         while let Some(id) = self.queue.pop_front() {
             self.queued[id as usize] = false;
             self.propagations += 1;
+            let changes_before = store.change_count();
+            let t0 = if self.timed_profiling {
+                Some(Instant::now())
+            } else {
+                None
+            };
             // Temporarily move the propagator out to satisfy the borrow
             // checker while it mutates the store through `self`-adjacent
             // subscriptions.
-            let mut p = std::mem::replace(
-                &mut self.props[id as usize],
-                Box::new(NoOp),
-            );
+            let mut p = std::mem::replace(&mut self.props[id as usize], Box::new(NoOp));
             let r = p.propagate(store);
             self.props[id as usize] = p;
+            let prof = &mut self.profiles[id as usize];
+            prof.invocations += 1;
+            prof.prunings += store.change_count() - changes_before;
+            if r.is_err() {
+                prof.failures += 1;
+            }
+            if let Some(t0) = t0 {
+                prof.time += t0.elapsed();
+            }
             match r {
                 Ok(()) => self.drain_dirty(store),
                 Err(Fail) => {
@@ -239,6 +357,110 @@ mod tests {
         s.remove_below(a, 1).unwrap();
         e.fixpoint(&mut s).unwrap();
         assert!(e.propagations - before <= 2);
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+
+    struct Leq {
+        x: VarId,
+        y: VarId,
+    }
+    impl Propagator for Leq {
+        fn vars(&self) -> Vec<VarId> {
+            vec![self.x, self.y]
+        }
+        fn propagate(&mut self, s: &mut Store) -> PropResult {
+            s.remove_above(self.x, s.max(self.y))?;
+            s.remove_below(self.y, s.min(self.x))
+        }
+        fn name(&self) -> &'static str {
+            "leq"
+        }
+    }
+
+    #[test]
+    fn invocations_sum_to_engine_propagations() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 10);
+        let b = s.new_var(0, 10);
+        let c = s.new_var(0, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(Leq { x: a, y: b }), &s);
+        e.post(Box::new(Leq { x: b, y: c }), &s);
+        e.fixpoint(&mut s).unwrap();
+        s.push_level();
+        s.remove_above(c, 4).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        let sum: u64 = e.profiles().iter().map(|p| p.invocations).sum();
+        assert_eq!(sum, e.propagations);
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn prunings_sum_to_propagator_driven_store_changes() {
+        // At the root fixpoint every domain mutation comes from a
+        // propagator, so profile prunings must equal the store's change
+        // counter exactly.
+        let mut s = Store::new();
+        let a = s.new_var(3, 10);
+        let b = s.new_var(0, 8);
+        let c = s.new_var(0, 5);
+        let mut e = Engine::new();
+        e.post(Box::new(Leq { x: a, y: b }), &s);
+        e.post(Box::new(Leq { x: b, y: c }), &s);
+        e.fixpoint(&mut s).unwrap();
+        let prunings: u64 = e.profiles().iter().map(|p| p.prunings).sum();
+        assert_eq!(prunings, s.change_count());
+        assert!(prunings > 0, "chained bounds must have pruned something");
+    }
+
+    #[test]
+    fn failures_are_attributed_and_timing_is_gated() {
+        let mut s = Store::new();
+        let a = s.new_var(5, 10);
+        let b = s.new_var(0, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(Leq { x: a, y: b }), &s);
+        e.fixpoint(&mut s).unwrap();
+        assert_eq!(
+            e.profiles()[0].time,
+            Duration::ZERO,
+            "timing off by default"
+        );
+        s.push_level();
+        s.remove_below(a, 8).unwrap();
+        s.remove_above(b, 6).unwrap();
+        assert_eq!(e.fixpoint(&mut s), Err(Fail));
+        assert_eq!(e.profiles()[0].failures, 1);
+        s.pop_level();
+
+        e.enable_profiling();
+        s.push_level();
+        s.remove_above(b, 5).unwrap();
+        e.fixpoint(&mut s).unwrap();
+        assert!(e.profiles()[0].time > Duration::ZERO);
+    }
+
+    #[test]
+    fn table_aggregates_by_name() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 10);
+        let b = s.new_var(0, 10);
+        let c = s.new_var(0, 10);
+        let mut e = Engine::new();
+        e.post(Box::new(Leq { x: a, y: b }), &s);
+        e.post(Box::new(Leq { x: b, y: c }), &s);
+        e.fixpoint(&mut s).unwrap();
+        let rows = e.profile_by_name();
+        assert_eq!(rows.len(), 1, "same-name propagators merge");
+        assert_eq!(rows[0].name, "leq");
+        assert_eq!(rows[0].invocations, e.propagations);
+        let table = e.profile_table();
+        assert!(table.contains("leq"));
+        assert!(table.contains("total"));
     }
 }
 

@@ -56,12 +56,17 @@ pub mod portfolio;
 pub mod props;
 pub mod search;
 pub mod store;
+pub mod trace;
 
 pub use domain::Domain;
-pub use engine::{Engine, PropId, Propagator};
+pub use engine::{render_profile_table, Engine, PropId, PropProfile, Propagator};
 pub use model::Model;
+pub use portfolio::{RaceReport, RacerOutcome};
 pub use search::{
     minimize, solve, solve_all, Phase, SearchConfig, SearchResult, SearchStats, SearchStatus,
     Solution, ValSel, VarSel,
 };
 pub use store::{Fail, PropResult, Store, VarId};
+pub use trace::{
+    EventCounts, JsonlSink, MemorySink, NullSink, ProgressSink, SearchEvent, TraceHandle, TraceSink,
+};

@@ -119,7 +119,9 @@ impl Model {
         n_banks: i32,
         page_size: i32,
     ) {
-        self.post(Box::new(SlotGeometry::new(slot, line, page, n_banks, page_size)));
+        self.post(Box::new(SlotGeometry::new(
+            slot, line, page, n_banks, page_size,
+        )));
     }
 
     /// Modular channeling `s = m·k + t`, `t ∈ [0, m)` (modulo scheduling).
@@ -128,8 +130,19 @@ impl Model {
     }
 
     /// `page_d = page_e ⟹ line_d = line_e` (constraint (7)).
-    pub fn page_line_implies(&mut self, page_d: VarId, line_d: VarId, page_e: VarId, line_e: VarId) {
-        self.post(Box::new(PageLineImplies { page_d, line_d, page_e, line_e }));
+    pub fn page_line_implies(
+        &mut self,
+        page_d: VarId,
+        line_d: VarId,
+        page_e: VarId,
+        line_e: VarId,
+    ) {
+        self.post(Box::new(PageLineImplies {
+            page_d,
+            line_d,
+            page_e,
+            line_e,
+        }));
     }
 
     /// Extensional constraint: `vars` must match one of `tuples`.
@@ -165,9 +178,21 @@ mod tests {
         m.precedence(a, 1, b);
         m.cumulative(
             vec![
-                CumTask { start: a, dur: 1, req: 1 },
-                CumTask { start: b, dur: 1, req: 1 },
-                CumTask { start: c, dur: 1, req: 1 },
+                CumTask {
+                    start: a,
+                    dur: 1,
+                    req: 1,
+                },
+                CumTask {
+                    start: b,
+                    dur: 1,
+                    req: 1,
+                },
+                CumTask {
+                    start: c,
+                    dur: 1,
+                    req: 1,
+                },
             ],
             1,
         );

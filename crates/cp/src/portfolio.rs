@@ -10,14 +10,33 @@
 //! closure that constructs a fresh model per thread.
 
 use crate::model::Model;
-use crate::search::{minimize, SearchConfig, SearchResult, SearchStatus};
+use crate::search::{minimize, SearchConfig, SearchResult, SearchStats, SearchStatus};
 use crate::store::VarId;
-use parking_lot::Mutex;
 use std::sync::atomic::AtomicI32;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One portfolio entry: builds a model, its objective var and its config.
 pub type Strategy = Box<dyn Fn() -> (Model, VarId, SearchConfig) + Send + Sync>;
+
+/// What each racer did, by strategy index. The index refers to the
+/// position in the `strategies` vector passed to [`race_with_report`].
+#[derive(Debug, Clone, Copy)]
+pub struct RacerOutcome {
+    pub strategy: usize,
+    pub status: SearchStatus,
+    pub objective: Option<i32>,
+    pub completed: bool,
+    pub stats: SearchStats,
+}
+
+/// Per-racer accounting for a portfolio run.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Index of the strategy whose result was selected by the merge.
+    pub winner: usize,
+    /// One entry per strategy, in strategy order.
+    pub racers: Vec<RacerOutcome>,
+}
 
 /// Race `strategies` in parallel; return the best result found by any.
 ///
@@ -26,61 +45,103 @@ pub type Strategy = Box<dyn Fn() -> (Model, VarId, SearchConfig) + Send + Sync>;
 /// across threads; its status is `Optimal` if *any* thread proved
 /// optimality (a proof under a shared bound that equals the incumbent is a
 /// valid proof for the portfolio), `Infeasible` if any proved
-/// infeasibility, otherwise the best feasible/unknown outcome.
+/// infeasibility, otherwise the best feasible/unknown outcome. Its
+/// `stats` are the merge of all racers' stats: summed nodes, fails,
+/// solutions and propagations, max depth, max wall time.
 pub fn race(strategies: Vec<Strategy>) -> SearchResult {
+    race_with_report(strategies).0
+}
+
+/// As [`race`], additionally reporting per-racer statistics and the
+/// winning strategy index.
+pub fn race_with_report(strategies: Vec<Strategy>) -> (SearchResult, RaceReport) {
     assert!(!strategies.is_empty());
     let shared = Arc::new(AtomicI32::new(i32::MAX));
-    let results: Mutex<Vec<SearchResult>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<(usize, SearchResult)>> = Mutex::new(Vec::new());
 
-    crossbeam::scope(|scope| {
-        for strat in &strategies {
+    std::thread::scope(|scope| {
+        for (idx, strat) in strategies.iter().enumerate() {
             let shared = Arc::clone(&shared);
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let (mut model, obj, mut cfg) = strat();
                 cfg.shared_bound = Some(shared);
                 let r = minimize(&mut model, obj, &cfg);
-                results.lock().push(r);
+                results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((idx, r));
             });
         }
-    })
-    .expect("portfolio thread panicked");
+    });
 
-    let all = results.into_inner();
+    let mut all = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    all.sort_by_key(|(idx, _)| *idx);
     merge_results(all)
 }
 
-fn merge_results(all: Vec<SearchResult>) -> SearchResult {
-    // Infeasibility proven anywhere decides the instance.
-    if let Some(inf) = all
-        .iter()
-        .position(|r| r.status == SearchStatus::Infeasible)
-    {
-        let mut v = all;
-        return v.swap_remove(inf);
+/// Sum the additive counters across racers, take the max of the
+/// watermark-style ones.
+fn merge_stats(all: &[(usize, SearchResult)]) -> SearchStats {
+    let mut merged = SearchStats::default();
+    for (_, r) in all {
+        merged.nodes += r.stats.nodes;
+        merged.fails += r.stats.fails;
+        merged.solutions += r.stats.solutions;
+        merged.propagations += r.stats.propagations;
+        merged.max_depth = merged.max_depth.max(r.stats.max_depth);
+        merged.time = merged.time.max(r.stats.time);
     }
-    // Any fully exhausted tree certifies that nothing beats the final
-    // shared bound, which equals the portfolio incumbent's objective.
-    let any_completed = all.iter().any(|r| r.completed);
-    // Pick the best objective (ties: first).
-    let mut best_idx = 0;
-    let mut best_obj = i32::MAX;
-    let mut found = false;
-    for (i, r) in all.iter().enumerate() {
-        if let Some(o) = r.objective {
-            if !found || o < best_obj {
-                best_obj = o;
-                best_idx = i;
-                found = true;
+    merged
+}
+
+fn merge_results(all: Vec<(usize, SearchResult)>) -> (SearchResult, RaceReport) {
+    let merged_stats = merge_stats(&all);
+    let racers: Vec<RacerOutcome> = all
+        .iter()
+        .map(|(idx, r)| RacerOutcome {
+            strategy: *idx,
+            status: r.status,
+            objective: r.objective,
+            completed: r.completed,
+            stats: r.stats,
+        })
+        .collect();
+
+    // Infeasibility proven anywhere decides the instance.
+    let pick = if let Some(inf) = all
+        .iter()
+        .position(|(_, r)| r.status == SearchStatus::Infeasible)
+    {
+        inf
+    } else {
+        // Pick the best objective (ties: first in strategy order).
+        let mut best_idx = None;
+        let mut best_obj = i32::MAX;
+        for (i, (_, r)) in all.iter().enumerate() {
+            if let Some(o) = r.objective {
+                if best_idx.is_none() || o < best_obj {
+                    best_obj = o;
+                    best_idx = Some(i);
+                }
             }
         }
-    }
+        best_idx.unwrap_or(0)
+    };
+
+    // Any fully exhausted tree certifies that nothing beats the final
+    // shared bound, which equals the portfolio incumbent's objective.
+    let any_completed = all.iter().any(|(_, r)| r.completed);
+    let found = all[pick].1.objective.is_some();
+    let infeasible = all[pick].1.status == SearchStatus::Infeasible;
+
     let mut v = all;
-    let mut out = v.swap_remove(if found { best_idx } else { 0 });
-    if found && any_completed {
+    let (winner, mut out) = v.swap_remove(pick);
+    if !infeasible && found && any_completed {
         out.status = SearchStatus::Optimal;
     }
-    out
+    out.stats = merged_stats;
+    (out, RaceReport { winner, racers })
 }
 
 #[cfg(test)]
@@ -94,11 +155,18 @@ mod tests {
         let vars: Vec<VarId> = (0..n).map(|_| m.new_var(0, n as i32 - 1)).collect();
         for i in 0..n {
             for j in (i + 1)..n {
-                m.post(Box::new(NeqOffset { x: vars[i], y: vars[j], c: 0 }));
+                m.post(Box::new(NeqOffset {
+                    x: vars[i],
+                    y: vars[j],
+                    c: 0,
+                }));
             }
         }
         let obj = m.new_var(0, n as i32 - 1);
-        m.post(Box::new(MaxOf { xs: vars.clone(), y: obj }));
+        m.post(Box::new(MaxOf {
+            xs: vars.clone(),
+            y: obj,
+        }));
         let cfg = SearchConfig {
             phases: vec![Phase::new(vars, VarSel::FirstFail, val_sel)],
             ..Default::default()
@@ -133,9 +201,35 @@ mod tests {
             };
             (m, x, cfg)
         }
-        let strategies: Vec<Strategy> =
-            vec![Box::new(infeasible), Box::new(infeasible)];
+        let strategies: Vec<Strategy> = vec![Box::new(infeasible), Box::new(infeasible)];
         let r = race(strategies);
         assert_eq!(r.status, SearchStatus::Infeasible);
+    }
+
+    #[test]
+    fn report_merges_stats_and_names_winner() {
+        let n = 5;
+        let strategies: Vec<Strategy> = vec![
+            Box::new(move || build(n, ValSel::Min)),
+            Box::new(move || build(n, ValSel::Max)),
+        ];
+        let (r, report) = race_with_report(strategies);
+        assert_eq!(report.racers.len(), 2);
+        assert!(report.winner < 2);
+        assert_eq!(report.racers[0].strategy, 0);
+        assert_eq!(report.racers[1].strategy, 1);
+        // Merged counters are the per-racer sums / maxes.
+        let sum_nodes: u64 = report.racers.iter().map(|o| o.stats.nodes).sum();
+        let sum_props: u64 = report.racers.iter().map(|o| o.stats.propagations).sum();
+        let max_depth = report
+            .racers
+            .iter()
+            .map(|o| o.stats.max_depth)
+            .max()
+            .unwrap();
+        assert_eq!(r.stats.nodes, sum_nodes);
+        assert_eq!(r.stats.propagations, sum_props);
+        assert_eq!(r.stats.max_depth, max_depth);
+        assert!(r.stats.nodes > 0);
     }
 }

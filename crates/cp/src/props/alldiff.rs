@@ -24,11 +24,7 @@ impl AllDifferent {
     /// if the number of variables whose domain lies inside is equal to its
     /// width, variables outside must avoid it.
     fn hall_filter(&self, s: &mut Store) -> PropResult {
-        let bounds: Vec<(i32, i32)> = self
-            .vars
-            .iter()
-            .map(|&v| (s.min(v), s.max(v)))
-            .collect();
+        let bounds: Vec<(i32, i32)> = self.vars.iter().map(|&v| (s.min(v), s.max(v))).collect();
         // Candidate interval endpoints: the variables' bounds.
         let mut lows: Vec<i32> = bounds.iter().map(|&(l, _)| l).collect();
         let mut his: Vec<i32> = bounds.iter().map(|&(_, h)| h).collect();
@@ -85,7 +81,9 @@ impl Propagator for AllDifferent {
             let mut changed = false;
             for i in 0..self.vars.len() {
                 let vi = self.vars[i];
-                let Some(val) = s.dom(vi).value() else { continue };
+                let Some(val) = s.dom(vi).value() else {
+                    continue;
+                };
                 for j in 0..self.vars.len() {
                     if i == j {
                         continue;

@@ -99,7 +99,6 @@ impl Cumulative {
         }
         Ok(())
     }
-
 }
 
 /// Piecewise-constant resource profile built from compulsory parts:
@@ -351,8 +350,7 @@ mod tests {
         // 16 unit tasks in a 2-slot window of capacity 4: no task has a
         // compulsory part, but the energy 16 > 4*2 = 8.
         let mut s = Store::new();
-        let specs: Vec<(VarId, i32, i32)> =
-            (0..16).map(|_| (s.new_var(0, 1), 1, 1)).collect();
+        let specs: Vec<(VarId, i32, i32)> = (0..16).map(|_| (s.new_var(0, 1), 1, 1)).collect();
         let mut e = Engine::new();
         e.post(Box::new(cum(&s, &specs, 4)), &s);
         assert!(e.fixpoint(&mut s).is_err());
@@ -362,8 +360,7 @@ mod tests {
     fn energetic_check_accepts_exact_fit() {
         // 8 unit tasks in a 2-slot window of capacity 4: energy 8 = 8.
         let mut s = Store::new();
-        let specs: Vec<(VarId, i32, i32)> =
-            (0..8).map(|_| (s.new_var(0, 1), 1, 1)).collect();
+        let specs: Vec<(VarId, i32, i32)> = (0..8).map(|_| (s.new_var(0, 1), 1, 1)).collect();
         let mut e = Engine::new();
         e.post(Box::new(cum(&s, &specs, 4)), &s);
         assert!(e.fixpoint(&mut s).is_ok());
@@ -374,8 +371,7 @@ mod tests {
         // 3 fixed 2-cycle unit tasks share [5,7) on a unit machine:
         // energy 6 > 1 * 2 - caught without any search.
         let mut s = Store::new();
-        let specs: Vec<(VarId, i32, i32)> =
-            (0..3).map(|_| (s.new_var(5, 5), 2, 1)).collect();
+        let specs: Vec<(VarId, i32, i32)> = (0..3).map(|_| (s.new_var(5, 5), 2, 1)).collect();
         let mut e = Engine::new();
         e.post(Box::new(cum(&s, &specs, 1)), &s);
         assert!(e.fixpoint(&mut s).is_err());
@@ -388,10 +384,7 @@ mod tests {
         let b = s.new_var(0, 0);
         let c = s.new_var(0, 0);
         let mut e = Engine::new();
-        e.post(
-            Box::new(cum(&s, &[(a, 1, 5), (b, 0, 9), (c, 1, 0)], 5)),
-            &s,
-        );
+        e.post(Box::new(cum(&s, &[(a, 1, 5), (b, 0, 9), (c, 1, 0)], 5)), &s);
         assert!(e.fixpoint(&mut s).is_ok());
     }
 }

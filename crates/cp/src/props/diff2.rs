@@ -237,8 +237,14 @@ mod tests {
         let l = s.new_const(10);
         let one = s.new_const(1);
         let rects = vec![
-            Rect { origin: [t0, y0], len: [l, one] },
-            Rect { origin: [t10, y1], len: [l, one] },
+            Rect {
+                origin: [t0, y0],
+                len: [l, one],
+            },
+            Rect {
+                origin: [t10, y1],
+                len: [l, one],
+            },
         ];
         let mut e = Engine::new();
         e.post(Box::new(Diff2::new(rects)), &s);
@@ -254,7 +260,10 @@ mod tests {
         let y = s.new_const(2);
         let zero = s.new_const(0);
         let one = s.new_const(1);
-        let b = Rect { origin: [x, y], len: [zero, one] };
+        let b = Rect {
+            origin: [x, y],
+            len: [zero, one],
+        };
         let mut e = Engine::new();
         e.post(Box::new(Diff2::new(vec![a, b])), &s);
         assert!(e.fixpoint(&mut s).is_ok());
@@ -268,7 +277,10 @@ mod tests {
         let ay = s.new_const(0);
         let alen = s.new_var(1, 10);
         let one = s.new_const(1);
-        let a = Rect { origin: [ax, ay], len: [alen, one] };
+        let a = Rect {
+            origin: [ax, ay],
+            len: [alen, one],
+        };
         let b = rect(&mut s, (4, 4), (0, 0), 3, 1);
         let mut e = Engine::new();
         e.post(Box::new(Diff2::new(vec![a, b])), &s);

@@ -194,7 +194,9 @@ mod tests {
         let mut m = Model::new();
         let vars: Vec<VarId> = (0..4).map(|_| m.new_var(0, 6)).collect();
         m.post(Box::new(Disjunctive::new(
-            vars.iter().map(|&v| DisjTask { start: v, dur: 2 }).collect(),
+            vars.iter()
+                .map(|&v| DisjTask { start: v, dur: 2 })
+                .collect(),
         )));
         let cfg = SearchConfig {
             phases: vec![Phase::new(vars.clone(), VarSel::FirstFail, ValSel::Min)],

@@ -195,7 +195,15 @@ mod tests {
         let kv = s.new_var(0, 4);
         let tv = s.new_var(0, 6);
         let mut e = Engine::new();
-        e.post(Box::new(ModChannel { s: sv, k: kv, t: tv, modulus: 7 }), &s);
+        e.post(
+            Box::new(ModChannel {
+                s: sv,
+                k: kv,
+                t: tv,
+                modulus: 7,
+            }),
+            &s,
+        );
         e.fixpoint(&mut s).unwrap();
         s.push_level();
         // Restrict the window slot: t ∈ {4,5,6} → s ≡ 4..6 (mod 7).
@@ -219,7 +227,15 @@ mod tests {
         let kv = s.new_var(0, 20);
         let tv = s.new_var(0, 6);
         let mut e = Engine::new();
-        e.post(Box::new(ModChannel { s: sv, k: kv, t: tv, modulus: 7 }), &s);
+        e.post(
+            Box::new(ModChannel {
+                s: sv,
+                k: kv,
+                t: tv,
+                modulus: 7,
+            }),
+            &s,
+        );
         e.fixpoint(&mut s).unwrap();
         s.push_level();
         s.fix(sv, 33).unwrap();
@@ -232,10 +248,12 @@ mod tests {
     fn impossible_combination_fails() {
         let (mut s, mut e, _, line, page) = setup(16); // only line 0 exists
         s.push_level();
-        assert!(s.fix(line, 1).is_err() || {
-            let r = e.fixpoint(&mut s);
-            let _ = page;
-            r.is_err()
-        });
+        assert!(
+            s.fix(line, 1).is_err() || {
+                let r = e.fixpoint(&mut s);
+                let _ = page;
+                r.is_err()
+            }
+        );
     }
 }

@@ -73,8 +73,7 @@ impl Propagator for PageLineImplies {
     }
 
     fn propagate(&mut self, s: &mut Store) -> PropResult {
-        Self::filter(s, self.page_d, self.line_d, self.page_e, self.line_e, true)
-            .map(|_| ())
+        Self::filter(s, self.page_d, self.line_d, self.page_e, self.line_e, true).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -120,9 +119,8 @@ impl Propagator for CondSameTime {
         if s.dom(self.s_i).disjoint(s.dom(self.s_j)) {
             return Ok(());
         }
-        let guard_true = s.is_fixed(self.s_i)
-            && s.is_fixed(self.s_j)
-            && s.value(self.s_i) == s.value(self.s_j);
+        let guard_true =
+            s.is_fixed(self.s_i) && s.is_fixed(self.s_j) && s.value(self.s_i) == s.value(self.s_j);
 
         if guard_true {
             for p in &self.pairs {
@@ -173,7 +171,12 @@ mod tests {
         let (pd, ld, pe, le) = vars(&mut s);
         let mut e = Engine::new();
         e.post(
-            Box::new(PageLineImplies { page_d: pd, line_d: ld, page_e: pe, line_e: le }),
+            Box::new(PageLineImplies {
+                page_d: pd,
+                line_d: ld,
+                page_e: pe,
+                line_e: le,
+            }),
             &s,
         );
         e.fixpoint(&mut s).unwrap();
@@ -191,7 +194,12 @@ mod tests {
         let (pd, ld, pe, le) = vars(&mut s);
         let mut e = Engine::new();
         e.post(
-            Box::new(PageLineImplies { page_d: pd, line_d: ld, page_e: pe, line_e: le }),
+            Box::new(PageLineImplies {
+                page_d: pd,
+                line_d: ld,
+                page_e: pe,
+                line_e: le,
+            }),
             &s,
         );
         e.fixpoint(&mut s).unwrap();
@@ -209,7 +217,12 @@ mod tests {
         let (pd, ld, pe, le) = vars(&mut s);
         let mut e = Engine::new();
         e.post(
-            Box::new(PageLineImplies { page_d: pd, line_d: ld, page_e: pe, line_e: le }),
+            Box::new(PageLineImplies {
+                page_d: pd,
+                line_d: ld,
+                page_e: pe,
+                line_e: le,
+            }),
             &s,
         );
         e.fixpoint(&mut s).unwrap();
@@ -232,7 +245,12 @@ mod tests {
             Box::new(CondSameTime {
                 s_i: si,
                 s_j: sj,
-                pairs: vec![GuardedPair { page_d: pd, line_d: ld, page_e: pe, line_e: le }],
+                pairs: vec![GuardedPair {
+                    page_d: pd,
+                    line_d: ld,
+                    page_e: pe,
+                    line_e: le,
+                }],
             }),
             &s,
         );
@@ -257,7 +275,12 @@ mod tests {
             Box::new(CondSameTime {
                 s_i: si,
                 s_j: sj,
-                pairs: vec![GuardedPair { page_d: pd, line_d: ld, page_e: pe, line_e: le }],
+                pairs: vec![GuardedPair {
+                    page_d: pd,
+                    line_d: ld,
+                    page_e: pe,
+                    line_e: le,
+                }],
             }),
             &s,
         );
@@ -281,7 +304,12 @@ mod tests {
             Box::new(CondSameTime {
                 s_i: si,
                 s_j: sj,
-                pairs: vec![GuardedPair { page_d: pd, line_d: ld, page_e: pe, line_e: le }],
+                pairs: vec![GuardedPair {
+                    page_d: pd,
+                    line_d: ld,
+                    page_e: pe,
+                    line_e: le,
+                }],
             }),
             &s,
         );

@@ -37,7 +37,11 @@ impl Propagator for Table {
         let live: Vec<&Vec<i32>> = self
             .tuples
             .iter()
-            .filter(|t| t.iter().zip(&self.vars).all(|(&v, &x)| s.dom(x).contains(v)))
+            .filter(|t| {
+                t.iter()
+                    .zip(&self.vars)
+                    .all(|(&v, &x)| s.dom(x).contains(v))
+            })
             .collect();
         if live.is_empty() {
             return Err(Fail);
@@ -70,10 +74,7 @@ mod tests {
 
     #[test]
     fn initial_domains_reduce_to_supported_values() {
-        let (mut s, mut e, v) = setup(
-            &[(0, 9), (0, 9)],
-            vec![vec![1, 5], vec![2, 6], vec![2, 7]],
-        );
+        let (mut s, mut e, v) = setup(&[(0, 9), (0, 9)], vec![vec![1, 5], vec![2, 6], vec![2, 7]]);
         e.fixpoint(&mut s).unwrap();
         assert_eq!(s.dom(v[0]).iter().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(s.dom(v[1]).iter().collect::<Vec<_>>(), vec![5, 6, 7]);
@@ -121,12 +122,7 @@ mod tests {
         let a = m.new_var(0, 3);
         let b = m.new_var(0, 3);
         let c = m.new_var(0, 3);
-        let succ = vec![
-            vec![0, 1],
-            vec![1, 2],
-            vec![2, 3],
-            vec![3, 0],
-        ];
+        let succ = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]];
         m.post(Box::new(Table::new(vec![a, b], succ.clone())));
         m.post(Box::new(Table::new(vec![b, c], succ)));
         let cfg = SearchConfig {

@@ -10,6 +10,7 @@
 
 use crate::model::Model;
 use crate::store::VarId;
+use crate::trace::{SearchEvent, TraceHandle};
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,7 +48,11 @@ pub struct Phase {
 
 impl Phase {
     pub fn new(vars: Vec<VarId>, var_sel: VarSel, val_sel: ValSel) -> Self {
-        Phase { vars, var_sel, val_sel }
+        Phase {
+            vars,
+            var_sel,
+            val_sel,
+        }
     }
 }
 
@@ -67,6 +72,9 @@ pub struct SearchConfig {
     /// chronologically. With strong propagation this avoids thrashing in
     /// the subtree where the incumbent was found.
     pub restart_on_solution: bool,
+    /// Event sink for structured search tracing; `None` (the default)
+    /// costs one branch per would-be event.
+    pub trace: Option<TraceHandle>,
 }
 
 /// Exit status of a search.
@@ -80,6 +88,18 @@ pub enum SearchStatus {
     Infeasible,
     /// Budget expired with no solution found.
     Unknown,
+}
+
+impl SearchStatus {
+    /// Stable lower-case rendering (trace events, metrics files).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SearchStatus::Optimal => "optimal",
+            SearchStatus::Feasible => "feasible",
+            SearchStatus::Infeasible => "infeasible",
+            SearchStatus::Unknown => "unknown",
+        }
+    }
 }
 
 /// A complete assignment snapshot (indexed by `VarId`).
@@ -146,18 +166,34 @@ struct Dfs<'m> {
     external_bound_used: bool,
     /// Enumeration mode: collect every solution up to the cap.
     collect: Option<(Vec<Solution>, usize)>,
+    trace: Option<TraceHandle>,
 }
 
 impl<'m> Dfs<'m> {
+    /// Emit a trace event. The closure keeps event construction off the
+    /// no-sink path entirely: disabled tracing costs one branch here.
+    #[inline]
+    fn emit(&self, event: impl FnOnce() -> SearchEvent) {
+        if let Some(t) = &self.trace {
+            t.emit(&event());
+        }
+    }
+
     fn budget_check(&mut self) -> Result<(), Abort> {
         if let Some(dl) = self.deadline {
             // Checking the clock is ~20 ns; fine at every node.
             if Instant::now() >= dl {
+                self.emit(|| SearchEvent::DeadlineHit {
+                    nodes: self.stats.nodes,
+                });
                 return Err(Abort::Timeout);
             }
         }
         if let Some(nl) = self.node_limit {
             if self.stats.nodes >= nl {
+                self.emit(|| SearchEvent::NodeLimitHit {
+                    nodes: self.stats.nodes,
+                });
                 return Err(Abort::NodeLimit);
             }
         }
@@ -214,7 +250,12 @@ impl<'m> Dfs<'m> {
             if let Some(sb) = &self.shared_bound {
                 sb.fetch_min(val, Ordering::Relaxed);
             }
+            self.emit(|| SearchEvent::BoundUpdate { bound: val });
         }
+        self.emit(|| SearchEvent::Solution {
+            objective: self.best_obj,
+            nodes: self.stats.nodes,
+        });
         let sol = Solution { values };
         if let Some((sols, cap)) = &mut self.collect {
             if sols.len() < *cap {
@@ -229,6 +270,15 @@ impl<'m> Dfs<'m> {
         matches!(&self.collect, Some((sols, cap)) if sols.len() >= *cap)
     }
 
+    /// Count and trace a refuted node.
+    #[inline]
+    fn fail(&mut self) {
+        self.stats.fails += 1;
+        self.emit(|| SearchEvent::Fail {
+            depth: self.model.store.depth(),
+        });
+    }
+
     /// Returns Ok(()) when the subtree is exhausted (normally or by
     /// pruning); Err on budget exhaustion.
     fn dfs(&mut self) -> Result<(), Abort> {
@@ -241,11 +291,11 @@ impl<'m> Dfs<'m> {
             let b = self.effective_bound();
             if b != i32::MAX {
                 if self.model.store.remove_above(obj, b - 1).is_err() {
-                    self.stats.fails += 1;
+                    self.fail();
                     return Ok(());
                 }
                 if self.model.engine.fixpoint(&mut self.model.store).is_err() {
-                    self.stats.fails += 1;
+                    self.fail();
                     return Ok(());
                 }
             }
@@ -275,27 +325,33 @@ impl<'m> Dfs<'m> {
                         self.model.store.max(var)
                     };
                     // Try var = v.
+                    self.emit(|| SearchEvent::Branch {
+                        depth: self.model.store.depth(),
+                        var: var.0,
+                        val: v,
+                    });
                     self.model.store.push_level();
                     let ok = self.model.store.fix(var, v).is_ok()
                         && self.model.engine.fixpoint(&mut self.model.store).is_ok();
                     if ok {
                         let r = self.dfs();
                         self.model.store.pop_level();
+                        self.emit(|| SearchEvent::Backtrack {
+                            depth: self.model.store.depth(),
+                        });
                         r?;
-                        if (self.stop_at_first && self.best.is_some())
-                            || self.collection_full()
-                        {
+                        if (self.stop_at_first && self.best.is_some()) || self.collection_full() {
                             return Ok(());
                         }
                     } else {
-                        self.stats.fails += 1;
                         self.model.store.pop_level();
+                        self.fail();
                     }
                     // Refute var = v and continue with the rest.
                     if self.model.store.remove_value(var, v).is_err()
                         || self.model.engine.fixpoint(&mut self.model.store).is_err()
                     {
-                        self.stats.fails += 1;
+                        self.fail();
                         return Ok(());
                     }
                 }
@@ -303,6 +359,13 @@ impl<'m> Dfs<'m> {
             ValSel::Split => {
                 let mid = self.model.store.dom(var).split_point();
                 for half in 0..2 {
+                    // Lower half is `≤ mid`, upper is `≥ mid+1`; the event's
+                    // `val` is the half's boundary.
+                    self.emit(|| SearchEvent::Branch {
+                        depth: self.model.store.depth(),
+                        var: var.0,
+                        val: if half == 0 { mid } else { mid + 1 },
+                    });
                     self.model.store.push_level();
                     let ok = if half == 0 {
                         self.model.store.remove_above(var, mid).is_ok()
@@ -312,15 +375,16 @@ impl<'m> Dfs<'m> {
                     if ok {
                         let r = self.dfs();
                         self.model.store.pop_level();
+                        self.emit(|| SearchEvent::Backtrack {
+                            depth: self.model.store.depth(),
+                        });
                         r?;
-                        if (self.stop_at_first && self.best.is_some())
-                            || self.collection_full()
-                        {
+                        if (self.stop_at_first && self.best.is_some()) || self.collection_full() {
                             return Ok(());
                         }
                     } else {
-                        self.stats.fails += 1;
                         self.model.store.pop_level();
+                        self.fail();
                     }
                 }
                 Ok(())
@@ -346,6 +410,12 @@ fn run_with_collect(
     collect: Option<usize>,
 ) -> (SearchResult, Vec<Solution>) {
     let t0 = Instant::now();
+    if let Some(t) = &config.trace {
+        t.emit(&SearchEvent::Start {
+            vars: model.store.num_vars(),
+            propagators: model.engine.num_propagators(),
+        });
+    }
     let root_ok = model.engine.fixpoint(&mut model.store).is_ok();
     let restart = config.restart_on_solution && objective.is_some() && !stop_at_first;
 
@@ -363,6 +433,7 @@ fn run_with_collect(
         stop_at_first: stop_at_first || restart,
         external_bound_used: false,
         collect: collect.map(|cap| (Vec::new(), cap)),
+        trace: config.trace.clone(),
     };
 
     // Every dive runs under its own backtrack level so search refutations
@@ -403,6 +474,7 @@ fn run_with_collect(
                     {
                         break; // bound refuted at root: incumbent optimal
                     }
+                    dfs.emit(|| SearchEvent::Restart { bound });
                 }
             }
         }
@@ -427,6 +499,16 @@ fn run_with_collect(
     let mut stats = dfs.stats;
     stats.time = t0.elapsed();
     stats.propagations = dfs.model.engine.propagations;
+
+    if let Some(t) = &config.trace {
+        t.emit(&SearchEvent::Done {
+            status: status.as_str(),
+            nodes: stats.nodes,
+            fails: stats.fails,
+            solutions: stats.solutions,
+        });
+        t.flush();
+    }
 
     let collected = dfs.collect.take().map(|(v, _)| v).unwrap_or_default();
     (
@@ -528,7 +610,14 @@ mod tests {
         m.post(Box::new(XPlusCLeqY { x: a, c: 2, y: b }));
         m.post(Box::new(XPlusCLeqY { x: c, c: 2, y: d }));
         m.post(Box::new(Cumulative::new(
-            starts.iter().map(|&v| CumTask { start: v, dur: 2, req: 1 }).collect(),
+            starts
+                .iter()
+                .map(|&v| CumTask {
+                    start: v,
+                    dur: 2,
+                    req: 1,
+                })
+                .collect(),
             1,
         )));
         let obj = m.new_var(0, horizon + 2);
@@ -536,7 +625,11 @@ mod tests {
             .iter()
             .map(|&v| {
                 let e = m.new_var(0, horizon + 2);
-                m.post(Box::new(crate::props::basic::XPlusCEqY { x: v, c: 2, y: e }));
+                m.post(Box::new(crate::props::basic::XPlusCEqY {
+                    x: v,
+                    c: 2,
+                    y: e,
+                }));
                 e
             })
             .collect();
@@ -556,17 +649,27 @@ mod tests {
         let mut m = Model::new();
         let vars: Vec<VarId> = (0..12).map(|_| m.new_var(0, 30)).collect();
         for w in vars.windows(2) {
-            m.post(Box::new(NeqOffset { x: w[0], y: w[1], c: 0 }));
+            m.post(Box::new(NeqOffset {
+                x: w[0],
+                y: w[1],
+                c: 0,
+            }));
         }
         let obj = m.new_var(0, 40);
-        m.post(Box::new(MaxOf { xs: vars.clone(), y: obj }));
+        m.post(Box::new(MaxOf {
+            xs: vars.clone(),
+            y: obj,
+        }));
         let cfg = SearchConfig {
             phases: vec![Phase::new(vars, VarSel::FirstFail, ValSel::Max)],
             node_limit: Some(5),
             ..Default::default()
         };
         let r = minimize(&mut m, obj, &cfg);
-        assert!(matches!(r.status, SearchStatus::Feasible | SearchStatus::Unknown));
+        assert!(matches!(
+            r.status,
+            SearchStatus::Feasible | SearchStatus::Unknown
+        ));
         assert!(r.stats.nodes <= 6);
     }
 
@@ -626,11 +729,18 @@ mod tests {
         // All-different via pairwise neq: huge tree.
         for i in 0..vars.len() {
             for j in (i + 1)..vars.len() {
-                m.post(Box::new(NeqOffset { x: vars[i], y: vars[j], c: 0 }));
+                m.post(Box::new(NeqOffset {
+                    x: vars[i],
+                    y: vars[j],
+                    c: 0,
+                }));
             }
         }
         let obj = m.new_var(0, 39);
-        m.post(Box::new(MaxOf { xs: vars.clone(), y: obj }));
+        m.post(Box::new(MaxOf {
+            xs: vars.clone(),
+            y: obj,
+        }));
         let cfg = SearchConfig {
             phases: vec![Phase::new(vars, VarSel::FirstFail, ValSel::Min)],
             timeout: Some(Duration::from_millis(50)),
@@ -736,10 +846,17 @@ mod more_tests {
         let build = |m: &mut Model| -> (Vec<VarId>, VarId) {
             let starts: Vec<VarId> = (0..5).map(|_| m.new_var(0, 20)).collect();
             for w in starts.windows(2) {
-                m.post(Box::new(XPlusCLeqY { x: w[0], c: 2, y: w[1] }));
+                m.post(Box::new(XPlusCLeqY {
+                    x: w[0],
+                    c: 2,
+                    y: w[1],
+                }));
             }
             let obj = m.new_var(0, 25);
-            m.post(Box::new(MaxOf { xs: starts.clone(), y: obj }));
+            m.post(Box::new(MaxOf {
+                xs: starts.clone(),
+                y: obj,
+            }));
             (starts, obj)
         };
         let mut results = Vec::new();
@@ -776,7 +893,11 @@ mod more_tests {
             let vars: Vec<VarId> = (0..6).map(|_| m.new_var(0, 5)).collect();
             for i in 0..vars.len() {
                 for j in (i + 1)..vars.len() {
-                    m.post(Box::new(NeqOffset { x: vars[i], y: vars[j], c: 0 }));
+                    m.post(Box::new(NeqOffset {
+                        x: vars[i],
+                        y: vars[j],
+                        c: 0,
+                    }));
                 }
             }
             let cfg = SearchConfig {

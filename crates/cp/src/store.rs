@@ -51,6 +51,9 @@ pub struct Store {
     magic: u64,
     /// Vars whose domain changed since the engine last drained them.
     dirty: Vec<u32>,
+    /// Monotone count of domain mutations (never rewound on backtrack);
+    /// deltas around a propagator run give its pruning count.
+    changes: u64,
 }
 
 impl Store {
@@ -63,6 +66,7 @@ impl Store {
             saved_at: Vec::new(),
             magic: 0,
             dirty: Vec::new(),
+            changes: 0,
         }
     }
 
@@ -135,9 +139,7 @@ impl Store {
     /// The assigned value; panics if not fixed (use in extraction paths).
     #[inline]
     pub fn value(&self, v: VarId) -> i32 {
-        self.domains[v.idx()]
-            .value()
-            .expect("variable not fixed")
+        self.domains[v.idx()].value().expect("variable not fixed")
     }
 
     #[inline]
@@ -158,10 +160,7 @@ impl Store {
 
     /// Restore every domain changed since the last `push_level`.
     pub fn pop_level(&mut self) {
-        let (mark, _) = self
-            .level_marks
-            .pop()
-            .expect("pop_level at root");
+        let (mark, _) = self.level_marks.pop().expect("pop_level at root");
         while self.trail.len() > mark {
             let (var, dom) = self.trail.pop().unwrap();
             self.domains[var as usize] = dom;
@@ -182,12 +181,20 @@ impl Store {
 
     #[inline]
     fn after_change(&mut self, v: VarId) -> PropResult {
+        self.changes += 1;
         if self.domains[v.idx()].is_empty() {
             Err(Fail)
         } else {
             self.dirty.push(v.0);
             Ok(())
         }
+    }
+
+    /// Total domain mutations so far (monotone; includes the mutation
+    /// that emptied a domain on failure).
+    #[inline]
+    pub fn change_count(&self) -> u64 {
+        self.changes
     }
 
     /// Drain the list of changed variables (consumed by the engine).
@@ -255,10 +262,7 @@ impl Store {
     pub fn intersect(&mut self, v: VarId, other: &Domain) -> PropResult {
         // Probe cheaply: bounds-only fast path.
         let d = &self.domains[v.idx()];
-        if d.min() >= other.min()
-            && d.max() <= other.max()
-            && other.interval_count() == 1
-        {
+        if d.min() >= other.min() && d.max() <= other.max() && other.interval_count() == 1 {
             return Ok(());
         }
         self.save(v);

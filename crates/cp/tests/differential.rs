@@ -21,9 +21,9 @@ use rand::{Rng, SeedableRng};
 #[derive(Clone, Debug)]
 enum C {
     Neq(usize, usize),
-    Leq(usize, i32, usize),          // x + c ≤ y
-    EqOff(usize, i32, usize),        // y = x + c
-    LinLeq(Vec<(i64, usize)>, i64),  // Σ aᵢxᵢ ≤ c
+    Leq(usize, i32, usize),         // x + c ≤ y
+    EqOff(usize, i32, usize),       // y = x + c
+    LinLeq(Vec<(i64, usize)>, i64), // Σ aᵢxᵢ ≤ c
     Cumulative(Vec<(usize, i32, i32)>, i32),
     Disjunctive(Vec<(usize, i32)>),
     Diff2(Vec<(usize, usize, i32, i32)>), // (x, y, w, h) fixed extents
@@ -36,16 +36,10 @@ fn check(c: &C, a: &[i32]) -> bool {
         C::Neq(x, y) => a[*x] != a[*y],
         C::Leq(x, k, y) => a[*x] + k <= a[*y],
         C::EqOff(x, k, y) => a[*y] == a[*x] + k,
-        C::LinLeq(terms, k) => {
-            terms.iter().map(|&(co, v)| co * a[v] as i64).sum::<i64>() <= *k
-        }
+        C::LinLeq(terms, k) => terms.iter().map(|&(co, v)| co * a[v] as i64).sum::<i64>() <= *k,
         C::Cumulative(tasks, cap) => {
             let lo = tasks.iter().map(|&(v, _, _)| a[v]).min().unwrap_or(0);
-            let hi = tasks
-                .iter()
-                .map(|&(v, d, _)| a[v] + d)
-                .max()
-                .unwrap_or(0);
+            let hi = tasks.iter().map(|&(v, d, _)| a[v] + d).max().unwrap_or(0);
             (lo..hi).all(|t| {
                 tasks
                     .iter()
@@ -96,13 +90,25 @@ fn check(c: &C, a: &[i32]) -> bool {
 fn post(c: &C, m: &mut Model, vars: &[VarId]) {
     match c {
         C::Neq(x, y) => {
-            m.post(Box::new(NeqOffset { x: vars[*x], y: vars[*y], c: 0 }));
+            m.post(Box::new(NeqOffset {
+                x: vars[*x],
+                y: vars[*y],
+                c: 0,
+            }));
         }
         C::Leq(x, k, y) => {
-            m.post(Box::new(XPlusCLeqY { x: vars[*x], c: *k, y: vars[*y] }));
+            m.post(Box::new(XPlusCLeqY {
+                x: vars[*x],
+                c: *k,
+                y: vars[*y],
+            }));
         }
         C::EqOff(x, k, y) => {
-            m.post(Box::new(XPlusCEqY { x: vars[*x], c: *k, y: vars[*y] }));
+            m.post(Box::new(XPlusCEqY {
+                x: vars[*x],
+                c: *k,
+                y: vars[*y],
+            }));
         }
         C::LinLeq(terms, k) => {
             let t = terms.iter().map(|&(co, v)| (co, vars[v])).collect();
@@ -111,14 +117,21 @@ fn post(c: &C, m: &mut Model, vars: &[VarId]) {
         C::Cumulative(tasks, cap) => {
             let t = tasks
                 .iter()
-                .map(|&(v, d, r)| CumTask { start: vars[v], dur: d, req: r })
+                .map(|&(v, d, r)| CumTask {
+                    start: vars[v],
+                    dur: d,
+                    req: r,
+                })
                 .collect();
             m.post(Box::new(Cumulative::new(t, *cap)));
         }
         C::Disjunctive(tasks) => {
             let t = tasks
                 .iter()
-                .map(|&(v, d)| DisjTask { start: vars[v], dur: d })
+                .map(|&(v, d)| DisjTask {
+                    start: vars[v],
+                    dur: d,
+                })
                 .collect();
             m.post(Box::new(Disjunctive::new(t)));
         }
@@ -128,7 +141,10 @@ fn post(c: &C, m: &mut Model, vars: &[VarId]) {
                 .map(|&(x, y, w, h)| {
                     let wl = m.new_const(w);
                     let hl = m.new_const(h);
-                    Rect { origin: [vars[x], vars[y]], len: [wl, hl] }
+                    Rect {
+                        origin: [vars[x], vars[y]],
+                        len: [wl, hl],
+                    }
                 })
                 .collect();
             m.post(Box::new(Diff2::new(r)));
@@ -180,8 +196,16 @@ fn random_instance(rng: &mut StdRng, n: usize, hi: i32) -> Vec<C> {
     for _ in 0..n_cons {
         let c = match rng.gen_range(0..9) {
             0 => C::Neq(rng.gen_range(0..n), rng.gen_range(0..n)),
-            1 => C::Leq(rng.gen_range(0..n), rng.gen_range(-2..3), rng.gen_range(0..n)),
-            2 => C::EqOff(rng.gen_range(0..n), rng.gen_range(-2..3), rng.gen_range(0..n)),
+            1 => C::Leq(
+                rng.gen_range(0..n),
+                rng.gen_range(-2..3),
+                rng.gen_range(0..n),
+            ),
+            2 => C::EqOff(
+                rng.gen_range(0..n),
+                rng.gen_range(-2..3),
+                rng.gen_range(0..n),
+            ),
             3 => {
                 let k = rng.gen_range(1..=n);
                 let terms = (0..k)
@@ -192,7 +216,13 @@ fn random_instance(rng: &mut StdRng, n: usize, hi: i32) -> Vec<C> {
             4 => {
                 let k = rng.gen_range(2..=n);
                 let tasks = (0..k)
-                    .map(|_| (rng.gen_range(0..n), rng.gen_range(1..3), rng.gen_range(1..3)))
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..n),
+                            rng.gen_range(1..3),
+                            rng.gen_range(1..3),
+                        )
+                    })
                     .collect();
                 C::Cumulative(tasks, rng.gen_range(1..4))
             }
@@ -266,10 +296,7 @@ fn solver_instance(n: usize, hi: i32, cs: &[C], minimize_obj: bool) -> (bool, Op
         (r.best.is_some(), r.objective)
     } else {
         let r = solve(&mut m, &cfg);
-        (
-            r.status == SearchStatus::Optimal && r.best.is_some(),
-            None,
-        )
+        (r.status == SearchStatus::Optimal && r.best.is_some(), None)
     }
 }
 

@@ -101,17 +101,29 @@ fn store_matches_snapshot_reference_over_random_traces() {
                 Op::RemoveBelow(i, v) => {
                     let r = store.remove_below(vars[i], v);
                     rf.domains[i].retain(|&x| x >= v);
-                    assert_eq!(r.is_err(), rf.domains[i].is_empty(), "seed {seed} step {step}");
+                    assert_eq!(
+                        r.is_err(),
+                        rf.domains[i].is_empty(),
+                        "seed {seed} step {step}"
+                    );
                 }
                 Op::RemoveAbove(i, v) => {
                     let r = store.remove_above(vars[i], v);
                     rf.domains[i].retain(|&x| x <= v);
-                    assert_eq!(r.is_err(), rf.domains[i].is_empty(), "seed {seed} step {step}");
+                    assert_eq!(
+                        r.is_err(),
+                        rf.domains[i].is_empty(),
+                        "seed {seed} step {step}"
+                    );
                 }
                 Op::RemoveValue(i, v) => {
                     let r = store.remove_value(vars[i], v);
                     rf.domains[i].remove(&v);
-                    assert_eq!(r.is_err(), rf.domains[i].is_empty(), "seed {seed} step {step}");
+                    assert_eq!(
+                        r.is_err(),
+                        rf.domains[i].is_empty(),
+                        "seed {seed} step {step}"
+                    );
                 }
                 Op::Fix(i, v) => {
                     let was_member = rf.domains[i].contains(&v);
@@ -137,7 +149,10 @@ fn store_matches_snapshot_reference_over_random_traces() {
                     depth = 1;
                 }
             }
-            assert!(agree(&store, &rf, &vars), "seed {seed} step {step}: domains diverged");
+            assert!(
+                agree(&store, &rf, &vars),
+                "seed {seed} step {step}: domains diverged"
+            );
         }
     }
 }

@@ -108,7 +108,11 @@ impl Ctx {
     fn unary_vector(&self, op: Opcode, a: &Vector, val: [Cplx; 4], name: &str) -> Vector {
         let mut g = self.g.borrow_mut();
         let (_, out) = g.add_op_with_output(op, &[a.id], DataKind::Vector, name);
-        Vector { ctx: self.clone(), id: out, val }
+        Vector {
+            ctx: self.clone(),
+            id: out,
+            val,
+        }
     }
 
     fn binary_vector(
@@ -121,21 +125,39 @@ impl Ctx {
     ) -> Vector {
         let mut g = self.g.borrow_mut();
         let (_, out) = g.add_op_with_output(op, &[a.id, b.id], DataKind::Vector, name);
-        Vector { ctx: self.clone(), id: out, val }
+        Vector {
+            ctx: self.clone(),
+            id: out,
+            val,
+        }
     }
 
     fn scalar_unary(&self, sop: ScalarOp, a: &Scalar, val: Cplx, name: &str) -> Scalar {
         let mut g = self.g.borrow_mut();
-        let (_, out) =
-            g.add_op_with_output(Opcode::Scalar(sop), &[a.id], DataKind::Scalar, name);
-        Scalar { ctx: self.clone(), id: out, val }
+        let (_, out) = g.add_op_with_output(Opcode::Scalar(sop), &[a.id], DataKind::Scalar, name);
+        Scalar {
+            ctx: self.clone(),
+            id: out,
+            val,
+        }
     }
 
-    fn scalar_binary(&self, sop: ScalarOp, a: &Scalar, b: &Scalar, val: Cplx, name: &str) -> Scalar {
+    fn scalar_binary(
+        &self,
+        sop: ScalarOp,
+        a: &Scalar,
+        b: &Scalar,
+        val: Cplx,
+        name: &str,
+    ) -> Scalar {
         let mut g = self.g.borrow_mut();
         let (_, out) =
             g.add_op_with_output(Opcode::Scalar(sop), &[a.id, b.id], DataKind::Scalar, name);
-        Scalar { ctx: self.clone(), id: out, val }
+        Scalar {
+            ctx: self.clone(),
+            id: out,
+            val,
+        }
     }
 }
 
@@ -262,7 +284,11 @@ impl Vector {
             DataKind::Scalar,
             "v_dotp",
         );
-        Scalar { ctx: self.ctx.clone(), id: out, val }
+        Scalar {
+            ctx: self.ctx.clone(),
+            id: out,
+            val,
+        }
     }
 
     /// Element-wise addition.
@@ -296,7 +322,11 @@ impl Vector {
             DataKind::Vector,
             "v_scale",
         );
-        Vector { ctx: self.ctx.clone(), id: out, val }
+        Vector {
+            ctx: self.ctx.clone(),
+            id: out,
+            val,
+        }
     }
 
     /// Squared Euclidean norm `Σ |aₖ|²`. Vector → scalar.
@@ -309,7 +339,11 @@ impl Vector {
             DataKind::Scalar,
             "v_squsum",
         );
-        Scalar { ctx: self.ctx.clone(), id: out, val }
+        Scalar {
+            ctx: self.ctx.clone(),
+            id: out,
+            val,
+        }
     }
 
     /// Fused multiply-accumulate `self∘b + c` (three operands — the CMAC).
@@ -322,7 +356,11 @@ impl Vector {
             DataKind::Vector,
             "v_mac",
         );
-        Vector { ctx: self.ctx.clone(), id: out, val }
+        Vector {
+            ctx: self.ctx.clone(),
+            id: out,
+            val,
+        }
     }
 
     /// Lane-wise conjugation — a stand-alone *pre-processing* op
@@ -476,7 +514,11 @@ impl Matrix {
         let rows = std::array::from_fn(|i| {
             let out = g.add_data(DataKind::Vector, &format!("m_mul.r{i}"));
             g.add_edge(op, out);
-            Vector { ctx: ctx.clone(), id: out, val: c[i] }
+            Vector {
+                ctx: ctx.clone(),
+                id: out,
+                val: c[i],
+            }
         });
         drop(g);
         Matrix { rows }
@@ -485,7 +527,8 @@ impl Matrix {
     /// Row-wise squared sums as one matrix op (fig. 4): 4 vector inputs,
     /// one vector output holding `‖row_i‖²` in lane `i`.
     pub fn m_squsum(&self) -> Vector {
-        let val = std::array::from_fn(|i| Cplx::real(self.rows[i].val.iter().map(|x| x.abs2()).sum()));
+        let val =
+            std::array::from_fn(|i| Cplx::real(self.rows[i].val.iter().map(|x| x.abs2()).sum()));
         let ctx = self.ctx().clone();
         let mut g = ctx.g.borrow_mut();
         let op = g.add_op(Opcode::matrix(CoreOp::SquSum), "m_squsum");
@@ -494,7 +537,11 @@ impl Matrix {
         }
         let out = g.add_data(DataKind::Vector, "m_squsum.out");
         g.add_edge(op, out);
-        Vector { ctx: ctx.clone(), id: out, val }
+        Vector {
+            ctx: ctx.clone(),
+            id: out,
+            val,
+        }
     }
 
     /// Element-wise matrix addition as one matrix op (8 vector inputs,
@@ -510,7 +557,11 @@ impl Matrix {
             let out = g.add_data(DataKind::Vector, &format!("m_add.r{i}"));
             g.add_edge(op, out);
             let val = std::array::from_fn(|j| self.rows[i].val[j] + other.rows[i].val[j]);
-            Vector { ctx: ctx.clone(), id: out, val }
+            Vector {
+                ctx: ctx.clone(),
+                id: out,
+                val,
+            }
         });
         drop(g);
         Matrix { rows }
@@ -528,7 +579,11 @@ impl Matrix {
             let out = g.add_data(DataKind::Vector, &format!("m_sub.r{i}"));
             g.add_edge(op, out);
             let val = std::array::from_fn(|j| self.rows[i].val[j] - other.rows[i].val[j]);
-            Vector { ctx: ctx.clone(), id: out, val }
+            Vector {
+                ctx: ctx.clone(),
+                id: out,
+                val,
+            }
         });
         drop(g);
         Matrix { rows }
@@ -555,7 +610,11 @@ impl Matrix {
             let out = g.add_data(DataKind::Vector, &format!("m_herm.r{i}"));
             g.add_edge(op, out);
             let val = std::array::from_fn(|j| a[j][i].conj());
-            Vector { ctx: ctx.clone(), id: out, val }
+            Vector {
+                ctx: ctx.clone(),
+                id: out,
+                val,
+            }
         });
         drop(g);
         Matrix { rows }
@@ -616,7 +675,10 @@ mod tests {
     fn squsum_is_real_norm() {
         let ctx = Ctx::new("t");
         let a = ctx.vector([(3.0, 4.0), (0.0, 0.0), (1.0, 0.0), (0.0, 2.0)]);
-        assert!(a.v_squsum().value().approx_eq(Cplx::real(25.0 + 1.0 + 4.0), EPS));
+        assert!(a
+            .v_squsum()
+            .value()
+            .approx_eq(Cplx::real(25.0 + 1.0 + 4.0), EPS));
     }
 
     #[test]
@@ -757,7 +819,15 @@ mod tests {
         let g = ctx.graph();
         let macs: Vec<_> = g
             .ids()
-            .filter(|&i| matches!(g.opcode(i), Some(Opcode::Vector { core: CoreOp::Mac, .. })))
+            .filter(|&i| {
+                matches!(
+                    g.opcode(i),
+                    Some(Opcode::Vector {
+                        core: CoreOp::Mac,
+                        ..
+                    })
+                )
+            })
             .collect();
         assert_eq!(g.preds(macs[0]).len(), 3);
     }

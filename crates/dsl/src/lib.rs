@@ -27,6 +27,6 @@
 pub mod ctx;
 pub mod ops;
 
+pub use ctx::{Ctx, Matrix, Scalar, Vector};
 pub use eit_ir::cplx;
 pub use eit_ir::Cplx;
-pub use ctx::{Ctx, Matrix, Scalar, Vector};

@@ -30,7 +30,10 @@ impl Cplx {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Cplx { re: self.re, im: -self.im }
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²` (always real, returned as `f64`).
@@ -58,7 +61,10 @@ impl Cplx {
     /// Multiplicative inverse `1/z`.
     pub fn recip(self) -> Self {
         let d = self.abs2();
-        Cplx { re: self.re / d, im: -self.im / d }
+        Cplx {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Reciprocal square root `1/√z`.
@@ -75,14 +81,20 @@ impl Cplx {
 impl Add for Cplx {
     type Output = Cplx;
     fn add(self, o: Cplx) -> Cplx {
-        Cplx { re: self.re + o.re, im: self.im + o.im }
+        Cplx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
 impl Sub for Cplx {
     type Output = Cplx;
     fn sub(self, o: Cplx) -> Cplx {
-        Cplx { re: self.re - o.re, im: self.im - o.im }
+        Cplx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -108,14 +120,20 @@ impl Div for Cplx {
 impl Neg for Cplx {
     type Output = Cplx;
     fn neg(self) -> Cplx {
-        Cplx { re: -self.re, im: -self.im }
+        Cplx {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
 impl Mul<f64> for Cplx {
     type Output = Cplx;
     fn mul(self, s: f64) -> Cplx {
-        Cplx { re: self.re * s, im: self.im * s }
+        Cplx {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 

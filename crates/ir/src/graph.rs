@@ -216,7 +216,10 @@ impl Graph {
                     _ => 1,
                 };
                 if outs == 0 || outs > max_out {
-                    return Err(IrError::BadOutputArity { op: id, outputs: outs });
+                    return Err(IrError::BadOutputArity {
+                        op: id,
+                        outputs: outs,
+                    });
                 }
             }
         }
@@ -227,10 +230,7 @@ impl Graph {
     pub fn topo_order(&self) -> Option<Vec<NodeId>> {
         let n = self.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
-        let mut q: VecDeque<NodeId> = self
-            .ids()
-            .filter(|&i| indeg[i.idx()] == 0)
-            .collect();
+        let mut q: VecDeque<NodeId> = self.ids().filter(|&i| indeg[i.idx()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = q.pop_front() {
             order.push(u);
@@ -380,7 +380,10 @@ mod tests {
         assert_eq!(g.len(), 6);
         assert_eq!(g.edge_count(), 5);
         assert_eq!(g.inputs(), vec![a, b]);
-        assert_eq!(g.producer(s).map(|p| g.category(p)), Some(Category::VectorOp));
+        assert_eq!(
+            g.producer(s).map(|p| g.category(p)),
+            Some(Category::VectorOp)
+        );
     }
 
     #[test]
@@ -399,8 +402,8 @@ mod tests {
         let o = g.add_op(Opcode::Scalar(ScalarOp::Neg), "neg");
         g.add_edge(d, o);
         g.add_edge(o, d); // o produces its own input
-        // Multiple producers check fires first? d has 1 producer; op has
-        // 1 in, 1 out — passes arity; topo must fail.
+                          // Multiple producers check fires first? d has 1 producer; op has
+                          // 1 in, 1 out — passes arity; topo must fail.
         assert_eq!(g.validate(), Err(IrError::Cyclic));
     }
 
@@ -522,9 +525,16 @@ mod more_tests {
         let mut g = Graph::new("diamond");
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
-        let (_, d1) = g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "o1");
-        let (_, d2) = g.add_op_with_output(Opcode::vector(CoreOp::Sub), &[a, b], DataKind::Vector, "o2");
-        let (_, out) = g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[d1, d2], DataKind::Vector, "o3");
+        let (_, d1) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "o1");
+        let (_, d2) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Sub), &[a, b], DataKind::Vector, "o2");
+        let (_, out) = g.add_op_with_output(
+            Opcode::vector(CoreOp::Mul),
+            &[d1, d2],
+            DataKind::Vector,
+            "o3",
+        );
         (g, vec![a, b, d1, d2, out])
     }
 

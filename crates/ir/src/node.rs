@@ -102,12 +102,20 @@ pub enum Opcode {
 impl Opcode {
     /// Plain vector core op without pre/post stages.
     pub fn vector(core: CoreOp) -> Self {
-        Opcode::Vector { pre: None, core, post: None }
+        Opcode::Vector {
+            pre: None,
+            core,
+            post: None,
+        }
     }
 
     /// Plain matrix core op without pre/post stages.
     pub fn matrix(core: CoreOp) -> Self {
-        Opcode::Matrix { pre: None, core, post: None }
+        Opcode::Matrix {
+            pre: None,
+            core,
+            post: None,
+        }
     }
 
     /// Does this opcode execute on the vector core (either as a vector or

@@ -116,8 +116,18 @@ mod tests {
             g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "s1");
         let (_, s2) =
             g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, b], DataKind::Vector, "s2");
-        g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[s1, b], DataKind::Vector, "m1");
-        g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[s2, b], DataKind::Vector, "m2");
+        g.add_op_with_output(
+            Opcode::vector(CoreOp::Mul),
+            &[s1, b],
+            DataKind::Vector,
+            "m1",
+        );
+        g.add_op_with_output(
+            Opcode::vector(CoreOp::Mul),
+            &[s2, b],
+            DataKind::Vector,
+            "m2",
+        );
         let st = eliminate_common_subexpressions(&mut g);
         // add collapses first, making the muls identical → both collapse.
         assert_eq!(st.ops_removed, 2);
@@ -133,18 +143,10 @@ mod tests {
             let mut g = Graph::new("t");
             let a = g.add_data(DataKind::Vector, "a");
             let b = g.add_data(DataKind::Vector, "b");
-            let (_, d1) = g.add_op_with_output(
-                Opcode::vector(CoreOp::DotP),
-                &[a, b],
-                DataKind::Scalar,
-                "x",
-            );
-            let (_, d2) = g.add_op_with_output(
-                Opcode::vector(CoreOp::DotP),
-                &[a, b],
-                DataKind::Scalar,
-                "y",
-            );
+            let (_, d1) =
+                g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[a, b], DataKind::Scalar, "x");
+            let (_, d2) =
+                g.add_op_with_output(Opcode::vector(CoreOp::DotP), &[a, b], DataKind::Scalar, "y");
             let (_, out) = g.add_op_with_output(
                 Opcode::Scalar(crate::node::ScalarOp::Mul),
                 &[d1, d2],

@@ -31,8 +31,16 @@ pub struct MergeStats {
 /// Is this opcode a stand-alone pre-processing node?
 fn standalone_pre(op: &Opcode) -> Option<(crate::node::PreOp, u8)> {
     match op {
-        Opcode::Vector { pre: Some(p), core: CoreOp::Pass, post: None }
-        | Opcode::Matrix { pre: Some(p), core: CoreOp::Pass, post: None } => Some(*p),
+        Opcode::Vector {
+            pre: Some(p),
+            core: CoreOp::Pass,
+            post: None,
+        }
+        | Opcode::Matrix {
+            pre: Some(p),
+            core: CoreOp::Pass,
+            post: None,
+        } => Some(*p),
         _ => None,
     }
 }
@@ -40,8 +48,16 @@ fn standalone_pre(op: &Opcode) -> Option<(crate::node::PreOp, u8)> {
 /// Is this opcode a stand-alone post-processing node?
 fn standalone_post(op: &Opcode) -> Option<crate::node::PostOp> {
     match op {
-        Opcode::Vector { pre: None, core: CoreOp::Pass, post: Some(p) }
-        | Opcode::Matrix { pre: None, core: CoreOp::Pass, post: Some(p) } => Some(*p),
+        Opcode::Vector {
+            pre: None,
+            core: CoreOp::Pass,
+            post: Some(p),
+        }
+        | Opcode::Matrix {
+            pre: None,
+            core: CoreOp::Pass,
+            post: Some(p),
+        } => Some(*p),
         _ => None,
     }
 }
@@ -65,12 +81,24 @@ fn try_pre_merge(g: &mut Graph, stats: &mut MergeStats) -> bool {
         let c_id = g.succs(d)[0];
         let Some(c_op) = g.opcode(c_id) else { continue };
         let folded = match c_op {
-            Opcode::Vector { pre: None, core, post } if core != CoreOp::Pass => {
-                Some(Opcode::Vector { pre: Some((pre, 0)), core, post })
-            }
-            Opcode::Matrix { pre: None, core, post } if core != CoreOp::Pass => {
-                Some(Opcode::Matrix { pre: Some((pre, 0)), core, post })
-            }
+            Opcode::Vector {
+                pre: None,
+                core,
+                post,
+            } if core != CoreOp::Pass => Some(Opcode::Vector {
+                pre: Some((pre, 0)),
+                core,
+                post,
+            }),
+            Opcode::Matrix {
+                pre: None,
+                core,
+                post,
+            } if core != CoreOp::Pass => Some(Opcode::Matrix {
+                pre: Some((pre, 0)),
+                core,
+                post,
+            }),
             _ => None,
         };
         let Some(mut folded) = folded else { continue };
@@ -81,8 +109,14 @@ fn try_pre_merge(g: &mut Graph, stats: &mut MergeStats) -> bool {
             .position(|&x| x == d)
             .expect("d must be an operand of its consumer") as u8;
         match &mut folded {
-            Opcode::Vector { pre: Some((_, idx)), .. }
-            | Opcode::Matrix { pre: Some((_, idx)), .. } => *idx = operand_idx,
+            Opcode::Vector {
+                pre: Some((_, idx)),
+                ..
+            }
+            | Opcode::Matrix {
+                pre: Some((_, idx)),
+                ..
+            } => *idx = operand_idx,
             _ => unreachable!(),
         }
         // Rewire: C's operand d ← P's inputs (in order), then drop P and d.
@@ -124,12 +158,24 @@ fn try_post_merge(g: &mut Graph, stats: &mut MergeStats) -> bool {
         }
         let Some(p_op) = g.opcode(p_id) else { continue };
         let folded = match p_op {
-            Opcode::Vector { pre, core, post: None } if core != CoreOp::Pass => {
-                Some(Opcode::Vector { pre, core, post: Some(post) })
-            }
-            Opcode::Matrix { pre, core, post: None } if core != CoreOp::Pass => {
-                Some(Opcode::Matrix { pre, core, post: Some(post) })
-            }
+            Opcode::Vector {
+                pre,
+                core,
+                post: None,
+            } if core != CoreOp::Pass => Some(Opcode::Vector {
+                pre,
+                core,
+                post: Some(post),
+            }),
+            Opcode::Matrix {
+                pre,
+                core,
+                post: None,
+            } if core != CoreOp::Pass => Some(Opcode::Matrix {
+                pre,
+                core,
+                post: Some(post),
+            }),
             _ => None,
         };
         let Some(folded) = folded else { continue };
@@ -173,7 +219,11 @@ mod tests {
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
         let (_, ah) = g.add_op_with_output(
-            Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Pass, post: None },
+            Opcode::Vector {
+                pre: Some((PreOp::Hermitian, 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
             &[a],
             DataKind::Vector,
             "herm",
@@ -198,7 +248,11 @@ mod tests {
             .collect();
         assert_eq!(v_ops.len(), 1);
         match g.opcode(v_ops[0]).unwrap() {
-            Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Mul, post: None } => {}
+            Opcode::Vector {
+                pre: Some((PreOp::Hermitian, 0)),
+                core: CoreOp::Mul,
+                post: None,
+            } => {}
             other => panic!("unexpected fold: {other:?}"),
         }
         g.validate().unwrap();
@@ -218,7 +272,11 @@ mod tests {
             "squsum",
         );
         let (_, _sorted) = g.add_op_with_output(
-            Opcode::Vector { pre: None, core: CoreOp::Pass, post: Some(PostOp::Sort) },
+            Opcode::Vector {
+                pre: None,
+                core: CoreOp::Pass,
+                post: Some(PostOp::Sort),
+            },
             &[v],
             DataKind::Vector,
             "sort",
@@ -231,7 +289,11 @@ mod tests {
             .collect();
         assert_eq!(m_ops.len(), 1);
         match g.opcode(m_ops[0]).unwrap() {
-            Opcode::Matrix { pre: None, core: CoreOp::SquSum, post: Some(PostOp::Sort) } => {}
+            Opcode::Matrix {
+                pre: None,
+                core: CoreOp::SquSum,
+                post: Some(PostOp::Sort),
+            } => {}
             other => panic!("unexpected fold: {other:?}"),
         }
         g.validate().unwrap();
@@ -244,7 +306,11 @@ mod tests {
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
         let (_, am) = g.add_op_with_output(
-            Opcode::Vector { pre: Some((PreOp::Mask(0b1010), 0)), core: CoreOp::Pass, post: None },
+            Opcode::Vector {
+                pre: Some((PreOp::Mask(0b1010), 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
             &[a],
             DataKind::Vector,
             "mask",
@@ -256,7 +322,11 @@ mod tests {
             "add",
         );
         let (_, _sorted) = g.add_op_with_output(
-            Opcode::Vector { pre: None, core: CoreOp::Pass, post: Some(PostOp::Sort) },
+            Opcode::Vector {
+                pre: None,
+                core: CoreOp::Pass,
+                post: Some(PostOp::Sort),
+            },
             &[s],
             DataKind::Vector,
             "sort",
@@ -283,14 +353,28 @@ mod tests {
         let mut g = Graph::new("shared");
         let a = g.add_data(DataKind::Vector, "a");
         let (_, ah) = g.add_op_with_output(
-            Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Pass, post: None },
+            Opcode::Vector {
+                pre: Some((PreOp::Hermitian, 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
             &[a],
             DataKind::Vector,
             "herm",
         );
         let b = g.add_data(DataKind::Vector, "b");
-        g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[ah, b], DataKind::Vector, "m1");
-        g.add_op_with_output(Opcode::vector(CoreOp::Add), &[ah, b], DataKind::Vector, "m2");
+        g.add_op_with_output(
+            Opcode::vector(CoreOp::Mul),
+            &[ah, b],
+            DataKind::Vector,
+            "m1",
+        );
+        g.add_op_with_output(
+            Opcode::vector(CoreOp::Add),
+            &[ah, b],
+            DataKind::Vector,
+            "m2",
+        );
         let before = g.len();
         let stats = merge_pipeline_ops(&mut g);
         assert_eq!(stats.pre_merges, 0);
@@ -304,13 +388,21 @@ mod tests {
         let a = g.add_data(DataKind::Vector, "a");
         let b = g.add_data(DataKind::Vector, "b");
         let (_, ah) = g.add_op_with_output(
-            Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Pass, post: None },
+            Opcode::Vector {
+                pre: Some((PreOp::Hermitian, 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
             &[a],
             DataKind::Vector,
             "herm",
         );
         g.add_op_with_output(
-            Opcode::Vector { pre: Some((PreOp::Mask(1), 1)), core: CoreOp::Mul, post: None },
+            Opcode::Vector {
+                pre: Some((PreOp::Mask(1), 1)),
+                core: CoreOp::Mul,
+                post: None,
+            },
             &[ah, b],
             DataKind::Vector,
             "mul",
@@ -327,13 +419,22 @@ mod tests {
         let mut g = Graph::new("lat");
         let a = g.add_data(DataKind::Vector, "a");
         let (_, ah) = g.add_op_with_output(
-            Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Pass, post: None },
+            Opcode::Vector {
+                pre: Some((PreOp::Hermitian, 0)),
+                core: CoreOp::Pass,
+                post: None,
+            },
             &[a],
             DataKind::Vector,
             "herm",
         );
         let b = g.add_data(DataKind::Vector, "b");
-        g.add_op_with_output(Opcode::vector(CoreOp::Mul), &[ah, b], DataKind::Vector, "mul");
+        g.add_op_with_output(
+            Opcode::vector(CoreOp::Mul),
+            &[ah, b],
+            DataKind::Vector,
+            "mul",
+        );
         let lm = LatencyModel::default();
         let before = g.critical_path(&lm.of(&g));
         assert_eq!(before, 14);

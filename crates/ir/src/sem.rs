@@ -37,9 +37,7 @@ impl Value {
     pub fn approx_eq(&self, other: &Value, eps: f64) -> bool {
         match (self, other) {
             (Value::S(a), Value::S(b)) => a.approx_eq(*b, eps),
-            (Value::V(a), Value::V(b)) => {
-                a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, eps))
-            }
+            (Value::V(a), Value::V(b)) => a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, eps)),
             _ => false,
         }
     }
@@ -49,7 +47,11 @@ impl Value {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SemError {
     TypeMismatch(&'static str),
-    BadArity { op: &'static str, expected: usize, got: usize },
+    BadArity {
+        op: &'static str,
+        expected: usize,
+        got: usize,
+    },
     DivisionByZero,
 }
 
@@ -71,19 +73,21 @@ fn need(op: &'static str, inputs: &[Value], n: usize) -> Result<(), SemError> {
     if inputs.len() == n {
         Ok(())
     } else {
-        Err(SemError::BadArity { op, expected: n, got: inputs.len() })
+        Err(SemError::BadArity {
+            op,
+            expected: n,
+            got: inputs.len(),
+        })
     }
 }
 
 fn apply_pre_vec(pre: PreOp, v: [Cplx; 4]) -> [Cplx; 4] {
     match pre {
         PreOp::Hermitian => v.map(Cplx::conj),
-        PreOp::Mask(m) => std::array::from_fn(|k| {
-            if m & (1 << k) != 0 { v[k] } else { Cplx::ZERO }
-        }),
-        PreOp::Shuffle(code) => {
-            std::array::from_fn(|k| v[((code >> (2 * k)) & 0b11) as usize])
+        PreOp::Mask(m) => {
+            std::array::from_fn(|k| if m & (1 << k) != 0 { v[k] } else { Cplx::ZERO })
         }
+        PreOp::Shuffle(code) => std::array::from_fn(|k| v[((code >> (2 * k)) & 0b11) as usize]),
     }
 }
 
@@ -322,7 +326,11 @@ fn scalar_op(op: ScalarOp, inputs: &[Value]) -> Result<Value, SemError> {
         }
         ScalarOp::CordicRot => {
             let (a, b) = binary(inputs)?;
-            let phase = if b.abs() == 0.0 { Cplx::ONE } else { b * (1.0 / b.abs()) };
+            let phase = if b.abs() == 0.0 {
+                Cplx::ONE
+            } else {
+                b * (1.0 / b.abs())
+            };
             a * phase
         }
         ScalarOp::CordicVec => {
@@ -337,9 +345,7 @@ fn scalar_op(op: ScalarOp, inputs: &[Value]) -> Result<Value, SemError> {
 /// per output data node).
 pub fn apply(op: &Opcode, inputs: &[Value]) -> Result<Vec<Value>, SemError> {
     match *op {
-        Opcode::Vector { pre, core, post } => {
-            Ok(vec![vector_core(core, pre, post, inputs)?])
-        }
+        Opcode::Vector { pre, core, post } => Ok(vec![vector_core(core, pre, post, inputs)?]),
         Opcode::Matrix { pre, core, post } => matrix_core(core, pre, post, inputs),
         Opcode::Scalar(s) => Ok(vec![scalar_op(s, inputs)?]),
         Opcode::Index(k) => {
@@ -450,7 +456,11 @@ mod tests {
         let eye: Vec<Value> = (0..4)
             .map(|i| {
                 Value::V(std::array::from_fn(|j| {
-                    if i == j { Cplx::ONE } else { Cplx::ZERO }
+                    if i == j {
+                        Cplx::ONE
+                    } else {
+                        Cplx::ZERO
+                    }
                 }))
             })
             .collect();
@@ -486,8 +496,9 @@ mod tests {
 
     #[test]
     fn scalar_ops_and_errors() {
-        assert!(apply(&Opcode::Scalar(ScalarOp::Sqrt), &[s(9.0)]).unwrap()[0]
-            .approx_eq(&s(3.0), EPS));
+        assert!(
+            apply(&Opcode::Scalar(ScalarOp::Sqrt), &[s(9.0)]).unwrap()[0].approx_eq(&s(3.0), EPS)
+        );
         assert_eq!(
             apply(&Opcode::Scalar(ScalarOp::Div), &[s(1.0), s(0.0)]),
             Err(SemError::DivisionByZero)
@@ -596,12 +607,8 @@ mod eval_graph_tests {
     fn missing_input_leaves_downstream_undefined() {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Vector, "a");
-        let (_, d) = g.add_op_with_output(
-            Opcode::vector(CoreOp::SquSum),
-            &[a],
-            DataKind::Scalar,
-            "s",
-        );
+        let (_, d) =
+            g.add_op_with_output(Opcode::vector(CoreOp::SquSum), &[a], DataKind::Scalar, "s");
         let vals = eval_graph(&g, &HashMap::new()).unwrap();
         assert!(!vals.contains_key(&d));
     }
@@ -610,12 +617,8 @@ mod eval_graph_tests {
     fn semantic_error_propagates() {
         let mut g = Graph::new("t");
         let a = g.add_data(DataKind::Scalar, "a");
-        let (_, _) = g.add_op_with_output(
-            Opcode::Scalar(ScalarOp::Recip),
-            &[a],
-            DataKind::Scalar,
-            "r",
-        );
+        let (_, _) =
+            g.add_op_with_output(Opcode::Scalar(ScalarOp::Recip), &[a], DataKind::Scalar, "r");
         let mut inputs = HashMap::new();
         inputs.insert(a, Value::S(Cplx::ZERO));
         assert_eq!(eval_graph(&g, &inputs), Err(SemError::DivisionByZero));

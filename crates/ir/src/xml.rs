@@ -416,11 +416,8 @@ pub fn from_xml(src: &str) -> Result<Graph, XmlError> {
                                     }
                                     None => None,
                                 };
-                                let post = el
-                                    .attrs
-                                    .get("post")
-                                    .map(|p| post_from(p))
-                                    .transpose()?;
+                                let post =
+                                    el.attrs.get("post").map(|p| post_from(p)).transpose()?;
                                 if cat == "matrix_op" {
                                     Opcode::Matrix { pre, core, post }
                                 } else {
@@ -521,7 +518,10 @@ mod tests {
 
     #[test]
     fn escaping_special_chars() {
-        assert_eq!(escape("a<b>&\"c\"'d'"), "a&lt;b&gt;&amp;&quot;c&quot;&apos;d&apos;");
+        assert_eq!(
+            escape("a<b>&\"c\"'d'"),
+            "a&lt;b&gt;&amp;&quot;c&quot;&apos;d&apos;"
+        );
         assert_eq!(unescape("a&lt;b&gt;&amp;").unwrap(), "a<b>&");
         assert!(unescape("&bogus;").is_err());
     }

@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run --release --example custom_kernel`
 
-use eit::core::pipeline::{compile, CompileOptions};
 use eit::arch::ArchSpec;
+use eit::core::pipeline::{compile, CompileOptions};
 use eit::dsl::Ctx;
 
 fn main() {
@@ -34,7 +34,11 @@ fn main() {
     let combined = w1.hermitian().v_mul(&w2).sort();
     let _beam = combined.v_scale(&inv);
 
-    println!("DSL evaluated: |c1| = {:.4}, power = {:.4}", c1.value().abs(), power.value().re);
+    println!(
+        "DSL evaluated: |c1| = {:.4}, power = {:.4}",
+        c1.value().abs(),
+        power.value().re
+    );
 
     let spec = ArchSpec::eit();
     let out = compile(ctx.finish(), &spec, &CompileOptions::default())
@@ -55,5 +59,8 @@ fn main() {
         out.program.utilization * 100.0
     );
     println!("\n{}", out.program.listing);
-    print!("{}", eit::arch::render_gantt(&out.graph, &spec, &out.schedule));
+    print!(
+        "{}",
+        eit::arch::render_gantt(&out.graph, &spec, &out.schedule)
+    );
 }

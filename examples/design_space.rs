@@ -47,7 +47,10 @@ fn main() {
 
     println!();
     println!("QRD modulo II vs reconfiguration cost (excluding-model, stalls post hoc)");
-    println!("{:<14} {:>10} {:>12} {:>12}", "reconfig cc", "issue II", "actual II", "thr");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "reconfig cc", "issue II", "actual II", "thr"
+    );
     for cost in [0i32, 1, 2, 4] {
         let mut spec = ArchSpec::eit();
         spec.reconfig_cost = cost;

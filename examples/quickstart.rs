@@ -18,11 +18,17 @@ fn main() {
     let sum = a.v_add(&b); // element-wise add on the vector core
     let dot = sum.v_dotp(&b); // dot product → scalar
     let norm = dot.sqrt(); // scalar accelerator
-    println!("DSL evaluation: sum·b = {}, √ = {}", dot.value(), norm.value());
+    println!(
+        "DSL evaluation: sum·b = {}, √ = {}",
+        dot.value(),
+        norm.value()
+    );
 
     // 2. Extract the IR and fold pre/post-processing chains (fig. 6).
     let mut graph = ctx.finish();
-    graph.validate().expect("the DSL emits valid bipartite DAGs");
+    graph
+        .validate()
+        .expect("the DSL emits valid bipartite DAGs");
     eit::ir::merge_pipeline_ops(&mut graph);
     println!(
         "IR: {} nodes, {} edges, critical path {} cc",
@@ -58,7 +64,10 @@ fn main() {
 
     // 5. The machine code is a per-cycle configuration stream.
     let code = eit::arch::ConfigStream::from_schedule(&graph, &spec, &sched);
-    println!("configuration stream ({} switches):", code.reconfig_switches());
+    println!(
+        "configuration stream ({} switches):",
+        code.reconfig_switches()
+    );
     print!("{code}");
 
     // 6. And a Gantt view of the same schedule.

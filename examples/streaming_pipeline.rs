@@ -23,14 +23,20 @@ fn main() {
     let m = 12;
 
     println!("kernel: {name}, {m} iterations\n");
-    println!("{:<34} {:>12} {:>16}", "strategy", "cc/iter", "thr (iter/cc)");
+    println!(
+        "{:<34} {:>12} {:>16}",
+        "strategy", "cc/iter", "thr (iter/cc)"
+    );
     println!("{}", "-".repeat(66));
 
     // Baseline: a single optimally scheduled iteration, repeated serially.
     let single = schedule(
         &graph,
         &spec,
-        &SchedulerOptions { timeout: Some(Duration::from_secs(60)), ..Default::default() },
+        &SchedulerOptions {
+            timeout: Some(Duration::from_secs(60)),
+            ..Default::default()
+        },
     );
     let s = single.schedule.expect("kernel must schedule");
     println!(
@@ -75,7 +81,10 @@ fn main() {
     let incl = modulo_schedule(
         &graph,
         &spec,
-        &ModuloOptions { include_reconfig: true, ..Default::default() },
+        &ModuloOptions {
+            include_reconfig: true,
+            ..Default::default()
+        },
     )
     .expect("modulo (incl) must find an II");
     assert!(validate_modulo(&graph, &spec, &incl, 4).is_empty());

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, tier-1 tests, and a metrics smoke
+# check that a real `eitc --metrics` run emits a parseable document.
+#
+# Run from the repo root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test (tier-1)"
+cargo test -q
+
+echo "== metrics smoke: eitc matmul --metrics"
+out="$(mktemp /tmp/eit-metrics.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+./target/release/eitc matmul --metrics "$out" >/dev/null
+
+# The round-trip parser lives in eit-bench; its integration test is the
+# authoritative validation. Here we assert the emitted file looks like a
+# versioned document and re-run that test against the tree.
+grep -q '"schema": "eit-run-metrics/1"' "$out"
+cargo test -q -p eit-bench --test metrics_roundtrip
+
+echo "CI OK"

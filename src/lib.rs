@@ -14,7 +14,7 @@
 //!   guarded memory constraints, phased restart branch-and-bound,
 //!   portfolio racing, solution enumeration;
 //! - [`core`] — the paper's contribution (§3.3–3.5): combined scheduling
-//!   + vector-memory allocation as one CP model, overlapped execution and
+//!   plus vector-memory allocation as one CP model, overlapped execution and
 //!   modulo scheduling (§4.3, both reconfiguration variants, plus real
 //!   steady-state memory allocation), code generation, a heuristic
 //!   list-scheduling baseline, and the one-call
@@ -46,9 +46,9 @@
 //! modelling decisions, and `EXPERIMENTS.md` for the paper-vs-measured
 //! record of every table and figure.
 
+pub use eit_apps as apps;
 pub use eit_arch as arch;
 pub use eit_core as core;
 pub use eit_cp as cp;
 pub use eit_dsl as dsl;
 pub use eit_ir as ir;
-pub use eit_apps as apps;

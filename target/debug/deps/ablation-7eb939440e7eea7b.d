@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-7eb939440e7eea7b.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-7eb939440e7eea7b: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

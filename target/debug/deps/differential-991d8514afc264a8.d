@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-991d8514afc264a8.d: crates/cp/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-991d8514afc264a8: crates/cp/tests/differential.rs
+
+crates/cp/tests/differential.rs:

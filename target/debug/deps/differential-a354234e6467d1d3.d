@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-a354234e6467d1d3.d: crates/cp/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-a354234e6467d1d3.rmeta: crates/cp/tests/differential.rs Cargo.toml
+
+crates/cp/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eit-14a02b922a8d223c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeit-14a02b922a8d223c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eit-23a50e53a3846013.d: src/lib.rs
+
+/root/repo/target/debug/deps/eit-23a50e53a3846013: src/lib.rs
+
+src/lib.rs:

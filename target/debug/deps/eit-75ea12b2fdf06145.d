@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eit-75ea12b2fdf06145.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeit-75ea12b2fdf06145.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eit-9b0cfeae0020e236.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeit-9b0cfeae0020e236.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libeit-9b0cfeae0020e236.rmeta: src/lib.rs
+
+src/lib.rs:

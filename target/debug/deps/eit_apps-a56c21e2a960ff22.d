@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/eit_apps-a56c21e2a960ff22.d: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+/root/repo/target/debug/deps/libeit_apps-a56c21e2a960ff22.rlib: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+/root/repo/target/debug/deps/libeit_apps-a56c21e2a960ff22.rmeta: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/arf.rs:
+crates/apps/src/blockmm.rs:
+crates/apps/src/detector.rs:
+crates/apps/src/fir.rs:
+crates/apps/src/matmul.rs:
+crates/apps/src/qrd.rs:
+crates/apps/src/synth.rs:

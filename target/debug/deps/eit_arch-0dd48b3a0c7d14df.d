@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/eit_arch-0dd48b3a0c7d14df.d: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeit_arch-0dd48b3a0c7d14df.rmeta: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/code.rs:
+crates/arch/src/gantt.rs:
+crates/arch/src/memory.rs:
+crates/arch/src/persist.rs:
+crates/arch/src/schedule.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/spec.rs:
+crates/arch/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/eit_arch-7000848c26224264.d: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+/root/repo/target/debug/deps/libeit_arch-7000848c26224264.rlib: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+/root/repo/target/debug/deps/libeit_arch-7000848c26224264.rmeta: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/code.rs:
+crates/arch/src/gantt.rs:
+crates/arch/src/memory.rs:
+crates/arch/src/persist.rs:
+crates/arch/src/schedule.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/spec.rs:
+crates/arch/src/vcd.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eit_bench-0976d9129ccb35e8.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeit_bench-0976d9129ccb35e8.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

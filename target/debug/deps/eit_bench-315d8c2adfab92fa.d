@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eit_bench-315d8c2adfab92fa.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+/root/repo/target/debug/deps/eit_bench-315d8c2adfab92fa: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/metrics.rs:

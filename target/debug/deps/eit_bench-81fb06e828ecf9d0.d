@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eit_bench-81fb06e828ecf9d0.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+/root/repo/target/debug/deps/libeit_bench-81fb06e828ecf9d0.rlib: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+/root/repo/target/debug/deps/libeit_bench-81fb06e828ecf9d0.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/metrics.rs:

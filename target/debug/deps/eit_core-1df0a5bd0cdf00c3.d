@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/eit_core-1df0a5bd0cdf00c3.d: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs
+
+/root/repo/target/debug/deps/libeit_core-1df0a5bd0cdf00c3.rlib: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs
+
+/root/repo/target/debug/deps/libeit_core-1df0a5bd0cdf00c3.rmeta: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codegen.rs:
+crates/core/src/list_sched.rs:
+crates/core/src/model.rs:
+crates/core/src/modulo.rs:
+crates/core/src/obs.rs:
+crates/core/src/overlap.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/replicate.rs:

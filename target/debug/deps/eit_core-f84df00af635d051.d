@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/eit_core-f84df00af635d051.d: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeit_core-f84df00af635d051.rmeta: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/codegen.rs:
+crates/core/src/list_sched.rs:
+crates/core/src/model.rs:
+crates/core/src/modulo.rs:
+crates/core/src/obs.rs:
+crates/core/src/overlap.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/replicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eit_dsl-6119823a058f441e.d: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+/root/repo/target/debug/deps/eit_dsl-6119823a058f441e: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ctx.rs:
+crates/dsl/src/ops.rs:

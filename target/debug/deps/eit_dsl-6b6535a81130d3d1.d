@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eit_dsl-6b6535a81130d3d1.d: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+/root/repo/target/debug/deps/libeit_dsl-6b6535a81130d3d1.rlib: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+/root/repo/target/debug/deps/libeit_dsl-6b6535a81130d3d1.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ctx.rs:
+crates/dsl/src/ops.rs:

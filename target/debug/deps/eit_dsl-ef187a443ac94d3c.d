@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eit_dsl-ef187a443ac94d3c.d: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeit_dsl-ef187a443ac94d3c.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs Cargo.toml
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ctx.rs:
+crates/dsl/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

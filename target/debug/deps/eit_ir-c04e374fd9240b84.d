@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/eit_ir-c04e374fd9240b84.d: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+/root/repo/target/debug/deps/libeit_ir-c04e374fd9240b84.rlib: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+/root/repo/target/debug/deps/libeit_ir-c04e374fd9240b84.rmeta: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cplx.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/node.rs:
+crates/ir/src/passes/mod.rs:
+crates/ir/src/passes/cse.rs:
+crates/ir/src/passes/dce.rs:
+crates/ir/src/passes/merge.rs:
+crates/ir/src/sem.rs:
+crates/ir/src/xml.rs:

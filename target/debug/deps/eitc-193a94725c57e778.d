@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eitc-193a94725c57e778.d: crates/bench/src/bin/eitc.rs
+
+/root/repo/target/debug/deps/eitc-193a94725c57e778: crates/bench/src/bin/eitc.rs
+
+crates/bench/src/bin/eitc.rs:

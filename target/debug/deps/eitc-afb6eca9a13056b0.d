@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eitc-afb6eca9a13056b0.d: crates/bench/src/bin/eitc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeitc-afb6eca9a13056b0.rmeta: crates/bench/src/bin/eitc.rs Cargo.toml
+
+crates/bench/src/bin/eitc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eitc-c8481d879831b8a7.d: crates/bench/src/bin/eitc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeitc-c8481d879831b8a7.rmeta: crates/bench/src/bin/eitc.rs Cargo.toml
+
+crates/bench/src/bin/eitc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eitc-fcb7fd375564d1d7.d: crates/bench/src/bin/eitc.rs
+
+/root/repo/target/debug/deps/eitc-fcb7fd375564d1d7: crates/bench/src/bin/eitc.rs
+
+crates/bench/src/bin/eitc.rs:

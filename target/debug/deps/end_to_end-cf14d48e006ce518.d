@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-cf14d48e006ce518.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-cf14d48e006ce518: tests/end_to_end.rs
+
+tests/end_to_end.rs:

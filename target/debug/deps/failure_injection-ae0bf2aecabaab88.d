@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-ae0bf2aecabaab88.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-ae0bf2aecabaab88: tests/failure_injection.rs
+
+tests/failure_injection.rs:

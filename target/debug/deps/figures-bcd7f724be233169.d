@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-bcd7f724be233169.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-bcd7f724be233169: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

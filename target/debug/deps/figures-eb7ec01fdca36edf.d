@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-eb7ec01fdca36edf.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-eb7ec01fdca36edf: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

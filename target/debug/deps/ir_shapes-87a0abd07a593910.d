@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ir_shapes-87a0abd07a593910.d: tests/ir_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libir_shapes-87a0abd07a593910.rmeta: tests/ir_shapes.rs Cargo.toml
+
+tests/ir_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

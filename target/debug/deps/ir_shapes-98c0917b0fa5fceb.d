@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_shapes-98c0917b0fa5fceb.d: tests/ir_shapes.rs
+
+/root/repo/target/debug/deps/ir_shapes-98c0917b0fa5fceb: tests/ir_shapes.rs
+
+tests/ir_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_roundtrip-07a3000459d5791d.d: crates/bench/tests/metrics_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_roundtrip-07a3000459d5791d.rmeta: crates/bench/tests/metrics_roundtrip.rs Cargo.toml
+
+crates/bench/tests/metrics_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_roundtrip-784232602a45b53f.d: crates/bench/tests/metrics_roundtrip.rs
+
+/root/repo/target/debug/deps/metrics_roundtrip-784232602a45b53f: crates/bench/tests/metrics_roundtrip.rs
+
+crates/bench/tests/metrics_roundtrip.rs:

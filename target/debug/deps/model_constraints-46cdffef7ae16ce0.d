@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_constraints-46cdffef7ae16ce0.d: tests/model_constraints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_constraints-46cdffef7ae16ce0.rmeta: tests/model_constraints.rs Cargo.toml
+
+tests/model_constraints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

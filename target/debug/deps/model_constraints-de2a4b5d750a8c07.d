@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_constraints-de2a4b5d750a8c07.d: tests/model_constraints.rs
+
+/root/repo/target/debug/deps/model_constraints-de2a4b5d750a8c07: tests/model_constraints.rs
+
+tests/model_constraints.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modulo_memory-645520b7b1cfd7f3.d: crates/bench/src/bin/modulo_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodulo_memory-645520b7b1cfd7f3.rmeta: crates/bench/src/bin/modulo_memory.rs Cargo.toml
+
+crates/bench/src/bin/modulo_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

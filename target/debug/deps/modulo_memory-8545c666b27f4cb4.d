@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modulo_memory-8545c666b27f4cb4.d: crates/bench/src/bin/modulo_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodulo_memory-8545c666b27f4cb4.rmeta: crates/bench/src/bin/modulo_memory.rs Cargo.toml
+
+crates/bench/src/bin/modulo_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modulo_memory-d8befd0aeee1a9d9.d: crates/bench/src/bin/modulo_memory.rs
+
+/root/repo/target/debug/deps/modulo_memory-d8befd0aeee1a9d9: crates/bench/src/bin/modulo_memory.rs
+
+crates/bench/src/bin/modulo_memory.rs:

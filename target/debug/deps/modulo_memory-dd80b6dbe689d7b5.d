@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modulo_memory-dd80b6dbe689d7b5.d: crates/bench/src/bin/modulo_memory.rs
+
+/root/repo/target/debug/deps/modulo_memory-dd80b6dbe689d7b5: crates/bench/src/bin/modulo_memory.rs
+
+crates/bench/src/bin/modulo_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipelining-53bc0b935adaa1e5.d: tests/pipelining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipelining-53bc0b935adaa1e5.rmeta: tests/pipelining.rs Cargo.toml
+
+tests/pipelining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipelining-c8c7b29082fd1c86.d: tests/pipelining.rs
+
+/root/repo/target/debug/deps/pipelining-c8c7b29082fd1c86: tests/pipelining.rs
+
+tests/pipelining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7a91d53f7c340a17.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7a91d53f7c340a17: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-19c51edce4df40dc.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-19c51edce4df40dc: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

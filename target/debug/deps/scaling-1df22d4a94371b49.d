@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-1df22d4a94371b49.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-1df22d4a94371b49: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-b876bb3bd6902720.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-b876bb3bd6902720.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

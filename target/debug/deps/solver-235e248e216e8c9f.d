@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver-235e248e216e8c9f.d: crates/bench/benches/solver.rs
+
+/root/repo/target/debug/deps/solver-235e248e216e8c9f: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_model-86bbfbaafe7a73e5.d: crates/cp/tests/store_model.rs
+
+/root/repo/target/debug/deps/store_model-86bbfbaafe7a73e5: crates/cp/tests/store_model.rs
+
+crates/cp/tests/store_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_model-c0ce4b4dd4b00eb3.d: crates/cp/tests/store_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_model-c0ce4b4dd4b00eb3.rmeta: crates/cp/tests/store_model.rs Cargo.toml
+
+crates/cp/tests/store_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

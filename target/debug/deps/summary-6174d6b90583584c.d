@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-6174d6b90583584c.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-6174d6b90583584c: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-f9db7747386ba51b.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-f9db7747386ba51b: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-622ecd9c78835186.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-622ecd9c78835186: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9344345147c97484.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9344345147c97484: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e23caf0a3c41b6e0.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-e23caf0a3c41b6e0: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-327d0c5c9e4e9e78.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-327d0c5c9e4e9e78: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

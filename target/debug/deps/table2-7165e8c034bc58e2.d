@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7165e8c034bc58e2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7165e8c034bc58e2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-95494db8eee0ea4d.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-95494db8eee0ea4d: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

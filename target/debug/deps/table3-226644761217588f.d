@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-226644761217588f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-226644761217588f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-66e5cdca36977512.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-66e5cdca36977512: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

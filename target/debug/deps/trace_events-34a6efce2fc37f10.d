@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_events-34a6efce2fc37f10.d: crates/cp/tests/trace_events.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_events-34a6efce2fc37f10.rmeta: crates/cp/tests/trace_events.rs Cargo.toml
+
+crates/cp/tests/trace_events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_events-79e259f3616ef1e0.d: crates/cp/tests/trace_events.rs
+
+/root/repo/target/debug/deps/trace_events-79e259f3616ef1e0: crates/cp/tests/trace_events.rs
+
+crates/cp/tests/trace_events.rs:

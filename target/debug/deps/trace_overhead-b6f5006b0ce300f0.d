@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_overhead-b6f5006b0ce300f0.d: crates/bench/benches/trace_overhead.rs
+
+/root/repo/target/debug/deps/trace_overhead-b6f5006b0ce300f0: crates/bench/benches/trace_overhead.rs
+
+crates/bench/benches/trace_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-46ab35a4519ce8f0.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-46ab35a4519ce8f0: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

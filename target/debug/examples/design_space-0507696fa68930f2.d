@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-0507696fa68930f2.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-0507696fa68930f2: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mimo_qrd-1b16c76c289ba559.d: examples/mimo_qrd.rs
+
+/root/repo/target/debug/examples/mimo_qrd-1b16c76c289ba559: examples/mimo_qrd.rs
+
+examples/mimo_qrd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mimo_qrd-ca674ece260c3398.d: examples/mimo_qrd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmimo_qrd-ca674ece260c3398.rmeta: examples/mimo_qrd.rs Cargo.toml
+
+examples/mimo_qrd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

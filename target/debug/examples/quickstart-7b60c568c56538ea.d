@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7b60c568c56538ea.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7b60c568c56538ea: examples/quickstart.rs
+
+examples/quickstart.rs:

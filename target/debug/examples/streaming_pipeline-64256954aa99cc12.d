@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_pipeline-64256954aa99cc12.d: examples/streaming_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_pipeline-64256954aa99cc12.rmeta: examples/streaming_pipeline.rs Cargo.toml
+
+examples/streaming_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

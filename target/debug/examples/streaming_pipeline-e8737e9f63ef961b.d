@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_pipeline-e8737e9f63ef961b.d: examples/streaming_pipeline.rs
+
+/root/repo/target/debug/examples/streaming_pipeline-e8737e9f63ef961b: examples/streaming_pipeline.rs
+
+examples/streaming_pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eit-37be82634c929850.d: src/lib.rs
+
+/root/repo/target/release/deps/libeit-37be82634c929850.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libeit-37be82634c929850.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/eit_apps-18c6954c837aecbd.d: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+/root/repo/target/release/deps/libeit_apps-18c6954c837aecbd.rlib: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+/root/repo/target/release/deps/libeit_apps-18c6954c837aecbd.rmeta: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/arf.rs:
+crates/apps/src/blockmm.rs:
+crates/apps/src/detector.rs:
+crates/apps/src/fir.rs:
+crates/apps/src/matmul.rs:
+crates/apps/src/qrd.rs:
+crates/apps/src/synth.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/eit_arch-e36be0bcb423d917.d: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+/root/repo/target/release/deps/libeit_arch-e36be0bcb423d917.rlib: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+/root/repo/target/release/deps/libeit_arch-e36be0bcb423d917.rmeta: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/code.rs:
+crates/arch/src/gantt.rs:
+crates/arch/src/memory.rs:
+crates/arch/src/persist.rs:
+crates/arch/src/schedule.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/spec.rs:
+crates/arch/src/vcd.rs:

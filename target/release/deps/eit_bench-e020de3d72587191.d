@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eit_bench-e020de3d72587191.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+/root/repo/target/release/deps/libeit_bench-e020de3d72587191.rlib: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+/root/repo/target/release/deps/libeit_bench-e020de3d72587191.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/metrics.rs:

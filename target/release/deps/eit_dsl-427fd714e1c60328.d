@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eit_dsl-427fd714e1c60328.d: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+/root/repo/target/release/deps/libeit_dsl-427fd714e1c60328.rlib: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+/root/repo/target/release/deps/libeit_dsl-427fd714e1c60328.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ctx.rs:
+crates/dsl/src/ops.rs:

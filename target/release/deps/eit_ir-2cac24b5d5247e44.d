@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/eit_ir-2cac24b5d5247e44.d: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+/root/repo/target/release/deps/libeit_ir-2cac24b5d5247e44.rlib: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+/root/repo/target/release/deps/libeit_ir-2cac24b5d5247e44.rmeta: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cplx.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/node.rs:
+crates/ir/src/passes/mod.rs:
+crates/ir/src/passes/cse.rs:
+crates/ir/src/passes/dce.rs:
+crates/ir/src/passes/merge.rs:
+crates/ir/src/sem.rs:
+crates/ir/src/xml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eitc-6c05f30f3c86e159.d: crates/bench/src/bin/eitc.rs
+
+/root/repo/target/release/deps/eitc-6c05f30f3c86e159: crates/bench/src/bin/eitc.rs
+
+crates/bench/src/bin/eitc.rs:

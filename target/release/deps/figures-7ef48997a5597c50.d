@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-7ef48997a5597c50.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-7ef48997a5597c50: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

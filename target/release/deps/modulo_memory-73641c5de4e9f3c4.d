@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/modulo_memory-73641c5de4e9f3c4.d: crates/bench/src/bin/modulo_memory.rs
+
+/root/repo/target/release/deps/modulo_memory-73641c5de4e9f3c4: crates/bench/src/bin/modulo_memory.rs
+
+crates/bench/src/bin/modulo_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-49cfcaa828e42af7.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-49cfcaa828e42af7: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

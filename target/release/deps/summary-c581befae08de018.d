@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-c581befae08de018.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-c581befae08de018: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-36f44f7f80e2d8f7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-36f44f7f80e2d8f7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-fd1171db14299112.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-fd1171db14299112: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

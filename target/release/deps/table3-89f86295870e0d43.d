@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-89f86295870e0d43.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-89f86295870e0d43: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_overhead-2a03e7bac1474dfa.d: crates/bench/benches/trace_overhead.rs
+
+/root/repo/target/release/deps/trace_overhead-2a03e7bac1474dfa: crates/bench/benches/trace_overhead.rs
+
+crates/bench/benches/trace_overhead.rs:

@@ -23,7 +23,11 @@ fn run_kernel(name: &str) {
 
     let spec = ArchSpec::eit();
     let result = schedule(&graph, &spec, &opts(120));
-    assert_eq!(result.status, SearchStatus::Optimal, "{name} must solve to optimality");
+    assert_eq!(
+        result.status,
+        SearchStatus::Optimal,
+        "{name} must solve to optimality"
+    );
     let sched = result.schedule.unwrap();
 
     // Structural validation.
@@ -109,7 +113,10 @@ fn memoryless_schedule_never_longer() {
         let no_mem = schedule(
             &graph,
             &spec,
-            &SchedulerOptions { memory: false, ..opts(120) },
+            &SchedulerOptions {
+                memory: false,
+                ..opts(120)
+            },
         )
         .makespan
         .unwrap();
@@ -156,7 +163,8 @@ fn compile_facade_handles_every_kernel() {
         .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(out.status, SearchStatus::Optimal, "{name}");
         // The compiled schedule still replays functionally.
-        let report = eit::arch::simulate(&out.graph, &ArchSpec::eit(), &out.schedule, &kernel.inputs);
+        let report =
+            eit::arch::simulate(&out.graph, &ArchSpec::eit(), &out.schedule, &kernel.inputs);
         assert!(report.ok(), "{name}: {:?}", report.violations);
         assert!(out.program.n_instructions > 0, "{name}");
     }
@@ -175,7 +183,9 @@ fn kernels_retarget_to_the_wide_machine() {
         let mut g = kernel.graph.clone();
         eit::ir::merge_pipeline_ops(&mut g);
         let r = schedule(&g, &spec, &opts(120));
-        let sched = r.schedule.unwrap_or_else(|| panic!("{name} on wide machine"));
+        let sched = r
+            .schedule
+            .unwrap_or_else(|| panic!("{name} on wide machine"));
         let report = eit::arch::simulate(&g, &spec, &sched, &kernel.inputs);
         assert!(report.ok(), "{name}: {:?}", report.violations);
     }

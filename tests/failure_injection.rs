@@ -19,7 +19,10 @@ fn scheduled(name: &str) -> (eit::ir::Graph, ArchSpec, Schedule, eit::apps::Kern
     let r = schedule(
         &g,
         &spec,
-        &SchedulerOptions { timeout: Some(Duration::from_secs(60)), ..Default::default() },
+        &SchedulerOptions {
+            timeout: Some(Duration::from_secs(60)),
+            ..Default::default()
+        },
     );
     (g, spec, r.schedule.unwrap(), kernel)
 }
@@ -125,7 +128,10 @@ fn specific_corruptions_produce_specific_violations() {
     let mut s = base.clone();
     s.start[datas[0].idx()] += 3;
     let v = validate_structure(&g, &spec, &s);
-    assert!(v.iter().any(|x| matches!(x, Violation::DataStart { .. })), "{v:?}");
+    assert!(
+        v.iter().any(|x| matches!(x, Violation::DataStart { .. })),
+        "{v:?}"
+    );
 
     // Slot drop → MissingSlot.
     let vd: Vec<_> = g
@@ -135,13 +141,20 @@ fn specific_corruptions_produce_specific_violations() {
     let mut s = base.clone();
     s.slot[vd[0].idx()] = None;
     let v = validate_structure(&g, &spec, &s);
-    assert!(v.iter().any(|x| matches!(x, Violation::MissingSlot { .. })), "{v:?}");
+    assert!(
+        v.iter().any(|x| matches!(x, Violation::MissingSlot { .. })),
+        "{v:?}"
+    );
 
     // Out-of-range slot → SlotOutOfRange.
     let mut s = base.clone();
     s.slot[vd[0].idx()] = Some(spec.n_slots() + 7);
     let v = validate_structure(&g, &spec, &s);
-    assert!(v.iter().any(|x| matches!(x, Violation::SlotOutOfRange { .. })), "{v:?}");
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, Violation::SlotOutOfRange { .. })),
+        "{v:?}"
+    );
 }
 
 #[test]

@@ -66,7 +66,16 @@ fn fig6_both_merge_patterns() {
     let folded: Vec<_> = g
         .ids()
         .filter_map(|n| g.opcode(n))
-        .filter(|o| matches!(o, Opcode::Vector { pre: Some(_), core: CoreOp::Mul, .. }))
+        .filter(|o| {
+            matches!(
+                o,
+                Opcode::Vector {
+                    pre: Some(_),
+                    core: CoreOp::Mul,
+                    ..
+                }
+            )
+        })
         .collect();
     assert_eq!(folded.len(), 1);
 
@@ -83,7 +92,14 @@ fn fig6_both_merge_patterns() {
         .ids()
         .filter_map(|n| g.opcode(n))
         .filter(|o| {
-            matches!(o, Opcode::Vector { core: CoreOp::Mul, post: Some(PostOp::Sort), .. })
+            matches!(
+                o,
+                Opcode::Vector {
+                    core: CoreOp::Mul,
+                    post: Some(PostOp::Sort),
+                    ..
+                }
+            )
         })
         .collect();
     assert_eq!(folded.len(), 1);
@@ -162,7 +178,11 @@ fn merged_graphs_survive_xml() {
     let ops: Vec<_> = g2.ids().filter_map(|n| g2.opcode(n)).collect();
     assert!(ops.iter().any(|o| matches!(
         o,
-        Opcode::Vector { pre: Some((PreOp::Hermitian, 0)), core: CoreOp::Mul, post: Some(PostOp::Sort) }
+        Opcode::Vector {
+            pre: Some((PreOp::Hermitian, 0)),
+            core: CoreOp::Mul,
+            post: Some(PostOp::Sort)
+        }
     )));
 }
 
@@ -186,7 +206,10 @@ fn dsl_matrix_expansion_has_no_matrix_data() {
     }
     assert_eq!(g.count(Category::MatrixOp), 1);
     assert_eq!(g.count(Category::VectorData), 12); // 8 in + 4 out
-    assert_eq!(g.node(eit::ir::NodeId(0)).kind, eit::ir::NodeKind::Data(DataKind::Vector));
+    assert_eq!(
+        g.node(eit::ir::NodeId(0)).kind,
+        eit::ir::NodeKind::Data(DataKind::Vector)
+    );
 }
 
 #[test]
@@ -216,14 +239,20 @@ fn matrix_dsl_evaluation_matches_canonical_semantics() {
         inputs.truncate(arity);
         let canon = apply(&op, &inputs).unwrap();
         for (i, out) in canon.iter().enumerate() {
-            assert!(out.approx_eq(&Value::V(dsl_rows[i]), 1e-9), "{op:?} row {i}");
+            assert!(
+                out.approx_eq(&Value::V(dsl_rows[i]), 1e-9),
+                "{op:?} row {i}"
+            );
         }
     }
     // m_squsum and m_scale (different arities).
     let sq = a.m_squsum();
     let canon = apply(
         &Opcode::matrix(CoreOp::SquSum),
-        &a.rows().iter().map(|r| Value::V(r.value())).collect::<Vec<_>>(),
+        &a.rows()
+            .iter()
+            .map(|r| Value::V(r.value()))
+            .collect::<Vec<_>>(),
     )
     .unwrap();
     assert!(canon[0].approx_eq(&Value::V(sq.value()), 1e-9));
@@ -233,7 +262,10 @@ fn matrix_dsl_evaluation_matches_canonical_semantics() {
     inputs.push(Value::S(s.value()));
     let canon = apply(&Opcode::matrix(CoreOp::Scale), &inputs).unwrap();
     for (i, out) in canon.iter().enumerate() {
-        assert!(out.approx_eq(&Value::V(scaled.values()[i]), 1e-9), "scale row {i}");
+        assert!(
+            out.approx_eq(&Value::V(scaled.values()[i]), 1e-9),
+            "scale row {i}"
+        );
     }
 }
 

@@ -227,7 +227,10 @@ fn minimize_slots_is_lexicographic() {
     let min_slots = schedule(
         &g,
         &spec,
-        &SchedulerOptions { minimize_slots: true, ..opts() },
+        &SchedulerOptions {
+            minimize_slots: true,
+            ..opts()
+        },
     );
     let s0 = base.schedule.unwrap();
     let s1 = min_slots.schedule.unwrap();

@@ -94,7 +94,11 @@ fn modulo_excl_reaches_lower_bound_or_better_than_serial() {
         assert!(r.ii_issue >= lb, "{name}");
         assert!(validate_modulo(&g, &spec, &r, 4).is_empty(), "{name}");
         let serial = schedule(&g, &spec, &sched_opts()).makespan.unwrap();
-        assert!(r.actual_ii <= serial, "{name}: II {} vs serial {serial}", r.actual_ii);
+        assert!(
+            r.actual_ii <= serial,
+            "{name}: II {} vs serial {serial}",
+            r.actual_ii
+        );
     }
 }
 

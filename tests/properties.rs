@@ -137,14 +137,22 @@ proptest! {
 /// exercised deeply (structure + metrics sanity).
 #[test]
 fn fixed_seed_full_pipeline() {
-    let k = build(SynthParams { seed: 2024, layers: 4, width: 6, scalar_fraction: 0.25 });
+    let k = build(SynthParams {
+        seed: 2024,
+        layers: 4,
+        width: 6,
+        scalar_fraction: 0.25,
+    });
     let mut g = k.graph.clone();
     eit::ir::merge_pipeline_ops(&mut g);
     let spec = ArchSpec::eit();
     let r = schedule(
         &g,
         &spec,
-        &SchedulerOptions { timeout: Some(Duration::from_secs(60)), ..Default::default() },
+        &SchedulerOptions {
+            timeout: Some(Duration::from_secs(60)),
+            ..Default::default()
+        },
     );
     let sched = r.schedule.expect("seeded kernel schedules");
     let report = simulate(&g, &spec, &sched, &k.inputs);
