@@ -20,6 +20,8 @@
 //!   --emit gantt        print a Gantt chart of the schedule instead of a listing
 //!   --trace FILE        write the solver's search events as JSON lines
 //!   --profile           print the per-propagator profile table (stderr)
+//!   --fifo              use the legacy FIFO propagation scheduler (A/B
+//!                       baseline for the event-driven engine)
 //!   --metrics FILE      write machine-readable run metrics as JSON
 //! ```
 //!
@@ -52,6 +54,7 @@ struct Args {
     emit_vcd: bool,
     trace: Option<String>,
     profile: bool,
+    fifo: bool,
     metrics: Option<String>,
 }
 
@@ -60,7 +63,7 @@ fn usage() -> ! {
     eprintln!("            [--slots N] [--no-memory] [--no-merge]");
     eprintln!("            [--modulo [incl]] [--overlap M] [--timeout SECS]");
     eprintln!("            [--emit xml|gantt|dot|vcd]");
-    eprintln!("            [--trace FILE] [--profile] [--metrics FILE]");
+    eprintln!("            [--trace FILE] [--profile] [--fifo] [--metrics FILE]");
     exit(2);
 }
 
@@ -84,6 +87,7 @@ fn parse_args() -> Args {
         emit_vcd: false,
         trace: None,
         profile: false,
+        fifo: false,
         metrics: None,
     };
     let mut it = std::env::args().skip(1).peekable();
@@ -127,6 +131,7 @@ fn parse_args() -> Args {
             },
             "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
             "--profile" => args.profile = true,
+            "--fifo" => args.fifo = true,
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             k if !k.starts_with('-') && args.kernel.is_empty() => args.kernel = k.to_string(),
             other => bad_arg(other),
@@ -237,6 +242,7 @@ fn main() {
                 timeout: Some(timeout),
                 trace,
                 profile: args.profile || args.metrics.is_some(),
+                fifo_engine: args.fifo,
                 ..Default::default()
             },
             ..Default::default()

@@ -113,6 +113,8 @@ impl RunMetrics {
                 Json::Obj(vec![
                     ("name".into(), Json::str(p.name)),
                     ("invocations".into(), Json::int(p.invocations)),
+                    ("wakes".into(), Json::int(p.wakes)),
+                    ("no_op_runs".into(), Json::int(p.no_op_runs)),
                     ("prunings".into(), Json::int(p.prunings)),
                     ("failures".into(), Json::int(p.failures)),
                     ("time_us".into(), Json::int(p.time.as_micros() as u64)),

@@ -53,6 +53,10 @@ pub struct SchedulerOptions {
     /// Per-propagator profiling with wall-time attribution; the profile
     /// comes back in [`ScheduleResult::propagator_profile`].
     pub profile: bool,
+    /// Run the solver with the legacy FIFO propagation scheduler instead
+    /// of the event-driven tiered engine — the A/B baseline for
+    /// measuring wake/invocation savings. Same solutions, same optima.
+    pub fifo_engine: bool,
 }
 
 impl Default for SchedulerOptions {
@@ -65,6 +69,7 @@ impl Default for SchedulerOptions {
             minimize_slots: false,
             trace: None,
             profile: false,
+            fifo_engine: false,
         }
     }
 }
@@ -104,7 +109,11 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
     let mut timings = PhaseTimings::new();
     let lat = spec.latencies;
     let horizon = opts.horizon.unwrap_or_else(|| serial_horizon(g, spec));
-    let mut m = Model::new();
+    let mut m = if opts.fifo_engine {
+        Model::with_fifo_baseline()
+    } else {
+        Model::new()
+    };
 
     // --- start variables ---------------------------------------------------
     let start: Vec<VarId> = g

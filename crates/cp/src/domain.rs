@@ -8,6 +8,98 @@
 //! O(1); value removal in the middle is O(k) in the number of intervals.
 
 use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Classification of a domain mutation, used by the engine to wake only
+/// the propagators whose filtering could be enabled by the change.
+///
+/// Events are a bitmask because one mutation can have several effects at
+/// once: fixing `x ∈ [0,9]` to `4` raises the minimum, lowers the maximum
+/// and assigns the variable, so it fires `MIN | MAX | FIX`. The store
+/// guarantees that every *actual* change fires at least one bit (an
+/// interior removal that moves no bound fires `HOLE`), so a propagator
+/// subscribed with [`DomainEvent::ANY`] sees every mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DomainEvent(u8);
+
+impl DomainEvent {
+    /// No effect (never delivered; useful as an accumulator seed).
+    pub const NONE: DomainEvent = DomainEvent(0);
+    /// The minimum increased.
+    pub const MIN: DomainEvent = DomainEvent(1);
+    /// The maximum decreased.
+    pub const MAX: DomainEvent = DomainEvent(2);
+    /// The variable became fixed (singleton domain).
+    pub const FIX: DomainEvent = DomainEvent(4);
+    /// An interior value was removed without moving either bound.
+    pub const HOLE: DomainEvent = DomainEvent(8);
+    /// Either bound moved.
+    pub const BOUNDS: DomainEvent = DomainEvent(1 | 2);
+    /// Any change at all.
+    pub const ANY: DomainEvent = DomainEvent(1 | 2 | 4 | 8);
+
+    /// True if no bit is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if this event shares at least one bit with `mask`.
+    #[inline]
+    pub fn intersects(self, mask: DomainEvent) -> bool {
+        self.0 & mask.0 != 0
+    }
+
+    /// True if every bit of `other` is set in `self`.
+    #[inline]
+    pub fn contains(self, other: DomainEvent) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl BitOr for DomainEvent {
+    type Output = DomainEvent;
+    #[inline]
+    fn bitor(self, rhs: DomainEvent) -> DomainEvent {
+        DomainEvent(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for DomainEvent {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: DomainEvent) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for DomainEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut put = |f: &mut fmt::Formatter<'_>, s: &str| -> fmt::Result {
+            if !first {
+                write!(f, "|")?;
+            }
+            first = false;
+            write!(f, "{s}")
+        };
+        if self.is_empty() {
+            return write!(f, "NONE");
+        }
+        if self.contains(DomainEvent::MIN) {
+            put(f, "MIN")?;
+        }
+        if self.contains(DomainEvent::MAX) {
+            put(f, "MAX")?;
+        }
+        if self.contains(DomainEvent::FIX) {
+            put(f, "FIX")?;
+        }
+        if self.contains(DomainEvent::HOLE) {
+            put(f, "HOLE")?;
+        }
+        Ok(())
+    }
+}
 
 /// A finite set of `i32` values stored as disjoint closed intervals.
 #[derive(Clone, PartialEq, Eq)]

@@ -58,8 +58,10 @@ pub mod search;
 pub mod store;
 pub mod trace;
 
-pub use domain::Domain;
-pub use engine::{render_profile_table, Engine, PropId, PropProfile, Propagator};
+pub use domain::{Domain, DomainEvent};
+pub use engine::{
+    render_profile_table, Engine, Priority, PropId, PropProfile, Propagator, Subscriptions, Wake,
+};
 pub use model::Model;
 pub use portfolio::{RaceReport, RacerOutcome};
 pub use search::{

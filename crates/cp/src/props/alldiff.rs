@@ -7,7 +7,8 @@
 //! surface and used by downstream models (e.g. forcing distinct window
 //! slots for unit-capacity units in custom modulo formulations).
 
-use crate::engine::Propagator;
+use crate::domain::DomainEvent;
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{Fail, PropResult, Store, VarId};
 
 pub struct AllDifferent {
@@ -70,11 +71,17 @@ impl AllDifferent {
 }
 
 impl Propagator for AllDifferent {
-    fn vars(&self) -> Vec<VarId> {
-        self.vars.clone()
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Value propagation triggers on FIX; the Hall filter reads
+        // bounds. A FIX-only mask (as in classic value-based alldiff)
+        // would starve the Hall reasoning and weaken the fixpoint, so
+        // bounds events are included; interior holes affect neither part.
+        for &v in &self.vars {
+            subs.watch(v, DomainEvent::BOUNDS | DomainEvent::FIX);
+        }
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         // Value propagation: fixed vars knock their value out of others.
         // Iterate to a local fixpoint (fixing can cascade).
         loop {
@@ -107,6 +114,10 @@ impl Propagator for AllDifferent {
 
     fn name(&self) -> &'static str {
         "alldifferent"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Global
     }
 }
 

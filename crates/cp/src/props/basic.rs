@@ -1,7 +1,8 @@
 //! Basic binary/n-ary propagators: equality with offset, disequality,
 //! and `y = max(xs)`.
 
-use crate::engine::Propagator;
+use crate::domain::DomainEvent;
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{Fail, PropResult, Store, VarId};
 
 /// `y = x + c` (domain-consistent on bounds; value-consistent once one side
@@ -16,11 +17,13 @@ pub struct XPlusCEqY {
 }
 
 impl Propagator for XPlusCEqY {
-    fn vars(&self) -> Vec<VarId> {
-        vec![self.x, self.y]
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Hole channeling means interior removals matter on both sides.
+        subs.watch(self.x, DomainEvent::ANY);
+        subs.watch(self.y, DomainEvent::ANY);
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         // Bounds in both directions.
         s.remove_below(self.y, s.min(self.x).saturating_add(self.c))?;
         s.remove_above(self.y, s.max(self.x).saturating_add(self.c))?;
@@ -43,6 +46,17 @@ impl Propagator for XPlusCEqY {
     fn name(&self) -> &'static str {
         "x+c=y"
     }
+
+    fn priority(&self) -> Priority {
+        Priority::Arith
+    }
+
+    fn idempotent(&self) -> bool {
+        // One pass leaves y = x + c exactly (bounds then shifted-domain
+        // intersection in both directions), so a re-run cannot prune —
+        // unless x and y alias, when the channeling feeds itself.
+        self.x != self.y
+    }
 }
 
 /// `x + c ≤ y`: the precedence constraint (1) of the paper,
@@ -54,17 +68,30 @@ pub struct XPlusCLeqY {
 }
 
 impl Propagator for XPlusCLeqY {
-    fn vars(&self) -> Vec<VarId> {
-        vec![self.x, self.y]
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Only x's lower bound and y's upper bound feed the rules.
+        subs.watch(self.x, DomainEvent::MIN);
+        subs.watch(self.y, DomainEvent::MAX);
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         s.remove_below(self.y, s.min(self.x).saturating_add(self.c))?;
         s.remove_above(self.x, s.max(self.y).saturating_sub(self.c))
     }
 
     fn name(&self) -> &'static str {
         "x+c<=y"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Arith
+    }
+
+    fn idempotent(&self) -> bool {
+        // The run reads min(x)/max(y) and prunes min(y)/max(x): the
+        // inputs of the rules are untouched by their own outputs —
+        // unless x and y alias, when each prune shifts the next input.
+        self.x != self.y
     }
 }
 
@@ -77,11 +104,13 @@ pub struct NeqOffset {
 }
 
 impl Propagator for NeqOffset {
-    fn vars(&self) -> Vec<VarId> {
-        vec![self.x, self.y]
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Filtering only triggers once a side becomes fixed.
+        subs.watch(self.x, DomainEvent::FIX);
+        subs.watch(self.y, DomainEvent::FIX);
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         if let Some(vy) = s.dom(self.y).value() {
             s.remove_value(self.x, vy.saturating_add(self.c))?;
         }
@@ -93,6 +122,16 @@ impl Propagator for NeqOffset {
 
     fn name(&self) -> &'static str {
         "neq"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Arith
+    }
+
+    fn idempotent(&self) -> bool {
+        // If removing x's value fixes y, the y-side rule in the same run
+        // already removes the (provably absent) mirror value from x.
+        true
     }
 }
 
@@ -106,13 +145,15 @@ pub struct MaxOf {
 }
 
 impl Propagator for MaxOf {
-    fn vars(&self) -> Vec<VarId> {
-        let mut v = self.xs.clone();
-        v.push(self.y);
-        v
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // All rules are bounds-based; interior holes never matter.
+        for &x in &self.xs {
+            subs.watch(x, DomainEvent::BOUNDS);
+        }
+        subs.watch(self.y, DomainEvent::BOUNDS);
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         if self.xs.is_empty() {
             return Err(Fail);
         }
@@ -140,6 +181,10 @@ impl Propagator for MaxOf {
     fn name(&self) -> &'static str {
         "max"
     }
+
+    fn priority(&self) -> Priority {
+        Priority::Arith
+    }
 }
 
 /// `y = x₁ - x₂ + c` — helper for lifetime definition
@@ -152,11 +197,13 @@ pub struct DiffPlusC {
 }
 
 impl Propagator for DiffPlusC {
-    fn vars(&self) -> Vec<VarId> {
-        vec![self.x1, self.x2, self.y]
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        subs.watch(self.x1, DomainEvent::BOUNDS);
+        subs.watch(self.x2, DomainEvent::BOUNDS);
+        subs.watch(self.y, DomainEvent::BOUNDS);
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         // y = x1 - x2 + c
         s.remove_below(self.y, s.min(self.x1) - s.max(self.x2) + self.c)?;
         s.remove_above(self.y, s.max(self.x1) - s.min(self.x2) + self.c)?;
@@ -171,6 +218,10 @@ impl Propagator for DiffPlusC {
 
     fn name(&self) -> &'static str {
         "diff+c"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Arith
     }
 }
 

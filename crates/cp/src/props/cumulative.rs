@@ -17,7 +17,8 @@
 //!    task's requirement would exceed capacity anywhere in the execution
 //!    window.
 
-use crate::engine::Propagator;
+use crate::domain::DomainEvent;
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{Fail, PropResult, Store, VarId};
 
 /// One task of a cumulative resource.
@@ -178,12 +179,20 @@ impl Profile {
 }
 
 impl Propagator for Cumulative {
-    fn vars(&self) -> Vec<VarId> {
-        self.tasks.iter().map(|t| t.start).collect()
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Compulsory parts and execution windows are bound-derived:
+        // interior holes in a start domain change neither the profile nor
+        // any other task's filtering, so they need not wake us. The tag
+        // is the task index, enabling incremental phase-2 filtering.
+        for (i, t) in self.tasks.iter().enumerate() {
+            subs.watch_tagged(t.start, DomainEvent::BOUNDS, i as u32);
+        }
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, wake: &Wake<'_>) -> PropResult {
         // Phase 0: energetic overload check over release/deadline windows.
+        // Always global: failure detection must not depend on wake info,
+        // or the event engine would explore nodes the baseline refutes.
         self.energetic_check(s)?;
         // Phase 1: overload check on the compulsory-part profile.
         self.events.clear();
@@ -206,13 +215,38 @@ impl Propagator for Cumulative {
         // task and candidate start value v, the task occupies [v, v+dur) at
         // height req; reject v if any point of that window, on the profile
         // minus the task's own compulsory part, would exceed capacity.
+        //
+        // Incremental narrowing: on a tagged wake, only the profile under
+        // the dirty tasks' (current) compulsory parts can have risen since
+        // our previous run — compulsory parts only grow as domains shrink.
+        // A task that is not itself dirty and whose execution window
+        // misses every dirty compulsory part was filtered clean before
+        // and provably still is, so it is skipped.
         let profile = Profile::build(&self.events);
-        for i in 0..self.tasks.len() {
-            let t = self.tasks[i];
+        let mut dirty_tasks: Vec<bool> = Vec::new();
+        let mut dirty_parts: Vec<(i32, i32)> = Vec::new();
+        let incremental = !wake.rescan();
+        if incremental {
+            dirty_tasks = vec![false; self.tasks.len()];
+            for &tag in wake.tags() {
+                dirty_tasks[tag as usize] = true;
+                if let Some(part) = Self::compulsory(s, &self.tasks[tag as usize]) {
+                    dirty_parts.push(part);
+                }
+            }
+        }
+        for (i, &t) in self.tasks.iter().enumerate() {
             if s.is_fixed(t.start) {
                 // Fixed tasks are fully represented in the profile already;
                 // the overload check covers them.
                 continue;
+            }
+            if incremental && !dirty_tasks[i] {
+                // Execution window [est, lst + dur).
+                let (wa, wb) = (s.min(t.start), s.max(t.start) + t.dur);
+                if !dirty_parts.iter().any(|&(a, b)| a < wb && wa < b) {
+                    continue;
+                }
             }
             let own = Self::compulsory(s, &t);
             let mut to_remove: Vec<i32> = Vec::new();
@@ -233,6 +267,10 @@ impl Propagator for Cumulative {
 
     fn name(&self) -> &'static str {
         "cumulative"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Global
     }
 }
 

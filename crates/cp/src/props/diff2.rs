@@ -14,7 +14,8 @@
 //! edge-finding-style bounds rules; if separation is impossible in both
 //! dimensions, fail.
 
-use crate::engine::Propagator;
+use crate::domain::DomainEvent;
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{Fail, PropResult, Store, VarId};
 
 /// A rectangle of the `Diff2` constraint.
@@ -99,20 +100,36 @@ impl Diff2 {
 }
 
 impl Propagator for Diff2 {
-    fn vars(&self) -> Vec<VarId> {
-        let mut v = Vec::with_capacity(self.rects.len() * 4);
-        for r in &self.rects {
-            v.extend_from_slice(&r.origin);
-            v.extend_from_slice(&r.len);
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // All four vars of a rect feed only bound computations (min/max
+        // of origins and lengths), so interior holes never matter. All
+        // four carry the rect index as tag for incremental pair work.
+        for (i, r) in self.rects.iter().enumerate() {
+            for &v in r.origin.iter().chain(r.len.iter()) {
+                subs.watch_tagged(v, DomainEvent::BOUNDS, i as u32);
+            }
         }
-        v
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, wake: &Wake<'_>) -> PropResult {
+        // The pigeonhole sweep stays global so failure detection is
+        // identical to the FIFO baseline's.
         self.pigeonhole(s)?;
         let n = self.rects.len();
+        // Pairs where neither rect moved a bound since our previous run
+        // were examined clean then and read only unchanged values: skip.
+        let mut dirty: Vec<bool> = Vec::new();
+        if !wake.rescan() {
+            dirty = vec![false; n];
+            for &tag in wake.tags() {
+                dirty[tag as usize] = true;
+            }
+        }
         for i in 0..n {
             for j in (i + 1)..n {
+                if !dirty.is_empty() && !dirty[i] && !dirty[j] {
+                    continue;
+                }
                 let (a, b) = (self.rects[i], self.rects[j]);
                 if Self::may_be_empty(s, &a) || Self::may_be_empty(s, &b) {
                     continue;
@@ -157,6 +174,10 @@ impl Propagator for Diff2 {
 
     fn name(&self) -> &'static str {
         "diff2"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Global
     }
 }
 

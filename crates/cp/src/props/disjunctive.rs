@@ -17,7 +17,8 @@
 //! and the index/merge unit runs unit ones; the scheduler uses this
 //! propagator for both (a drop-in upgrade over `Cumulative(cap=1)`).
 
-use crate::engine::Propagator;
+use crate::domain::DomainEvent;
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{Fail, PropResult, Store, VarId};
 
 /// One task on the unary resource.
@@ -68,10 +69,16 @@ impl Disjunctive {
     }
 
     /// If only one ordering of a pair remains possible, enforce it.
-    fn pairwise_orders(&self, s: &mut Store) -> PropResult {
+    /// `dirty` (when non-empty) limits work to pairs with a dirty member:
+    /// a pair whose both tasks kept their bounds since our previous run
+    /// was examined clean then and all four values it reads are unchanged.
+    fn pairwise_orders(&self, s: &mut Store, dirty: &[bool]) -> PropResult {
         let n = self.tasks.len();
         for i in 0..n {
             for j in (i + 1)..n {
+                if !dirty.is_empty() && !dirty[i] && !dirty[j] {
+                    continue;
+                }
                 let (a, b) = (self.tasks[i], self.tasks[j]);
                 // a before b possible? est_a + d_a ≤ lst_b
                 let ab = s.min(a.start) + a.dur <= s.max(b.start);
@@ -109,17 +116,35 @@ impl Disjunctive {
 }
 
 impl Propagator for Disjunctive {
-    fn vars(&self) -> Vec<VarId> {
-        self.tasks.iter().map(|t| t.start).collect()
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Every rule reads bounds (fixedness changes always move a
+        // bound); interior holes cannot enable new filtering. The tag is
+        // the task index for incremental pair selection.
+        for (i, t) in self.tasks.iter().enumerate() {
+            subs.watch_tagged(t.start, DomainEvent::BOUNDS, i as u32);
+        }
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, wake: &Wake<'_>) -> PropResult {
+        // The overload check stays global so failure detection is
+        // identical to the FIFO baseline's.
         self.overload_check(s)?;
-        self.pairwise_orders(s)
+        let mut dirty: Vec<bool> = Vec::new();
+        if !wake.rescan() {
+            dirty = vec![false; self.tasks.len()];
+            for &tag in wake.tags() {
+                dirty[tag as usize] = true;
+            }
+        }
+        self.pairwise_orders(s, &dirty)
     }
 
     fn name(&self) -> &'static str {
         "disjunctive"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Global
     }
 }
 

@@ -12,8 +12,8 @@
 //! so this propagator achieves *domain* consistency by explicit value maps
 //! in both directions.
 
-use crate::domain::Domain;
-use crate::engine::Propagator;
+use crate::domain::{Domain, DomainEvent};
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{PropResult, Store, VarId};
 
 pub struct SlotGeometry {
@@ -48,11 +48,14 @@ impl SlotGeometry {
 }
 
 impl Propagator for SlotGeometry {
-    fn vars(&self) -> Vec<VarId> {
-        vec![self.slot, self.line, self.page]
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Domain-consistent channeling: any removal anywhere matters.
+        subs.watch(self.slot, DomainEvent::ANY);
+        subs.watch(self.line, DomainEvent::ANY);
+        subs.watch(self.page, DomainEvent::ANY);
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         // Forward: images of the slot domain.
         let mut lines = Vec::new();
         let mut pages = Vec::new();
@@ -78,6 +81,17 @@ impl Propagator for SlotGeometry {
     fn name(&self) -> &'static str {
         "slot-geometry"
     }
+
+    fn priority(&self) -> Priority {
+        Priority::Arith
+    }
+
+    fn idempotent(&self) -> bool {
+        // After one pass the line/page domains are exactly the images of
+        // the surviving slots, so every remaining value has support —
+        // provided the three variables are distinct.
+        self.slot != self.line && self.slot != self.page && self.line != self.page
+    }
 }
 
 /// Modular channeling `s = m·k + t` with `t ∈ [0, m)`, domain-consistent
@@ -92,11 +106,13 @@ pub struct ModChannel {
 }
 
 impl Propagator for ModChannel {
-    fn vars(&self) -> Vec<VarId> {
-        vec![self.s, self.k, self.t]
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        subs.watch(self.s, DomainEvent::ANY);
+        subs.watch(self.k, DomainEvent::ANY);
+        subs.watch(self.t, DomainEvent::ANY);
     }
 
-    fn propagate(&mut self, store: &mut Store) -> PropResult {
+    fn propagate(&mut self, store: &mut Store, _: &Wake<'_>) -> PropResult {
         let m = self.modulus;
         let mut ts = Vec::new();
         let mut ks = Vec::new();
@@ -120,6 +136,14 @@ impl Propagator for ModChannel {
 
     fn name(&self) -> &'static str {
         "mod-channel"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Arith
+    }
+
+    fn idempotent(&self) -> bool {
+        self.s != self.k && self.s != self.t && self.k != self.t
     }
 }
 

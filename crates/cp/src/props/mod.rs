@@ -12,6 +12,18 @@
 //! - [`geometry`] — the slot/line/page channeling of the EIT vector memory
 //! - [`reify`] — guarded/conditional constraints (the paper's (7)–(9))
 //! - [`table`] — extensional constraint with generalised arc consistency
+//!
+//! Every propagator declares its wake-up conditions to the event engine
+//! via [`Propagator::subscribe`](crate::engine::Propagator::subscribe)
+//! (per-variable [`DomainEvent`](crate::domain::DomainEvent) masks,
+//! optionally tagged so the propagator can tell *which* of its parts
+//! changed), a scheduling tier
+//! ([`Priority`](crate::engine::Priority): cheap arithmetic before
+//! linear before globals) and an idempotence hint. The hint must be a
+//! dynamic check when the constraint can be posted with aliased
+//! variables — a repeated variable makes a propagator interact with
+//! itself through the shared domain, so one pass is no longer a
+//! fixpoint. DESIGN.md §5e tabulates the assignment per propagator.
 
 pub mod alldiff;
 pub mod basic;

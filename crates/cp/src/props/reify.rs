@@ -10,7 +10,8 @@
 //!   the start times as soon as some allocation pair is provably
 //!   conflicting.
 
-use crate::engine::Propagator;
+use crate::domain::DomainEvent;
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{PropResult, Store, VarId};
 
 /// `page_d = page_e ⟹ line_d = line_e`.
@@ -68,16 +69,25 @@ impl PageLineImplies {
 }
 
 impl Propagator for PageLineImplies {
-    fn vars(&self) -> Vec<VarId> {
-        vec![self.page_d, self.line_d, self.page_e, self.line_e]
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // Entailment tests mix fixedness and full-domain disjointness, so
+        // every event class can flip a decision.
+        subs.watch(self.page_d, DomainEvent::ANY);
+        subs.watch(self.line_d, DomainEvent::ANY);
+        subs.watch(self.page_e, DomainEvent::ANY);
+        subs.watch(self.line_e, DomainEvent::ANY);
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         Self::filter(s, self.page_d, self.line_d, self.page_e, self.line_e, true).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
         "page=>line"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Linear
     }
 }
 
@@ -106,15 +116,18 @@ pub struct CondSameTime {
 }
 
 impl Propagator for CondSameTime {
-    fn vars(&self) -> Vec<VarId> {
-        let mut v = vec![self.s_i, self.s_j];
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        subs.watch(self.s_i, DomainEvent::ANY);
+        subs.watch(self.s_j, DomainEvent::ANY);
         for p in &self.pairs {
-            v.extend_from_slice(&[p.page_d, p.line_d, p.page_e, p.line_e]);
+            subs.watch(p.page_d, DomainEvent::ANY);
+            subs.watch(p.line_d, DomainEvent::ANY);
+            subs.watch(p.page_e, DomainEvent::ANY);
+            subs.watch(p.line_e, DomainEvent::ANY);
         }
-        v
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         // Guard decided false?
         if s.dom(self.s_i).disjoint(s.dom(self.s_j)) {
             return Ok(());
@@ -149,6 +162,10 @@ impl Propagator for CondSameTime {
 
     fn name(&self) -> &'static str {
         "same-time=>mem-compatible"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Linear
     }
 }
 

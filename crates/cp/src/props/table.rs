@@ -8,8 +8,8 @@
 //! Configuration legality tables (e.g. "which vector-core configuration
 //! may follow which without a stall") are the intended use.
 
-use crate::domain::Domain;
-use crate::engine::Propagator;
+use crate::domain::{Domain, DomainEvent};
+use crate::engine::{Priority, Propagator, Subscriptions, Wake};
 use crate::store::{Fail, PropResult, Store, VarId};
 
 pub struct Table {
@@ -27,11 +27,14 @@ impl Table {
 }
 
 impl Propagator for Table {
-    fn vars(&self) -> Vec<VarId> {
-        self.vars.clone()
+    fn subscribe(&self, subs: &mut Subscriptions) {
+        // GAC over explicit tuples: any removal can kill a support.
+        for &v in &self.vars {
+            subs.watch(v, DomainEvent::ANY);
+        }
     }
 
-    fn propagate(&mut self, s: &mut Store) -> PropResult {
+    fn propagate(&mut self, s: &mut Store, _: &Wake<'_>) -> PropResult {
         let k = self.vars.len();
         // Live tuples under the current domains.
         let live: Vec<&Vec<i32>> = self
@@ -56,6 +59,20 @@ impl Propagator for Table {
 
     fn name(&self) -> &'static str {
         "table"
+    }
+
+    fn priority(&self) -> Priority {
+        Priority::Global
+    }
+
+    fn idempotent(&self) -> bool {
+        // Simple tabular reduction is a one-pass fixpoint only when the
+        // variables are pairwise distinct: with a repeated variable the
+        // per-position intersections interact through the shared domain
+        // and can kill tuples that were live at the start of the pass.
+        let mut vs: Vec<usize> = self.vars.iter().map(|v| v.idx()).collect();
+        vs.sort_unstable();
+        vs.windows(2).all(|w| w[0] != w[1])
     }
 }
 

@@ -8,7 +8,7 @@
 //! permanent, which is how model set-up and branch-and-bound tightening of
 //! the objective bound are expressed.
 
-use crate::domain::Domain;
+use crate::domain::{Domain, DomainEvent};
 use std::fmt;
 
 /// Index of a finite-domain variable in a [`Store`].
@@ -49,8 +49,9 @@ pub struct Store {
     saved_at: Vec<u64>,
     /// Incremented on every `push_level`; never reused.
     magic: u64,
-    /// Vars whose domain changed since the engine last drained them.
-    dirty: Vec<u32>,
+    /// Modification log: (var, event) entries accumulated since the engine
+    /// last drained them. One entry per mutation, classified by effect.
+    log: Vec<(u32, DomainEvent)>,
     /// Monotone count of domain mutations (never rewound on backtrack);
     /// deltas around a propagator run give its pruning count.
     changes: u64,
@@ -65,7 +66,7 @@ impl Store {
             level_marks: Vec::new(),
             saved_at: Vec::new(),
             magic: 0,
-            dirty: Vec::new(),
+            log: Vec::new(),
             changes: 0,
         }
     }
@@ -165,7 +166,7 @@ impl Store {
             let (var, dom) = self.trail.pop().unwrap();
             self.domains[var as usize] = dom;
         }
-        self.dirty.clear();
+        self.log.clear();
     }
 
     #[inline]
@@ -180,14 +181,40 @@ impl Store {
     }
 
     #[inline]
-    fn after_change(&mut self, v: VarId) -> PropResult {
+    fn after_change(&mut self, v: VarId, ev: DomainEvent) -> PropResult {
         self.changes += 1;
         if self.domains[v.idx()].is_empty() {
             Err(Fail)
         } else {
-            self.dirty.push(v.0);
+            debug_assert!(!ev.is_empty(), "every change must fire an event");
+            self.log.push((v.0, ev));
             Ok(())
         }
+    }
+
+    /// Event bits that describe the transition from `(old_min, old_max)`
+    /// to the current domain of `v`, assuming the domain is non-empty.
+    #[inline]
+    fn bound_event(&self, v: VarId, old_min: i32, old_max: i32) -> DomainEvent {
+        let d = &self.domains[v.idx()];
+        if d.is_empty() {
+            return DomainEvent::ANY; // failing entry is never logged
+        }
+        let mut ev = DomainEvent::NONE;
+        if d.min() > old_min {
+            ev |= DomainEvent::MIN;
+        }
+        if d.max() < old_max {
+            ev |= DomainEvent::MAX;
+        }
+        if d.is_fixed() && old_min != old_max {
+            ev |= DomainEvent::FIX;
+        }
+        if ev.is_empty() {
+            // Changed without moving a bound or fixing: interior removal.
+            ev = DomainEvent::HOLE;
+        }
+        ev
     }
 
     /// Total domain mutations so far (monotone; includes the mutation
@@ -197,13 +224,13 @@ impl Store {
         self.changes
     }
 
-    /// Drain the list of changed variables (consumed by the engine).
-    pub(crate) fn take_dirty(&mut self) -> Vec<u32> {
-        std::mem::take(&mut self.dirty)
+    /// Drain the modification log (consumed by the engine).
+    pub(crate) fn take_events(&mut self) -> Vec<(u32, DomainEvent)> {
+        std::mem::take(&mut self.log)
     }
 
-    pub(crate) fn has_dirty(&self) -> bool {
-        !self.dirty.is_empty()
+    pub(crate) fn has_events(&self) -> bool {
+        !self.log.is_empty()
     }
 
     // ---- mutation API -----------------------------------------------------
@@ -213,9 +240,14 @@ impl Store {
         if self.domains[v.idx()].min() >= lo {
             return Ok(());
         }
+        let was_fixed = self.domains[v.idx()].is_fixed();
         self.save(v);
         self.domains[v.idx()].remove_below(lo);
-        self.after_change(v)
+        let mut ev = DomainEvent::MIN;
+        if !was_fixed && self.domains[v.idx()].is_fixed() {
+            ev |= DomainEvent::FIX;
+        }
+        self.after_change(v, ev)
     }
 
     /// `v ≤ hi`.
@@ -223,19 +255,27 @@ impl Store {
         if self.domains[v.idx()].max() <= hi {
             return Ok(());
         }
+        let was_fixed = self.domains[v.idx()].is_fixed();
         self.save(v);
         self.domains[v.idx()].remove_above(hi);
-        self.after_change(v)
+        let mut ev = DomainEvent::MAX;
+        if !was_fixed && self.domains[v.idx()].is_fixed() {
+            ev |= DomainEvent::FIX;
+        }
+        self.after_change(v, ev)
     }
 
     /// `v ≠ val`.
     pub fn remove_value(&mut self, v: VarId, val: i32) -> PropResult {
-        if !self.domains[v.idx()].contains(val) {
+        let d = &self.domains[v.idx()];
+        if !d.contains(val) {
             return Ok(());
         }
+        let (old_min, old_max) = (d.min(), d.max());
         self.save(v);
         self.domains[v.idx()].remove_value(val);
-        self.after_change(v)
+        let ev = self.bound_event(v, old_min, old_max);
+        self.after_change(v, ev)
     }
 
     /// `v = val`. Fails if `val` is not in the domain.
@@ -247,9 +287,16 @@ impl Store {
         if !d.contains(val) {
             return Err(Fail);
         }
+        let mut ev = DomainEvent::FIX;
+        if d.min() < val {
+            ev |= DomainEvent::MIN;
+        }
+        if d.max() > val {
+            ev |= DomainEvent::MAX;
+        }
         self.save(v);
         self.domains[v.idx()].fix(val);
-        self.after_change(v)
+        self.after_change(v, ev)
     }
 
     /// `v ∈ [lo, hi]`.
@@ -265,10 +312,12 @@ impl Store {
         if d.min() >= other.min() && d.max() <= other.max() && other.interval_count() == 1 {
             return Ok(());
         }
+        let (old_min, old_max) = (d.min(), d.max());
         self.save(v);
         let changed = self.domains[v.idx()].intersect(other);
         if changed {
-            self.after_change(v)
+            let ev = self.bound_event(v, old_min, old_max);
+            self.after_change(v, ev)
         } else {
             Ok(())
         }
@@ -365,7 +414,7 @@ mod tests {
     }
 
     #[test]
-    fn dirty_tracks_changes() {
+    fn log_tracks_changes_with_events() {
         let mut s = Store::new();
         let x = s.new_var(0, 5);
         let y = s.new_var(0, 5);
@@ -373,9 +422,16 @@ mod tests {
         s.remove_below(x, 1).unwrap();
         s.remove_below(x, 2).unwrap();
         s.fix(y, 0).unwrap();
-        let d = s.take_dirty();
-        assert!(d.contains(&x.0) && d.contains(&y.0));
-        assert!(!s.has_dirty());
+        let log = s.take_events();
+        assert_eq!(log.len(), 3);
+        assert!(log
+            .iter()
+            .any(|&(v, ev)| v == x.0 && ev.contains(DomainEvent::MIN)));
+        // Fixing y at its old minimum lowers only the maximum.
+        assert!(log
+            .iter()
+            .any(|&(v, ev)| v == y.0 && ev.contains(DomainEvent::FIX | DomainEvent::MAX)));
+        assert!(!s.has_events());
     }
 
     #[test]
@@ -386,7 +442,29 @@ mod tests {
         s.remove_below(x, 0).unwrap();
         s.remove_above(x, 5).unwrap();
         s.remove_value(x, 9).unwrap();
-        assert!(s.take_dirty().is_empty());
+        assert!(s.take_events().is_empty());
+    }
+
+    #[test]
+    fn events_classify_mutations() {
+        let mut s = Store::new();
+        let x = s.new_var_with_domain(Domain::from_values([0, 2, 4, 6, 8]), "x");
+        s.push_level();
+        s.remove_value(x, 4).unwrap(); // interior: no bound moves
+        s.remove_value(x, 0).unwrap(); // old minimum
+        s.remove_above(x, 7).unwrap(); // maximum drops to 6
+        s.remove_value(x, 6).unwrap(); // max removal leaves {2}: fixed
+        let log = s.take_events();
+        let evs: Vec<DomainEvent> = log.iter().map(|&(_, ev)| ev).collect();
+        assert_eq!(
+            evs,
+            vec![
+                DomainEvent::HOLE,
+                DomainEvent::MIN,
+                DomainEvent::MAX,
+                DomainEvent::MAX | DomainEvent::FIX,
+            ]
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! constructed (the emit path takes a closure). With a sink configured,
 //! each event takes one uncontended mutex lock plus whatever the sink
 //! does. Events carry no timestamps, so a fixed model always produces an
-//! identical stream — which is what the determinism tests pin down.
+//! identical stream — which is what the determinism tests pin down. The
+//! event-driven propagation engine keeps that property: priority tiers
+//! drain lowest-first, each tier is FIFO, and wake tags are sorted before
+//! delivery, so the propagator execution order (and hence the search tree
+//! and this stream) is a pure function of the model.
 
 use std::collections::VecDeque;
 use std::fmt;

@@ -29,4 +29,10 @@ trap 'rm -f "$out"' EXIT
 grep -q '"schema": "eit-run-metrics/1"' "$out"
 cargo test -q -p eit-bench --test metrics_roundtrip
 
+echo "== engine equivalence: event-driven vs FIFO baseline"
+cargo test -q --release -p eit-cp --test differential event_engine
+
+echo "== solver bench smoke: trace overhead + engine A/B"
+cargo bench -p eit-bench --bench trace_overhead
+
 echo "CI OK"

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-ad571ec5ed243b97.d: crates/cp/tests/differential.rs
+
+/root/repo/target/release/deps/differential-ad571ec5ed243b97: crates/cp/tests/differential.rs
+
+crates/cp/tests/differential.rs:

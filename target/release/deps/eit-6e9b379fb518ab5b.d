@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eit-6e9b379fb518ab5b.d: src/lib.rs
+
+/root/repo/target/release/deps/eit-6e9b379fb518ab5b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/eit_apps-c513322607403656.d: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+/root/repo/target/release/deps/eit_apps-c513322607403656: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/arf.rs:
+crates/apps/src/blockmm.rs:
+crates/apps/src/detector.rs:
+crates/apps/src/fir.rs:
+crates/apps/src/matmul.rs:
+crates/apps/src/qrd.rs:
+crates/apps/src/synth.rs:

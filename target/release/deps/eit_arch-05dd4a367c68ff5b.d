@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/eit_arch-05dd4a367c68ff5b.d: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+/root/repo/target/release/deps/eit_arch-05dd4a367c68ff5b: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/code.rs:
+crates/arch/src/gantt.rs:
+crates/arch/src/memory.rs:
+crates/arch/src/persist.rs:
+crates/arch/src/schedule.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/spec.rs:
+crates/arch/src/vcd.rs:

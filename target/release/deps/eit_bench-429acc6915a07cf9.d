@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eit_bench-429acc6915a07cf9.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+/root/repo/target/release/deps/eit_bench-429acc6915a07cf9: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/metrics.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/eit_core-3475a012c7fac452.d: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs
+
+/root/repo/target/release/deps/eit_core-3475a012c7fac452: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codegen.rs:
+crates/core/src/list_sched.rs:
+crates/core/src/model.rs:
+crates/core/src/modulo.rs:
+crates/core/src/obs.rs:
+crates/core/src/overlap.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/replicate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eit_dsl-6ed860e2251068b6.d: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+/root/repo/target/release/deps/eit_dsl-6ed860e2251068b6: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ctx.rs:
+crates/dsl/src/ops.rs:

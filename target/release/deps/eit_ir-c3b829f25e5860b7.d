@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/eit_ir-c3b829f25e5860b7.d: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+/root/repo/target/release/deps/eit_ir-c3b829f25e5860b7: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cplx.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/node.rs:
+crates/ir/src/passes/mod.rs:
+crates/ir/src/passes/cse.rs:
+crates/ir/src/passes/dce.rs:
+crates/ir/src/passes/merge.rs:
+crates/ir/src/sem.rs:
+crates/ir/src/xml.rs:

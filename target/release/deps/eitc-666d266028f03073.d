@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eitc-666d266028f03073.d: crates/bench/src/bin/eitc.rs
+
+/root/repo/target/release/deps/eitc-666d266028f03073: crates/bench/src/bin/eitc.rs
+
+crates/bench/src/bin/eitc.rs:

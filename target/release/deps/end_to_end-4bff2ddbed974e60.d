@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-4bff2ddbed974e60.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-4bff2ddbed974e60: tests/end_to_end.rs
+
+tests/end_to_end.rs:

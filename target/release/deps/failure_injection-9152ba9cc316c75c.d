@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-9152ba9cc316c75c.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-9152ba9cc316c75c: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-9a31ed0342dd62d2.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-9a31ed0342dd62d2: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ir_shapes-552ea9278c056172.d: tests/ir_shapes.rs
+
+/root/repo/target/release/deps/ir_shapes-552ea9278c056172: tests/ir_shapes.rs
+
+tests/ir_shapes.rs:

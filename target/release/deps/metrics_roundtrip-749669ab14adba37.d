@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_roundtrip-749669ab14adba37.d: crates/bench/tests/metrics_roundtrip.rs
+
+/root/repo/target/release/deps/metrics_roundtrip-749669ab14adba37: crates/bench/tests/metrics_roundtrip.rs
+
+crates/bench/tests/metrics_roundtrip.rs:

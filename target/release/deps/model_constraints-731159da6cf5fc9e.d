@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_constraints-731159da6cf5fc9e.d: tests/model_constraints.rs
+
+/root/repo/target/release/deps/model_constraints-731159da6cf5fc9e: tests/model_constraints.rs
+
+tests/model_constraints.rs:

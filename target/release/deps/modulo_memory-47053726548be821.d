@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/modulo_memory-47053726548be821.d: crates/bench/src/bin/modulo_memory.rs
+
+/root/repo/target/release/deps/modulo_memory-47053726548be821: crates/bench/src/bin/modulo_memory.rs
+
+crates/bench/src/bin/modulo_memory.rs:

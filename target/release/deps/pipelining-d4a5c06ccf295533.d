@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipelining-d4a5c06ccf295533.d: tests/pipelining.rs
+
+/root/repo/target/release/deps/pipelining-d4a5c06ccf295533: tests/pipelining.rs
+
+tests/pipelining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-5262f107e0aa8055.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-5262f107e0aa8055: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-7e9b12d4f5e05052.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-7e9b12d4f5e05052: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

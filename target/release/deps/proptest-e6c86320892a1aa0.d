@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e6c86320892a1aa0.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e6c86320892a1aa0.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e6c86320892a1aa0.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

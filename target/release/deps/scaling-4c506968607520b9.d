@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-4c506968607520b9.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-4c506968607520b9: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver-dc561ee2744d4441.d: crates/bench/benches/solver.rs
+
+/root/repo/target/release/deps/solver-dc561ee2744d4441: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/store_model-87739008f821ae7f.d: crates/cp/tests/store_model.rs
+
+/root/repo/target/release/deps/store_model-87739008f821ae7f: crates/cp/tests/store_model.rs
+
+crates/cp/tests/store_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-6f92c7ca9155fbe7.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-6f92c7ca9155fbe7: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

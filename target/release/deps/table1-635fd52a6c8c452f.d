@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-635fd52a6c8c452f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-635fd52a6c8c452f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-05fe349b691276c5.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-05fe349b691276c5: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

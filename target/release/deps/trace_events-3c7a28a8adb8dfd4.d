@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_events-3c7a28a8adb8dfd4.d: crates/cp/tests/trace_events.rs
+
+/root/repo/target/release/deps/trace_events-3c7a28a8adb8dfd4: crates/cp/tests/trace_events.rs
+
+crates/cp/tests/trace_events.rs:

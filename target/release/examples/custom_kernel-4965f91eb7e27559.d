@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_kernel-4965f91eb7e27559.d: examples/custom_kernel.rs
+
+/root/repo/target/release/examples/custom_kernel-4965f91eb7e27559: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

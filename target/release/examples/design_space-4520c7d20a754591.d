@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-4520c7d20a754591.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-4520c7d20a754591: examples/design_space.rs
+
+examples/design_space.rs:

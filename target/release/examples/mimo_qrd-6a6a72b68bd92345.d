@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mimo_qrd-6a6a72b68bd92345.d: examples/mimo_qrd.rs
+
+/root/repo/target/release/examples/mimo_qrd-6a6a72b68bd92345: examples/mimo_qrd.rs
+
+examples/mimo_qrd.rs:

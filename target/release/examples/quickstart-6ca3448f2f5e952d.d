@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6ca3448f2f5e952d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6ca3448f2f5e952d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_pipeline-5a6b73b3ec34a249.d: examples/streaming_pipeline.rs
+
+/root/repo/target/release/examples/streaming_pipeline-5a6b73b3ec34a249: examples/streaming_pipeline.rs
+
+examples/streaming_pipeline.rs:
