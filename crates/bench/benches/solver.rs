@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eit_apps::synth::{build, SynthParams};
 use eit_arch::ArchSpec;
-use eit_core::{schedule, SchedulerOptions};
+use eit_core::modulo::{allocate_modulo_memory_with, AllocOptions, AllocOutcome};
+use eit_core::{modulo_schedule, schedule, ModuloOptions, SchedulerOptions};
 use eit_cp::props::cumulative::CumTask;
 use eit_cp::props::diff2::Rect;
 use eit_cp::{Domain, Model, Phase, SearchConfig, ValSel, VarSel};
@@ -162,12 +163,81 @@ fn bench_search_heuristics(c: &mut Criterion) {
     }
 }
 
+fn bench_parallel_ab(c: &mut Criterion) {
+    // Sequential vs `--jobs 4` on QRD with reconfigurations modelled.
+    //
+    // Two shapes. `sweep_*` is the speculative II sweep itself: QRD's
+    // lower bound is tight (II = 22 is feasible on the first probe), so
+    // parallelism can only add thread-spawn overhead there — the pair
+    // documents that the sweep's parallel mode costs little when there is
+    // nothing to overlap. `alloc_*` is where the cores pay off: the
+    // steady-state memory allocation at a 39-slot budget sits right on
+    // the CSP phase transition — a sequential dive thrashes for over a
+    // minute, while EPS hands one of the ~120 decision-prefix subtrees to
+    // each worker and first-SAT racing returns a valid allocation in
+    // ~100 ms. The sequential side is budget-capped at 2 s to keep the
+    // bench finite, so the measured ratio (~20×) is a *lower bound* on
+    // the true speedup; the acceptance bar is 2×.
+    let k = eit_apps::by_name("qrd").expect("built-in kernel");
+    let mut g = k.graph.clone();
+    eit_ir::merge_pipeline_ops(&mut g);
+    let mopts = |jobs| ModuloOptions {
+        include_reconfig: true,
+        jobs,
+        ..Default::default()
+    };
+    let modulo = modulo_schedule(&g, &ArchSpec::eit(), &mopts(1)).expect("qrd incl pipelines");
+    let spec = ArchSpec::eit().with_slots(39);
+
+    let mut group = c.benchmark_group("solver/parallel_ab");
+    group.sample_size(10);
+    for (name, jobs) in [("sweep_seq", 1usize), ("sweep_jobs4", 4)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = modulo_schedule(&g, &ArchSpec::eit(), &mopts(jobs)).unwrap();
+                assert_eq!(r.ii_issue, modulo.ii_issue);
+                r.actual_ii
+            })
+        });
+    }
+    for (name, jobs, race) in [
+        ("alloc_seq_2s_cap", 1usize, false),
+        ("alloc_eps_jobs4", 4, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = allocate_modulo_memory_with(
+                    &g,
+                    &spec,
+                    &modulo,
+                    4,
+                    &AllocOptions {
+                        timeout: Duration::from_secs(2),
+                        jobs,
+                        race,
+                        ..Default::default()
+                    },
+                );
+                if jobs > 1 {
+                    assert!(
+                        matches!(out, AllocOutcome::Allocated(..)),
+                        "EPS should crack the 39-slot allocation within budget"
+                    );
+                }
+                matches!(out, AllocOutcome::Allocated(..))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_domain,
     bench_propagation,
     bench_synthetic_scaling,
     bench_engine_ab,
-    bench_search_heuristics
+    bench_search_heuristics,
+    bench_parallel_ab
 );
 criterion_main!(benches);

@@ -12,6 +12,9 @@
 //!   --no-merge          skip the fig. 6 pipeline-merge pass
 //!   --modulo [incl]     emit a modulo schedule instead (optionally with
 //!                       reconfigurations modelled)
+//!   --jobs N            worker threads for the modulo II sweep (default: 1;
+//!                       N > 1 probes candidate IIs speculatively in parallel
+//!                       and yields the same schedule as N = 1)
 //!   --overlap M         overlapped execution of M iterations
 //!   --timeout SECS      solver budget (default: 120)
 //!   --emit xml          dump the (merged) IR as XML instead of compiling
@@ -28,7 +31,7 @@
 //! Example: `cargo run --release -p eit-bench --bin eitc -- qrd --slots 16`
 
 use eit_arch::ArchSpec;
-use eit_bench::RunMetrics;
+use eit_bench::{Json, RunMetrics};
 use eit_core::pipeline::{compile, CompileError, CompileOptions};
 use eit_core::{
     bundles_from_schedule, modulo_schedule, overlapped_execution, ModuloOptions, SchedulerOptions,
@@ -46,6 +49,7 @@ struct Args {
     memory: bool,
     merge: bool,
     modulo: Option<bool>, // Some(include_reconfig)
+    jobs: usize,
     overlap: Option<usize>,
     timeout: u64,
     emit_xml: bool,
@@ -61,7 +65,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!("usage: eitc <qrd|arf|matmul|fir|detector|blockmm|path.xml>");
     eprintln!("            [--slots N] [--no-memory] [--no-merge]");
-    eprintln!("            [--modulo [incl]] [--overlap M] [--timeout SECS]");
+    eprintln!("            [--modulo [incl]] [--jobs N] [--overlap M] [--timeout SECS]");
     eprintln!("            [--emit xml|gantt|dot|vcd]");
     eprintln!("            [--trace FILE] [--profile] [--fifo] [--metrics FILE]");
     exit(2);
@@ -79,6 +83,7 @@ fn parse_args() -> Args {
         memory: true,
         merge: true,
         modulo: None,
+        jobs: 1,
         overlap: None,
         timeout: 120,
         emit_xml: false,
@@ -107,6 +112,13 @@ fn parse_args() -> Args {
                     it.next();
                 }
                 args.modulo = Some(incl);
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
             }
             "--overlap" => {
                 args.overlap = Some(
@@ -167,6 +179,67 @@ fn load_graph(name: &str) -> (Graph, HashMap<NodeId, Value>) {
     }
 }
 
+/// The `modulo` metrics section. Everything outside `jobs`, the `*_us`
+/// timing fields and the `workers` array is deterministic and identical
+/// across `--jobs` values: the `probes` array is cut at the winning II —
+/// probes at or below the winner always run to a natural stop (cancellation
+/// only ever targets candidates above a feasible II), so their node and
+/// fail counts match the sequential sweep byte for byte.
+fn modulo_metrics(r: &eit_core::ModuloResult) -> Json {
+    let probes: Vec<Json> = r
+        .probes
+        .iter()
+        .filter(|p| p.ii <= r.ii_issue)
+        .map(|p| {
+            Json::Obj(vec![
+                ("ii".into(), Json::int(p.ii as u64)),
+                ("outcome".into(), Json::str(p.outcome)),
+                ("nodes".into(), Json::int(p.nodes)),
+                ("fails".into(), Json::int(p.fails)),
+                ("time_us".into(), Json::int(p.time.as_micros() as u64)),
+            ])
+        })
+        .collect();
+    let mut per_worker: Vec<(u64, u64, u64, u64)> = Vec::new();
+    for p in &r.probes {
+        if per_worker.len() <= p.worker {
+            per_worker.resize(p.worker + 1, (0, 0, 0, 0));
+        }
+        let w = &mut per_worker[p.worker];
+        w.0 += 1;
+        w.1 += p.nodes;
+        w.2 += p.fails;
+        w.3 += p.time.as_micros() as u64;
+    }
+    let workers: Vec<Json> = per_worker
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, nodes, fails, busy))| {
+            Json::Obj(vec![
+                ("worker".into(), Json::int(i as u64)),
+                ("probes".into(), Json::int(n)),
+                ("nodes".into(), Json::int(nodes)),
+                ("fails".into(), Json::int(fails)),
+                ("busy_us".into(), Json::int(busy)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("ii_issue".into(), Json::int(r.ii_issue as u64)),
+        ("switches".into(), Json::int(r.switches as u64)),
+        ("actual_ii".into(), Json::int(r.actual_ii as u64)),
+        ("throughput".into(), Json::num(r.throughput)),
+        ("timed_out".into(), Json::Bool(r.timed_out)),
+        ("jobs".into(), Json::int(r.jobs as u64)),
+        (
+            "opt_time_us".into(),
+            Json::int(r.opt_time.as_micros() as u64),
+        ),
+        ("probes".into(), Json::Arr(probes)),
+        ("workers".into(), Json::Arr(workers)),
+    ])
+}
+
 fn main() {
     let args = parse_args();
     let (mut g, inputs) = load_graph(&args.kernel);
@@ -208,6 +281,7 @@ fn main() {
                 include_reconfig,
                 timeout_per_ii: timeout,
                 total_timeout: timeout,
+                jobs: args.jobs,
                 ..Default::default()
             },
         )
@@ -226,6 +300,14 @@ fn main() {
         rows.sort();
         for (_, row) in rows {
             println!("{row}");
+        }
+        if let Some(path) = &args.metrics {
+            let mut m = RunMetrics::new("eitc", &args.kernel);
+            m.arch(&spec).section("modulo", modulo_metrics(&r));
+            if let Err(e) = m.write_to(path) {
+                eprintln!("eitc: cannot write metrics to {path}: {e}");
+                exit(1);
+            }
         }
         return;
     }

@@ -77,6 +77,8 @@ fn main() {
                         s,
                         opt_time: Duration::ZERO,
                         timed_out: false,
+                        probes: Vec::new(),
+                        jobs: 1,
                     };
                     if let Some((big, sched)) = allocate_modulo_memory(&p.graph, &spec2, &rr, 4) {
                         let v = validate_structure(&big, &spec2, &sched);

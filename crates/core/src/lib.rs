@@ -28,8 +28,9 @@ pub use codegen::{generate, Program};
 pub use list_sched::{list_schedule, ListScheduleResult};
 pub use model::{build_model, schedule, BuiltModel, ScheduleResult, SchedulerOptions};
 pub use modulo::{
-    allocate_modulo_memory, ii_lower_bound, modulo_schedule, schedule_at_ii, validate_modulo,
-    IiOutcome, ModuloOptions, ModuloResult,
+    allocate_modulo_memory, allocate_modulo_memory_with, ii_lower_bound, modulo_schedule, probe_ii,
+    schedule_at_ii, validate_modulo, AllocOptions, AllocOutcome, IiOutcome, ModuloOptions,
+    ModuloResult, ProbeStat,
 };
 pub use obs::PhaseTimings;
 pub use overlap::{

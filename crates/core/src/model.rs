@@ -448,6 +448,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
         shared_bound: None,
         restart_on_solution: true,
         trace: opts.trace.clone(),
+        cancel: None,
     };
     let r = timings.time("search", || {
         minimize(&mut built.model, built.objective, &cfg)
@@ -482,6 +483,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
                 shared_bound: None,
                 restart_on_solution: true,
                 trace: opts.trace.clone(),
+                cancel: None,
             };
             let r2 = minimize(&mut built2.model, max_slot, &cfg2);
             if let Some(sol) = r2.best.as_ref() {

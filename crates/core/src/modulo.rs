@@ -29,9 +29,14 @@
 use eit_arch::{ArchSpec, Schedule};
 use eit_cp::props::cumulative::CumTask;
 use eit_cp::props::diff2::Rect;
-use eit_cp::{solve, Model, Phase, SearchConfig, SearchStatus, ValSel, VarId, VarSel};
+use eit_cp::{
+    solve, CancelToken, Model, Phase, SearchConfig, SearchStats, SearchStatus, ValSel, VarId,
+    VarSel,
+};
 use eit_ir::{Category, Graph, NodeId, VectorConfig};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Options for [`modulo_schedule`].
@@ -45,6 +50,12 @@ pub struct ModuloOptions {
     pub total_timeout: Duration,
     /// Upper bound on the II sweep; `None` = serial bound.
     pub max_ii: Option<i32>,
+    /// Worker threads for the speculative II sweep. `1` (the default)
+    /// probes candidates strictly bottom-up, as the paper does; `N > 1`
+    /// probes N candidates concurrently and cancels every probe above the
+    /// lowest feasible II found. The *answer* is identical either way —
+    /// see the determinism contract in DESIGN.md.
+    pub jobs: usize,
 }
 
 impl Default for ModuloOptions {
@@ -54,8 +65,25 @@ impl Default for ModuloOptions {
             timeout_per_ii: Duration::from_secs(60),
             total_timeout: Duration::from_secs(600),
             max_ii: None,
+            jobs: 1,
         }
     }
+}
+
+/// Per-candidate-II accounting of one sweep, in candidate order.
+#[derive(Clone, Debug)]
+pub struct ProbeStat {
+    pub ii: i32,
+    /// `"feasible"`, `"infeasible"`, `"timeout"`, or `"cancelled"` (a
+    /// speculative probe above the winning II that was stopped or never
+    /// started; only occurs with `jobs > 1`).
+    pub outcome: &'static str,
+    pub nodes: u64,
+    pub fails: u64,
+    pub time: Duration,
+    /// Worker that ran the probe (always 0 for a sequential sweep; the
+    /// assignment varies run-to-run for a parallel one).
+    pub worker: usize,
 }
 
 /// Result of a modulo-scheduling run.
@@ -79,11 +107,29 @@ pub struct ModuloResult {
     /// Some candidate IIs timed out before this solution (result may be
     /// sub-optimal, as the paper reports for QRD's second model).
     pub timed_out: bool,
+    /// One entry per candidate II the sweep touched, in candidate order.
+    pub probes: Vec<ProbeStat>,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
 }
 
 /// Resource-based lower bound on II: for each unit,
-/// `ceil(Σ req·dur / capacity)`. (The recurrence bound is 0 — the paper's
-/// kernels are feedback-free DAGs.)
+/// `ceil(Σ req·dur / capacity)`, tightened by the vector-memory port
+/// bound. (The recurrence bound is 0 — the paper's kernels are
+/// feedback-free DAGs.)
+///
+/// **Port bound.** In steady state every II-cycle window issues exactly
+/// one instance of each operation, so the window must stream one
+/// iteration's working set through the memory crossbar: each *distinct*
+/// vector datum some vector-core op consumes is read at least once, and
+/// each vector datum a vector-core op produces is written once. The
+/// crossbar sustains at most `max_vector_reads` element reads and
+/// `max_vector_writes` element writes per cycle (§2, constraints (8)/(9)),
+/// hence `II ≥ ceil(reads / read_ports)` and likewise for writes. Distinct
+/// data conservatively under-count the traffic (two ops reading the same
+/// datum in different stages touch different iteration instances), so the
+/// bound is sound; it already prunes whole candidate IIs from the sweep on
+/// port-narrow machine configurations.
 pub fn ii_lower_bound(g: &Graph, spec: &ArchSpec) -> i32 {
     let lat = &spec.latencies;
     let mut lane_work = 0i64;
@@ -101,7 +147,34 @@ pub fn ii_lower_bound(g: &Graph, spec: &ArchSpec) -> i32 {
     }
     let lanes = spec.n_lanes as i64;
     let lane_bound = (lane_work + lanes - 1) / lanes;
-    lane_bound.max(accel_work).max(im_work).max(1) as i32
+
+    let mut consumed = vec![false; g.len()];
+    let mut produced = vec![false; g.len()];
+    for n in g.ids() {
+        if matches!(g.category(n), Category::VectorOp | Category::MatrixOp) {
+            for &d in g.preds(n) {
+                if g.category(d) == Category::VectorData {
+                    consumed[d.idx()] = true;
+                }
+            }
+            for &d in g.succs(n) {
+                if g.category(d) == Category::VectorData {
+                    produced[d.idx()] = true;
+                }
+            }
+        }
+    }
+    let reads = consumed.iter().filter(|&&b| b).count() as i64;
+    let writes = produced.iter().filter(|&&b| b).count() as i64;
+    let rp = (spec.max_vector_reads as i64).max(1);
+    let wp = (spec.max_vector_writes as i64).max(1);
+    let port_bound = ((reads + rp - 1) / rp).max((writes + wp - 1) / wp);
+
+    lane_bound
+        .max(accel_work)
+        .max(im_work)
+        .max(port_bound)
+        .max(1) as i32
 }
 
 /// The vector-core configuration groups of a graph, in first-appearance
@@ -153,6 +226,9 @@ pub enum IiOutcome {
     ),
     Infeasible,
     Timeout,
+    /// The probe's cancellation token was raised before it could decide
+    /// the candidate (speculative sweeps only; never a refutation proof).
+    Cancelled,
 }
 
 /// Attempt one candidate II (public so harnesses can probe specific IIs).
@@ -163,6 +239,19 @@ pub fn schedule_at_ii(
     include_reconfig: bool,
     budget: Duration,
 ) -> IiOutcome {
+    probe_ii(g, spec, ii, include_reconfig, budget, None).0
+}
+
+/// As [`schedule_at_ii`], with a cooperative cancellation token and the
+/// probe's search statistics (for sweep accounting).
+pub fn probe_ii(
+    g: &Graph,
+    spec: &ArchSpec,
+    ii: i32,
+    include_reconfig: bool,
+    budget: Duration,
+    cancel: Option<CancelToken>,
+) -> (IiOutcome, SearchStats) {
     let lat = &spec.latencies;
     let latency = |n: NodeId| lat.latency(&g.node(n).kind);
     let duration = |n: NodeId| lat.duration(&g.node(n).kind);
@@ -299,7 +388,7 @@ pub fn schedule_at_ii(
             let lanes = spec.n_lanes as i64;
             let need = ((work + lanes - 1) / lanes).max(1) as i32;
             if need > ii {
-                return IiOutcome::Infeasible;
+                return (IiOutcome::Infeasible, SearchStats::default());
             }
             let len = m.new_var(need, ii);
             // b + len <= ii
@@ -356,13 +445,11 @@ pub fn schedule_at_ii(
     let cfg = SearchConfig {
         phases,
         timeout: Some(budget),
-        node_limit: None,
-        shared_bound: None,
-        restart_on_solution: false,
-        trace: None,
+        cancel,
+        ..Default::default()
     };
     let r = solve(&mut m, &cfg);
-    match r.status {
+    let outcome = match r.status {
         SearchStatus::Optimal | SearchStatus::Feasible => {
             let sol = r.best.unwrap();
             let t_out = t_var.iter().map(|(&n, &v)| (n, sol.value(v))).collect();
@@ -371,21 +458,99 @@ pub fn schedule_at_ii(
             IiOutcome::Feasible(t_out, k_out, s_out)
         }
         SearchStatus::Infeasible => IiOutcome::Infeasible,
+        SearchStatus::Unknown if r.cancelled => IiOutcome::Cancelled,
         SearchStatus::Unknown => IiOutcome::Timeout,
+    };
+    (outcome, r.stats)
+}
+
+/// Count the steady-state switches and assemble a [`ModuloResult`] for a
+/// feasible probe at `ii`.
+#[allow(clippy::too_many_arguments)]
+fn assemble_result(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+    ii: i32,
+    (t, k, s): (
+        HashMap<NodeId, i32>,
+        HashMap<NodeId, i32>,
+        HashMap<NodeId, i32>,
+    ),
+    opt_time: Duration,
+    timed_out: bool,
+    probes: Vec<ProbeStat>,
+) -> ModuloResult {
+    let switches = if opts.include_reconfig {
+        let groups = config_groups(g).len();
+        if groups > 1 {
+            groups
+        } else {
+            0
+        }
+    } else {
+        count_window_switches(g, &t)
+    };
+    let actual = ii + switches as i32 * spec.reconfig_cost;
+    ModuloResult {
+        ii_issue: ii,
+        switches,
+        actual_ii: actual,
+        throughput: 1.0 / actual as f64,
+        t,
+        k,
+        s,
+        opt_time,
+        timed_out,
+        probes,
+        jobs: opts.jobs.max(1),
+    }
+}
+
+fn outcome_str(o: &IiOutcome) -> &'static str {
+    match o {
+        IiOutcome::Feasible(..) => "feasible",
+        IiOutcome::Infeasible => "infeasible",
+        IiOutcome::Timeout => "timeout",
+        IiOutcome::Cancelled => "cancelled",
     }
 }
 
 /// Sweep II upward from the resource bound; return the first feasible
 /// modulo schedule under the chosen reconfiguration model.
+///
+/// With `opts.jobs > 1` the sweep is *speculative*: workers claim
+/// candidate IIs bottom-up and probe them concurrently; a feasible probe
+/// at II = v cancels every probe above v (they can no longer win), while
+/// candidates *below* a feasible one are always resolved genuinely —
+/// feasibility is not monotone in II for this CSP (a banded window can
+/// admit II = v yet refute II = v+1), so an infeasible probe never
+/// cancels anything. The winning II is therefore the minimum feasible
+/// candidate exactly as in the sequential sweep, and the winning probe's
+/// schedule is bit-identical (its CSP ran to a natural stop under its own
+/// deterministic DFS — cancellation only ever hits candidates above the
+/// winner).
 pub fn modulo_schedule(g: &Graph, spec: &ArchSpec, opts: &ModuloOptions) -> Option<ModuloResult> {
+    if opts.jobs > 1 {
+        modulo_schedule_parallel(g, spec, opts)
+    } else {
+        modulo_schedule_sequential(g, spec, opts)
+    }
+}
+
+fn modulo_schedule_sequential(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+) -> Option<ModuloResult> {
     let t0 = Instant::now();
     let lb = ii_lower_bound(g, spec);
     let ub = opts
         .max_ii
         .unwrap_or_else(|| crate::model::serial_horizon(g, spec));
     let mut timed_out_any = false;
+    let mut probes: Vec<ProbeStat> = Vec::new();
 
-    let mut result: Option<ModuloResult> = None;
     for ii in lb..=ub {
         if t0.elapsed() >= opts.total_timeout {
             break;
@@ -393,41 +558,150 @@ pub fn modulo_schedule(g: &Graph, spec: &ArchSpec, opts: &ModuloOptions) -> Opti
         let budget = opts
             .timeout_per_ii
             .min(opts.total_timeout.saturating_sub(t0.elapsed()));
-        match schedule_at_ii(g, spec, ii, opts.include_reconfig, budget) {
+        let tp = Instant::now();
+        let (outcome, stats) = probe_ii(g, spec, ii, opts.include_reconfig, budget, None);
+        probes.push(ProbeStat {
+            ii,
+            outcome: outcome_str(&outcome),
+            nodes: stats.nodes,
+            fails: stats.fails,
+            time: tp.elapsed(),
+            worker: 0,
+        });
+        match outcome {
             IiOutcome::Timeout => {
                 // This II was undecided — move on, remember the hole.
                 timed_out_any = true;
                 continue;
             }
             IiOutcome::Feasible(t, k, s) => {
-                let switches = if opts.include_reconfig {
-                    let groups = config_groups(g).len();
-                    if groups > 1 {
-                        groups
-                    } else {
-                        0
-                    }
-                } else {
-                    count_window_switches(g, &t)
-                };
-                let actual = ii + switches as i32 * spec.reconfig_cost;
-                result = Some(ModuloResult {
-                    ii_issue: ii,
-                    switches,
-                    actual_ii: actual,
-                    throughput: 1.0 / actual as f64,
-                    t,
-                    k,
-                    s,
-                    opt_time: t0.elapsed(),
-                    timed_out: timed_out_any,
-                });
-                break;
+                return Some(assemble_result(
+                    g,
+                    spec,
+                    opts,
+                    ii,
+                    (t, k, s),
+                    t0.elapsed(),
+                    timed_out_any,
+                    probes,
+                ));
             }
-            IiOutcome::Infeasible => continue,
+            IiOutcome::Infeasible | IiOutcome::Cancelled => continue,
         }
     }
-    result
+    None
+}
+
+/// The speculative parallel II sweep (see [`modulo_schedule`]).
+fn modulo_schedule_parallel(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+) -> Option<ModuloResult> {
+    let t0 = Instant::now();
+    let lb = ii_lower_bound(g, spec);
+    let ub = opts
+        .max_ii
+        .unwrap_or_else(|| crate::model::serial_horizon(g, spec));
+    if ub < lb {
+        return None;
+    }
+    let candidates: Vec<i32> = (lb..=ub).collect();
+    let tokens: Vec<CancelToken> = candidates.iter().map(|_| CancelToken::new()).collect();
+    let next = AtomicUsize::new(0);
+    // Index of the lowest candidate known feasible so far.
+    let winner = AtomicUsize::new(usize::MAX);
+    type Entry = (usize, usize, IiOutcome, SearchStats, Duration);
+    let entries: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for w in 0..opts.jobs {
+            let next = &next;
+            let winner = &winner;
+            let entries = &entries;
+            let tokens = &tokens;
+            let candidates = &candidates;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= candidates.len() {
+                    return;
+                }
+                let push = |o: IiOutcome, st: SearchStats, el: Duration| {
+                    entries
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((idx, w, o, st, el));
+                };
+                if idx > winner.load(Ordering::Acquire) || tokens[idx].is_cancelled() {
+                    push(IiOutcome::Cancelled, SearchStats::default(), Duration::ZERO);
+                    continue;
+                }
+                let remaining = opts.total_timeout.saturating_sub(t0.elapsed());
+                if remaining.is_zero() {
+                    push(IiOutcome::Timeout, SearchStats::default(), Duration::ZERO);
+                    continue;
+                }
+                let budget = opts.timeout_per_ii.min(remaining);
+                let tp = Instant::now();
+                let (outcome, stats) = probe_ii(
+                    g,
+                    spec,
+                    candidates[idx],
+                    opts.include_reconfig,
+                    budget,
+                    Some(tokens[idx].clone()),
+                );
+                if matches!(outcome, IiOutcome::Feasible(..)) {
+                    // This candidate can only lose to a *lower* feasible
+                    // one, so everything above it is dead — cancel it.
+                    // Lower in-flight probes keep running: they must be
+                    // genuinely refuted for the merge to pick the true
+                    // minimum.
+                    let prev = winner.fetch_min(idx, Ordering::AcqRel);
+                    if idx < prev {
+                        for t in &tokens[idx + 1..] {
+                            t.cancel();
+                        }
+                    }
+                }
+                push(outcome, stats, tp.elapsed());
+            });
+        }
+    });
+
+    let mut entries = entries.into_inner().unwrap_or_else(|e| e.into_inner());
+    entries.sort_by_key(|(i, ..)| *i);
+    let wpos = entries
+        .iter()
+        .position(|(_, _, o, _, _)| matches!(o, IiOutcome::Feasible(..)))?;
+    let timed_out_any = entries[..wpos]
+        .iter()
+        .any(|(_, _, o, _, _)| matches!(o, IiOutcome::Timeout));
+    let probes: Vec<ProbeStat> = entries
+        .iter()
+        .map(|(i, w, o, st, el)| ProbeStat {
+            ii: candidates[*i],
+            outcome: outcome_str(o),
+            nodes: st.nodes,
+            fails: st.fails,
+            time: *el,
+            worker: *w,
+        })
+        .collect();
+    let (widx, _, outcome, _, _) = entries.swap_remove(wpos);
+    let IiOutcome::Feasible(t, k, s) = outcome else {
+        unreachable!("wpos indexes a feasible entry");
+    };
+    Some(assemble_result(
+        g,
+        spec,
+        opts,
+        candidates[widx],
+        (t, k, s),
+        t0.elapsed(),
+        timed_out_any,
+        probes,
+    ))
 }
 
 /// Unroll `n_iters` iterations at the issue II and validate the combined
@@ -484,6 +758,60 @@ mod tests {
         // 16 dotp on 4 lanes → 4; 4 merges on the unit-capacity im unit →
         // 4. Bound = 4.
         assert_eq!(ii_lower_bound(&g, &spec), 4);
+    }
+
+    #[test]
+    fn port_bound_tightens_lower_bound_on_narrow_ports() {
+        // One v_add: 2 distinct vectors read, 1 written per steady-state
+        // window. Wide stock ports leave the bound at the lane bound (1);
+        // a single-read-port machine needs 2 cycles just to stream the
+        // inputs, so the port bound must lift the lower bound to 2.
+        let ctx = Ctx::new("pb");
+        let a = ctx.vector([1.0, 0.0, 0.0, 0.0]);
+        let b = ctx.vector([0.0, 1.0, 0.0, 0.0]);
+        let _ = a.v_add(&b);
+        let g = ctx.finish();
+        let wide = eit_arch::ArchSpec::eit();
+        assert_eq!(ii_lower_bound(&g, &wide), 1);
+        let mut narrow = eit_arch::ArchSpec::eit();
+        narrow.max_vector_reads = 1;
+        assert_eq!(ii_lower_bound(&g, &narrow), 2);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_schedule() {
+        let g = matmul();
+        let spec = eit_arch::ArchSpec::eit();
+        let seq = modulo_schedule(&g, &spec, &ModuloOptions::default()).unwrap();
+        let par = modulo_schedule(
+            &g,
+            &spec,
+            &ModuloOptions {
+                jobs: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(par.ii_issue, seq.ii_issue);
+        assert_eq!(par.switches, seq.switches);
+        assert_eq!(par.actual_ii, seq.actual_ii);
+        // Byte-identical schedules: the winning probe is never cancelled,
+        // so its deterministic DFS reproduces the sequential assignment.
+        assert_eq!(par.t, seq.t);
+        assert_eq!(par.k, seq.k);
+        assert_eq!(par.s, seq.s);
+        // Probe records at or below the winner agree modulo timing and
+        // worker attribution.
+        let key = |r: &ModuloResult| {
+            r.probes
+                .iter()
+                .filter(|p| p.ii <= r.ii_issue)
+                .map(|p| (p.ii, p.outcome, p.nodes, p.fails))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&par), key(&seq));
+        assert_eq!(par.jobs, 4);
+        assert_eq!(seq.jobs, 1);
     }
 
     #[test]
@@ -571,16 +899,73 @@ mod tests {
 /// satisfaction problem over the slot variables only.
 ///
 /// Returns the unrolled graph and a complete schedule (starts + slots);
-/// `None` when the slot budget cannot hold the steady-state working set.
+/// `None` when the slot budget cannot hold the steady-state working set
+/// (or the default 60 s budget ran out undecided).
 pub fn allocate_modulo_memory(
     g: &Graph,
     spec: &ArchSpec,
     r: &ModuloResult,
     n_iters: usize,
 ) -> Option<(Graph, Schedule)> {
+    match allocate_modulo_memory_with(g, spec, r, n_iters, &AllocOptions::default()) {
+        AllocOutcome::Allocated(big, sched) => Some((big, sched)),
+        AllocOutcome::Infeasible | AllocOutcome::Unknown => None,
+    }
+}
+
+/// Tuning knobs for [`allocate_modulo_memory_with`].
+#[derive(Clone, Debug)]
+pub struct AllocOptions {
+    /// Wall-clock budget for the slot-assignment search.
+    pub timeout: Duration,
+    /// Worker threads; `> 1` solves the allocation CSP with
+    /// embarrassingly-parallel search ([`eit_cp::eps_solve`]).
+    pub jobs: usize,
+    /// EPS subproblems per worker (ignored for `jobs <= 1`).
+    pub split_factor: usize,
+    /// First-SAT racing ([`eit_cp::EpsConfig::race`]): the first valid
+    /// allocation found anywhere wins immediately instead of waiting for
+    /// every lower-numbered subtree to be refuted. The allocation is
+    /// still validated downstream; only *which* of the equally-valid
+    /// assignments is returned varies run-to-run. Off by default.
+    pub race: bool,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(60),
+            jobs: 1,
+            split_factor: 30,
+            race: false,
+        }
+    }
+}
+
+/// Outcome of the slot-assignment satisfaction solve.
+#[derive(Debug)]
+pub enum AllocOutcome {
+    /// Unrolled graph + complete schedule (starts and slots).
+    Allocated(Graph, Schedule),
+    /// Proven: the slot budget cannot hold the steady-state working set.
+    Infeasible,
+    /// Budget exhausted before a solution or a proof either way.
+    Unknown,
+}
+
+/// [`allocate_modulo_memory`] with explicit budget and parallelism. The
+/// allocation CSP (slot variables only, starts fixed) is exactly the
+/// shape EPS likes: one hard satisfaction instance with no objective, so
+/// subproblem subtrees share nothing but the model.
+pub fn allocate_modulo_memory_with(
+    g: &Graph,
+    spec: &ArchSpec,
+    r: &ModuloResult,
+    n_iters: usize,
+    opts: &AllocOptions,
+) -> AllocOutcome {
     use eit_cp::props::diff2::Rect;
     use eit_cp::props::reify::GuardedPair;
-    use eit_cp::{solve, Model, Phase, SearchConfig, SearchStatus, ValSel, VarId, VarSel};
 
     let (big, map) = crate::replicate::replicate(g, n_iters);
     let mut sched = Schedule::new(big.len());
@@ -591,123 +976,156 @@ pub fn allocate_modulo_memory(
     }
     sched.compute_makespan(&big, &spec.latencies.of(&big));
 
-    // Memory model with fixed starts.
-    let mut m = Model::new();
-    let n_slots = spec.n_slots() as i32;
-    let n_lines = spec.slots_per_bank as i32;
-    let n_pages = spec.n_pages() as i32;
     let vdata: Vec<eit_ir::NodeId> = big
         .ids()
         .filter(|&n| big.category(n) == Category::VectorData)
         .collect();
 
-    let mut slot = vec![None; big.len()];
-    let mut line = vec![None; big.len()];
-    let mut page = vec![None; big.len()];
-    for &d in &vdata {
-        let s = m.new_var(0, n_slots - 1);
-        let l = m.new_var(0, n_lines - 1);
-        let p = m.new_var(0, n_pages - 1);
-        m.slot_geometry(s, l, p, spec.n_banks as i32, spec.page_size as i32);
-        slot[d.idx()] = Some(s);
-        line[d.idx()] = Some(l);
-        page[d.idx()] = Some(p);
-    }
+    // Memory model with fixed starts. Building it is fully deterministic,
+    // so the slot variable ids are identical across builds — EPS rebuilds
+    // the model per worker and the ids captured from any one build stay
+    // valid for solution extraction.
+    let build = || -> (Model, Vec<VarId>) {
+        let mut m = Model::new();
+        let n_slots = spec.n_slots() as i32;
+        let n_lines = spec.slots_per_bank as i32;
+        let n_pages = spec.n_pages() as i32;
 
-    let vec_core: Vec<eit_ir::NodeId> = big
-        .ids()
-        .filter(|&n| matches!(big.category(n), Category::VectorOp | Category::MatrixOp))
-        .collect();
-    // (7): same-instruction inputs and outputs.
-    for &op in &vec_core {
-        for group in [big.preds(op), big.succs(op)] {
-            let vd: Vec<_> = group
-                .iter()
-                .copied()
-                .filter(|&d| big.category(d) == Category::VectorData)
-                .collect();
-            for (x, &d) in vd.iter().enumerate() {
-                for &e in &vd[x + 1..] {
-                    m.page_line_implies(
-                        page[d.idx()].unwrap(),
-                        line[d.idx()].unwrap(),
-                        page[e.idx()].unwrap(),
-                        line[e.idx()].unwrap(),
-                    );
-                }
-            }
+        let mut slot = vec![None; big.len()];
+        let mut line = vec![None; big.len()];
+        let mut page = vec![None; big.len()];
+        for &d in &vdata {
+            let s = m.new_var(0, n_slots - 1);
+            let l = m.new_var(0, n_lines - 1);
+            let p = m.new_var(0, n_pages - 1);
+            m.slot_geometry(s, l, p, spec.n_banks as i32, spec.page_size as i32);
+            slot[d.idx()] = Some(s);
+            line[d.idx()] = Some(l);
+            page[d.idx()] = Some(p);
         }
-    }
-    // (8)/(9): starts are fixed, so co-issue is a static fact — post the
-    // implications directly for pairs sharing a cycle.
-    for (a, &i) in vec_core.iter().enumerate() {
-        for &j in &vec_core[a + 1..] {
-            if sched.start_of(i) != sched.start_of(j) {
-                continue;
-            }
-            let pairs = |xs: &[eit_ir::NodeId], ys: &[eit_ir::NodeId]| -> Vec<GuardedPair> {
-                let fx: Vec<_> = xs
+
+        let vec_core: Vec<eit_ir::NodeId> = big
+            .ids()
+            .filter(|&n| matches!(big.category(n), Category::VectorOp | Category::MatrixOp))
+            .collect();
+        // (7): same-instruction inputs and outputs.
+        for &op in &vec_core {
+            for group in [big.preds(op), big.succs(op)] {
+                let vd: Vec<_> = group
                     .iter()
                     .copied()
                     .filter(|&d| big.category(d) == Category::VectorData)
                     .collect();
-                let fy: Vec<_> = ys
-                    .iter()
-                    .copied()
-                    .filter(|&d| big.category(d) == Category::VectorData)
-                    .collect();
-                let mut out = Vec::new();
-                for &d in &fx {
-                    for &e in &fy {
-                        if d != e {
-                            out.push(GuardedPair {
-                                page_d: page[d.idx()].unwrap(),
-                                line_d: line[d.idx()].unwrap(),
-                                page_e: page[e.idx()].unwrap(),
-                                line_e: line[e.idx()].unwrap(),
-                            });
-                        }
+                for (x, &d) in vd.iter().enumerate() {
+                    for &e in &vd[x + 1..] {
+                        m.page_line_implies(
+                            page[d.idx()].unwrap(),
+                            line[d.idx()].unwrap(),
+                            page[e.idx()].unwrap(),
+                            line[e.idx()].unwrap(),
+                        );
                     }
                 }
-                out
-            };
-            for gp in pairs(big.preds(i), big.preds(j))
-                .into_iter()
-                .chain(pairs(big.succs(i), big.succs(j)))
-            {
-                m.page_line_implies(gp.page_d, gp.line_d, gp.page_e, gp.line_e);
             }
         }
-    }
-    // (10)/(11): lifetimes are constants now.
-    let one = m.new_const(1);
-    let mut rects = Vec::with_capacity(vdata.len());
-    for &d in &vdata {
-        let (s0, s1) = sched.lifetime(&big, d);
-        let x = m.new_const(s0);
-        let life = m.new_const((s1 - s0).max(1));
-        rects.push(Rect {
-            origin: [x, slot[d.idx()].unwrap()],
-            len: [life, one],
-        });
-    }
-    m.diff2(rects);
+        // (8)/(9): starts are fixed, so co-issue is a static fact — post
+        // the implications directly for pairs sharing a cycle.
+        for (a, &i) in vec_core.iter().enumerate() {
+            for &j in &vec_core[a + 1..] {
+                if sched.start_of(i) != sched.start_of(j) {
+                    continue;
+                }
+                let pairs = |xs: &[eit_ir::NodeId], ys: &[eit_ir::NodeId]| -> Vec<GuardedPair> {
+                    let fx: Vec<_> = xs
+                        .iter()
+                        .copied()
+                        .filter(|&d| big.category(d) == Category::VectorData)
+                        .collect();
+                    let fy: Vec<_> = ys
+                        .iter()
+                        .copied()
+                        .filter(|&d| big.category(d) == Category::VectorData)
+                        .collect();
+                    let mut out = Vec::new();
+                    for &d in &fx {
+                        for &e in &fy {
+                            if d != e {
+                                out.push(GuardedPair {
+                                    page_d: page[d.idx()].unwrap(),
+                                    line_d: line[d.idx()].unwrap(),
+                                    page_e: page[e.idx()].unwrap(),
+                                    line_e: line[e.idx()].unwrap(),
+                                });
+                            }
+                        }
+                    }
+                    out
+                };
+                for gp in pairs(big.preds(i), big.preds(j))
+                    .into_iter()
+                    .chain(pairs(big.succs(i), big.succs(j)))
+                {
+                    m.page_line_implies(gp.page_d, gp.line_d, gp.page_e, gp.line_e);
+                }
+            }
+        }
+        // (10)/(11): lifetimes are constants now.
+        let one = m.new_const(1);
+        let mut rects = Vec::with_capacity(vdata.len());
+        for &d in &vdata {
+            let (s0, s1) = sched.lifetime(&big, d);
+            let x = m.new_const(s0);
+            let life = m.new_const((s1 - s0).max(1));
+            rects.push(Rect {
+                origin: [x, slot[d.idx()].unwrap()],
+                len: [life, one],
+            });
+        }
+        m.diff2(rects);
 
-    let slot_vars: Vec<VarId> = vdata.iter().map(|&d| slot[d.idx()].unwrap()).collect();
-    let cfg = SearchConfig {
+        let slot_vars: Vec<VarId> = vdata.iter().map(|&d| slot[d.idx()].unwrap()).collect();
+        (m, slot_vars)
+    };
+
+    let mk_cfg = |slot_vars: Vec<VarId>| SearchConfig {
         phases: vec![Phase::new(slot_vars, VarSel::FirstFail, ValSel::Min)],
-        timeout: Some(Duration::from_secs(60)),
+        timeout: Some(opts.timeout),
         ..Default::default()
     };
-    let res = solve(&mut m, &cfg);
-    if res.status != SearchStatus::Optimal {
-        return None;
+
+    let (res, slot_vars) = if opts.jobs > 1 {
+        let (_, slot_vars) = build();
+        let builder = || {
+            let (m, sv) = build();
+            (m, mk_cfg(sv))
+        };
+        let eps = eit_cp::EpsConfig {
+            jobs: opts.jobs,
+            split_factor: opts.split_factor,
+            race: opts.race,
+            ..Default::default()
+        };
+        let (res, _report) = eit_cp::eps_solve(&builder, &eps);
+        (res, slot_vars)
+    } else {
+        let (mut m, sv) = build();
+        let cfg = mk_cfg(sv.clone());
+        (solve(&mut m, &cfg), sv)
+    };
+
+    match res.status {
+        SearchStatus::Optimal | SearchStatus::Feasible => {
+            let Some(sol) = res.best else {
+                return AllocOutcome::Unknown;
+            };
+            for (&d, &sv) in vdata.iter().zip(&slot_vars) {
+                sched.slot[d.idx()] = Some(sol.value(sv) as u32);
+            }
+            AllocOutcome::Allocated(big, sched)
+        }
+        SearchStatus::Infeasible => AllocOutcome::Infeasible,
+        SearchStatus::Unknown => AllocOutcome::Unknown,
     }
-    let sol = res.best?;
-    for &d in &vdata {
-        sched.slot[d.idx()] = Some(sol.value(slot[d.idx()].unwrap()) as u32);
-    }
-    Some((big, sched))
 }
 
 #[cfg(test)]

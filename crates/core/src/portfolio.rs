@@ -61,6 +61,7 @@ pub fn schedule_portfolio(
                     shared_bound: None, // installed by race()
                     restart_on_solution: true,
                     trace: opts.trace.clone(),
+                    cancel: None,
                 };
                 (built.model, built.objective, cfg)
             });

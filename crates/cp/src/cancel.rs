@@ -1,0 +1,56 @@
+//! Cooperative cancellation for parallel solver harnesses.
+//!
+//! A [`CancelToken`] is a cheap cloneable flag shared between a running
+//! search and the coordinator that may decide its result is no longer
+//! needed (a speculative II probe overtaken by a lower feasible II, an
+//! EPS subproblem past the winning index, …). Cancellation is *polled*:
+//! the search loop checks the token at every node (with the deadline and
+//! node-limit budgets) and the propagation engine checks it periodically
+//! inside [`crate::engine::Engine::fixpoint`], so even a probe stuck in a
+//! long fixpoint stops within a bounded number of propagator runs.
+//!
+//! A cancelled run is reported as *aborted*, exactly like a timeout:
+//! `completed` stays `false`, an exhausted-looking tree is **not**
+//! interpreted as an infeasibility proof, and the trail is unwound to the
+//! root as usual — cancellation never poisons the store.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag. Cloning is cheap (an [`Arc`] bump); all
+/// clones observe the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+}

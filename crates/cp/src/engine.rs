@@ -29,6 +29,12 @@ const UNTAGGED: u32 = u32::MAX;
 /// Number of scheduling tiers (one per [`Priority`] variant).
 const NUM_TIERS: usize = 3;
 
+/// How many propagator runs may elapse between cancellation polls inside
+/// a fixpoint. Small enough that a heavy global propagator chain aborts
+/// in microseconds, large enough that the atomic load never shows up in
+/// profiles.
+const CANCEL_POLL_PERIOD: u32 = 32;
+
 /// Scheduling cost class of a propagator; cheaper tiers drain first.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Priority {
@@ -275,6 +281,10 @@ pub struct Engine {
     /// When true, emulate the pre-event engine: a single FIFO queue, no
     /// event-mask filtering, no idempotence skips, full rescans only.
     fifo_baseline: bool,
+    /// Cooperative cancellation, polled every [`CANCEL_POLL_PERIOD`]
+    /// propagator runs inside [`Engine::fixpoint`] so a long fixpoint
+    /// aborts promptly. `None` (the default) costs one branch per run.
+    cancel: Option<crate::cancel::CancelToken>,
     /// Reused across `post` calls so subscribing does not allocate.
     sub_buf: Subscriptions,
 }
@@ -295,8 +305,18 @@ impl Engine {
             profiles: Vec::new(),
             timed_profiling: false,
             fifo_baseline: false,
+            cancel: None,
             sub_buf: Subscriptions::default(),
         }
+    }
+
+    /// Install (or clear) the cancellation token polled inside
+    /// [`Engine::fixpoint`]. A cancelled fixpoint cleans up exactly like a
+    /// propagation failure — queue flushed, pending events dropped — and
+    /// returns `Err(Fail)`; callers that installed a token must check it
+    /// to tell cancellation from genuine refutation.
+    pub fn set_cancel(&mut self, token: Option<crate::cancel::CancelToken>) {
+        self.cancel = token;
     }
 
     /// Turn on per-propagator wall-time attribution (counters are always
@@ -448,11 +468,25 @@ impl Engine {
     }
 
     /// Run propagation to fixpoint. On failure, the queue is flushed so the
-    /// engine is clean for the post-backtrack state.
+    /// engine is clean for the post-backtrack state. A pending cancellation
+    /// (see [`Engine::set_cancel`]) takes the same cleanup path and also
+    /// returns `Err(Fail)`.
     pub fn fixpoint(&mut self, store: &mut Store) -> PropResult {
         self.round += 1;
         self.drain_events(store, None);
+        let mut runs_until_poll = CANCEL_POLL_PERIOD;
         while let Some(id) = self.pop_next() {
+            if let Some(c) = &self.cancel {
+                runs_until_poll -= 1;
+                if runs_until_poll == 0 {
+                    runs_until_poll = CANCEL_POLL_PERIOD;
+                    if c.is_cancelled() {
+                        self.reset_queue();
+                        store.take_events();
+                        return Err(Fail);
+                    }
+                }
+            }
             let idx = id as usize;
             self.queued[idx] = false;
             self.propagations += 1;

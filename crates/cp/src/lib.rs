@@ -49,8 +49,10 @@
 //! assert_eq!(result.objective, Some(3));
 //! ```
 
+pub mod cancel;
 pub mod domain;
 pub mod engine;
+pub mod eps;
 pub mod model;
 pub mod portfolio;
 pub mod props;
@@ -58,10 +60,12 @@ pub mod search;
 pub mod store;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use domain::{Domain, DomainEvent};
 pub use engine::{
     render_profile_table, Engine, Priority, PropId, PropProfile, Propagator, Subscriptions, Wake,
 };
+pub use eps::{eps_minimize, eps_solve, EpsConfig, EpsReport, SubproblemOutcome, WorkerStats};
 pub use model::Model;
 pub use portfolio::{RaceReport, RacerOutcome};
 pub use search::{

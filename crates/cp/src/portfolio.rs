@@ -12,6 +12,7 @@
 use crate::model::Model;
 use crate::search::{minimize, SearchConfig, SearchResult, SearchStats, SearchStatus};
 use crate::store::VarId;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicI32;
 use std::sync::{Arc, Mutex};
 
@@ -54,26 +55,50 @@ pub fn race(strategies: Vec<Strategy>) -> SearchResult {
 
 /// As [`race`], additionally reporting per-racer statistics and the
 /// winning strategy index.
+///
+/// If a racer panics, the panic is caught so the remaining racers still
+/// finish, and is then re-raised with its *original* payload once the
+/// scope has joined (lowest strategy index wins when several panic, so
+/// the observed panic is deterministic). Without the catch,
+/// `std::thread::scope` would replace the payload with its generic
+/// "a scoped thread panicked" message and drop every racer's result.
 pub fn race_with_report(strategies: Vec<Strategy>) -> (SearchResult, RaceReport) {
     assert!(!strategies.is_empty());
     let shared = Arc::new(AtomicI32::new(i32::MAX));
     let results: Mutex<Vec<(usize, SearchResult)>> = Mutex::new(Vec::new());
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+    let panics: Mutex<Vec<(usize, Payload)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for (idx, strat) in strategies.iter().enumerate() {
             let shared = Arc::clone(&shared);
             let results = &results;
+            let panics = &panics;
             scope.spawn(move || {
-                let (mut model, obj, mut cfg) = strat();
-                cfg.shared_bound = Some(shared);
-                let r = minimize(&mut model, obj, &cfg);
-                results
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((idx, r));
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let (mut model, obj, mut cfg) = strat();
+                    cfg.shared_bound = Some(shared);
+                    minimize(&mut model, obj, &cfg)
+                }));
+                match run {
+                    Ok(r) => results
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((idx, r)),
+                    Err(payload) => panics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((idx, payload)),
+                }
             });
         }
     });
+
+    let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+    if !panics.is_empty() {
+        panics.sort_by_key(|(idx, _)| *idx);
+        resume_unwind(panics.swap_remove(0).1);
+    }
 
     let mut all = results.into_inner().unwrap_or_else(|e| e.into_inner());
     all.sort_by_key(|(idx, _)| *idx);
@@ -204,6 +229,26 @@ mod tests {
         let strategies: Vec<Strategy> = vec![Box::new(infeasible), Box::new(infeasible)];
         let r = race(strategies);
         assert_eq!(r.status, SearchStatus::Infeasible);
+    }
+
+    #[test]
+    fn panicking_racer_propagates_its_own_payload() {
+        let n = 5;
+        let strategies: Vec<Strategy> = vec![
+            Box::new(move || build(n, ValSel::Min)),
+            Box::new(|| panic!("racer 1 exploded")),
+            Box::new(move || build(n, ValSel::Max)),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| race_with_report(strategies)))
+            .expect_err("panicking racer must propagate");
+        // The original payload survives, not scope's generic
+        // "a scoped thread panicked" message.
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>");
+        assert_eq!(msg, "racer 1 exploded");
     }
 
     #[test]

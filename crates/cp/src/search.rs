@@ -8,6 +8,7 @@
 //! [`Phase`] captures one such group; the brancher always exhausts earlier
 //! phases before touching later ones.
 
+use crate::cancel::CancelToken;
 use crate::model::Model;
 use crate::store::VarId;
 use crate::trace::{SearchEvent, TraceHandle};
@@ -75,6 +76,11 @@ pub struct SearchConfig {
     /// Event sink for structured search tracing; `None` (the default)
     /// costs one branch per would-be event.
     pub trace: Option<TraceHandle>,
+    /// Cooperative cancellation: checked at every node alongside the
+    /// deadline, and periodically inside the propagation fixpoint. A
+    /// cancelled run aborts like a timeout (never a refutation proof) and
+    /// sets [`SearchResult::cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 /// Exit status of a search.
@@ -134,6 +140,10 @@ pub struct SearchResult {
     /// portfolio bound this is an optimality certificate for the portfolio
     /// incumbent even when this thread found no solution itself.
     pub completed: bool,
+    /// The run was stopped by its [`SearchConfig::cancel`] token (a kind
+    /// of abort: `completed` is `false` and the status is `Feasible` or
+    /// `Unknown`, never a proof).
+    pub cancelled: bool,
 }
 
 impl SearchResult {
@@ -142,9 +152,33 @@ impl SearchResult {
     }
 }
 
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Abort {
     Timeout,
     NodeLimit,
+    Cancelled,
+}
+
+/// Pick the next branching variable exactly as the DFS brancher would:
+/// exhaust earlier phases first, then apply the phase's heuristic. Shared
+/// with the EPS splitter ([`crate::eps`]) so decomposed subtrees branch on
+/// the same variables as a sequential dive.
+pub(crate) fn select_phase_var(
+    store: &crate::store::Store,
+    phases: &[Phase],
+) -> Option<(usize, VarId)> {
+    for (pi, phase) in phases.iter().enumerate() {
+        let unfixed = phase.vars.iter().copied().filter(|&v| !store.is_fixed(v));
+        let pick = match phase.var_sel {
+            VarSel::InputOrder => unfixed.take(1).next(),
+            VarSel::FirstFail => unfixed.min_by_key(|&v| store.size(v)),
+            VarSel::SmallestMin => unfixed.min_by_key(|&v| (store.min(v), store.size(v))),
+        };
+        if let Some(v) = pick {
+            return Some((pi, v));
+        }
+    }
+    None
 }
 
 struct Dfs<'m> {
@@ -167,6 +201,7 @@ struct Dfs<'m> {
     /// Enumeration mode: collect every solution up to the cap.
     collect: Option<(Vec<Solution>, usize)>,
     trace: Option<TraceHandle>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'m> Dfs<'m> {
@@ -180,6 +215,14 @@ impl<'m> Dfs<'m> {
     }
 
     fn budget_check(&mut self) -> Result<(), Abort> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                self.emit(|| SearchEvent::Cancelled {
+                    nodes: self.stats.nodes,
+                });
+                return Err(Abort::Cancelled);
+            }
+        }
         if let Some(dl) = self.deadline {
             // Checking the clock is ~20 ns; fine at every node.
             if Instant::now() >= dl {
@@ -216,19 +259,7 @@ impl<'m> Dfs<'m> {
     }
 
     fn select_var(&self) -> Option<(usize, VarId)> {
-        let s = &self.model.store;
-        for (pi, phase) in self.phases.iter().enumerate() {
-            let unfixed = phase.vars.iter().copied().filter(|&v| !s.is_fixed(v));
-            let pick = match phase.var_sel {
-                VarSel::InputOrder => unfixed.take(1).next(),
-                VarSel::FirstFail => unfixed.min_by_key(|&v| s.size(v)),
-                VarSel::SmallestMin => unfixed.min_by_key(|&v| (s.min(v), s.size(v))),
-            };
-            if let Some(v) = pick {
-                return Some((pi, v));
-            }
-        }
-        None
+        select_phase_var(&self.model.store, &self.phases)
     }
 
     fn record_solution(&mut self) {
@@ -270,6 +301,24 @@ impl<'m> Dfs<'m> {
         matches!(&self.collect, Some((sols, cap)) if sols.len() >= *cap)
     }
 
+    /// Run propagation to fixpoint at the current node: `Ok(true)` =
+    /// consistent, `Ok(false)` = refuted. The engine surfaces a cancelled
+    /// fixpoint as `Err(Fail)`; treating that as a refutation would let a
+    /// cancelled run masquerade as an exhausted (proof-carrying) tree, so
+    /// a failure with the token raised aborts instead.
+    fn fixpoint(&mut self) -> Result<bool, Abort> {
+        match self.model.engine.fixpoint(&mut self.model.store) {
+            Ok(()) => Ok(true),
+            Err(_) => {
+                if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    Err(Abort::Cancelled)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
     /// Count and trace a refuted node.
     #[inline]
     fn fail(&mut self) {
@@ -294,7 +343,7 @@ impl<'m> Dfs<'m> {
                     self.fail();
                     return Ok(());
                 }
-                if self.model.engine.fixpoint(&mut self.model.store).is_err() {
+                if !self.fixpoint()? {
                     self.fail();
                     return Ok(());
                 }
@@ -331,8 +380,17 @@ impl<'m> Dfs<'m> {
                         val: v,
                     });
                     self.model.store.push_level();
-                    let ok = self.model.store.fix(var, v).is_ok()
-                        && self.model.engine.fixpoint(&mut self.model.store).is_ok();
+                    let ok = if self.model.store.fix(var, v).is_ok() {
+                        match self.fixpoint() {
+                            Ok(consistent) => consistent,
+                            Err(a) => {
+                                self.model.store.pop_level();
+                                return Err(a);
+                            }
+                        }
+                    } else {
+                        false
+                    };
                     if ok {
                         let r = self.dfs();
                         self.model.store.pop_level();
@@ -348,9 +406,7 @@ impl<'m> Dfs<'m> {
                         self.fail();
                     }
                     // Refute var = v and continue with the rest.
-                    if self.model.store.remove_value(var, v).is_err()
-                        || self.model.engine.fixpoint(&mut self.model.store).is_err()
-                    {
+                    if self.model.store.remove_value(var, v).is_err() || !self.fixpoint()? {
                         self.fail();
                         return Ok(());
                     }
@@ -367,11 +423,22 @@ impl<'m> Dfs<'m> {
                         val: if half == 0 { mid } else { mid + 1 },
                     });
                     self.model.store.push_level();
-                    let ok = if half == 0 {
+                    let narrowed = if half == 0 {
                         self.model.store.remove_above(var, mid).is_ok()
                     } else {
                         self.model.store.remove_below(var, mid + 1).is_ok()
-                    } && self.model.engine.fixpoint(&mut self.model.store).is_ok();
+                    };
+                    let ok = if narrowed {
+                        match self.fixpoint() {
+                            Ok(consistent) => consistent,
+                            Err(a) => {
+                                self.model.store.pop_level();
+                                return Err(a);
+                            }
+                        }
+                    } else {
+                        false
+                    };
                     if ok {
                         let r = self.dfs();
                         self.model.store.pop_level();
@@ -416,7 +483,32 @@ fn run_with_collect(
             propagators: model.engine.num_propagators(),
         });
     }
+    // Install (or clear) the cancellation token for the engine-side poll;
+    // unconditional so a token left by a previous cancelled run on the
+    // same model never bleeds into this one.
+    model.engine.set_cancel(config.cancel.clone());
+    // A previous run on this model may have aborted mid-fixpoint — a
+    // failure or cancellation resets the queue and discards pending wake
+    // events, leaving root domains partially propagated with nobody
+    // scheduled to finish the job. Start from a full rescan so this run's
+    // root fixpoint never depends on what an earlier run left behind (on
+    // a freshly built model this is a no-op: posting already queues every
+    // propagator for a full rescan).
+    model.engine.schedule_all();
+    // The root fixpoint runs under its own trail level: a failing (or
+    // cancelled) propagator may have emptied a domain mid-flight, and at
+    // the bare root there would be no mark to unwind to — the next run on
+    // this model would then panic on the empty domain. On failure the
+    // level is popped, restoring the caller's pre-run store; on success it
+    // stays open for the search below (the root narrowing must remain
+    // visible) and is simply never popped — one leaked mark per run on a
+    // reused model, with depth-relative bookkeeping unaffected.
+    model.store.push_level();
     let root_ok = model.engine.fixpoint(&mut model.store).is_ok();
+    if !root_ok {
+        model.store.pop_level();
+    }
+    let root_cancelled = !root_ok && config.cancel.as_ref().is_some_and(|c| c.is_cancelled());
     let restart = config.restart_on_solution && objective.is_some() && !stop_at_first;
 
     let mut dfs = Dfs {
@@ -434,6 +526,7 @@ fn run_with_collect(
         external_bound_used: false,
         collect: collect.map(|cap| (Vec::new(), cap)),
         trace: config.trace.clone(),
+        cancel: config.cancel.clone(),
     };
 
     // Every dive runs under its own backtrack level so search refutations
@@ -446,20 +539,20 @@ fn run_with_collect(
         r
     };
 
-    let aborted = if !root_ok {
-        false
+    let aborted: Option<Abort> = if !root_ok {
+        None
     } else if !restart {
-        dive(&mut dfs).is_err()
+        dive(&mut dfs).err()
     } else {
         // Restart BnB: dive to the first (improving) solution, tighten the
         // bound permanently at the root, and re-dive until refuted.
         let obj = objective.unwrap();
-        let mut aborted = false;
+        let mut aborted = None;
         loop {
             let sols_before = dfs.stats.solutions;
             match dive(&mut dfs) {
-                Err(_) => {
-                    aborted = true;
+                Err(a) => {
+                    aborted = Some(a);
                     break;
                 }
                 Ok(()) => {
@@ -470,7 +563,10 @@ fn run_with_collect(
                     let bound = dfs.effective_bound();
                     if bound == i32::MIN
                         || dfs.model.store.remove_above(obj, bound - 1).is_err()
-                        || dfs.model.engine.fixpoint(&mut dfs.model.store).is_err()
+                        || !dfs.fixpoint().unwrap_or_else(|a| {
+                            aborted = Some(a);
+                            false
+                        })
                     {
                         break; // bound refuted at root: incumbent optimal
                     }
@@ -480,12 +576,18 @@ fn run_with_collect(
         }
         aborted
     };
-    let completed = root_ok && !aborted;
+    let cancelled = root_cancelled || aborted == Some(Abort::Cancelled);
+    let completed = root_ok && aborted.is_none();
 
     let status = if !root_ok {
-        SearchStatus::Infeasible
+        if root_cancelled {
+            // The root fixpoint was interrupted, not refuted.
+            SearchStatus::Unknown
+        } else {
+            SearchStatus::Infeasible
+        }
     } else {
-        match (&dfs.best, aborted) {
+        match (&dfs.best, aborted.is_some()) {
             (Some(_), false) => SearchStatus::Optimal,
             (Some(_), true) => SearchStatus::Feasible,
             // Exhausted with no solution: only a true infeasibility proof
@@ -511,6 +613,9 @@ fn run_with_collect(
     }
 
     let collected = dfs.collect.take().map(|(v, _)| v).unwrap_or_default();
+    // Leave no token behind: direct engine users after this run should
+    // not observe stale cancellation.
+    dfs.model.engine.set_cancel(None);
     (
         SearchResult {
             status,
@@ -518,6 +623,7 @@ fn run_with_collect(
             objective: dfs.best_obj,
             stats,
             completed,
+            cancelled,
         },
         collected,
     )

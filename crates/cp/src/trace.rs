@@ -50,6 +50,8 @@ pub enum SearchEvent {
     DeadlineHit { nodes: u64 },
     /// The node budget was exhausted.
     NodeLimitHit { nodes: u64 },
+    /// A cooperative cancellation token stopped the search.
+    Cancelled { nodes: u64 },
     /// Search finished with `status` (as [`crate::SearchStatus`] renders).
     Done {
         status: &'static str,
@@ -72,6 +74,7 @@ impl SearchEvent {
             SearchEvent::Restart { .. } => "restart",
             SearchEvent::DeadlineHit { .. } => "deadline",
             SearchEvent::NodeLimitHit { .. } => "node_limit",
+            SearchEvent::Cancelled { .. } => "cancelled",
             SearchEvent::Done { .. } => "done",
         }
     }
@@ -99,7 +102,9 @@ impl SearchEvent {
             SearchEvent::BoundUpdate { bound } | SearchEvent::Restart { bound } => {
                 format!("{{\"event\":\"{kind}\",\"bound\":{bound}}}")
             }
-            SearchEvent::DeadlineHit { nodes } | SearchEvent::NodeLimitHit { nodes } => {
+            SearchEvent::DeadlineHit { nodes }
+            | SearchEvent::NodeLimitHit { nodes }
+            | SearchEvent::Cancelled { nodes } => {
                 format!("{{\"event\":\"{kind}\",\"nodes\":{nodes}}}")
             }
             SearchEvent::Done {
@@ -184,6 +189,7 @@ pub struct EventCounts {
     pub restarts: u64,
     pub deadlines: u64,
     pub node_limits: u64,
+    pub cancels: u64,
     pub dones: u64,
 }
 
@@ -199,6 +205,7 @@ impl EventCounts {
             SearchEvent::Restart { .. } => self.restarts += 1,
             SearchEvent::DeadlineHit { .. } => self.deadlines += 1,
             SearchEvent::NodeLimitHit { .. } => self.node_limits += 1,
+            SearchEvent::Cancelled { .. } => self.cancels += 1,
             SearchEvent::Done { .. } => self.dones += 1,
         }
     }
@@ -213,6 +220,7 @@ impl EventCounts {
             + self.restarts
             + self.deadlines
             + self.node_limits
+            + self.cancels
             + self.dones
     }
 }

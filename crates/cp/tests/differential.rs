@@ -461,3 +461,105 @@ fn restart_bnb_agrees_with_brute_force() {
         assert_eq!(bf_best, r.objective, "case {case}: {cs:?}");
     }
 }
+
+/// Test double for the parallel II sweep's cancellation path: a propagator
+/// that cancels its token after a fixed number of wakes, planting the
+/// cancellation *inside* a propagation fixpoint mid-search — exactly where
+/// a winning neighbour probe would land it.
+struct CancelAfter {
+    token: eit_cp::CancelToken,
+    vars: Vec<VarId>,
+    countdown: u64,
+}
+
+impl eit_cp::Propagator for CancelAfter {
+    fn subscribe(&self, subs: &mut eit_cp::Subscriptions) {
+        for &v in &self.vars {
+            subs.watch(v, eit_cp::DomainEvent::ANY);
+        }
+    }
+
+    fn propagate(
+        &mut self,
+        _store: &mut eit_cp::Store,
+        _wake: &eit_cp::Wake<'_>,
+    ) -> eit_cp::PropResult {
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            if self.countdown == 0 {
+                self.token.cancel();
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "cancel-after"
+    }
+}
+
+/// A probe aborted mid-fixpoint must leave no poisoned state behind: the
+/// trail unwinds to the root, and re-running the search on the *same*
+/// model instance reproduces the sequential optimum and incumbent. This
+/// is the invariant the speculative II sweep leans on when it hands a
+/// cancelled model back (or drops it) after a lower II wins.
+#[test]
+fn cancellation_mid_fixpoint_leaves_no_poisoned_state() {
+    let mut rng = StdRng::seed_from_u64(0xCA9CE1);
+    let mut exercised = 0u32;
+    for _ in 0..120 {
+        let n = rng.gen_range(3..6);
+        let hi = rng.gen_range(2..5);
+        let cs = random_instance(&mut rng, n, hi);
+        let (reference, reference_best, ..) = minimize_with_engine(n, hi, &cs, false);
+
+        // Same model, but with a countdown propagator that cancels the
+        // run partway through, then a clean re-solve on that same model.
+        for countdown in [1u64, 5, 20] {
+            let token = eit_cp::CancelToken::new();
+            let mut m = Model::new();
+            let vars: Vec<VarId> = (0..n).map(|_| m.new_var(0, hi)).collect();
+            for c in &cs {
+                post(c, &mut m, &vars);
+            }
+            let obj = m.new_var(0, hi);
+            m.max_of(vars.clone(), obj);
+            m.post(Box::new(CancelAfter {
+                token: token.clone(),
+                vars: vars.clone(),
+                countdown,
+            }));
+            let cfg = SearchConfig {
+                phases: vec![Phase::new(vars.clone(), VarSel::FirstFail, ValSel::Min)],
+                cancel: Some(token.clone()),
+                ..Default::default()
+            };
+            let r1 = minimize(&mut m, obj, &cfg);
+            if r1.cancelled {
+                exercised += 1;
+                // A cancelled run must never claim a completed search.
+                assert_ne!(r1.status, SearchStatus::Optimal);
+                assert_ne!(r1.status, SearchStatus::Infeasible);
+            }
+
+            // Re-solve the same model with the cancellation disarmed: the
+            // trail must have unwound so the second run sees the root
+            // store (plus only confluent root propagation) and lands on
+            // the sequential optimum.
+            let cfg2 = SearchConfig {
+                phases: vec![Phase::new(vars.clone(), VarSel::FirstFail, ValSel::Min)],
+                ..Default::default()
+            };
+            let r2 = minimize(&mut m, obj, &cfg2);
+            assert_eq!(r2.objective, reference, "countdown={countdown} cs={cs:?}");
+            let best2: Option<Vec<i32>> = r2
+                .best
+                .as_ref()
+                .map(|sol| vars.iter().map(|&v| sol.value(v)).collect());
+            assert_eq!(best2, reference_best, "countdown={countdown} cs={cs:?}");
+        }
+    }
+    // The loop must actually have exercised mid-search cancellation, not
+    // just armed tokens that never fired before the search finished.
+    assert!(exercised > 50, "only {exercised} cancelled runs");
+}

@@ -32,6 +32,29 @@ cargo test -q -p eit-bench --test metrics_roundtrip
 echo "== engine equivalence: event-driven vs FIFO baseline"
 cargo test -q --release -p eit-cp --test differential event_engine
 
+echo "== parallel sweep determinism: --jobs 1 vs --jobs 4 on the table 3 smoke models"
+# The determinism contract of the speculative II sweep: the emitted
+# schedule (stdout) must be byte-identical, and the metrics must be
+# byte-identical after stripping the fields that are nondeterministic by
+# design — wall-clock (*_us), the jobs count itself, and the per-worker
+# attribution block.
+normalize_metrics() {
+  sed -E -e 's/"[a-z_]*_us": [0-9]+/"_us": 0/' \
+         -e 's/"jobs": [0-9]+/"jobs": 0/' \
+         -e '/"workers": \[/,/^    \]$/d' "$1"
+}
+for k in matmul fir qrd; do
+  s1="$(mktemp /tmp/eit-mod1.XXXXXX)"; m1="$(mktemp /tmp/eit-mod1m.XXXXXX.json)"
+  s4="$(mktemp /tmp/eit-mod4.XXXXXX)"; m4="$(mktemp /tmp/eit-mod4m.XXXXXX.json)"
+  ./target/release/eitc "$k" --modulo incl --timeout 60 --jobs 1 --metrics "$m1" > "$s1"
+  ./target/release/eitc "$k" --modulo incl --timeout 60 --jobs 4 --metrics "$m4" > "$s4"
+  diff "$s1" "$s4" || { echo "FAIL: $k --jobs 4 schedule differs from sequential"; exit 1; }
+  diff <(normalize_metrics "$m1") <(normalize_metrics "$m4") \
+    || { echo "FAIL: $k --jobs 4 metrics differ from sequential"; exit 1; }
+  rm -f "$s1" "$s4" "$m1" "$m4"
+  echo "   $k: schedules and normalized metrics byte-identical"
+done
+
 echo "== solver bench smoke: trace overhead + engine A/B"
 cargo bench -p eit-bench --bench trace_overhead
 

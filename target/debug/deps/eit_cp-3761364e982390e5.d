@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/eit_cp-3761364e982390e5.d: crates/cp/src/lib.rs crates/cp/src/domain.rs crates/cp/src/engine.rs crates/cp/src/model.rs crates/cp/src/portfolio.rs crates/cp/src/props/mod.rs crates/cp/src/props/alldiff.rs crates/cp/src/props/basic.rs crates/cp/src/props/cumulative.rs crates/cp/src/props/diff2.rs crates/cp/src/props/disjunctive.rs crates/cp/src/props/geometry.rs crates/cp/src/props/linear.rs crates/cp/src/props/reify.rs crates/cp/src/props/table.rs crates/cp/src/search.rs crates/cp/src/store.rs crates/cp/src/trace.rs
+/root/repo/target/debug/deps/eit_cp-3761364e982390e5.d: crates/cp/src/lib.rs crates/cp/src/cancel.rs crates/cp/src/domain.rs crates/cp/src/engine.rs crates/cp/src/eps.rs crates/cp/src/model.rs crates/cp/src/portfolio.rs crates/cp/src/props/mod.rs crates/cp/src/props/alldiff.rs crates/cp/src/props/basic.rs crates/cp/src/props/cumulative.rs crates/cp/src/props/diff2.rs crates/cp/src/props/disjunctive.rs crates/cp/src/props/geometry.rs crates/cp/src/props/linear.rs crates/cp/src/props/reify.rs crates/cp/src/props/table.rs crates/cp/src/search.rs crates/cp/src/store.rs crates/cp/src/trace.rs
 
-/root/repo/target/debug/deps/eit_cp-3761364e982390e5: crates/cp/src/lib.rs crates/cp/src/domain.rs crates/cp/src/engine.rs crates/cp/src/model.rs crates/cp/src/portfolio.rs crates/cp/src/props/mod.rs crates/cp/src/props/alldiff.rs crates/cp/src/props/basic.rs crates/cp/src/props/cumulative.rs crates/cp/src/props/diff2.rs crates/cp/src/props/disjunctive.rs crates/cp/src/props/geometry.rs crates/cp/src/props/linear.rs crates/cp/src/props/reify.rs crates/cp/src/props/table.rs crates/cp/src/search.rs crates/cp/src/store.rs crates/cp/src/trace.rs
+/root/repo/target/debug/deps/eit_cp-3761364e982390e5: crates/cp/src/lib.rs crates/cp/src/cancel.rs crates/cp/src/domain.rs crates/cp/src/engine.rs crates/cp/src/eps.rs crates/cp/src/model.rs crates/cp/src/portfolio.rs crates/cp/src/props/mod.rs crates/cp/src/props/alldiff.rs crates/cp/src/props/basic.rs crates/cp/src/props/cumulative.rs crates/cp/src/props/diff2.rs crates/cp/src/props/disjunctive.rs crates/cp/src/props/geometry.rs crates/cp/src/props/linear.rs crates/cp/src/props/reify.rs crates/cp/src/props/table.rs crates/cp/src/search.rs crates/cp/src/store.rs crates/cp/src/trace.rs
 
 crates/cp/src/lib.rs:
+crates/cp/src/cancel.rs:
 crates/cp/src/domain.rs:
 crates/cp/src/engine.rs:
+crates/cp/src/eps.rs:
 crates/cp/src/model.rs:
 crates/cp/src/portfolio.rs:
 crates/cp/src/props/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-81e96cb24889b024.d: crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-81e96cb24889b024.rmeta: crates/bench/benches/ablation.rs Cargo.toml
+
+crates/bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

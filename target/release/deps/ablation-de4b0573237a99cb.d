@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-de4b0573237a99cb.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-de4b0573237a99cb: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/differential-6caba8b330c83753.d: crates/cp/tests/differential.rs Cargo.toml
+
+/root/repo/target/release/deps/libdifferential-6caba8b330c83753.rmeta: crates/cp/tests/differential.rs Cargo.toml
+
+crates/cp/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eit-6f09360646868cb6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit-6f09360646868cb6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eit-7727ac52ed5a4f6f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit-7727ac52ed5a4f6f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

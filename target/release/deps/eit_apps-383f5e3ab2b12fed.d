@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/eit_apps-383f5e3ab2b12fed.d: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_apps-383f5e3ab2b12fed.rmeta: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/arf.rs:
+crates/apps/src/blockmm.rs:
+crates/apps/src/detector.rs:
+crates/apps/src/fir.rs:
+crates/apps/src/matmul.rs:
+crates/apps/src/qrd.rs:
+crates/apps/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

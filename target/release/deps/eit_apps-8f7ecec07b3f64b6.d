@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/eit_apps-8f7ecec07b3f64b6.d: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_apps-8f7ecec07b3f64b6.rmeta: crates/apps/src/lib.rs crates/apps/src/arf.rs crates/apps/src/blockmm.rs crates/apps/src/detector.rs crates/apps/src/fir.rs crates/apps/src/matmul.rs crates/apps/src/qrd.rs crates/apps/src/synth.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/arf.rs:
+crates/apps/src/blockmm.rs:
+crates/apps/src/detector.rs:
+crates/apps/src/fir.rs:
+crates/apps/src/matmul.rs:
+crates/apps/src/qrd.rs:
+crates/apps/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/eit_arch-0773420972901a9c.d: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_arch-0773420972901a9c.rmeta: crates/arch/src/lib.rs crates/arch/src/code.rs crates/arch/src/gantt.rs crates/arch/src/memory.rs crates/arch/src/persist.rs crates/arch/src/schedule.rs crates/arch/src/sim.rs crates/arch/src/spec.rs crates/arch/src/vcd.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/code.rs:
+crates/arch/src/gantt.rs:
+crates/arch/src/memory.rs:
+crates/arch/src/persist.rs:
+crates/arch/src/schedule.rs:
+crates/arch/src/sim.rs:
+crates/arch/src/spec.rs:
+crates/arch/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

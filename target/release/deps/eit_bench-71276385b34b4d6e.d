@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/eit_bench-71276385b34b4d6e.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_bench-71276385b34b4d6e.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/eit_bench-b7e1986a0d964b2b.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_bench-b7e1986a0d964b2b.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/metrics.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/eit_core-708f2ebbd5d87d7d.d: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_core-708f2ebbd5d87d7d.rmeta: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/list_sched.rs crates/core/src/model.rs crates/core/src/modulo.rs crates/core/src/obs.rs crates/core/src/overlap.rs crates/core/src/pipeline.rs crates/core/src/portfolio.rs crates/core/src/replicate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/codegen.rs:
+crates/core/src/list_sched.rs:
+crates/core/src/model.rs:
+crates/core/src/modulo.rs:
+crates/core/src/obs.rs:
+crates/core/src/overlap.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/replicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

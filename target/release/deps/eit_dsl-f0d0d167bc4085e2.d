@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/eit_dsl-f0d0d167bc4085e2.d: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_dsl-f0d0d167bc4085e2.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ctx.rs crates/dsl/src/ops.rs Cargo.toml
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ctx.rs:
+crates/dsl/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

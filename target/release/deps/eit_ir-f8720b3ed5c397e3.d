@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/eit_ir-f8720b3ed5c397e3.d: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_ir-f8720b3ed5c397e3.rmeta: crates/ir/src/lib.rs crates/ir/src/cplx.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/latency.rs crates/ir/src/node.rs crates/ir/src/passes/mod.rs crates/ir/src/passes/cse.rs crates/ir/src/passes/dce.rs crates/ir/src/passes/merge.rs crates/ir/src/sem.rs crates/ir/src/xml.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/cplx.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/latency.rs:
+crates/ir/src/node.rs:
+crates/ir/src/passes/mod.rs:
+crates/ir/src/passes/cse.rs:
+crates/ir/src/passes/dce.rs:
+crates/ir/src/passes/merge.rs:
+crates/ir/src/sem.rs:
+crates/ir/src/xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eitc-13ac3afc4c36ab9f.d: crates/bench/src/bin/eitc.rs Cargo.toml
+
+/root/repo/target/release/deps/libeitc-13ac3afc4c36ab9f.rmeta: crates/bench/src/bin/eitc.rs Cargo.toml
+
+crates/bench/src/bin/eitc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eitc-1ad90f2a5241de30.d: crates/bench/src/bin/eitc.rs Cargo.toml
+
+/root/repo/target/release/deps/libeitc-1ad90f2a5241de30.rmeta: crates/bench/src/bin/eitc.rs Cargo.toml
+
+crates/bench/src/bin/eitc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

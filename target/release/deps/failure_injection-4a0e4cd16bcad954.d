@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/failure_injection-4a0e4cd16bcad954.d: tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/release/deps/libfailure_injection-4a0e4cd16bcad954.rmeta: tests/failure_injection.rs Cargo.toml
+
+tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

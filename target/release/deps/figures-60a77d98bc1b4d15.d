@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures-60a77d98bc1b4d15.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures-60a77d98bc1b4d15.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures-71efd4c7a5adbc6c.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures-71efd4c7a5adbc6c.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ir_shapes-37ecc70ed8a54fcd.d: tests/ir_shapes.rs Cargo.toml
+
+/root/repo/target/release/deps/libir_shapes-37ecc70ed8a54fcd.rmeta: tests/ir_shapes.rs Cargo.toml
+
+tests/ir_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

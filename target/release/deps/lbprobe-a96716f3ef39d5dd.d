@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lbprobe-a96716f3ef39d5dd.d: crates/bench/src/bin/lbprobe.rs
+
+/root/repo/target/release/deps/lbprobe-a96716f3ef39d5dd: crates/bench/src/bin/lbprobe.rs
+
+crates/bench/src/bin/lbprobe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/metrics_roundtrip-c23daf7dba1a2c5c.d: crates/bench/tests/metrics_roundtrip.rs Cargo.toml
+
+/root/repo/target/release/deps/libmetrics_roundtrip-c23daf7dba1a2c5c.rmeta: crates/bench/tests/metrics_roundtrip.rs Cargo.toml
+
+crates/bench/tests/metrics_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

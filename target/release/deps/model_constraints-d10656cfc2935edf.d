@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/model_constraints-d10656cfc2935edf.d: tests/model_constraints.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodel_constraints-d10656cfc2935edf.rmeta: tests/model_constraints.rs Cargo.toml
+
+tests/model_constraints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/modulo_memory-d01974bb14b1c5ad.d: crates/bench/src/bin/modulo_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodulo_memory-d01974bb14b1c5ad.rmeta: crates/bench/src/bin/modulo_memory.rs Cargo.toml
+
+crates/bench/src/bin/modulo_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

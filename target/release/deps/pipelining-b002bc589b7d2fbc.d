@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipelining-b002bc589b7d2fbc.d: tests/pipelining.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipelining-b002bc589b7d2fbc.rmeta: tests/pipelining.rs Cargo.toml
+
+tests/pipelining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

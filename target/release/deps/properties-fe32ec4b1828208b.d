@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-fe32ec4b1828208b.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-fe32ec4b1828208b.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

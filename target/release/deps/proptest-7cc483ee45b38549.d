@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-7cc483ee45b38549.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-7cc483ee45b38549.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-931ec751004e7695.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-931ec751004e7695.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repprobe-63d1dd1050546056.d: crates/bench/src/bin/repprobe.rs Cargo.toml
+
+/root/repo/target/release/deps/librepprobe-63d1dd1050546056.rmeta: crates/bench/src/bin/repprobe.rs Cargo.toml
+
+crates/bench/src/bin/repprobe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

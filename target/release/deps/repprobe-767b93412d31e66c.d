@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repprobe-767b93412d31e66c.d: crates/bench/src/bin/repprobe.rs
+
+/root/repo/target/release/deps/repprobe-767b93412d31e66c: crates/bench/src/bin/repprobe.rs
+
+crates/bench/src/bin/repprobe.rs:

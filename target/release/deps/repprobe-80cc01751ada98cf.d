@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repprobe-80cc01751ada98cf.d: crates/bench/src/bin/repprobe.rs Cargo.toml
+
+/root/repo/target/release/deps/librepprobe-80cc01751ada98cf.rmeta: crates/bench/src/bin/repprobe.rs Cargo.toml
+
+crates/bench/src/bin/repprobe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

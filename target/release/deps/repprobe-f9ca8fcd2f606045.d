@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repprobe-f9ca8fcd2f606045.d: crates/bench/src/bin/repprobe.rs
+
+/root/repo/target/release/deps/repprobe-f9ca8fcd2f606045: crates/bench/src/bin/repprobe.rs
+
+crates/bench/src/bin/repprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro2-0535dfeeb6fcee27.d: crates/bench/src/bin/repro2.rs
+
+/root/repo/target/release/deps/repro2-0535dfeeb6fcee27: crates/bench/src/bin/repro2.rs
+
+crates/bench/src/bin/repro2.rs:

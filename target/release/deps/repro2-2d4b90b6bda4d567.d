@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro2-2d4b90b6bda4d567.d: crates/bench/src/bin/repro2.rs
+
+/root/repo/target/release/deps/repro2-2d4b90b6bda4d567: crates/bench/src/bin/repro2.rs
+
+crates/bench/src/bin/repro2.rs:

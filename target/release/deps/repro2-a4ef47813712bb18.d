@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro2-a4ef47813712bb18.d: crates/bench/src/bin/repro2.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro2-a4ef47813712bb18.rmeta: crates/bench/src/bin/repro2.rs Cargo.toml
+
+crates/bench/src/bin/repro2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

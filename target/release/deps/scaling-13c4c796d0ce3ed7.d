@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scaling-13c4c796d0ce3ed7.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libscaling-13c4c796d0ce3ed7.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scaling-e40cbffdaafb326d.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libscaling-e40cbffdaafb326d.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver-0516ccbeac989f1b.d: crates/bench/benches/solver.rs
+
+/root/repo/target/release/deps/solver-0516ccbeac989f1b: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/solver-1f07ae1bfc25c759.d: crates/bench/benches/solver.rs Cargo.toml
+
+/root/repo/target/release/deps/libsolver-1f07ae1bfc25c759.rmeta: crates/bench/benches/solver.rs Cargo.toml
+
+crates/bench/benches/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/store_model-6fb623bf74eca18f.d: crates/cp/tests/store_model.rs Cargo.toml
+
+/root/repo/target/release/deps/libstore_model-6fb623bf74eca18f.rmeta: crates/cp/tests/store_model.rs Cargo.toml
+
+crates/cp/tests/store_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

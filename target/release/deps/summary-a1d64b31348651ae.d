@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/summary-a1d64b31348651ae.d: crates/bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/release/deps/libsummary-a1d64b31348651ae.rmeta: crates/bench/src/bin/summary.rs Cargo.toml
+
+crates/bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/summary-f5162d8ff9445d74.d: crates/bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/release/deps/libsummary-f5162d8ff9445d74.rmeta: crates/bench/src/bin/summary.rs Cargo.toml
+
+crates/bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a7f6fdb6090c0696.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-a7f6fdb6090c0696: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

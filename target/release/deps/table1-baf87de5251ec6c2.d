@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1-baf87de5251ec6c2.d: crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1-baf87de5251ec6c2.rmeta: crates/bench/benches/table1.rs Cargo.toml
+
+crates/bench/benches/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

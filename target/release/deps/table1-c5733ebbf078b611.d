@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1-c5733ebbf078b611.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1-c5733ebbf078b611.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2-3ad50a81f6cc9233.d: crates/bench/benches/table2.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2-3ad50a81f6cc9233.rmeta: crates/bench/benches/table2.rs Cargo.toml
+
+crates/bench/benches/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

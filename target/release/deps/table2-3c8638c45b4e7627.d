@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2-3c8638c45b4e7627.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2-3c8638c45b4e7627.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-78cf433541012b3d.d: crates/bench/benches/table2.rs
+
+/root/repo/target/release/deps/table2-78cf433541012b3d: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2-afab109de2e089fd.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2-afab109de2e089fd.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

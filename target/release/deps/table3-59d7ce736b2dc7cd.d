@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-59d7ce736b2dc7cd.d: crates/bench/benches/table3.rs
+
+/root/repo/target/release/deps/table3-59d7ce736b2dc7cd: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3-d29de04e31017946.d: crates/bench/benches/table3.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3-d29de04e31017946.rmeta: crates/bench/benches/table3.rs Cargo.toml
+
+crates/bench/benches/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3-eb23aa289f6990f3.d: crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3-eb23aa289f6990f3.rmeta: crates/bench/src/bin/table3.rs Cargo.toml
+
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_events-2918419d97d22d74.d: crates/cp/tests/trace_events.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_events-2918419d97d22d74.rmeta: crates/cp/tests/trace_events.rs Cargo.toml
+
+crates/cp/tests/trace_events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_overhead-19d3ee271b2b8353.d: crates/bench/benches/trace_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_overhead-19d3ee271b2b8353.rmeta: crates/bench/benches/trace_overhead.rs Cargo.toml
+
+crates/bench/benches/trace_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_overhead-a409428c4bbd8ac5.d: crates/bench/benches/trace_overhead.rs
+
+/root/repo/target/release/deps/trace_overhead-a409428c4bbd8ac5: crates/bench/benches/trace_overhead.rs
+
+crates/bench/benches/trace_overhead.rs:

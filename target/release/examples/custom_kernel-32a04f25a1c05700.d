@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/custom_kernel-32a04f25a1c05700.d: examples/custom_kernel.rs Cargo.toml
+
+/root/repo/target/release/examples/libcustom_kernel-32a04f25a1c05700.rmeta: examples/custom_kernel.rs Cargo.toml
+
+examples/custom_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/design_space-d1c008fa4516259a.d: examples/design_space.rs Cargo.toml
+
+/root/repo/target/release/examples/libdesign_space-d1c008fa4516259a.rmeta: examples/design_space.rs Cargo.toml
+
+examples/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

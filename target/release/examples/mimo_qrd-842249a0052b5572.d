@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/mimo_qrd-842249a0052b5572.d: examples/mimo_qrd.rs Cargo.toml
+
+/root/repo/target/release/examples/libmimo_qrd-842249a0052b5572.rmeta: examples/mimo_qrd.rs Cargo.toml
+
+examples/mimo_qrd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-1e94ef9579b9f862.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-1e94ef9579b9f862.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

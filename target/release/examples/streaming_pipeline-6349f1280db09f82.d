@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/streaming_pipeline-6349f1280db09f82.d: examples/streaming_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libstreaming_pipeline-6349f1280db09f82.rmeta: examples/streaming_pipeline.rs Cargo.toml
+
+examples/streaming_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR
