@@ -13,7 +13,10 @@
 //! - [`code::ConfigStream`] — machine code as a per-cycle configuration
 //!   stream, where reconfigurations are counted;
 //! - [`sim`] — structural validation and functional replay of schedules
-//!   against all of the above.
+//!   against all of the above;
+//! - [`verify`] — a second, solver-independent verifier that re-derives
+//!   every timing rule from the spec with its own algorithms (including
+//!   modulo wraparound), never panicking on malformed input.
 //!
 //! The paper's own evaluation never runs on silicon — it is analytic over
 //! the architecture's published timing rules; the simulator enforces
@@ -28,6 +31,7 @@ pub mod schedule;
 pub mod sim;
 pub mod spec;
 pub mod vcd;
+pub mod verify;
 
 pub use code::{ConfigStream, Cycle};
 pub use gantt::render_gantt;
@@ -42,3 +46,4 @@ pub use sim::{
 };
 pub use spec::ArchSpec;
 pub use vcd::to_vcd;
+pub use verify::{verify_modulo, verify_schedule};

@@ -90,6 +90,13 @@ pub enum Violation {
         op: NodeId,
         error: String,
     },
+    /// The schedule (or the graph it claims to describe) is structurally
+    /// broken — wrong vector lengths, a cyclic graph, an op without an
+    /// opcode. Reported instead of panicking so corrupt input degrades to
+    /// a diagnostic.
+    MalformedSchedule {
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -216,6 +223,24 @@ fn on_vector_core(cat: Category) -> bool {
     matches!(cat, Category::VectorOp | Category::MatrixOp)
 }
 
+/// Shape check shared by validation and simulation: a schedule whose
+/// vectors do not cover the graph cannot be indexed safely. Returns the
+/// violations (empty = well-shaped).
+pub(crate) fn check_shape(g: &Graph, sched: &Schedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if sched.start.len() != g.len() || sched.slot.len() != g.len() {
+        out.push(Violation::MalformedSchedule {
+            detail: format!(
+                "schedule covers {} starts / {} slots for a {}-node graph",
+                sched.start.len(),
+                sched.slot.len(),
+                g.len()
+            ),
+        });
+    }
+    out
+}
+
 /// Structural validation only (no values needed).
 pub fn validate_structure(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> Vec<Violation> {
     validate_structure_with(g, spec, sched, true)
@@ -232,7 +257,16 @@ pub fn validate_structure_with(
     check_memory: bool,
 ) -> Vec<Violation> {
     let lat = &spec.latencies;
-    let mut out = Vec::new();
+    let mut out = check_shape(g, sched);
+    if !out.is_empty() {
+        return out;
+    }
+    if let Err(e) = spec.validate() {
+        out.push(Violation::MalformedSchedule {
+            detail: format!("invalid ArchSpec: {e}"),
+        });
+        return out;
+    }
 
     let latency = |n: NodeId| lat.latency(&g.node(n).kind);
     let duration = |n: NodeId| lat.duration(&g.node(n).kind);
@@ -279,11 +313,20 @@ pub fn validate_structure_with(
         if used > spec.n_lanes {
             out.push(Violation::LaneOverflow { cycle, used });
         }
-        let mut cfgs = ops.iter().map(|&o| g.opcode(o).unwrap().config().unwrap());
-        if let Some(first) = cfgs.next() {
-            if cfgs.any(|c| c != first) {
-                out.push(Violation::ConfigConflict { cycle });
+        // A node can only reach here with `Category::{Vector,Matrix}Op`,
+        // which guarantees a vector-core opcode with a configuration — but
+        // corrupt input must degrade to a diagnostic, never a panic.
+        let mut cfgs = Vec::with_capacity(ops.len());
+        for &o in ops {
+            match g.opcode(o).and_then(|op| op.config()) {
+                Some(c) => cfgs.push(c),
+                None => out.push(Violation::MalformedSchedule {
+                    detail: format!("node {o:?} co-issued on the vector core has no configuration"),
+                }),
             }
+        }
+        if cfgs.windows(2).any(|w| w[0] != w[1]) {
+            out.push(Violation::ConfigConflict { cycle });
         }
     }
 
@@ -403,9 +446,38 @@ pub fn simulate(
     let mut violations = validate_structure(g, spec, sched);
     let lat = &spec.latencies;
 
+    // A schedule that cannot be indexed (or a cyclic graph) cannot be
+    // replayed; report what validation found and stop before any of the
+    // phases below would panic.
+    let order = if check_shape(g, sched).is_empty() {
+        g.topo_order()
+    } else {
+        None
+    };
+    let Some(order) = order else {
+        if !violations
+            .iter()
+            .any(|v| matches!(v, Violation::MalformedSchedule { .. }))
+        {
+            violations.push(Violation::MalformedSchedule {
+                detail: "cyclic graph: no topological order for functional replay".into(),
+            });
+        }
+        return SimReport {
+            violations,
+            values: HashMap::new(),
+            makespan: sched.makespan,
+            lane_cycles: 0,
+            utilization: 0.0,
+            units: UnitUtilization::default(),
+            reconfig_switches: 0,
+            config_loads: 0,
+            counters: SimCounters::default(),
+        };
+    };
+
     // Phase 1: functional evaluation in topological order.
     let mut values: HashMap<NodeId, Value> = HashMap::new();
-    let order = g.topo_order().expect("simulate on cyclic graph");
     'eval: for &n in &order {
         match g.category(n) {
             c if c.is_data() => {
@@ -429,7 +501,13 @@ pub fn simulate(
                         None => continue 'eval, // upstream input missing
                     }
                 }
-                match apply(&g.opcode(n).unwrap(), &ins) {
+                let Some(op) = g.opcode(n) else {
+                    violations.push(Violation::MalformedSchedule {
+                        detail: format!("op node {n:?} has no opcode"),
+                    });
+                    continue 'eval;
+                };
+                match apply(&op, &ins) {
                     Ok(outs) => {
                         for (&d, v) in g.succs(n).iter().zip(outs) {
                             values.insert(d, v);
@@ -915,6 +993,58 @@ mod more_tests {
         s.makespan = 7;
         let v = validate_structure(&g, &ArchSpec::eit(), &s);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn short_schedule_reports_malformed_instead_of_panicking() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let (_, _) =
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, a], DataKind::Vector, "x");
+        let s = Schedule::new(1); // three nodes, one entry
+        let v = validate_structure(&g, &ArchSpec::eit(), &s);
+        assert!(
+            matches!(v.as_slice(), [Violation::MalformedSchedule { .. }]),
+            "{v:?}"
+        );
+        let rep = simulate(&g, &ArchSpec::eit(), &s, &HashMap::new());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::MalformedSchedule { .. })));
+    }
+
+    #[test]
+    fn cyclic_graph_reports_malformed_instead_of_panicking() {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let o = g.add_op(Opcode::vector(CoreOp::Add), "o");
+        g.add_edge(a, o);
+        g.add_edge(o, a); // cycle
+        let s = Schedule::new(g.len());
+        let rep = simulate(&g, &ArchSpec::eit(), &s, &HashMap::new());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::MalformedSchedule { .. })));
+    }
+
+    #[test]
+    fn invalid_spec_reports_malformed() {
+        let (g, s, _) = {
+            let mut g = Graph::new("t");
+            let a = g.add_data(DataKind::Vector, "a");
+            g.add_op_with_output(Opcode::vector(CoreOp::Add), &[a, a], DataKind::Vector, "x");
+            let s = Schedule::new(g.len());
+            (g, s, ())
+        };
+        let mut spec = ArchSpec::eit();
+        spec.n_lanes = 0;
+        let v = validate_structure(&g, &spec, &s);
+        assert!(
+            matches!(v.as_slice(), [Violation::MalformedSchedule { .. }]),
+            "{v:?}"
+        );
     }
 
     #[test]

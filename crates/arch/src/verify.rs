@@ -1,0 +1,616 @@
+//! Solver-independent schedule/allocation verification.
+//!
+//! The simulator ([`crate::sim`]) is the reproduction's first safety net,
+//! but it shares helper code (geometry, access checks, lifetime
+//! bookkeeping) with the rest of the stack. This module is the *second*,
+//! adversarial net: it re-derives every timing rule directly from the
+//! [`ArchSpec`] with its own arithmetic and its own algorithms — per-cycle
+//! occupancy maps instead of sorted interval sweeps, inline `slot %
+//! n_banks` geometry instead of [`crate::memory::Geometry`] — so a bug in
+//! one implementation cannot silently excuse the same bug in the other.
+//! The differential fuzzer (`eit-core::fuzz`) cross-checks the two on
+//! every generated schedule.
+//!
+//! Rules enforced (straight-line, [`verify_schedule`]):
+//!
+//! 1. precedence `s_i + l_i ≤ s_j` and exact data availability
+//!    `s_data = s_op + l_op` (paper constraints (1)/(4), 7-cc pipeline);
+//! 2. lane capacity (a matrix op takes four lanes) and a single
+//!    vector-core configuration per cycle ((2)/(3));
+//! 3. unit-capacity scalar accelerator and index/merge unit, including
+//!    multi-cycle occupancies;
+//! 4. memory (§3.4): every vector datum in an in-range slot, exclusive
+//!    slot lifetimes ((10)/(11)), ≤ `max_vector_reads` reads and
+//!    ≤ `max_vector_writes` writes per cycle (two matrix reads + one
+//!    matrix write on the EIT instance), one read and one write per bank
+//!    per cycle, and one line per page per direction (fig. 8). As in the
+//!    simulator, only vector-core accesses count against the ports; reads
+//!    happen at issue, writes at write-back.
+//!
+//! For software-pipelined kernels, [`verify_modulo`] checks the same
+//! resource rules folded modulo the initiation interval — the steady
+//! state where every window cycle hosts work from several iterations at
+//! once — plus intra-iteration precedence on the absolute starts.
+//!
+//! Both entry points *never panic*: malformed input (wrong-length
+//! schedule vectors, cyclic graphs, missing start entries, a nonsensical
+//! spec) degrades to [`Violation::MalformedSchedule`].
+
+use crate::memory::AccessViolation;
+use crate::schedule::Schedule;
+use crate::sim::Violation;
+use crate::spec::ArchSpec;
+use eit_ir::{Category, Graph, NodeId, VectorConfig};
+use std::collections::HashMap;
+
+/// Lanes an op occupies: a matrix op reads/writes four vectors, so it
+/// takes four lanes' worth of the core; a vector op takes one.
+fn lanes_of(cat: Category) -> u32 {
+    if cat == Category::MatrixOp {
+        4
+    } else {
+        1
+    }
+}
+
+/// Verify a straight-line schedule against every architectural rule,
+/// re-derived from `spec`. `check_memory = false` skips §3.4 (the paper's
+/// manual baseline and modulo schedules assume sufficient memory).
+///
+/// Returns all violations found; an empty vector means the schedule is
+/// proven legal under the documented machine model. Never panics.
+pub fn verify_schedule(
+    g: &Graph,
+    spec: &ArchSpec,
+    sched: &Schedule,
+    check_memory: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Err(e) = spec.validate() {
+        out.push(Violation::MalformedSchedule {
+            detail: format!("invalid ArchSpec: {e}"),
+        });
+        return out;
+    }
+    if sched.start.len() != g.len() || sched.slot.len() != g.len() {
+        out.push(Violation::MalformedSchedule {
+            detail: format!(
+                "schedule covers {} starts / {} slots for a {}-node graph",
+                sched.start.len(),
+                sched.slot.len(),
+                g.len()
+            ),
+        });
+        return out;
+    }
+    let lat = spec.latencies;
+    let start = |n: NodeId| sched.start[n.idx()];
+    let latency = |n: NodeId| lat.latency(&g.node(n).kind);
+    let duration = |n: NodeId| lat.duration(&g.node(n).kind);
+
+    // Starts are cycles of a real execution: non-negative.
+    for n in g.ids() {
+        if start(n) < 0 {
+            out.push(Violation::NegativeStart { node: n });
+        }
+    }
+
+    // A schedule claiming to finish before its own last write-back is
+    // lying about the makespan (persistence corruption shows up here).
+    let completion = g
+        .ids()
+        .map(|n| start(n).saturating_add(latency(n)))
+        .max()
+        .unwrap_or(0);
+    if sched.makespan < completion {
+        out.push(Violation::MalformedSchedule {
+            detail: format!(
+                "declared makespan {} < latest completion {completion}",
+                sched.makespan
+            ),
+        });
+    }
+
+    // (1)/(4): the 7-cycle pipeline — a consumer may not start before its
+    // operand's write-back, and a produced datum starts *exactly* at it.
+    for (f, t) in g.edges() {
+        if start(f).saturating_add(latency(f)) > start(t) {
+            out.push(Violation::Precedence { from: f, to: t });
+        }
+        if g.category(f).is_op()
+            && g.category(t).is_data()
+            && start(t) != start(f).saturating_add(latency(f))
+        {
+            out.push(Violation::DataStart { op: f, data: t });
+        }
+    }
+
+    // (2)/(3): per-cycle lane budget and configuration uniqueness.
+    type CoreCycle = (u32, Vec<(NodeId, Option<VectorConfig>)>);
+    let mut core_cycles: HashMap<i32, CoreCycle> = HashMap::new();
+    for n in g.ids() {
+        let cat = g.category(n);
+        if matches!(cat, Category::VectorOp | Category::MatrixOp) {
+            let e = core_cycles.entry(start(n)).or_default();
+            e.0 += lanes_of(cat);
+            e.1.push((n, g.opcode(n).and_then(|o| o.config())));
+        }
+    }
+    let mut cycles: Vec<i32> = core_cycles.keys().copied().collect();
+    cycles.sort_unstable();
+    for cycle in cycles {
+        let (used, ops) = &core_cycles[&cycle];
+        if *used > spec.n_lanes {
+            out.push(Violation::LaneOverflow { cycle, used: *used });
+        }
+        let mut cfg = None;
+        let mut conflict = false;
+        for (n, c) in ops {
+            match c {
+                None => out.push(Violation::MalformedSchedule {
+                    detail: format!("node {n:?} on the vector core has no configuration"),
+                }),
+                Some(c) => {
+                    conflict |= cfg.is_some_and(|prev: VectorConfig| prev != *c);
+                    cfg = Some(*c);
+                }
+            }
+        }
+        if conflict {
+            out.push(Violation::ConfigConflict { cycle });
+        }
+    }
+
+    // Unit-capacity accelerator and index/merge: per-cycle occupancy maps
+    // (the simulator uses a sorted interval sweep — different algorithm,
+    // same rule).
+    let mut unit_overlaps = |is_accel: bool| {
+        let mut busy: HashMap<i32, NodeId> = HashMap::new();
+        let mut reported: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut nodes: Vec<NodeId> = g
+            .ids()
+            .filter(|&n| {
+                let c = g.category(n);
+                if is_accel {
+                    c == Category::ScalarOp
+                } else {
+                    matches!(c, Category::Index | Category::Merge)
+                }
+            })
+            .collect();
+        nodes.sort_by_key(|&n| (start(n), n.idx()));
+        for n in nodes {
+            for dt in 0..duration(n).max(1) {
+                let t = start(n).saturating_add(dt);
+                if let Some(&prev) = busy.get(&t) {
+                    if !reported.contains(&(prev, n)) {
+                        reported.push((prev, n));
+                        out.push(if is_accel {
+                            Violation::AcceleratorOverlap { a: prev, b: n }
+                        } else {
+                            Violation::IndexMergeOverlap { a: prev, b: n }
+                        });
+                    }
+                } else {
+                    busy.insert(t, n);
+                }
+            }
+        }
+    };
+    unit_overlaps(true);
+    unit_overlaps(false);
+
+    if !check_memory {
+        return out;
+    }
+
+    // §3.4 — memory. Geometry from first principles over the linear slot
+    // enumeration: bank = slot mod n_banks, line = slot / n_banks,
+    // page = bank / page_size.
+    let n_slots = spec.n_slots();
+    let bank = |slot: u32| slot % spec.n_banks;
+    let line = |slot: u32| slot / spec.n_banks;
+    let page = |slot: u32| bank(slot) / spec.page_size;
+
+    let vdata: Vec<NodeId> = g
+        .ids()
+        .filter(|&n| g.category(n) == Category::VectorData)
+        .collect();
+    for &d in &vdata {
+        match sched.slot[d.idx()] {
+            None => out.push(Violation::MissingSlot { data: d }),
+            Some(s) if s >= n_slots => out.push(Violation::SlotOutOfRange { data: d, slot: s }),
+            _ => {}
+        }
+    }
+
+    // (10)/(11): a slot holds one live datum at a time. Lifetime re-derived
+    // from the paper's (10): own start to latest consumer start (min one
+    // cycle, long enough to be written).
+    let life = |d: NodeId| {
+        let s = start(d);
+        let e = g
+            .succs(d)
+            .iter()
+            .map(|&c| start(c))
+            .max()
+            .unwrap_or(s + 1)
+            .max(s + 1);
+        (s, e)
+    };
+    let mut by_slot: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for &d in &vdata {
+        if let Some(s) = sched.slot[d.idx()] {
+            by_slot.entry(s).or_default().push(d);
+        }
+    }
+    let mut slots: Vec<u32> = by_slot.keys().copied().collect();
+    slots.sort_unstable();
+    for slot in slots {
+        let ds = &by_slot[&slot];
+        for (i, &a) in ds.iter().enumerate() {
+            for &b in &ds[i + 1..] {
+                let (a0, a1) = life(a);
+                let (b0, b1) = life(b);
+                if a0 < b1 && b0 < a1 {
+                    out.push(Violation::SlotLifetimeOverlap { a, b, slot });
+                }
+            }
+        }
+    }
+
+    // Port budgets, 1R/1W per bank, one line per page per direction — all
+    // per cycle, reads at issue (broadcast-deduplicated) and writes at
+    // write-back, vector-core accesses only.
+    let mut reads_at: HashMap<i32, Vec<u32>> = HashMap::new();
+    let mut writes_at: HashMap<i32, Vec<u32>> = HashMap::new();
+    for n in g.ids() {
+        if !matches!(g.category(n), Category::VectorOp | Category::MatrixOp) {
+            continue;
+        }
+        for &d in g.preds(n) {
+            if g.category(d) == Category::VectorData {
+                if let Some(s) = sched.slot[d.idx()] {
+                    reads_at.entry(start(n)).or_default().push(s);
+                }
+            }
+        }
+        let wb = start(n).saturating_add(latency(n));
+        for &d in g.succs(n) {
+            if g.category(d) == Category::VectorData {
+                if let Some(s) = sched.slot[d.idx()] {
+                    writes_at.entry(wb).or_default().push(s);
+                }
+            }
+        }
+    }
+    let mut cycles: Vec<i32> = reads_at.keys().chain(writes_at.keys()).copied().collect();
+    cycles.sort_unstable();
+    cycles.dedup();
+    for t in cycles {
+        let mut push = |d| {
+            out.push(Violation::Memory {
+                cycle: t,
+                detail: d,
+            })
+        };
+        let mut reads = reads_at.remove(&t).unwrap_or_default();
+        reads.sort_unstable();
+        reads.dedup(); // same slot twice in one cycle = one broadcast read
+        let writes = writes_at.remove(&t).unwrap_or_default();
+        if reads.len() > spec.max_vector_reads as usize {
+            push(AccessViolation::TooManyReads {
+                count: reads.len(),
+                max: spec.max_vector_reads,
+            });
+        }
+        if writes.len() > spec.max_vector_writes as usize {
+            push(AccessViolation::TooManyWrites {
+                count: writes.len(),
+                max: spec.max_vector_writes,
+            });
+        }
+        for (slots, write) in [(&reads, false), (&writes, true)] {
+            let mut by_bank: HashMap<u32, Vec<u32>> = HashMap::new();
+            let mut by_page: HashMap<u32, Vec<u32>> = HashMap::new();
+            for s in slots.iter().copied() {
+                by_bank.entry(bank(s)).or_default().push(s);
+                by_page.entry(page(s)).or_default().push(line(s));
+            }
+            let mut banks: Vec<u32> = by_bank.keys().copied().collect();
+            banks.sort_unstable();
+            for b in banks {
+                let ss = by_bank.remove(&b).unwrap_or_default();
+                if ss.len() > 1 {
+                    push(if write {
+                        AccessViolation::BankWriteConflict { bank: b, slots: ss }
+                    } else {
+                        AccessViolation::BankReadConflict { bank: b, slots: ss }
+                    });
+                }
+            }
+            let mut pages: Vec<u32> = by_page.keys().copied().collect();
+            pages.sort_unstable();
+            for p in pages {
+                let mut lines = by_page.remove(&p).unwrap_or_default();
+                lines.sort_unstable();
+                lines.dedup();
+                if lines.len() > 1 {
+                    push(AccessViolation::PageLineConflict { page: p, lines });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Verify a modulo (software-pipelined) schedule: the same resource rules
+/// folded modulo the initiation interval `ii`, so the steady state —
+/// where cycle `c` hosts work from every iteration with the same
+/// `s mod ii` — respects the machine over *all* kernel iterations, plus
+/// intra-iteration precedence on the absolute starts. Memory ports are
+/// not checked (the paper's modulo model assumes sufficient memory; the
+/// allocator's output is verified separately as a straight-line
+/// schedule). Never panics.
+pub fn verify_modulo(
+    g: &Graph,
+    spec: &ArchSpec,
+    starts: &HashMap<NodeId, i32>,
+    ii: i32,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Err(e) = spec.validate() {
+        out.push(Violation::MalformedSchedule {
+            detail: format!("invalid ArchSpec: {e}"),
+        });
+        return out;
+    }
+    if ii < 1 {
+        out.push(Violation::MalformedSchedule {
+            detail: format!("initiation interval {ii} < 1"),
+        });
+        return out;
+    }
+    for n in g.ids() {
+        if !starts.contains_key(&n) {
+            out.push(Violation::MalformedSchedule {
+                detail: format!("node {n:?} has no start in the modulo schedule"),
+            });
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+    let lat = spec.latencies;
+    let start = |n: NodeId| starts[&n];
+    let latency = |n: NodeId| lat.latency(&g.node(n).kind);
+    let duration = |n: NodeId| lat.duration(&g.node(n).kind);
+
+    for n in g.ids() {
+        if start(n) < 0 {
+            out.push(Violation::NegativeStart { node: n });
+        }
+    }
+
+    // Intra-iteration precedence (the kernels are feedback-free DAGs, so
+    // there are no loop-carried edges to offset by II).
+    for (f, t) in g.edges() {
+        if start(f).saturating_add(latency(f)) > start(t) {
+            out.push(Violation::Precedence { from: f, to: t });
+        }
+        if g.category(f).is_op()
+            && g.category(t).is_data()
+            && start(t) != start(f).saturating_add(latency(f))
+        {
+            out.push(Violation::DataStart { op: f, data: t });
+        }
+    }
+
+    // Steady-state lane budget and config uniqueness per window cycle
+    // t = s mod ii: iterations k and k+1 co-issue whatever folds together.
+    let mut lanes_at: HashMap<i32, u32> = HashMap::new();
+    let mut cfg_at: HashMap<i32, VectorConfig> = HashMap::new();
+    let mut conflict_at: Vec<i32> = Vec::new();
+    let mut core_ops: Vec<NodeId> = g
+        .ids()
+        .filter(|&n| matches!(g.category(n), Category::VectorOp | Category::MatrixOp))
+        .collect();
+    core_ops.sort_by_key(|&n| (start(n), n.idx()));
+    for n in core_ops {
+        let cat = g.category(n);
+        for dt in 0..duration(n).max(1) {
+            let t = (start(n).saturating_add(dt)).rem_euclid(ii);
+            *lanes_at.entry(t).or_default() += lanes_of(cat);
+            match g.opcode(n).and_then(|o| o.config()) {
+                None => out.push(Violation::MalformedSchedule {
+                    detail: format!("node {n:?} on the vector core has no configuration"),
+                }),
+                Some(c) => match cfg_at.get(&t) {
+                    Some(&prev) if prev != c => {
+                        if !conflict_at.contains(&t) {
+                            conflict_at.push(t);
+                            out.push(Violation::ConfigConflict { cycle: t });
+                        }
+                    }
+                    _ => {
+                        cfg_at.insert(t, c);
+                    }
+                },
+            }
+        }
+    }
+    let mut windows: Vec<i32> = lanes_at.keys().copied().collect();
+    windows.sort_unstable();
+    for t in windows {
+        let used = lanes_at[&t];
+        if used > spec.n_lanes {
+            out.push(Violation::LaneOverflow { cycle: t, used });
+        }
+    }
+
+    // Unit-capacity accelerator and index/merge with wraparound: an
+    // occupancy longer than II collides with the next iteration's own
+    // instance of the same op.
+    let mut unit = |is_accel: bool| {
+        let mut busy: HashMap<i32, NodeId> = HashMap::new();
+        let mut reported: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut nodes: Vec<NodeId> = g
+            .ids()
+            .filter(|&n| {
+                let c = g.category(n);
+                if is_accel {
+                    c == Category::ScalarOp
+                } else {
+                    matches!(c, Category::Index | Category::Merge)
+                }
+            })
+            .collect();
+        nodes.sort_by_key(|&n| (start(n), n.idx()));
+        for n in nodes {
+            for dt in 0..duration(n).max(1) {
+                let t = (start(n).saturating_add(dt)).rem_euclid(ii);
+                match busy.get(&t) {
+                    Some(&prev) => {
+                        if !reported.contains(&(prev, n)) {
+                            reported.push((prev, n));
+                            out.push(if is_accel {
+                                Violation::AcceleratorOverlap { a: prev, b: n }
+                            } else {
+                                Violation::IndexMergeOverlap { a: prev, b: n }
+                            });
+                        }
+                    }
+                    None => {
+                        busy.insert(t, n);
+                    }
+                }
+            }
+        }
+    };
+    unit(true);
+    unit(false);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eit_ir::{CoreOp, DataKind, Opcode};
+
+    fn tiny() -> (Graph, Schedule) {
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let b = g.add_data(DataKind::Vector, "b");
+        let (o, out) = g.add_op_with_output(
+            Opcode::vector(CoreOp::Add),
+            &[a, b],
+            DataKind::Vector,
+            "add",
+        );
+        let mut s = Schedule::new(g.len());
+        s.start[o.idx()] = 0;
+        s.start[out.idx()] = 7;
+        s.slot[a.idx()] = Some(0);
+        s.slot[b.idx()] = Some(1);
+        s.slot[out.idx()] = Some(2);
+        s.makespan = 7;
+        (g, s)
+    }
+
+    #[test]
+    fn legal_schedule_verifies_clean() {
+        let (g, s) = tiny();
+        let v = verify_schedule(&g, &ArchSpec::eit(), &s, true);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn understated_makespan_flagged() {
+        let (g, mut s) = tiny();
+        s.makespan = 3;
+        let v = verify_schedule(&g, &ArchSpec::eit(), &s, true);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MalformedSchedule { .. })));
+    }
+
+    #[test]
+    fn short_vectors_degrade_to_diagnostic() {
+        let (g, _) = tiny();
+        let s = Schedule::new(1);
+        let v = verify_schedule(&g, &ArchSpec::eit(), &s, true);
+        assert!(
+            matches!(v.as_slice(), [Violation::MalformedSchedule { .. }]),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn bank_conflict_found_independently() {
+        let (g, mut s) = tiny();
+        let ins = g.inputs();
+        s.slot[ins[0].idx()] = Some(0);
+        s.slot[ins[1].idx()] = Some(16); // same bank, different line
+        let v = verify_schedule(&g, &ArchSpec::eit(), &s, true);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::Memory {
+                detail: AccessViolation::BankReadConflict { .. },
+                ..
+            }
+        )));
+        // Same page, different lines: also the fig. 8 page rule.
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::Memory {
+                detail: AccessViolation::PageLineConflict { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn modulo_wraparound_catches_folded_lane_overflow() {
+        // Five single-lane ops spread over 5 cycles: fine at II=5 (one op
+        // per window cycle folds to ≤4 lanes... actually 1 each), but at
+        // II=1 all five fold onto window cycle 0 → 5 > 4 lanes.
+        let mut g = Graph::new("t");
+        let a = g.add_data(DataKind::Vector, "a");
+        let mut starts = HashMap::new();
+        starts.insert(a, 0);
+        for i in 0..5 {
+            let (o, d) = g.add_op_with_output(
+                Opcode::vector(CoreOp::Add),
+                &[a, a],
+                DataKind::Vector,
+                &format!("o{i}"),
+            );
+            starts.insert(o, 7 * (i + 1));
+            starts.insert(d, 7 * (i + 1) + 7);
+        }
+        let spec = ArchSpec::eit();
+        assert!(verify_modulo(&g, &spec, &starts, 5)
+            .iter()
+            .all(|v| !matches!(v, Violation::LaneOverflow { .. })));
+        assert!(verify_modulo(&g, &spec, &starts, 1)
+            .iter()
+            .any(|v| matches!(v, Violation::LaneOverflow { used: 5, .. })));
+    }
+
+    #[test]
+    fn modulo_bad_ii_and_missing_starts_are_diagnostics() {
+        let (g, _) = tiny();
+        let v = verify_modulo(&g, &ArchSpec::eit(), &HashMap::new(), 0);
+        assert!(
+            matches!(v.as_slice(), [Violation::MalformedSchedule { .. }]),
+            "{v:?}"
+        );
+        let v = verify_modulo(&g, &ArchSpec::eit(), &HashMap::new(), 4);
+        assert!(!v.is_empty());
+        assert!(v
+            .iter()
+            .all(|x| matches!(x, Violation::MalformedSchedule { .. })));
+    }
+}

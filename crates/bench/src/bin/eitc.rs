@@ -21,6 +21,10 @@
 //!   --emit dot          dump the (merged) IR as Graphviz DOT
 //!   --emit vcd          dump the schedule as a VCD waveform
 //!   --emit gantt        print a Gantt chart of the schedule instead of a listing
+//!   --verify            after scheduling, re-check the result with the
+//!                       independent verifier (eit-arch `verify` module) AND
+//!                       the simulator's structural validation; exit 1 if
+//!                       either reports a violation
 //!   --trace FILE        write the solver's search events as JSON lines
 //!   --profile           print the per-propagator profile table (stderr)
 //!   --fifo              use the legacy FIFO propagation scheduler (A/B
@@ -56,6 +60,7 @@ struct Args {
     emit_gantt: bool,
     emit_dot: bool,
     emit_vcd: bool,
+    verify: bool,
     trace: Option<String>,
     profile: bool,
     fifo: bool,
@@ -66,7 +71,7 @@ fn usage() -> ! {
     eprintln!("usage: eitc <qrd|arf|matmul|fir|detector|blockmm|path.xml>");
     eprintln!("            [--slots N] [--no-memory] [--no-merge]");
     eprintln!("            [--modulo [incl]] [--jobs N] [--overlap M] [--timeout SECS]");
-    eprintln!("            [--emit xml|gantt|dot|vcd]");
+    eprintln!("            [--emit xml|gantt|dot|vcd] [--verify]");
     eprintln!("            [--trace FILE] [--profile] [--fifo] [--metrics FILE]");
     exit(2);
 }
@@ -90,6 +95,7 @@ fn parse_args() -> Args {
         emit_gantt: false,
         emit_dot: false,
         emit_vcd: false,
+        verify: false,
         trace: None,
         profile: false,
         fifo: false,
@@ -141,6 +147,7 @@ fn parse_args() -> Args {
                 Some(other) => bad_arg(&format!("--emit {other}")),
                 None => usage(),
             },
+            "--verify" => args.verify = true,
             "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
             "--profile" => args.profile = true,
             "--fifo" => args.fifo = true,
@@ -153,6 +160,39 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// Print verification results and exit 1 on any violation. `label` names
+/// the schedule being checked, `independent` is the eit-arch `verify`
+/// module's verdict and `structural` the simulator's — the point of
+/// running both is that they are separate implementations of the same
+/// architecture rules, so a disagreement is itself reportable.
+fn report_verification(
+    label: &str,
+    independent: &[eit_arch::Violation],
+    structural: &[eit_arch::Violation],
+) {
+    let mut bad = false;
+    for (tag, vs) in [("verifier", independent), ("simulator", structural)] {
+        if vs.is_empty() {
+            continue;
+        }
+        bad = true;
+        eprintln!(
+            "eitc: --verify: {label}: {tag} found {} violation(s):",
+            vs.len()
+        );
+        for v in vs.iter().take(20) {
+            eprintln!("eitc:   {v}");
+        }
+    }
+    if independent.is_empty() != structural.is_empty() {
+        eprintln!("eitc: --verify: {label}: verifier and simulator DISAGREE");
+    }
+    if bad {
+        exit(1);
+    }
+    println!("; verify: {label}: clean (independent verifier + simulator agree)");
 }
 
 /// The graph plus, for built-in kernels, its reference input values (so
@@ -309,6 +349,13 @@ fn main() {
                 exit(1);
             }
         }
+        if args.verify {
+            report_verification(
+                &format!("modulo II {}", r.ii_issue),
+                &eit_arch::verify_modulo(&g, &spec, &r.s, r.ii_issue),
+                &eit_core::validate_modulo(&g, &spec, &r, 3),
+            );
+        }
         return;
     }
 
@@ -340,6 +387,14 @@ fn main() {
             exit(1);
         }
     };
+
+    if args.verify {
+        report_verification(
+            "schedule",
+            &eit_arch::verify_schedule(&out.graph, &spec, &out.schedule, args.memory),
+            &eit_arch::validate_structure_with(&out.graph, &spec, &out.schedule, args.memory),
+        );
+    }
 
     if args.profile {
         let total: u64 = out.propagator_profile.iter().map(|p| p.invocations).sum();

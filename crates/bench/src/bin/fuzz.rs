@@ -1,0 +1,69 @@
+//! `fuzz` — deterministic differential fuzzer CLI.
+//!
+//! Drives [`eit_core::fuzz`] from the command line:
+//!
+//! ```text
+//! fuzz --seed 5 --cases 200 [--out DIR] [--no-modulo] [--no-shrink] \
+//!      [--timeout SECS]
+//! ```
+//!
+//! Exit status 0 when every case passes differentially, 1 when any case
+//! fails (reproducers are written to `--out`, default `fuzz-failures/`),
+//! 2 on bad arguments. Same seed, same verdicts, every run.
+
+use eit_core::fuzz::{run, FuzzOptions};
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seed N] [--cases N] [--out DIR] [--no-modulo] \
+         [--no-shrink] [--timeout SECS]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut opts = FuzzOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--seed" => opts.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--cases" => opts.cases = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => opts.out_dir = Some(val().into()),
+            "--no-modulo" => opts.check_modulo = false,
+            "--no-shrink" => opts.shrink = false,
+            "--timeout" => {
+                opts.solver_timeout = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let t0 = Instant::now();
+    let report = run(&opts);
+    let dt = t0.elapsed();
+    println!(
+        "fuzz: seed {} — {} case(s), {} differential check(s) in {:.1}s",
+        opts.seed,
+        report.cases,
+        report.checks,
+        dt.as_secs_f64()
+    );
+    if report.ok() {
+        println!("fuzz: all cases passed");
+        return;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "fuzz: FAIL case {} (case_seed {}): stage {} — {}",
+            f.case, f.case_seed, f.stage, f.detail
+        );
+        if let Some(p) = &f.reproducer {
+            eprintln!("fuzz:   reproducer: {}", p.display());
+        }
+    }
+    eprintln!("fuzz: {} failing case(s)", report.failures.len());
+    std::process::exit(1);
+}

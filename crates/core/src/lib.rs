@@ -15,6 +15,7 @@
 //! evaluation compares against.
 
 pub mod codegen;
+pub mod fuzz;
 pub mod list_sched;
 pub mod model;
 pub mod modulo;
@@ -25,6 +26,7 @@ pub mod portfolio;
 pub mod replicate;
 
 pub use codegen::{generate, Program};
+pub use fuzz::{run as fuzz_run, FuzzFailure, FuzzOptions, FuzzReport};
 pub use list_sched::{list_schedule, ListScheduleResult};
 pub use model::{build_model, schedule, BuiltModel, ScheduleResult, SchedulerOptions};
 pub use modulo::{

@@ -138,7 +138,9 @@ impl Domain {
         let mut ivs: Vec<(i32, i32)> = Vec::new();
         for v in vs {
             match ivs.last_mut() {
-                Some((_, hi)) if *hi + 1 == v => *hi = v,
+                // Adjacency in i64: `*hi + 1` would overflow when the
+                // running interval already ends at i32::MAX.
+                Some((_, hi)) if *hi as i64 + 1 == v as i64 => *hi = v,
                 _ => ivs.push((v, v)),
             }
         }
@@ -515,6 +517,77 @@ mod tests {
         let d2 = Domain::interval(i32::MIN / 2, i32::MAX / 2);
         let m = d2.split_point();
         assert!(m >= d2.min() && m < d2.max());
+    }
+
+    /// Every operation at the extreme representable bounds — the full
+    /// `[i32::MIN, i32::MAX]` domain is what an unbounded variable gets,
+    /// so none of this may overflow (debug builds would panic).
+    #[test]
+    fn full_range_interval_edge_bounds() {
+        let d = Domain::interval(i32::MIN, i32::MAX);
+        assert_eq!(d.size(), 1u64 << 32);
+        assert_eq!(d.min(), i32::MIN);
+        assert_eq!(d.max(), i32::MAX);
+        assert!(d.contains(i32::MIN));
+        assert!(d.contains(i32::MAX));
+        assert!(d.contains(0));
+        let m = d.split_point();
+        assert!(m >= d.min() && m < d.max());
+        assert_eq!(d.next_member(i32::MAX), Some(i32::MAX));
+
+        let mut lo = d.clone();
+        assert!(lo.remove_value(i32::MIN));
+        assert_eq!(lo.min(), i32::MIN + 1);
+        let mut hi = d.clone();
+        assert!(hi.remove_value(i32::MAX));
+        assert_eq!(hi.max(), i32::MAX - 1);
+
+        let mut mid = d.clone();
+        assert!(mid.remove_value(0));
+        assert_eq!(mid.interval_count(), 2);
+        assert_eq!(mid.size(), (1u64 << 32) - 1);
+
+        let mut f = d.clone();
+        assert!(f.fix(i32::MAX));
+        assert_eq!(f.value(), Some(i32::MAX));
+
+        let mut cut = d.clone();
+        assert!(cut.remove_below(i32::MAX));
+        assert_eq!(cut.size(), 1);
+        let mut cut2 = d.clone();
+        assert!(cut2.remove_above(i32::MIN));
+        assert_eq!(cut2.size(), 1);
+    }
+
+    #[test]
+    fn from_values_at_extreme_bounds() {
+        // Adjacent pair ending exactly at i32::MAX: the gap-merge probe
+        // `hi + 1` must not overflow.
+        let d = Domain::from_values([i32::MAX - 1, i32::MAX]);
+        assert_eq!(d.interval_count(), 1);
+        assert_eq!(d.size(), 2);
+
+        let d = Domain::from_values([i32::MIN, i32::MIN + 1, i32::MAX]);
+        assert_eq!(d.interval_count(), 2);
+        assert!(d.contains(i32::MIN));
+        assert!(d.contains(i32::MAX));
+        assert!(!d.contains(0));
+
+        let singleton = Domain::from_values([i32::MAX]);
+        assert!(singleton.is_fixed());
+        assert_eq!(singleton.value(), Some(i32::MAX));
+    }
+
+    #[test]
+    fn extreme_domains_intersect_and_disjoint() {
+        let mut a = Domain::interval(i32::MIN, i32::MAX);
+        let b = Domain::from_values([i32::MIN, i32::MAX]);
+        assert!(a.intersect(&b));
+        assert_eq!(a.size(), 2);
+        let lo = Domain::singleton(i32::MIN);
+        let hi = Domain::singleton(i32::MAX);
+        assert!(lo.disjoint(&hi));
+        assert!(!a.disjoint(&lo));
     }
 
     #[test]

@@ -358,8 +358,30 @@ fn req<'e>(e: &'e Element, key: &'static str) -> Result<&'e str, XmlError> {
         .ok_or(XmlError::MissingAttr(key))
 }
 
-fn parse_u32(s: &str) -> Result<u32, XmlError> {
-    s.parse().map_err(|_| XmlError::BadValue(s.into()))
+/// Parse a numeric attribute, naming the attribute in the error and
+/// distinguishing overflow from garbage — `id="99999999999"` must say
+/// "overflows", not just "bad value", or the report is useless on
+/// machine-generated files where every id looks plausible.
+fn parse_u32(attr: &'static str, s: &str) -> Result<u32, XmlError> {
+    use std::num::IntErrorKind;
+    s.parse::<u32>().map_err(|e| match e.kind() {
+        IntErrorKind::PosOverflow => {
+            XmlError::BadValue(format!("{attr}=\"{s}\": overflows u32 (max {})", u32::MAX))
+        }
+        _ => XmlError::BadValue(format!("{attr}=\"{s}\": not a non-negative integer")),
+    })
+}
+
+/// Same contract as [`parse_u32`] for the u8-sized attributes
+/// (`element`, `pre_operand`).
+fn parse_u8(attr: &'static str, s: &str) -> Result<u8, XmlError> {
+    use std::num::IntErrorKind;
+    s.parse::<u8>().map_err(|e| match e.kind() {
+        IntErrorKind::PosOverflow => {
+            XmlError::BadValue(format!("{attr}=\"{s}\": overflows u8 (max {})", u8::MAX))
+        }
+        _ => XmlError::BadValue(format!("{attr}=\"{s}\": not a non-negative integer")),
+    })
 }
 
 /// Parse a graph from XML produced by [`to_xml`].
@@ -386,7 +408,7 @@ pub fn from_xml(src: &str) -> Result<Graph, XmlError> {
         }
         match el.name.as_str() {
             "node" => {
-                let id = parse_u32(req(&el, "id")?)?;
+                let id = parse_u32("id", req(&el, "id")?)?;
                 let name = el.attrs.get("name").cloned().unwrap_or_default();
                 let kind = match req(&el, "kind")? {
                     "data" => {
@@ -406,10 +428,7 @@ pub fn from_xml(src: &str) -> Result<Graph, XmlError> {
                                         let idx = el
                                             .attrs
                                             .get("pre_operand")
-                                            .map(|v| {
-                                                v.parse::<u8>()
-                                                    .map_err(|_| XmlError::BadValue(v.clone()))
-                                            })
+                                            .map(|v| parse_u8("pre_operand", v))
                                             .transpose()?
                                             .unwrap_or(0);
                                         Some((pre_from(p)?, idx))
@@ -425,11 +444,7 @@ pub fn from_xml(src: &str) -> Result<Graph, XmlError> {
                                 }
                             }
                             "scalar_op" => Opcode::Scalar(scalar_from(req(&el, "op")?)?),
-                            "index" => Opcode::Index(
-                                req(&el, "element")?
-                                    .parse()
-                                    .map_err(|_| XmlError::BadValue("element".into()))?,
-                            ),
+                            "index" => Opcode::Index(parse_u8("element", req(&el, "element")?)?),
                             "merge" => Opcode::Merge,
                             other => return Err(XmlError::BadValue(other.into())),
                         };
@@ -441,7 +456,10 @@ pub fn from_xml(src: &str) -> Result<Graph, XmlError> {
                 id_map.insert(id, nid);
             }
             "edge" => {
-                pending_edges.push((parse_u32(req(&el, "from")?)?, parse_u32(req(&el, "to")?)?));
+                pending_edges.push((
+                    parse_u32("from", req(&el, "from")?)?,
+                    parse_u32("to", req(&el, "to")?)?,
+                ));
             }
             other => return Err(XmlError::Syntax(format!("unexpected <{other}>"))),
         }
@@ -549,6 +567,40 @@ mod tests {
     fn bad_root_reported() {
         assert!(matches!(from_xml("<nope/>"), Err(XmlError::Syntax(_))));
         assert!(matches!(from_xml(""), Err(XmlError::Syntax(_))));
+    }
+
+    #[test]
+    fn numeric_attr_errors_are_positioned_and_overflow_aware() {
+        // Overflow must be called out as overflow and name the attribute.
+        let r = from_xml(
+            r#"<graph name="g"><node id="99999999999" kind="data" data="scalar"/></graph>"#,
+        );
+        let Err(XmlError::BadValue(msg)) = r else {
+            panic!("expected BadValue, got {r:?}")
+        };
+        assert!(msg.contains("id=\"99999999999\""), "{msg}");
+        assert!(msg.contains("overflows u32"), "{msg}");
+
+        // Garbage is a different diagnostic, still naming the attribute.
+        let r = from_xml(r#"<graph name="g"><edge from="x" to="1"/></graph>"#);
+        let Err(XmlError::BadValue(msg)) = r else {
+            panic!()
+        };
+        assert!(msg.contains("from=\"x\""), "{msg}");
+        assert!(msg.contains("not a non-negative integer"), "{msg}");
+
+        // u8-sized attributes get the same treatment.
+        let r = from_xml(
+            r#"<graph name="g">
+                <node id="0" kind="data" data="vector" name="v"/>
+                <node id="1" kind="op" category="index" element="300" name="i"/>
+            </graph>"#,
+        );
+        let Err(XmlError::BadValue(msg)) = r else {
+            panic!()
+        };
+        assert!(msg.contains("element=\"300\""), "{msg}");
+        assert!(msg.contains("overflows u8"), "{msg}");
     }
 
     #[test]

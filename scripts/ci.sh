@@ -55,6 +55,28 @@ for k in matmul fir qrd; do
   echo "   $k: schedules and normalized metrics byte-identical"
 done
 
+echo "== differential fuzz smoke: 200 fixed-seed cases"
+# Deterministic: same seed, same graphs, same verdicts on every machine.
+# Each case cross-checks XML round-trips, the list/CP/modulo schedulers,
+# both independent verifiers, persistence, and functional replay
+# (~30s ceiling; typically well under).
+./target/release/fuzz --seed 5 --cases 200 --out /tmp/eit-fuzz-failures
+
+echo "== independent verification of the table 1/2/3 reference schedules"
+# Every paper kernel, straight-line at its table slot budget, must pass
+# the solver-independent verifier AND the simulator's structural rules
+# with zero violations ('; verify: ... clean' + exit 0).
+for k in qrd arf matmul fir detector blockmm; do
+  ./target/release/eitc "$k" --timeout 120 --verify >/dev/null
+  echo "   $k: verified clean"
+done
+./target/release/eitc qrd --slots 16 --timeout 120 --verify >/dev/null
+echo "   qrd --slots 16: verified clean"
+for k in matmul fir; do
+  ./target/release/eitc "$k" --modulo --timeout 60 --verify >/dev/null
+  echo "   $k --modulo: verified clean"
+done
+
 echo "== solver bench smoke: trace overhead + engine A/B"
 cargo bench -p eit-bench --bench trace_overhead
 
