@@ -26,6 +26,16 @@
 //!                       the simulator's structural validation; exit 1 if
 //!                       either reports a violation
 //!   --trace FILE        write the solver's search events as JSON lines
+//!   --record FILE       record the solve as a binary eit-trace/1 file
+//!                       (canonical IR/arch hashes + every search event +
+//!                       periodic store digests); replay it with --replay
+//!   --replay FILE       re-validate a recorded solve in O(trace): re-drive
+//!                       the solver forcing the recorded trajectory and
+//!                       diff every event; exit 1 with a divergence report
+//!                       on the first mismatch
+//!   --strict            replay: any event mismatch fails (default)
+//!   --lenient           replay: only outcome mismatches fail (solutions,
+//!                       bounds, store hashes, final status)
 //!   --profile           print the per-propagator profile table (stderr)
 //!   --fifo              use the legacy FIFO propagation scheduler (A/B
 //!                       baseline for the event-driven engine)
@@ -41,10 +51,12 @@ use eit_core::{
     bundles_from_schedule, modulo_schedule, overlapped_execution, ModuloOptions, SchedulerOptions,
 };
 use eit_cp::trace::{JsonlSink, TraceHandle};
+use eit_cp::{RecorderSink, ReplayOptions, Trace, TraceHeader};
 use eit_ir::sem::Value;
 use eit_ir::{Graph, NodeId};
 use std::collections::HashMap;
 use std::process::exit;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 struct Args {
@@ -62,6 +74,9 @@ struct Args {
     emit_vcd: bool,
     verify: bool,
     trace: Option<String>,
+    record: Option<String>,
+    replay: Option<String>,
+    lenient: bool,
     profile: bool,
     fifo: bool,
     metrics: Option<String>,
@@ -72,7 +87,8 @@ fn usage() -> ! {
     eprintln!("            [--slots N] [--no-memory] [--no-merge]");
     eprintln!("            [--modulo [incl]] [--jobs N] [--overlap M] [--timeout SECS]");
     eprintln!("            [--emit xml|gantt|dot|vcd] [--verify]");
-    eprintln!("            [--trace FILE] [--profile] [--fifo] [--metrics FILE]");
+    eprintln!("            [--trace FILE] [--record FILE] [--replay FILE [--strict|--lenient]]");
+    eprintln!("            [--profile] [--fifo] [--metrics FILE]");
     exit(2);
 }
 
@@ -97,6 +113,9 @@ fn parse_args() -> Args {
         emit_vcd: false,
         verify: false,
         trace: None,
+        record: None,
+        replay: None,
+        lenient: false,
         profile: false,
         fifo: false,
         metrics: None,
@@ -149,6 +168,10 @@ fn parse_args() -> Args {
             },
             "--verify" => args.verify = true,
             "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
+            "--record" => args.record = Some(it.next().unwrap_or_else(|| usage())),
+            "--replay" => args.replay = Some(it.next().unwrap_or_else(|| usage())),
+            "--strict" => args.lenient = false,
+            "--lenient" => args.lenient = true,
             "--profile" => args.profile = true,
             "--fifo" => args.fifo = true,
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
@@ -280,6 +303,65 @@ fn modulo_metrics(r: &eit_core::ModuloResult) -> Json {
     ])
 }
 
+/// Refuse a trace recorded for a different problem or solver setup.
+fn check_trace_header(h: &TraceHeader, ir: u64, arch: u64, config: &str) {
+    if h.ir_hash != ir {
+        eprintln!(
+            "eitc: replay: trace was recorded for a different IR \
+             (trace {:016x}, this run {ir:016x})",
+            h.ir_hash
+        );
+        exit(1);
+    }
+    if h.arch_hash != arch {
+        eprintln!(
+            "eitc: replay: trace was recorded for a different architecture \
+             (trace {:016x}, this run {arch:016x})",
+            h.arch_hash
+        );
+        exit(1);
+    }
+    if h.config != config {
+        eprintln!(
+            "eitc: replay: solver config mismatch (trace '{}', this run '{config}')",
+            h.config
+        );
+        exit(1);
+    }
+}
+
+/// Report a replay's outcome and exit: 0 on a clean match, 1 with a
+/// divergence report (or structure error) otherwise.
+fn finish_replay(path: &str, file_hash: u64, rep: eit_core::RrReport) -> ! {
+    if rep.ok {
+        println!(
+            "; replay ok: {path} (fnv64 {file_hash:016x}): {} stream(s), \
+             {} event(s) checked, replay nodes {} (recorded {})",
+            rep.streams, rep.checked, rep.replay_nodes, rep.recorded_nodes
+        );
+        exit(0);
+    }
+    if let Some(msg) = &rep.structure_error {
+        eprintln!("eitc: replay: malformed recording: {msg}");
+    }
+    if let Some((stream, d)) = &rep.divergence {
+        eprintln!("eitc: replay diverged in stream {stream}:");
+        eprint!("{d}");
+    }
+    exit(1);
+}
+
+/// The `trace` metrics section for a recorded run.
+fn trace_section(path: &str, rec: &Arc<Mutex<RecorderSink>>) -> Json {
+    let r = rec.lock().unwrap_or_else(|e| e.into_inner());
+    Json::Obj(vec![
+        ("format".into(), Json::str("eit-trace/1")),
+        ("file".into(), Json::str(path)),
+        ("hash".into(), Json::str(format!("{:016x}", r.hash()))),
+        ("events".into(), Json::int(r.events())),
+    ])
+}
+
 fn main() {
     let args = parse_args();
     let (mut g, inputs) = load_graph(&args.kernel);
@@ -305,6 +387,25 @@ fn main() {
     let spec = ArchSpec::eit().with_slots(args.slots);
     let timeout = Duration::from_secs(args.timeout);
 
+    let rr = args.record.is_some() || args.replay.is_some();
+    if args.record.is_some() && args.replay.is_some() {
+        eprintln!("eitc: --record and --replay are mutually exclusive");
+        exit(2);
+    }
+    if rr && args.trace.is_some() {
+        eprintln!("eitc: --trace (JSONL) cannot be combined with --record/--replay");
+        exit(2);
+    }
+    if rr && args.modulo.is_none() {
+        // The recorded canonical IR hash must cover the exact graph the
+        // solver sees, so the CSE pass runs here instead of inside
+        // compile() when recording or replaying.
+        let st = eit_ir::eliminate_common_subexpressions(&mut g);
+        if st.ops_removed > 0 {
+            eprintln!("; CSE folded {} duplicate op(s)", st.ops_removed);
+        }
+    }
+
     let trace = args.trace.as_ref().map(|path| {
         let sink = JsonlSink::create(path).unwrap_or_else(|e| {
             eprintln!("eitc: cannot open trace file {path}: {e}");
@@ -314,21 +415,60 @@ fn main() {
     });
 
     if let Some(include_reconfig) = args.modulo {
-        let r = modulo_schedule(
-            &g,
-            &spec,
-            &ModuloOptions {
-                include_reconfig,
-                timeout_per_ii: timeout,
-                total_timeout: timeout,
-                jobs: args.jobs,
-                ..Default::default()
-            },
-        )
-        .unwrap_or_else(|| {
+        let mut mopts = ModuloOptions {
+            include_reconfig,
+            timeout_per_ii: timeout,
+            total_timeout: timeout,
+            jobs: args.jobs,
+            trace: trace.clone(),
+            ..Default::default()
+        };
+        if let Some(path) = &args.replay {
+            let t = Trace::read(path).unwrap_or_else(|e| {
+                eprintln!("eitc: cannot read trace {path}: {e}");
+                exit(1);
+            });
+            mopts.state_hash_every = (t.header.hash_every > 0).then_some(t.header.hash_every);
+            check_trace_header(
+                &t.header,
+                eit_core::ir_hash(&g),
+                eit_core::arch_hash(&spec),
+                &eit_core::modulo_config_string(&mopts),
+            );
+            let rep = eit_core::replay_modulo(
+                &g,
+                &spec,
+                &mopts,
+                &t.events,
+                &ReplayOptions {
+                    strict: !args.lenient,
+                },
+            );
+            finish_replay(path, t.file_hash, rep);
+        }
+        let recorder = args.record.as_ref().map(|path| {
+            mopts.state_hash_every = Some(eit_core::DEFAULT_HASH_EVERY);
+            let header = eit_core::modulo_header(&g, &spec, &mopts);
+            let sink = RecorderSink::create(path, &header).unwrap_or_else(|e| {
+                eprintln!("eitc: cannot create trace file {path}: {e}");
+                exit(1);
+            });
+            let arc = Arc::new(Mutex::new(sink));
+            mopts.trace = Some(TraceHandle::new(Arc::clone(&arc)));
+            arc
+        });
+        let r = modulo_schedule(&g, &spec, &mopts).unwrap_or_else(|| {
             eprintln!("eitc: no modulo schedule found within budget");
             exit(1);
         });
+        if let (Some(path), Some(rec)) = (&args.record, &recorder) {
+            let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+            println!(
+                "; recorded {} event(s) to {path} (eit-trace/1, fnv64 {:016x})",
+                rec.events(),
+                rec.hash()
+            );
+        }
         println!(
             "; modulo schedule: II {} ({} switches, actual {}), throughput {:.4} iter/cc",
             r.ii_issue, r.switches, r.actual_ii, r.throughput
@@ -344,6 +484,9 @@ fn main() {
         if let Some(path) = &args.metrics {
             let mut m = RunMetrics::new("eitc", &args.kernel);
             m.arch(&spec).section("modulo", modulo_metrics(&r));
+            if let (Some(tp), Some(rec)) = (&args.record, &recorder) {
+                m.section("trace", trace_section(tp, rec));
+            }
             if let Err(e) = m.write_to(path) {
                 eprintln!("eitc: cannot write metrics to {path}: {e}");
                 exit(1);
@@ -360,21 +503,62 @@ fn main() {
     }
 
     // The straight-line path is the one-call toolchain. The merge pass
-    // already ran above (so --no-merge is honoured); CSE runs here.
+    // already ran above (so --no-merge is honoured); CSE runs here
+    // unless --record/--replay hoisted it before the IR hash.
+    let mut sched_opts = SchedulerOptions {
+        memory: args.memory,
+        timeout: Some(timeout),
+        trace,
+        profile: args.profile || args.metrics.is_some(),
+        fifo_engine: args.fifo,
+        ..Default::default()
+    };
+
+    if let Some(path) = &args.replay {
+        let t = Trace::read(path).unwrap_or_else(|e| {
+            eprintln!("eitc: cannot read trace {path}: {e}");
+            exit(1);
+        });
+        sched_opts.trace = None;
+        sched_opts.profile = false;
+        sched_opts.state_hash_every = (t.header.hash_every > 0).then_some(t.header.hash_every);
+        check_trace_header(
+            &t.header,
+            eit_core::ir_hash(&g),
+            eit_core::arch_hash(&spec),
+            &eit_core::schedule_config_string(&sched_opts),
+        );
+        let rep = eit_core::replay_schedule(
+            &g,
+            &spec,
+            &sched_opts,
+            &t.events,
+            &ReplayOptions {
+                strict: !args.lenient,
+            },
+        );
+        finish_replay(path, t.file_hash, rep);
+    }
+
+    let recorder = args.record.as_ref().map(|path| {
+        sched_opts.state_hash_every = Some(eit_core::DEFAULT_HASH_EVERY);
+        let header = eit_core::schedule_header(&g, &spec, &sched_opts);
+        let sink = RecorderSink::create(path, &header).unwrap_or_else(|e| {
+            eprintln!("eitc: cannot create trace file {path}: {e}");
+            exit(1);
+        });
+        let arc = Arc::new(Mutex::new(sink));
+        sched_opts.trace = Some(TraceHandle::new(Arc::clone(&arc)));
+        arc
+    });
+
     let out = match compile(
         g,
         &spec,
         &CompileOptions {
+            cse: !rr,     // hoisted above when recording/replaying
             merge: false, // already applied (or skipped) above
-            scheduler: SchedulerOptions {
-                memory: args.memory,
-                timeout: Some(timeout),
-                trace,
-                profile: args.profile || args.metrics.is_some(),
-                fifo_engine: args.fifo,
-                ..Default::default()
-            },
-            ..Default::default()
+            scheduler: sched_opts,
         },
     ) {
         Ok(out) => out,
@@ -404,6 +588,15 @@ fn main() {
         );
     }
 
+    if let (Some(path), Some(rec)) = (&args.record, &recorder) {
+        let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+        println!(
+            "; recorded {} event(s) to {path} (eit-trace/1, fnv64 {:016x})",
+            rec.events(),
+            rec.hash()
+        );
+    }
+
     if let Some(path) = &args.metrics {
         let mut m = RunMetrics::new("eitc", &args.kernel);
         m.arch(&spec)
@@ -411,6 +604,9 @@ fn main() {
             .spans(&out.timings)
             .propagators(&out.propagator_profile)
             .program(&out.program);
+        if let (Some(tp), Some(rec)) = (&args.record, &recorder) {
+            m.section("trace", trace_section(tp, rec));
+        }
         if args.memory && !inputs.is_empty() {
             let rep = eit_arch::simulate(&out.graph, &spec, &out.schedule, &inputs);
             m.sim(&rep);

@@ -531,6 +531,29 @@ pub fn shrink(g: &Graph, stage: &str, opts: &FuzzOptions) -> Graph {
     }
 }
 
+/// Record a straight-line scheduling run of `g` as an `eit-trace/1`
+/// file, so every shrunk reproducer ships a replayable solver trajectory
+/// next to its XML.
+fn record_reproducer_trace(
+    g: &Graph,
+    path: &std::path::Path,
+    timeout: Duration,
+) -> std::io::Result<()> {
+    use eit_cp::trace::TraceHandle;
+    use eit_cp::RecorderSink;
+    let spec = ArchSpec::eit();
+    let mut sched_opts = SchedulerOptions {
+        timeout: Some(timeout),
+        state_hash_every: Some(crate::rr::DEFAULT_HASH_EVERY),
+        ..Default::default()
+    };
+    let header = crate::rr::schedule_header(g, &spec, &sched_opts);
+    let sink = RecorderSink::create(path, &header)?;
+    sched_opts.trace = Some(TraceHandle::new(sink));
+    schedule(g, &spec, &sched_opts);
+    Ok(())
+}
+
 /// Run the full differential fuzzer. Deterministic in `opts.seed`.
 pub fn run(opts: &FuzzOptions) -> FuzzReport {
     let mut report = FuzzReport::default();
@@ -569,6 +592,13 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
                             minimal.len(),
                             g.len()
                         ),
+                    );
+                    // Replayable `eit-trace/1` recording of the minimal
+                    // graph's scheduler run (`eitc --replay` validates it).
+                    let _ = record_reproducer_trace(
+                        &minimal,
+                        &base.with_extension("trace"),
+                        opts.solver_timeout,
                     );
                     Some(xml_path)
                 });

@@ -24,15 +24,16 @@ pub mod overlap;
 pub mod pipeline;
 pub mod portfolio;
 pub mod replicate;
+pub mod rr;
 
 pub use codegen::{generate, Program};
 pub use fuzz::{run as fuzz_run, FuzzFailure, FuzzOptions, FuzzReport};
 pub use list_sched::{list_schedule, ListScheduleResult};
 pub use model::{build_model, schedule, BuiltModel, ScheduleResult, SchedulerOptions};
 pub use modulo::{
-    allocate_modulo_memory, allocate_modulo_memory_with, ii_lower_bound, modulo_schedule, probe_ii,
-    schedule_at_ii, validate_modulo, AllocOptions, AllocOutcome, IiOutcome, ModuloOptions,
-    ModuloResult, ProbeStat,
+    allocate_modulo_memory, allocate_modulo_memory_with, build_probe, ii_lower_bound,
+    modulo_schedule, probe_ii, schedule_at_ii, validate_modulo, AllocOptions, AllocOutcome,
+    IiOutcome, ModuloOptions, ModuloResult, ProbeModel, ProbeStat,
 };
 pub use obs::PhaseTimings;
 pub use overlap::{
@@ -41,3 +42,7 @@ pub use overlap::{
 pub use pipeline::{compile, CompileError, CompileOptions, Compiled};
 pub use portfolio::schedule_portfolio;
 pub use replicate::replicate;
+pub use rr::{
+    arch_hash, ir_hash, modulo_config_string, modulo_header, replay_modulo, replay_schedule,
+    schedule_config_string, schedule_header, RrReport, DEFAULT_HASH_EVERY,
+};

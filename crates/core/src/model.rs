@@ -50,6 +50,10 @@ pub struct SchedulerOptions {
     pub minimize_slots: bool,
     /// Structured search-event sink, forwarded to the solver.
     pub trace: Option<TraceHandle>,
+    /// Emit a [`eit_cp::trace::SearchEvent::StateHash`] digest of the
+    /// store every N search nodes (`None`/0 = off); only meaningful with
+    /// a trace attached.
+    pub state_hash_every: Option<u64>,
     /// Per-propagator profiling with wall-time attribution; the profile
     /// comes back in [`ScheduleResult::propagator_profile`].
     pub profile: bool,
@@ -68,6 +72,7 @@ impl Default for SchedulerOptions {
             node_limit: None,
             minimize_slots: false,
             trace: None,
+            state_hash_every: None,
             profile: false,
             fifo_engine: false,
         }
@@ -448,6 +453,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
         shared_bound: None,
         restart_on_solution: true,
         trace: opts.trace.clone(),
+        state_hash_every: opts.state_hash_every,
         cancel: None,
     };
     let r = timings.time("search", || {
@@ -483,6 +489,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
                 shared_bound: None,
                 restart_on_solution: true,
                 trace: opts.trace.clone(),
+                state_hash_every: opts.state_hash_every,
                 cancel: None,
             };
             let r2 = minimize(&mut built2.model, max_slot, &cfg2);

@@ -29,6 +29,7 @@
 use eit_arch::{ArchSpec, Schedule};
 use eit_cp::props::cumulative::CumTask;
 use eit_cp::props::diff2::Rect;
+use eit_cp::trace::{MemorySink, SearchEvent, TraceHandle};
 use eit_cp::{
     solve, CancelToken, Model, Phase, SearchConfig, SearchStats, SearchStatus, ValSel, VarId,
     VarSel,
@@ -36,7 +37,7 @@ use eit_cp::{
 use eit_ir::{Category, Graph, NodeId, VectorConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Options for [`modulo_schedule`].
@@ -56,6 +57,17 @@ pub struct ModuloOptions {
     /// lowest feasible II found. The *answer* is identical either way —
     /// see the determinism contract in DESIGN.md.
     pub jobs: usize,
+    /// Structured search-event sink. Each probe buffers its events
+    /// privately; after the sweep the streams of every candidate up to
+    /// and including the winning II are forwarded in II order, each
+    /// prefixed with [`SearchEvent::Stream`]` { id: ii }`. Because
+    /// cancellation only ever hits candidates above the winner, the
+    /// merged trace is identical under any `jobs` (absent timeouts).
+    /// A statically refuted candidate contributes an empty stream.
+    pub trace: Option<TraceHandle>,
+    /// Emit a [`SearchEvent::StateHash`] digest every N search nodes
+    /// inside each probe (`None`/0 = off).
+    pub state_hash_every: Option<u64>,
 }
 
 impl Default for ModuloOptions {
@@ -66,6 +78,8 @@ impl Default for ModuloOptions {
             total_timeout: Duration::from_secs(600),
             max_ii: None,
             jobs: 1,
+            trace: None,
+            state_hash_every: None,
         }
     }
 }
@@ -239,19 +253,32 @@ pub fn schedule_at_ii(
     include_reconfig: bool,
     budget: Duration,
 ) -> IiOutcome {
-    probe_ii(g, spec, ii, include_reconfig, budget, None).0
+    probe_ii(g, spec, ii, include_reconfig, budget, None, None, None).0
 }
 
-/// As [`schedule_at_ii`], with a cooperative cancellation token and the
-/// probe's search statistics (for sweep accounting).
-pub fn probe_ii(
+/// The per-candidate-II CSP with its variable handles, ready to solve.
+pub struct ProbeModel {
+    pub model: Model,
+    /// The probe's phased search (bands → op starts → window → stages →
+    /// data, or the bandless subset).
+    pub phases: Vec<Phase>,
+    /// Window position per op node.
+    pub t_var: HashMap<NodeId, VarId>,
+    /// Stage per op node.
+    pub k_var: HashMap<NodeId, VarId>,
+    /// Absolute start per node.
+    pub s_var: Vec<VarId>,
+}
+
+/// Build the CSP for one candidate II. Returns `None` when a static
+/// capacity cut already refutes the candidate — no search runs, so a
+/// recorded probe stream for such a candidate is empty.
+pub fn build_probe(
     g: &Graph,
     spec: &ArchSpec,
     ii: i32,
     include_reconfig: bool,
-    budget: Duration,
-    cancel: Option<CancelToken>,
-) -> (IiOutcome, SearchStats) {
+) -> Option<ProbeModel> {
     let lat = &spec.latencies;
     let latency = |n: NodeId| lat.latency(&g.node(n).kind);
     let duration = |n: NodeId| lat.duration(&g.node(n).kind);
@@ -388,7 +415,7 @@ pub fn probe_ii(
             let lanes = spec.n_lanes as i64;
             let need = ((work + lanes - 1) / lanes).max(1) as i32;
             if need > ii {
-                return (IiOutcome::Infeasible, SearchStats::default());
+                return None;
             }
             let len = m.new_var(need, ii);
             // b + len <= ii
@@ -442,13 +469,48 @@ pub fn probe_ii(
     }
     phases.push(Phase::new(data_s, VarSel::SmallestMin, ValSel::Min));
 
+    Some(ProbeModel {
+        model: m,
+        phases,
+        t_var,
+        k_var,
+        s_var,
+    })
+}
+
+/// As [`schedule_at_ii`], with a cooperative cancellation token, an
+/// optional per-probe trace sink, and the probe's search statistics (for
+/// sweep accounting).
+#[allow(clippy::too_many_arguments)]
+pub fn probe_ii(
+    g: &Graph,
+    spec: &ArchSpec,
+    ii: i32,
+    include_reconfig: bool,
+    budget: Duration,
+    cancel: Option<CancelToken>,
+    trace: Option<TraceHandle>,
+    state_hash_every: Option<u64>,
+) -> (IiOutcome, SearchStats) {
+    let Some(pm) = build_probe(g, spec, ii, include_reconfig) else {
+        return (IiOutcome::Infeasible, SearchStats::default());
+    };
+    let ProbeModel {
+        mut model,
+        phases,
+        t_var,
+        k_var,
+        s_var,
+    } = pm;
     let cfg = SearchConfig {
         phases,
         timeout: Some(budget),
         cancel,
+        trace,
+        state_hash_every,
         ..Default::default()
     };
-    let r = solve(&mut m, &cfg);
+    let r = solve(&mut model, &cfg);
     let outcome = match r.status {
         SearchStatus::Optimal | SearchStatus::Feasible => {
             let sol = r.best.unwrap();
@@ -516,6 +578,23 @@ fn outcome_str(o: &IiOutcome) -> &'static str {
     }
 }
 
+/// Forward buffered per-probe event streams to the sweep's sink, each
+/// prefixed with a `Stream` marker carrying the candidate II. The caller
+/// passes only candidates up to and including the winner, in II order,
+/// so the merged stream is identical under any `jobs`.
+fn forward_probe_streams<'a>(
+    handle: &TraceHandle,
+    streams: impl IntoIterator<Item = (i32, &'a [SearchEvent])>,
+) {
+    for (ii, events) in streams {
+        handle.emit(&SearchEvent::Stream { id: ii as u32 });
+        for e in events {
+            handle.emit(e);
+        }
+    }
+    handle.flush();
+}
+
 /// Sweep II upward from the resource bound; return the first feasible
 /// modulo schedule under the chosen reconfiguration model.
 ///
@@ -550,6 +629,7 @@ fn modulo_schedule_sequential(
         .unwrap_or_else(|| crate::model::serial_horizon(g, spec));
     let mut timed_out_any = false;
     let mut probes: Vec<ProbeStat> = Vec::new();
+    let mut streams: Vec<(i32, Vec<SearchEvent>)> = Vec::new();
 
     for ii in lb..=ub {
         if t0.elapsed() >= opts.total_timeout {
@@ -559,7 +639,30 @@ fn modulo_schedule_sequential(
             .timeout_per_ii
             .min(opts.total_timeout.saturating_sub(t0.elapsed()));
         let tp = Instant::now();
-        let (outcome, stats) = probe_ii(g, spec, ii, opts.include_reconfig, budget, None);
+        let buffer = opts
+            .trace
+            .as_ref()
+            .map(|_| Arc::new(Mutex::new(MemorySink::unbounded())));
+        let probe_trace = buffer.as_ref().map(|s| TraceHandle::new(Arc::clone(s)));
+        let (outcome, stats) = probe_ii(
+            g,
+            spec,
+            ii,
+            opts.include_reconfig,
+            budget,
+            None,
+            probe_trace,
+            opts.state_hash_every,
+        );
+        if let Some(sink) = buffer {
+            let events: Vec<SearchEvent> = sink
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .events
+                .drain(..)
+                .collect();
+            streams.push((ii, events));
+        }
         probes.push(ProbeStat {
             ii,
             outcome: outcome_str(&outcome),
@@ -575,6 +678,14 @@ fn modulo_schedule_sequential(
                 continue;
             }
             IiOutcome::Feasible(t, k, s) => {
+                if let Some(handle) = &opts.trace {
+                    // Every buffered stream is at a candidate ≤ the
+                    // winner: the sweep stops at the first feasible II.
+                    forward_probe_streams(
+                        handle,
+                        streams.iter().map(|(pii, ev)| (*pii, ev.as_slice())),
+                    );
+                }
                 return Some(assemble_result(
                     g,
                     spec,
@@ -611,7 +722,14 @@ fn modulo_schedule_parallel(
     let next = AtomicUsize::new(0);
     // Index of the lowest candidate known feasible so far.
     let winner = AtomicUsize::new(usize::MAX);
-    type Entry = (usize, usize, IiOutcome, SearchStats, Duration);
+    type Entry = (
+        usize,
+        usize,
+        IiOutcome,
+        SearchStats,
+        Duration,
+        Vec<SearchEvent>,
+    );
     let entries: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
@@ -626,23 +744,38 @@ fn modulo_schedule_parallel(
                 if idx >= candidates.len() {
                     return;
                 }
-                let push = |o: IiOutcome, st: SearchStats, el: Duration| {
+                let push = |o: IiOutcome, st: SearchStats, el: Duration, ev: Vec<SearchEvent>| {
                     entries
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
-                        .push((idx, w, o, st, el));
+                        .push((idx, w, o, st, el, ev));
                 };
                 if idx > winner.load(Ordering::Acquire) || tokens[idx].is_cancelled() {
-                    push(IiOutcome::Cancelled, SearchStats::default(), Duration::ZERO);
+                    push(
+                        IiOutcome::Cancelled,
+                        SearchStats::default(),
+                        Duration::ZERO,
+                        Vec::new(),
+                    );
                     continue;
                 }
                 let remaining = opts.total_timeout.saturating_sub(t0.elapsed());
                 if remaining.is_zero() {
-                    push(IiOutcome::Timeout, SearchStats::default(), Duration::ZERO);
+                    push(
+                        IiOutcome::Timeout,
+                        SearchStats::default(),
+                        Duration::ZERO,
+                        Vec::new(),
+                    );
                     continue;
                 }
                 let budget = opts.timeout_per_ii.min(remaining);
                 let tp = Instant::now();
+                let buffer = opts
+                    .trace
+                    .as_ref()
+                    .map(|_| Arc::new(Mutex::new(MemorySink::unbounded())));
+                let probe_trace = buffer.as_ref().map(|s| TraceHandle::new(Arc::clone(s)));
                 let (outcome, stats) = probe_ii(
                     g,
                     spec,
@@ -650,6 +783,8 @@ fn modulo_schedule_parallel(
                     opts.include_reconfig,
                     budget,
                     Some(tokens[idx].clone()),
+                    probe_trace,
+                    opts.state_hash_every,
                 );
                 if matches!(outcome, IiOutcome::Feasible(..)) {
                     // This candidate can only lose to a *lower* feasible
@@ -664,7 +799,16 @@ fn modulo_schedule_parallel(
                         }
                     }
                 }
-                push(outcome, stats, tp.elapsed());
+                let events = buffer
+                    .map(|s| {
+                        s.lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .events
+                            .drain(..)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                push(outcome, stats, tp.elapsed(), events);
             });
         }
     });
@@ -673,13 +817,13 @@ fn modulo_schedule_parallel(
     entries.sort_by_key(|(i, ..)| *i);
     let wpos = entries
         .iter()
-        .position(|(_, _, o, _, _)| matches!(o, IiOutcome::Feasible(..)))?;
+        .position(|(_, _, o, _, _, _)| matches!(o, IiOutcome::Feasible(..)))?;
     let timed_out_any = entries[..wpos]
         .iter()
-        .any(|(_, _, o, _, _)| matches!(o, IiOutcome::Timeout));
+        .any(|(_, _, o, _, _, _)| matches!(o, IiOutcome::Timeout));
     let probes: Vec<ProbeStat> = entries
         .iter()
-        .map(|(i, w, o, st, el)| ProbeStat {
+        .map(|(i, w, o, st, el, _)| ProbeStat {
             ii: candidates[*i],
             outcome: outcome_str(o),
             nodes: st.nodes,
@@ -688,7 +832,18 @@ fn modulo_schedule_parallel(
             worker: *w,
         })
         .collect();
-    let (widx, _, outcome, _, _) = entries.swap_remove(wpos);
+    if let Some(handle) = &opts.trace {
+        // Candidates below the winner are always genuinely resolved
+        // (cancellation only hits candidates above it), so this prefix —
+        // and hence the merged trace — matches the sequential sweep's.
+        forward_probe_streams(
+            handle,
+            entries[..=wpos]
+                .iter()
+                .map(|(i, _, _, _, _, ev)| (candidates[*i], ev.as_slice())),
+        );
+    }
+    let (widx, _, outcome, _, _, _) = entries.swap_remove(wpos);
     let IiOutcome::Feasible(t, k, s) = outcome else {
         unreachable!("wpos indexes a feasible entry");
     };
@@ -812,6 +967,61 @@ mod tests {
         assert_eq!(key(&par), key(&seq));
         assert_eq!(par.jobs, 4);
         assert_eq!(seq.jobs, 1);
+    }
+
+    #[test]
+    fn traced_sweep_is_identical_across_jobs() {
+        // Two configurations, banded model: band length minima force the
+        // resource-bound candidate infeasible, so the sweep records more
+        // than one probe stream before the winner.
+        let ctx = Ctx::new("bands");
+        let a = ctx.vector([1.0, 0.0, 0.0, 0.0]);
+        let b = ctx.vector([0.0, 1.0, 0.0, 0.0]);
+        for _ in 0..5 {
+            let x = a.v_add(&b);
+            let _ = x.v_mul(&b);
+        }
+        let g = ctx.finish();
+        let spec = eit_arch::ArchSpec::eit();
+        let run = |jobs: usize| {
+            let sink = Arc::new(Mutex::new(MemorySink::unbounded()));
+            let opts = ModuloOptions {
+                include_reconfig: true,
+                jobs,
+                trace: Some(TraceHandle::new(Arc::clone(&sink))),
+                state_hash_every: Some(16),
+                ..Default::default()
+            };
+            let r = modulo_schedule(&g, &spec, &opts).unwrap();
+            let events: Vec<SearchEvent> = sink.lock().unwrap().events.iter().cloned().collect();
+            (r.ii_issue, events)
+        };
+        let (ii1, ev1) = run(1);
+        let (ii4, ev4) = run(4);
+        assert_eq!(ii1, ii4);
+        assert_eq!(ev1, ev4, "merged probe trace must not depend on jobs");
+        // One Stream marker per candidate from the resource bound up to
+        // and including the winner, in II order.
+        let ids: Vec<u32> = ev1
+            .iter()
+            .filter_map(|e| match e {
+                SearchEvent::Stream { id } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let lb = ii_lower_bound(&g, &spec) as u32;
+        assert_eq!(ids, (lb..=ii1 as u32).collect::<Vec<_>>());
+        // Untraced runs are unaffected and agree on the answer.
+        let plain = modulo_schedule(
+            &g,
+            &spec,
+            &ModuloOptions {
+                include_reconfig: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.ii_issue, ii1);
     }
 
     #[test]

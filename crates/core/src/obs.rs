@@ -33,9 +33,20 @@ impl PhaseTimings {
         self.spans.push((name.to_string(), d));
     }
 
-    /// First span recorded under `name`, if any.
+    /// Total time recorded under `name`, if any. A name may repeat —
+    /// `extend` folds callees' spans in, and loops time the same phase
+    /// per iteration — so this sums every span with that name rather
+    /// than silently returning the first.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.spans.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+        let mut found = false;
+        let mut sum = Duration::ZERO;
+        for (n, d) in &self.spans {
+            if n == name {
+                found = true;
+                sum += *d;
+            }
+        }
+        found.then_some(sum)
     }
 
     /// Append all of `other`'s spans (used to fold a callee's timings
@@ -80,5 +91,18 @@ mod tests {
         assert!(outer.total() >= Duration::from_micros(6));
         let table = outer.render();
         assert!(table.contains("phase") && table.contains("pre"));
+    }
+
+    #[test]
+    fn get_aggregates_duplicate_names() {
+        let mut t = PhaseTimings::new();
+        t.push("search", Duration::from_micros(3));
+        t.push("extract", Duration::from_micros(1));
+        t.push("search", Duration::from_micros(4));
+        assert_eq!(t.get("search"), Some(Duration::from_micros(7)));
+        assert_eq!(t.get("extract"), Some(Duration::from_micros(1)));
+        assert_eq!(t.get("missing"), None);
+        // The raw spans keep every entry for order-sensitive consumers.
+        assert_eq!(t.spans.len(), 3);
     }
 }

@@ -61,6 +61,7 @@ pub fn schedule_portfolio(
                     shared_bound: None, // installed by race()
                     restart_on_solution: true,
                     trace: opts.trace.clone(),
+                    state_hash_every: opts.state_hash_every,
                     cancel: None,
                 };
                 (built.model, built.objective, cfg)

@@ -1,0 +1,409 @@
+//! Toolchain-level record/replay glue (`eit-trace/1`).
+//!
+//! [`crate::model::schedule`] and [`crate::modulo::modulo_schedule`] emit
+//! [`SearchEvent`] streams; `eit_cp::record` persists them and
+//! `eit_cp::replay` re-validates one search against its recording. This
+//! module binds the two to the *toolchain inputs*: canonical hashes of
+//! the IR and the architecture go into the trace header so a replay can
+//! refuse a trace recorded for a different problem, config strings pin
+//! the solver options that shape the trajectory, and the replay drivers
+//! rebuild the exact model + [`SearchConfig`] the recorded run used.
+//!
+//! A modulo recording is a *merged* stream: one [`SearchEvent::Stream`]
+//! marker per candidate II (resource bound up to and including the
+//! winner, in II order) followed by that probe's events. Replay splits
+//! the recording at the markers and re-validates each probe's CSP
+//! independently — a statically refuted candidate (no search) must have
+//! an empty stream.
+
+use crate::model::{build_model, SchedulerOptions};
+use crate::modulo::{build_probe, ModuloOptions};
+use eit_arch::ArchSpec;
+use eit_cp::trace::SearchEvent;
+use eit_cp::{fnv1a, DivergenceReport, ReplayOptions, SearchConfig, TraceHeader};
+use eit_ir::Graph;
+
+/// Default store-digest cadence for recorded runs: a
+/// [`SearchEvent::StateHash`] every N search nodes. Dense enough to
+/// localise a domain-trajectory mismatch, sparse enough to stay a
+/// negligible fraction of the event volume.
+pub const DEFAULT_HASH_EVERY: u64 = 64;
+
+/// Canonical hash of the IR: FNV-1a over its XML serialisation (the
+/// interchange format is the canonical form — stable node order, all
+/// semantic fields).
+pub fn ir_hash(g: &Graph) -> u64 {
+    fnv1a(eit_ir::to_xml(g).as_bytes())
+}
+
+/// Canonical hash of an [`ArchSpec`]: FNV-1a over a fixed rendering of
+/// every field that reaches the solver.
+pub fn arch_hash(spec: &ArchSpec) -> u64 {
+    let lat = &spec.latencies;
+    let s = format!(
+        "lanes={};banks={};page={};spb={};reads={};writes={};reconfig={};cap={:?};\
+         lat={},{},{},{},{},{},{}",
+        spec.n_lanes,
+        spec.n_banks,
+        spec.page_size,
+        spec.slots_per_bank,
+        spec.max_vector_reads,
+        spec.max_vector_writes,
+        spec.reconfig_cost,
+        spec.slot_cap,
+        lat.vector_pipeline,
+        lat.vector_duration,
+        lat.accel_iterative,
+        lat.accel_simple,
+        lat.accel_duration_iterative,
+        lat.accel_duration_simple,
+        lat.index_merge,
+    );
+    fnv1a(s.as_bytes())
+}
+
+/// The solver options that shape a straight-line search trajectory,
+/// rendered for the trace header. Wall-clock budgets and worker counts
+/// are deliberately excluded: deadlines are nondeterministic and the
+/// merged event stream is `jobs`-independent by construction, so traces
+/// recorded under different budgets/parallelism stay comparable.
+pub fn schedule_config_string(opts: &SchedulerOptions) -> String {
+    format!(
+        "mode=schedule;memory={};horizon={};minimize_slots={};fifo={};node_limit={}",
+        u8::from(opts.memory),
+        opts.horizon
+            .map_or_else(|| "auto".into(), |h| h.to_string()),
+        u8::from(opts.minimize_slots),
+        u8::from(opts.fifo_engine),
+        opts.node_limit
+            .map_or_else(|| "none".into(), |n| n.to_string()),
+    )
+}
+
+/// As [`schedule_config_string`], for a modulo sweep.
+pub fn modulo_config_string(opts: &ModuloOptions) -> String {
+    format!(
+        "mode=modulo;incl={};max_ii={}",
+        u8::from(opts.include_reconfig),
+        opts.max_ii.map_or_else(|| "auto".into(), |n| n.to_string()),
+    )
+}
+
+/// Build the `eit-trace/1` header for recording a straight-line
+/// scheduling run of `g` on `spec`.
+pub fn schedule_header(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> TraceHeader {
+    TraceHeader {
+        ir_hash: ir_hash(g),
+        arch_hash: arch_hash(spec),
+        hash_every: opts.state_hash_every.unwrap_or(0),
+        config: schedule_config_string(opts),
+    }
+}
+
+/// Build the `eit-trace/1` header for recording a modulo sweep.
+pub fn modulo_header(g: &Graph, spec: &ArchSpec, opts: &ModuloOptions) -> TraceHeader {
+    TraceHeader {
+        ir_hash: ir_hash(g),
+        arch_hash: arch_hash(spec),
+        hash_every: opts.state_hash_every.unwrap_or(0),
+        config: modulo_config_string(opts),
+    }
+}
+
+/// Aggregate outcome of replaying a recorded run (one stream for a
+/// straight-line schedule, one per probe for a modulo sweep).
+#[derive(Debug)]
+pub struct RrReport {
+    /// Every stream matched its recording.
+    pub ok: bool,
+    /// Streams replayed (always 1 for a straight-line schedule).
+    pub streams: usize,
+    /// Events compared across all streams.
+    pub checked: u64,
+    /// Events in the recording (stream markers excluded).
+    pub recorded_events: usize,
+    /// Search nodes the replay itself spent, across all streams. On a
+    /// clean replay this equals the recorded node count — the replay
+    /// never searches beyond the recorded tree.
+    pub replay_nodes: u64,
+    /// Recorded node count, from the terminal `Done` events.
+    pub recorded_nodes: u64,
+    /// First divergence: the stream it occurred in (the candidate II for
+    /// modulo replays, 0 for straight-line) and the report.
+    pub divergence: Option<(u32, DivergenceReport)>,
+    /// The recording's *shape* was wrong (events before the first stream
+    /// marker, a non-empty stream for a statically refuted candidate):
+    /// not a solver divergence, the trace cannot have come from this
+    /// input + config.
+    pub structure_error: Option<String>,
+}
+
+fn recorded_nodes_of(events: &[SearchEvent]) -> u64 {
+    events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            SearchEvent::Done { nodes, .. } => Some(*nodes),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Re-validate a recorded straight-line scheduling run: rebuild the
+/// model exactly as [`crate::model::schedule`] does and re-drive its
+/// branch-and-bound against `recorded`.
+///
+/// `opts` must reproduce the recorded run's options (the header's
+/// config string names the ones that matter). Recordings are made with
+/// `minimize_slots` off — the second lexicographic pass would append a
+/// second search to the stream.
+pub fn replay_schedule(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &SchedulerOptions,
+    recorded: &[SearchEvent],
+    ropts: &ReplayOptions,
+) -> RrReport {
+    let mut built = build_model(g, spec, opts);
+    let cfg = SearchConfig {
+        phases: built.phases.clone(),
+        timeout: opts.timeout,
+        node_limit: opts.node_limit,
+        shared_bound: None,
+        restart_on_solution: true,
+        trace: None,
+        state_hash_every: opts.state_hash_every,
+        cancel: None,
+    };
+    let rep = eit_cp::replay(
+        &mut built.model,
+        Some(built.objective),
+        &cfg,
+        recorded,
+        ropts,
+    );
+    RrReport {
+        ok: rep.ok,
+        streams: 1,
+        checked: rep.checked,
+        recorded_events: recorded.len(),
+        replay_nodes: rep.result.stats.nodes,
+        recorded_nodes: recorded_nodes_of(recorded),
+        divergence: rep.divergence.map(|d| (0, d)),
+        structure_error: None,
+    }
+}
+
+/// Split a merged modulo recording at its [`SearchEvent::Stream`]
+/// markers into `(ii, events)` sub-streams.
+fn split_streams(recorded: &[SearchEvent]) -> Result<Vec<(u32, &[SearchEvent])>, String> {
+    let mut out: Vec<(u32, usize, usize)> = Vec::new(); // (ii, start, end)
+    for (i, e) in recorded.iter().enumerate() {
+        if let SearchEvent::Stream { id } = e {
+            if let Some(last) = out.last_mut() {
+                last.2 = i;
+            } else if i != 0 {
+                return Err(format!("{i} events precede the first stream marker"));
+            }
+            out.push((*id, i + 1, recorded.len()));
+        } else if out.is_empty() {
+            return Err("recording does not start with a stream marker".into());
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|(ii, s, e)| (ii, &recorded[s..e]))
+        .collect())
+}
+
+/// Re-validate a recorded modulo sweep: split the merged stream at its
+/// probe markers, rebuild each candidate's CSP with
+/// [`crate::modulo::build_probe`], and replay every probe in II order.
+/// Stops at the first divergence.
+pub fn replay_modulo(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+    recorded: &[SearchEvent],
+    ropts: &ReplayOptions,
+) -> RrReport {
+    let mut report = RrReport {
+        ok: true,
+        streams: 0,
+        checked: 0,
+        recorded_events: 0,
+        replay_nodes: 0,
+        recorded_nodes: 0,
+        divergence: None,
+        structure_error: None,
+    };
+    let streams = match split_streams(recorded) {
+        Ok(s) => s,
+        Err(msg) => {
+            report.ok = false;
+            report.structure_error = Some(msg);
+            return report;
+        }
+    };
+    for (ii, events) in streams {
+        report.streams += 1;
+        report.recorded_events += events.len();
+        report.recorded_nodes += recorded_nodes_of(events);
+        let Some(pm) = build_probe(g, spec, ii as i32, opts.include_reconfig) else {
+            // Statically refuted candidate: the recorded run never
+            // searched, so its stream must be empty.
+            if !events.is_empty() {
+                report.ok = false;
+                report.structure_error = Some(format!(
+                    "candidate II {ii} is statically infeasible but its stream has {} events",
+                    events.len()
+                ));
+                return report;
+            }
+            continue;
+        };
+        let mut pm = pm;
+        let cfg = SearchConfig {
+            phases: pm.phases.clone(),
+            state_hash_every: opts.state_hash_every,
+            ..Default::default()
+        };
+        let rep = eit_cp::replay(&mut pm.model, None, &cfg, events, ropts);
+        report.checked += rep.checked;
+        report.replay_nodes += rep.result.stats.nodes;
+        if let Some(d) = rep.divergence {
+            report.ok = false;
+            report.divergence = Some((ii, d));
+            return report;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eit_cp::trace::{MemorySink, TraceHandle};
+    use eit_cp::ValSel;
+    use eit_dsl::Ctx;
+    use std::sync::{Arc, Mutex};
+
+    fn chain() -> Graph {
+        let ctx = Ctx::new("chain");
+        let a = ctx.vector([1.0, 0.0, 0.0, 0.0]);
+        let b = ctx.vector([0.0, 1.0, 0.0, 0.0]);
+        let x = a.v_add(&b);
+        let _ = x.v_mul(&b);
+        ctx.finish()
+    }
+
+    fn record_schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Vec<SearchEvent> {
+        let sink = Arc::new(Mutex::new(MemorySink::unbounded()));
+        let mut o = opts.clone();
+        o.trace = Some(TraceHandle::new(Arc::clone(&sink)));
+        crate::model::schedule(g, spec, &o);
+        let events = sink.lock().unwrap().events.iter().cloned().collect();
+        events
+    }
+
+    #[test]
+    fn hashes_are_input_sensitive() {
+        let g = chain();
+        let spec = ArchSpec::eit();
+        let h1 = ir_hash(&g);
+        let g2 = {
+            let ctx = Ctx::new("other");
+            let a = ctx.vector([1.0, 0.0, 0.0, 0.0]);
+            let _ = a.v_add(&a);
+            ctx.finish()
+        };
+        assert_ne!(h1, ir_hash(&g2));
+        let mut spec2 = spec;
+        spec2.n_banks = 8;
+        assert_ne!(arch_hash(&spec), arch_hash(&spec2));
+        // Stable across calls.
+        assert_eq!(h1, ir_hash(&g));
+        assert_eq!(arch_hash(&spec), arch_hash(&spec));
+    }
+
+    #[test]
+    fn schedule_record_replay_is_node_identical() {
+        let g = chain();
+        let spec = ArchSpec::eit();
+        let opts = SchedulerOptions {
+            state_hash_every: Some(8),
+            ..Default::default()
+        };
+        let recorded = record_schedule(&g, &spec, &opts);
+        assert!(!recorded.is_empty());
+        let rep = replay_schedule(&g, &spec, &opts, &recorded, &ReplayOptions::default());
+        assert!(rep.ok, "divergence: {:?}", rep.divergence);
+        assert_eq!(rep.replay_nodes, rep.recorded_nodes);
+        assert_eq!(rep.checked as usize, rep.recorded_events);
+    }
+
+    #[test]
+    fn perturbed_schedule_replay_reports_divergence() {
+        let g = chain();
+        let spec = ArchSpec::eit();
+        let opts = SchedulerOptions::default();
+        let recorded = record_schedule(&g, &spec, &opts);
+        // Flip the value ordering of every phase: same model, different
+        // trajectory — replay must name the first mismatching event.
+        let mut built = build_model(&g, &spec, &opts);
+        let mut phases = built.phases.clone();
+        for p in &mut phases {
+            p.val_sel = ValSel::Max;
+        }
+        let cfg = SearchConfig {
+            phases,
+            timeout: opts.timeout,
+            restart_on_solution: true,
+            ..Default::default()
+        };
+        let rep = eit_cp::replay(
+            &mut built.model,
+            Some(built.objective),
+            &cfg,
+            &recorded,
+            &ReplayOptions::default(),
+        );
+        assert!(!rep.ok);
+        let d = rep.divergence.expect("must diverge");
+        assert!(d.index < recorded.len());
+    }
+
+    #[test]
+    fn modulo_record_replay_round_trips() {
+        let g = chain();
+        let spec = ArchSpec::eit();
+        let sink = Arc::new(Mutex::new(MemorySink::unbounded()));
+        let opts = ModuloOptions {
+            include_reconfig: true,
+            trace: Some(TraceHandle::new(Arc::clone(&sink))),
+            state_hash_every: Some(8),
+            ..Default::default()
+        };
+        crate::modulo::modulo_schedule(&g, &spec, &opts).unwrap();
+        let recorded: Vec<SearchEvent> = sink.lock().unwrap().events.iter().cloned().collect();
+        assert!(recorded
+            .iter()
+            .any(|e| matches!(e, SearchEvent::Stream { .. })));
+        let rep = replay_modulo(&g, &spec, &opts, &recorded, &ReplayOptions::default());
+        assert!(
+            rep.ok,
+            "divergence: {:?} structure: {:?}",
+            rep.divergence, rep.structure_error
+        );
+        assert!(rep.streams >= 1);
+        assert_eq!(rep.replay_nodes, rep.recorded_nodes);
+
+        // A mangled recording (events before the first marker) is a
+        // structure error, not a divergence.
+        let mut bad = recorded.clone();
+        bad.insert(0, SearchEvent::Fail { depth: 0 });
+        let rep = replay_modulo(&g, &spec, &opts, &bad, &ReplayOptions::default());
+        assert!(!rep.ok);
+        assert!(rep.structure_error.is_some());
+    }
+}

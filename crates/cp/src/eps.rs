@@ -38,6 +38,7 @@ use crate::search::{
     ValSel,
 };
 use crate::store::VarId;
+use crate::trace::{MemorySink, SearchEvent, TraceHandle};
 use std::sync::atomic::{AtomicI32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -268,6 +269,12 @@ struct Pool<'a> {
     /// First-SAT racing ([`EpsConfig::race`]): a win cancels everything.
     race: bool,
     results: Mutex<Vec<(usize, usize, SearchResult)>>, // (index, worker, result)
+    /// Buffered per-subproblem event streams (when the builder's config
+    /// carries a trace), re-emitted in index order after the pool.
+    traces: Mutex<Vec<(usize, Vec<SearchEvent>)>>,
+    /// The builder's original sink, captured from the first subproblem
+    /// that ran (every builder call clones the same underlying handle).
+    original_trace: Mutex<Option<TraceHandle>>,
 }
 
 impl<'a> Pool<'a> {
@@ -280,6 +287,8 @@ impl<'a> Pool<'a> {
             deadline,
             race,
             results: Mutex::new(Vec::new()),
+            traces: Mutex::new(Vec::new()),
+            original_trace: Mutex::new(None),
         }
     }
 
@@ -349,7 +358,21 @@ impl<'a> Pool<'a> {
             }
             let (mut model, mut cfg) = builder();
             cfg.cancel = Some(self.tokens[i].clone());
-            cfg.trace = None; // per-worker traces would interleave
+            // Forwarding live events would interleave workers
+            // nondeterministically, so each subproblem records into its
+            // own buffer; `forward_traces` re-emits them in index order
+            // behind `Stream { id: index }` markers after the pool.
+            let buffer = cfg.trace.take().map(|original| {
+                let mut slot = self
+                    .original_trace
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(original);
+                drop(slot);
+                let sink = Arc::new(Mutex::new(MemorySink::unbounded()));
+                cfg.trace = Some(TraceHandle::new(Arc::clone(&sink)));
+                sink
+            });
             if let Some(rem) = remaining {
                 cfg.timeout = Some(cfg.timeout.map_or(rem, |t| t.min(rem)));
             }
@@ -360,11 +383,64 @@ impl<'a> Pool<'a> {
             } else {
                 refuted_at_replay()
             };
+            if let Some(sink) = buffer {
+                // A prefix refuted during replay never searched: it still
+                // gets an (empty) stream so the merged trace covers every
+                // subproblem index deterministically.
+                let events: Vec<SearchEvent> = sink
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .events
+                    .drain(..)
+                    .collect();
+                self.traces
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((i, events));
+            }
             if r.is_sat() {
                 self.claim_sat(i);
             }
             self.record(i, worker, r);
         }
+    }
+
+    /// Re-emit the buffered per-subproblem streams to the builder's
+    /// original sink, in index order, each preceded by a
+    /// [`SearchEvent::Stream`] marker carrying the subproblem index.
+    /// Streams above the winning index are dropped: those subproblems
+    /// were cancelled mid-flight and their event counts vary run-to-run,
+    /// while everything up to the winner is refuted (or solved) to
+    /// completion and therefore identical under any `jobs` count.
+    fn forward_traces(&self) {
+        let Some(handle) = self
+            .original_trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        else {
+            return;
+        };
+        let winner = {
+            let results = self.results.lock().unwrap_or_else(|e| e.into_inner());
+            results
+                .iter()
+                .filter(|(_, _, r)| r.is_sat())
+                .map(|(i, _, _)| *i)
+                .min()
+        };
+        let mut traces = self.traces.lock().unwrap_or_else(|e| e.into_inner());
+        traces.sort_by_key(|(i, _)| *i);
+        for (i, events) in traces.iter() {
+            if winner.is_some_and(|w| *i > w) {
+                continue;
+            }
+            handle.emit(&SearchEvent::Stream { id: *i as u32 });
+            for e in events {
+                handle.emit(e);
+            }
+        }
+        handle.flush();
     }
 }
 
@@ -490,6 +566,7 @@ fn run_satisfaction_pool(
             scope.spawn(move || pool.work(w, builder, outer_cancel, extra));
         }
     });
+    pool.forward_traces();
     merge_satisfaction(pool, ctx.split_pruned, ctx.split_depth, jobs, ctx.t0)
 }
 
@@ -630,6 +707,10 @@ pub fn eps_minimize(
                 }
                 let (mut model, o, mut c) = builder();
                 c.shared_bound = Some(Arc::clone(&shared));
+                // Pass A explores under a timing-dependent shared
+                // incumbent; its streams are inherently nondeterministic
+                // and are not traced. Pass B (the canonical witness pass)
+                // carries the trace.
                 c.trace = None;
                 if let Some(rem) = remaining {
                     c.timeout = Some(c.timeout.map_or(rem, |t| t.min(rem)));
@@ -846,6 +927,50 @@ mod tests {
             m.engine.fixpoint(&mut m.store).is_ok(),
             "raced witness violates a constraint"
         );
+    }
+
+    #[test]
+    fn traced_eps_streams_are_deterministic_and_tagged() {
+        // The decomposition targets split_factor × jobs subproblems, so a
+        // fixed *target* (not a fixed jobs count) pins the subproblem set;
+        // within one decomposition the merged trace must not depend on
+        // worker count or scheduling.
+        let run = |jobs: usize, split_factor: usize| {
+            let sink = Arc::new(Mutex::new(MemorySink::unbounded()));
+            let handle = TraceHandle::new(Arc::clone(&sink));
+            let base = queens_builder(6);
+            let builder = move || {
+                let (m, mut cfg) = base();
+                cfg.trace = Some(handle.clone());
+                (m, cfg)
+            };
+            let eps = EpsConfig {
+                jobs,
+                split_factor,
+                ..Default::default()
+            };
+            let (r, report) = eps_solve(&builder, &eps);
+            assert!(r.is_sat());
+            let events: Vec<SearchEvent> = sink.lock().unwrap().events.iter().cloned().collect();
+            (report.winner.unwrap(), events)
+        };
+        let (w1, e1) = run(4, 30); // target 120
+        let (w4, e4) = run(2, 60); // target 120, different worker count
+        let (w2, e2) = run(4, 30); // identical rerun
+        assert_eq!(w1, w4);
+        assert_eq!(w1, w2);
+        assert_eq!(e1, e4, "merged EPS trace depends on the worker count");
+        assert_eq!(e1, e2, "merged EPS trace differs between identical runs");
+        // Every subproblem up to and including the winner contributes one
+        // tagged stream, in index order; nothing beyond the winner leaks.
+        let ids: Vec<u32> = e1
+            .iter()
+            .filter_map(|e| match e {
+                SearchEvent::Stream { id } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, (0..=w1 as u32).collect::<Vec<_>>());
     }
 
     #[test]

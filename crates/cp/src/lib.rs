@@ -56,6 +56,8 @@ pub mod eps;
 pub mod model;
 pub mod portfolio;
 pub mod props;
+pub mod record;
+pub mod replay;
 pub mod search;
 pub mod store;
 pub mod trace;
@@ -68,6 +70,8 @@ pub use engine::{
 pub use eps::{eps_minimize, eps_solve, EpsConfig, EpsReport, SubproblemOutcome, WorkerStats};
 pub use model::Model;
 pub use portfolio::{RaceReport, RacerOutcome};
+pub use record::{fnv1a, Fnv64, RecorderSink, Trace, TraceHeader, TRACE_MAGIC, TRACE_VERSION};
+pub use replay::{replay, DivergenceReport, ReplayOptions, ReplayReport, ValidatingSink};
 pub use search::{
     minimize, solve, solve_all, Phase, SearchConfig, SearchResult, SearchStats, SearchStatus,
     Solution, ValSel, VarSel,

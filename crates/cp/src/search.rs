@@ -76,6 +76,13 @@ pub struct SearchConfig {
     /// Event sink for structured search tracing; `None` (the default)
     /// costs one branch per would-be event.
     pub trace: Option<TraceHandle>,
+    /// Emit a [`SearchEvent::StateHash`] digest of all domain bounds every
+    /// N nodes (at the node's propagation fixpoint, before branching).
+    /// `None` (the default) keeps event streams identical to builds
+    /// without hashing. The cadence is node-based, not event-based, so a
+    /// change that only shifts fail/backtrack bookkeeping still hashes the
+    /// same store states.
+    pub state_hash_every: Option<u64>,
     /// Cooperative cancellation: checked at every node alongside the
     /// deadline, and periodically inside the propagation fixpoint. A
     /// cancelled run aborts like a timeout (never a refutation proof) and
@@ -201,6 +208,7 @@ struct Dfs<'m> {
     /// Enumeration mode: collect every solution up to the cap.
     collect: Option<(Vec<Solution>, usize)>,
     trace: Option<TraceHandle>,
+    state_hash_every: Option<u64>,
     cancel: Option<CancelToken>,
 }
 
@@ -347,6 +355,16 @@ impl<'m> Dfs<'m> {
                     self.fail();
                     return Ok(());
                 }
+            }
+        }
+
+        // Periodic store digest, taken at the node's fixpoint (bound
+        // pruning included) so record and replay hash identical states.
+        if let Some(n) = self.state_hash_every {
+            if n > 0 && self.trace.is_some() && self.stats.nodes.is_multiple_of(n) {
+                let nodes = self.stats.nodes;
+                let hash = self.model.store.state_hash();
+                self.emit(move || SearchEvent::StateHash { nodes, hash });
             }
         }
 
@@ -526,6 +544,7 @@ fn run_with_collect(
         external_bound_used: false,
         collect: collect.map(|cap| (Vec::new(), cap)),
         trace: config.trace.clone(),
+        state_hash_every: config.state_hash_every,
         cancel: config.cancel.clone(),
     };
 

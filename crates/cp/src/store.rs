@@ -137,6 +137,29 @@ impl Store {
         self.domains[v.idx()].is_fixed()
     }
 
+    /// FNV-1a 64-bit digest of every variable's (min, max) bounds, in
+    /// variable order. Two stores with the same shape hash equal iff all
+    /// bounds agree — the replay engine compares these digests to pin the
+    /// solver's domain trajectory, not just its decision sequence.
+    /// Interior holes are deliberately not hashed: bounds are O(1) per
+    /// variable where interval lists are not, and a hole can only affect
+    /// the search after it reaches a bound, which the next digest sees.
+    pub fn state_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for d in &self.domains {
+            for b in d
+                .min()
+                .to_le_bytes()
+                .into_iter()
+                .chain(d.max().to_le_bytes())
+            {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// The assigned value; panics if not fixed (use in extraction paths).
     #[inline]
     pub fn value(&self, v: VarId) -> i32 {

@@ -52,6 +52,15 @@ pub enum SearchEvent {
     NodeLimitHit { nodes: u64 },
     /// A cooperative cancellation token stopped the search.
     Cancelled { nodes: u64 },
+    /// Periodic FNV-1a digest of every variable's (min, max) bounds at a
+    /// propagation fixpoint, emitted every
+    /// [`crate::SearchConfig::state_hash_every`] nodes. Ties a trace to
+    /// the solver's actual domain trajectory, not just its decisions.
+    StateHash { nodes: u64, hash: u64 },
+    /// Sub-stream delimiter in a merged trace: all following events until
+    /// the next `Stream` belong to parallel worker/probe `id` (the II for
+    /// sweep probes, the subproblem index for EPS).
+    Stream { id: u32 },
     /// Search finished with `status` (as [`crate::SearchStatus`] renders).
     Done {
         status: &'static str,
@@ -75,6 +84,8 @@ impl SearchEvent {
             SearchEvent::DeadlineHit { .. } => "deadline",
             SearchEvent::NodeLimitHit { .. } => "node_limit",
             SearchEvent::Cancelled { .. } => "cancelled",
+            SearchEvent::StateHash { .. } => "state_hash",
+            SearchEvent::Stream { .. } => "stream",
             SearchEvent::Done { .. } => "done",
         }
     }
@@ -107,6 +118,14 @@ impl SearchEvent {
             | SearchEvent::Cancelled { nodes } => {
                 format!("{{\"event\":\"{kind}\",\"nodes\":{nodes}}}")
             }
+            // The hash goes out as a hex string: JSON numbers are f64 and
+            // would silently lose the top bits of a 64-bit digest.
+            SearchEvent::StateHash { nodes, hash } => {
+                format!("{{\"event\":\"{kind}\",\"nodes\":{nodes},\"hash\":\"{hash:016x}\"}}")
+            }
+            SearchEvent::Stream { id } => {
+                format!("{{\"event\":\"{kind}\",\"id\":{id}}}")
+            }
             SearchEvent::Done {
                 status,
                 nodes,
@@ -117,6 +136,137 @@ impl SearchEvent {
                  \"fails\":{fails},\"solutions\":{solutions}}}"
             ),
         }
+    }
+
+    /// Parse one line as produced by [`SearchEvent::to_json`]. Returns
+    /// `None` on anything the writer cannot have emitted (unknown event
+    /// kinds, missing fields, malformed JSON), which makes the roundtrip
+    /// `from_json(to_json(e)) == Some(e)` the parser's whole contract.
+    pub fn from_json(line: &str) -> Option<SearchEvent> {
+        let fields = parse_flat_json(line)?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let int = |key: &str| match get(key) {
+            Some(JsonField::Int(n)) => Some(*n),
+            _ => None,
+        };
+        let kind = match get("event") {
+            Some(JsonField::Str(s)) => s.as_str(),
+            _ => return None,
+        };
+        Some(match kind {
+            "start" => SearchEvent::Start {
+                vars: int("vars")? as usize,
+                propagators: int("propagators")? as usize,
+            },
+            "branch" => SearchEvent::Branch {
+                depth: int("depth")? as usize,
+                var: int("var")? as u32,
+                val: int("val")? as i32,
+            },
+            "fail" => SearchEvent::Fail {
+                depth: int("depth")? as usize,
+            },
+            "backtrack" => SearchEvent::Backtrack {
+                depth: int("depth")? as usize,
+            },
+            "solution" => SearchEvent::Solution {
+                objective: match get("objective")? {
+                    JsonField::Null => None,
+                    JsonField::Int(n) => Some(*n as i32),
+                    JsonField::Str(_) => return None,
+                },
+                nodes: int("nodes")? as u64,
+            },
+            "bound" => SearchEvent::BoundUpdate {
+                bound: int("bound")? as i32,
+            },
+            "restart" => SearchEvent::Restart {
+                bound: int("bound")? as i32,
+            },
+            "deadline" => SearchEvent::DeadlineHit {
+                nodes: int("nodes")? as u64,
+            },
+            "node_limit" => SearchEvent::NodeLimitHit {
+                nodes: int("nodes")? as u64,
+            },
+            "cancelled" => SearchEvent::Cancelled {
+                nodes: int("nodes")? as u64,
+            },
+            "state_hash" => SearchEvent::StateHash {
+                nodes: int("nodes")? as u64,
+                hash: match get("hash")? {
+                    JsonField::Str(s) => u64::from_str_radix(s, 16).ok()?,
+                    _ => return None,
+                },
+            },
+            "stream" => SearchEvent::Stream {
+                id: int("id")? as u32,
+            },
+            "done" => SearchEvent::Done {
+                status: match get("status")? {
+                    // Interned back to the static statuses the solver emits.
+                    JsonField::Str(s) => match s.as_str() {
+                        "optimal" => "optimal",
+                        "feasible" => "feasible",
+                        "infeasible" => "infeasible",
+                        "unknown" => "unknown",
+                        _ => return None,
+                    },
+                    _ => return None,
+                },
+                nodes: int("nodes")? as u64,
+                fails: int("fails")? as u64,
+                solutions: int("solutions")? as u64,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// A flat JSON value as the event writer emits them: no nesting, no
+/// floats, no escape sequences inside strings.
+enum JsonField {
+    Str(String),
+    Int(i64),
+    Null,
+}
+
+/// Minimal parser for the writer's own single-line flat objects. Not a
+/// general JSON parser by design: it accepts exactly the shapes
+/// [`SearchEvent::to_json`] produces.
+fn parse_flat_json(line: &str) -> Option<Vec<(String, JsonField)>> {
+    let mut rest = line.trim().strip_prefix('{')?.strip_suffix('}')?.trim();
+    let mut fields = Vec::new();
+    if rest.is_empty() {
+        return Some(fields);
+    }
+    loop {
+        rest = rest.trim_start().strip_prefix('"')?;
+        let end = rest.find('"')?;
+        let key = rest[..end].to_string();
+        rest = rest[end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        if let Some(r) = rest.strip_prefix('"') {
+            let end = r.find('"')?;
+            if r[..end].contains('\\') {
+                return None; // the writer never emits escapes
+            }
+            fields.push((key, JsonField::Str(r[..end].to_string())));
+            rest = &r[end + 1..];
+        } else if let Some(r) = rest.strip_prefix("null") {
+            fields.push((key, JsonField::Null));
+            rest = r;
+        } else {
+            let end = rest
+                .find(|c: char| c != '-' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            fields.push((key, JsonField::Int(rest[..end].parse().ok()?)));
+            rest = &rest[end..];
+        }
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            return Some(fields);
+        }
+        rest = rest.strip_prefix(',')?;
     }
 }
 
@@ -190,6 +340,8 @@ pub struct EventCounts {
     pub deadlines: u64,
     pub node_limits: u64,
     pub cancels: u64,
+    pub state_hashes: u64,
+    pub streams: u64,
     pub dones: u64,
 }
 
@@ -206,6 +358,8 @@ impl EventCounts {
             SearchEvent::DeadlineHit { .. } => self.deadlines += 1,
             SearchEvent::NodeLimitHit { .. } => self.node_limits += 1,
             SearchEvent::Cancelled { .. } => self.cancels += 1,
+            SearchEvent::StateHash { .. } => self.state_hashes += 1,
+            SearchEvent::Stream { .. } => self.streams += 1,
             SearchEvent::Done { .. } => self.dones += 1,
         }
     }
@@ -221,17 +375,25 @@ impl EventCounts {
             + self.deadlines
             + self.node_limits
             + self.cancels
+            + self.state_hashes
+            + self.streams
             + self.dones
     }
 }
 
 /// Keeps totals for every event and a bounded ring of the most recent
-/// ones. `capacity = 0` keeps totals only.
+/// ones. `capacity = 0` keeps totals only. Events the ring could not
+/// retain — evicted oldest-first, or skipped entirely at capacity 0 —
+/// are tallied in [`MemorySink::dropped`], so a bounded sink on a
+/// multi-minute solve reports exactly how much history it shed instead
+/// of growing without limit.
 #[derive(Debug, Default)]
 pub struct MemorySink {
     capacity: usize,
     pub events: VecDeque<SearchEvent>,
     pub counts: EventCounts,
+    /// Events seen but no longer (or never) held in `events`.
+    pub dropped: u64,
 }
 
 impl MemorySink {
@@ -240,6 +402,7 @@ impl MemorySink {
             capacity,
             events: VecDeque::new(),
             counts: EventCounts::default(),
+            dropped: 0,
         }
     }
 
@@ -253,10 +416,12 @@ impl TraceSink for MemorySink {
     fn record(&mut self, event: &SearchEvent) {
         self.counts.bump(event);
         if self.capacity == 0 {
+            self.dropped += 1;
             return;
         }
         if self.events.len() >= self.capacity {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back(event.clone());
     }
@@ -368,6 +533,18 @@ mod tests {
         assert_eq!(sink.events.len(), 2);
         assert_eq!(sink.events[0], SearchEvent::Fail { depth: 3 });
         assert_eq!(sink.events[1], SearchEvent::Fail { depth: 4 });
+        assert_eq!(sink.dropped, 3);
+    }
+
+    #[test]
+    fn capacity_zero_keeps_totals_and_counts_drops() {
+        let mut sink = MemorySink::new(0);
+        for depth in 0..4 {
+            sink.record(&SearchEvent::Fail { depth });
+        }
+        assert_eq!(sink.counts.fails, 4);
+        assert!(sink.events.is_empty());
+        assert_eq!(sink.dropped, 4);
     }
 
     #[test]

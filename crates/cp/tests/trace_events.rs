@@ -158,3 +158,108 @@ fn node_limit_abort_is_traced() {
     let sink = sink.lock().unwrap();
     assert_eq!(sink.counts.node_limits, 1);
 }
+
+/// Every `SearchEvent` variant — both `Solution` objective shapes and
+/// all terminal events included — survives the JSONL writer → parser
+/// round trip unchanged.
+#[test]
+fn jsonl_roundtrip_covers_every_variant() {
+    let all = vec![
+        SearchEvent::Start {
+            vars: 7,
+            propagators: 12,
+        },
+        SearchEvent::Branch {
+            depth: 3,
+            var: 4,
+            val: -2,
+        },
+        SearchEvent::Fail { depth: 2 },
+        SearchEvent::Backtrack { depth: 1 },
+        SearchEvent::Solution {
+            objective: Some(-9),
+            nodes: 41,
+        },
+        SearchEvent::Solution {
+            objective: None,
+            nodes: 42,
+        },
+        SearchEvent::BoundUpdate { bound: 5 },
+        SearchEvent::Restart { bound: 4 },
+        SearchEvent::DeadlineHit { nodes: 100 },
+        SearchEvent::NodeLimitHit { nodes: 200 },
+        SearchEvent::Cancelled { nodes: 300 },
+        SearchEvent::StateHash {
+            nodes: 64,
+            hash: 0xdead_beef_0123_4567,
+        },
+        SearchEvent::Stream { id: 11 },
+        SearchEvent::Done {
+            status: "optimal",
+            nodes: 99,
+            fails: 55,
+            solutions: 3,
+        },
+        SearchEvent::Done {
+            status: "infeasible",
+            nodes: 1,
+            fails: 1,
+            solutions: 0,
+        },
+        SearchEvent::Done {
+            status: "feasible",
+            nodes: 9,
+            fails: 2,
+            solutions: 1,
+        },
+        SearchEvent::Done {
+            status: "unknown",
+            nodes: 0,
+            fails: 0,
+            solutions: 0,
+        },
+    ];
+    for e in &all {
+        let line = e.to_json();
+        let back = SearchEvent::from_json(&line)
+            .unwrap_or_else(|| panic!("unparseable JSONL line: {line}"));
+        assert_eq!(&back, e, "round trip changed {line}");
+        // And the round trip is a fixpoint.
+        assert_eq!(back.to_json(), line);
+    }
+    // Garbage is rejected, not misparsed.
+    for bad in [
+        "",
+        "{}",
+        "{\"event\":\"branch\",\"depth\":1}",
+        "{\"event\":\"nope\"}",
+        "not json at all",
+    ] {
+        assert!(
+            SearchEvent::from_json(bad).is_none(),
+            "accepted garbage: {bad:?}"
+        );
+    }
+}
+
+/// A real solver stream round-trips line by line — the writer and the
+/// parser agree on everything the solver actually emits.
+#[test]
+fn solver_stream_roundtrips_through_jsonl() {
+    let (mut m, obj, vars) = build();
+    let sink = Arc::new(Mutex::new(MemorySink::unbounded()));
+    let cfg = SearchConfig {
+        phases: vec![Phase::new(vars, VarSel::FirstFail, ValSel::Min)],
+        trace: Some(TraceHandle::new(Arc::clone(&sink))),
+        state_hash_every: Some(2),
+        restart_on_solution: true,
+        ..Default::default()
+    };
+    let _ = minimize(&mut m, obj, &cfg);
+    let sink = sink.lock().unwrap();
+    assert!(!sink.events.is_empty());
+    for e in &sink.events {
+        let line = e.to_json();
+        assert_eq!(SearchEvent::from_json(&line).as_ref(), Some(e));
+    }
+}

@@ -77,6 +77,23 @@ for k in matmul fir; do
   echo "   $k --modulo: verified clean"
 done
 
+echo "== replay smoke: record then strict-replay, and trace-hash determinism across --jobs"
+# The record/replay contract: a recorded solve must strict-replay clean
+# without re-searching, and the recorded modulo trace must be
+# byte-identical (same fnv64 file hash) whether the sweep ran on 1 or 4
+# workers — the merged stream is jobs-independent by construction.
+t1="$(mktemp /tmp/eit-rec1.XXXXXX.trace)"
+t4="$(mktemp /tmp/eit-rec4.XXXXXX.trace)"
+./target/release/eitc qrd --timeout 120 --record "$t1" >/dev/null
+./target/release/eitc qrd --timeout 120 --replay "$t1" --strict >/dev/null
+echo "   qrd: recorded and strict-replayed clean"
+./target/release/eitc matmul --modulo --timeout 60 --jobs 1 --record "$t1" >/dev/null
+./target/release/eitc matmul --modulo --timeout 60 --jobs 4 --record "$t4" >/dev/null
+cmp "$t1" "$t4" || { echo "FAIL: matmul --modulo trace differs between --jobs 1 and --jobs 4"; exit 1; }
+./target/release/eitc matmul --modulo --timeout 60 --replay "$t1" --strict >/dev/null
+echo "   matmul --modulo: jobs-1/jobs-4 traces byte-identical, strict replay clean"
+rm -f "$t1" "$t4"
+
 echo "== solver bench smoke: trace overhead + engine A/B"
 cargo bench -p eit-bench --bench trace_overhead
 
