@@ -40,6 +40,12 @@
 //!   --fifo              use the legacy FIFO propagation scheduler (A/B
 //!                       baseline for the event-driven engine)
 //!   --metrics FILE      write machine-readable run metrics as JSON
+//!   --serve ADDR        run as a compile daemon instead: bind ADDR and
+//!                       speak the eit-serve/1 JSONL protocol until a
+//!                       shutdown request arrives (no kernel argument;
+//!                       --jobs sets the worker count, --timeout the
+//!                       default per-request deadline, --metrics the
+//!                       aggregated server metrics written at shutdown)
 //! ```
 //!
 //! Example: `cargo run --release -p eit-bench --bin eitc -- qrd --slots 16`
@@ -80,6 +86,7 @@ struct Args {
     profile: bool,
     fifo: bool,
     metrics: Option<String>,
+    serve: Option<String>,
 }
 
 fn usage() -> ! {
@@ -89,6 +96,7 @@ fn usage() -> ! {
     eprintln!("            [--emit xml|gantt|dot|vcd] [--verify]");
     eprintln!("            [--trace FILE] [--record FILE] [--replay FILE [--strict|--lenient]]");
     eprintln!("            [--profile] [--fifo] [--metrics FILE]");
+    eprintln!("       eitc --serve ADDR [--jobs N] [--timeout SECS] [--metrics FILE]");
     exit(2);
 }
 
@@ -119,6 +127,7 @@ fn parse_args() -> Args {
         profile: false,
         fifo: false,
         metrics: None,
+        serve: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -175,14 +184,44 @@ fn parse_args() -> Args {
             "--profile" => args.profile = true,
             "--fifo" => args.fifo = true,
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--serve" => args.serve = Some(it.next().unwrap_or_else(|| usage())),
             k if !k.starts_with('-') && args.kernel.is_empty() => args.kernel = k.to_string(),
             other => bad_arg(other),
         }
     }
-    if args.kernel.is_empty() {
+    if args.kernel.is_empty() && args.serve.is_none() {
         usage();
     }
     args
+}
+
+/// Daemon mode: bind `addr` and answer `eit-serve/1` requests until a
+/// shutdown op arrives; then drain, optionally write the aggregated
+/// server metrics, and exit 0. `--jobs` sizes the worker pool and
+/// `--timeout` becomes the default per-request wall-clock deadline.
+fn serve_mode(addr: &str, args: &Args) -> ! {
+    use std::io::Write as _;
+    let srv = eit_serve::Server::start(eit_serve::ServeOptions {
+        addr: addr.to_string(),
+        workers: args.jobs,
+        default_deadline: Duration::from_secs(args.timeout),
+        ..Default::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("eitc: cannot serve on {addr}: {e}");
+        exit(1);
+    });
+    println!("; eit-serve/1 listening on {}", srv.local_addr());
+    let _ = std::io::stdout().flush(); // scripts wait for this line
+    let doc = srv.join_with_metrics();
+    if let Some(path) = &args.metrics {
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("eitc: cannot write metrics to {path}: {e}");
+            exit(1);
+        }
+    }
+    println!("; eit-serve: drained, shutting down");
+    exit(0);
 }
 
 /// Print verification results and exit 1 on any violation. `label` names
@@ -364,6 +403,9 @@ fn trace_section(path: &str, rec: &Arc<Mutex<RecorderSink>>) -> Json {
 
 fn main() {
     let args = parse_args();
+    if let Some(addr) = &args.serve {
+        serve_mode(addr, &args);
+    }
     let (mut g, inputs) = load_graph(&args.kernel);
     if let Err(e) = g.validate() {
         eprintln!("eitc: invalid IR: {e}");
@@ -469,18 +511,9 @@ fn main() {
                 rec.hash()
             );
         }
-        println!(
-            "; modulo schedule: II {} ({} switches, actual {}), throughput {:.4} iter/cc",
-            r.ii_issue, r.switches, r.actual_ii, r.throughput
-        );
-        let mut rows: Vec<(i32, String)> =
-            r.t.iter()
-                .map(|(&n, &t)| (t, format!("  t={t:3} k={:2}  {}", r.k[&n], g.node(n).name)))
-                .collect();
-        rows.sort();
-        for (_, row) in rows {
-            println!("{row}");
-        }
+        // Shared with the eit-serve daemon, so a served response is
+        // byte-identical to this stdout by construction.
+        print!("{}", eit_core::render_modulo(&g, &r));
         if let Some(path) = &args.metrics {
             let mut m = RunMetrics::new("eitc", &args.kernel);
             m.arch(&spec).section("modulo", modulo_metrics(&r));
@@ -645,12 +678,6 @@ fn main() {
     if out.cse.ops_removed > 0 {
         eprintln!("; CSE folded {} duplicate op(s)", out.cse.ops_removed);
     }
-    println!(
-        "; status {:?}; {} instructions, {} reconfig switches, utilization {:.1}%",
-        out.status,
-        out.program.n_instructions,
-        out.program.reconfig_switches,
-        out.program.utilization * 100.0
-    );
-    print!("{}", out.program.listing);
+    // Shared with the eit-serve daemon (see render_modulo above).
+    print!("{}", eit_core::render_compiled(&out));
 }

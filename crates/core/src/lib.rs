@@ -16,6 +16,7 @@
 
 pub mod codegen;
 pub mod fuzz;
+pub mod json;
 pub mod list_sched;
 pub mod model;
 pub mod modulo;
@@ -23,6 +24,7 @@ pub mod obs;
 pub mod overlap;
 pub mod pipeline;
 pub mod portfolio;
+pub mod render;
 pub mod replicate;
 pub mod rr;
 
@@ -41,8 +43,9 @@ pub use overlap::{
 };
 pub use pipeline::{compile, CompileError, CompileOptions, Compiled};
 pub use portfolio::schedule_portfolio;
+pub use render::{render_compiled, render_modulo};
 pub use replicate::replicate;
 pub use rr::{
     arch_hash, ir_hash, modulo_config_string, modulo_header, replay_modulo, replay_schedule,
-    schedule_config_string, schedule_header, RrReport, DEFAULT_HASH_EVERY,
+    schedule_config_string, schedule_header, RrReport, SolveKey, DEFAULT_HASH_EVERY,
 };

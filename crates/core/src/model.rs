@@ -61,6 +61,12 @@ pub struct SchedulerOptions {
     /// of the event-driven tiered engine — the A/B baseline for
     /// measuring wake/invocation savings. Same solutions, same optima.
     pub fifo_engine: bool,
+    /// Cooperative cancellation (service deadlines, portfolio losers).
+    /// A deadline-bearing token ([`eit_cp::CancelToken::with_deadline`])
+    /// enforces a per-request wall-clock budget without a watchdog
+    /// thread. Excluded from [`crate::rr::schedule_config_string`] like
+    /// `timeout`: budgets shape *when* a run stops, not its trajectory.
+    pub cancel: Option<eit_cp::CancelToken>,
 }
 
 impl Default for SchedulerOptions {
@@ -75,6 +81,7 @@ impl Default for SchedulerOptions {
             state_hash_every: None,
             profile: false,
             fifo_engine: false,
+            cancel: None,
         }
     }
 }
@@ -454,7 +461,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
         restart_on_solution: true,
         trace: opts.trace.clone(),
         state_hash_every: opts.state_hash_every,
-        cancel: None,
+        cancel: opts.cancel.clone(),
     };
     let r = timings.time("search", || {
         minimize(&mut built.model, built.objective, &cfg)
@@ -490,7 +497,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
                 restart_on_solution: true,
                 trace: opts.trace.clone(),
                 state_hash_every: opts.state_hash_every,
-                cancel: None,
+                cancel: opts.cancel.clone(),
             };
             let r2 = minimize(&mut built2.model, max_slot, &cfg2);
             if let Some(sol) = r2.best.as_ref() {
@@ -601,6 +608,32 @@ mod tests {
         let r = schedule(&g, &spec, &SchedulerOptions::default());
         assert_eq!(r.status, SearchStatus::Optimal);
         assert_eq!(r.makespan, Some(14));
+    }
+
+    #[test]
+    fn expired_deadline_returns_quickly_without_a_schedule() {
+        // A deadline in the past cancels the search at the first budget
+        // check — the call must come back immediately (not after the
+        // 600 s default timeout) and without claiming any result.
+        let mut g = matmul_graph();
+        merge_pipeline_ops(&mut g);
+        let token = eit_cp::CancelToken::with_deadline(std::time::Instant::now());
+        let t0 = std::time::Instant::now();
+        let r = schedule(
+            &g,
+            &ArchSpec::eit(),
+            &SchedulerOptions {
+                cancel: Some(token),
+                ..Default::default()
+            },
+        );
+        assert!(r.schedule.is_none());
+        assert_eq!(r.status, SearchStatus::Unknown);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "cancelled solve took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

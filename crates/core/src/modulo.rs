@@ -68,6 +68,13 @@ pub struct ModuloOptions {
     /// Emit a [`SearchEvent::StateHash`] digest every N search nodes
     /// inside each probe (`None`/0 = off).
     pub state_hash_every: Option<u64>,
+    /// Cooperative cancellation for the whole sweep (service deadlines).
+    /// Every probe runs under a [`CancelToken::child`] of this token, so
+    /// a request-level deadline stops all in-flight probes while the
+    /// sweep keeps its own per-probe cancellation (candidates above a
+    /// feasible II) intact. Excluded from
+    /// [`crate::rr::modulo_config_string`], like the time budgets.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ModuloOptions {
@@ -80,6 +87,7 @@ impl Default for ModuloOptions {
             jobs: 1,
             trace: None,
             state_hash_every: None,
+            cancel: None,
         }
     }
 }
@@ -635,6 +643,9 @@ fn modulo_schedule_sequential(
         if t0.elapsed() >= opts.total_timeout {
             break;
         }
+        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            break;
+        }
         let budget = opts
             .timeout_per_ii
             .min(opts.total_timeout.saturating_sub(t0.elapsed()));
@@ -650,7 +661,7 @@ fn modulo_schedule_sequential(
             ii,
             opts.include_reconfig,
             budget,
-            None,
+            opts.cancel.clone(),
             probe_trace,
             opts.state_hash_every,
         );
@@ -718,7 +729,17 @@ fn modulo_schedule_parallel(
         return None;
     }
     let candidates: Vec<i32> = (lb..=ub).collect();
-    let tokens: Vec<CancelToken> = candidates.iter().map(|_| CancelToken::new()).collect();
+    // Per-probe tokens; children of the sweep-level token (when present)
+    // so a request deadline stops every probe, while a feasible probe
+    // still cancels only the candidates above it.
+    let tokens: Vec<CancelToken> = candidates
+        .iter()
+        .map(|_| {
+            opts.cancel
+                .as_ref()
+                .map_or_else(CancelToken::new, |c| c.child())
+        })
+        .collect();
     let next = AtomicUsize::new(0);
     // Index of the lowest candidate known feasible so far.
     let winner = AtomicUsize::new(usize::MAX);
@@ -934,6 +955,34 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_cancels_the_sweep_quickly() {
+        // Both sweep flavors must honour an already-expired wall-clock
+        // deadline: no probe runs to completion, so no schedule comes
+        // back, and the call returns promptly.
+        let g = matmul();
+        let spec = eit_arch::ArchSpec::eit();
+        for jobs in [1, 4] {
+            let token = CancelToken::with_deadline(std::time::Instant::now());
+            let t0 = std::time::Instant::now();
+            let r = modulo_schedule(
+                &g,
+                &spec,
+                &ModuloOptions {
+                    jobs,
+                    cancel: Some(token),
+                    ..Default::default()
+                },
+            );
+            assert!(r.is_none(), "jobs={jobs}: cancelled sweep found {r:?}");
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(5),
+                "jobs={jobs}: cancelled sweep took {:?}",
+                t0.elapsed()
+            );
+        }
+    }
+
+    #[test]
     fn parallel_sweep_matches_sequential_schedule() {
         let g = matmul();
         let spec = eit_arch::ArchSpec::eit();
@@ -1139,6 +1188,9 @@ pub struct AllocOptions {
     /// still validated downstream; only *which* of the equally-valid
     /// assignments is returned varies run-to-run. Off by default.
     pub race: bool,
+    /// Cooperative cancellation / wall-clock deadline, polled by every
+    /// worker's search (the EPS subproblem configs inherit it).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for AllocOptions {
@@ -1148,6 +1200,7 @@ impl Default for AllocOptions {
             jobs: 1,
             split_factor: 30,
             race: false,
+            cancel: None,
         }
     }
 }
@@ -1300,6 +1353,7 @@ pub fn allocate_modulo_memory_with(
     let mk_cfg = |slot_vars: Vec<VarId>| SearchConfig {
         phases: vec![Phase::new(slot_vars, VarSel::FirstFail, ValSel::Min)],
         timeout: Some(opts.timeout),
+        cancel: opts.cancel.clone(),
         ..Default::default()
     };
 

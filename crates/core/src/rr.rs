@@ -89,6 +89,56 @@ pub fn modulo_config_string(opts: &ModuloOptions) -> String {
     )
 }
 
+/// Content address of one solver run: the canonical input hashes plus
+/// the trajectory-shaping config string. Two runs with equal keys are
+/// the *same computation* — same model, same search, same answer — so
+/// the key is what a schedule cache (the `eit-serve` daemon) stores
+/// results under. Wall-clock budgets, worker counts, and cancellation
+/// deadlines are deliberately outside the key (they decide *whether* a
+/// run finishes, never *what* it produces), so a hot kernel compiled
+/// under any request budget serves every later request for it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SolveKey {
+    /// [`ir_hash`] of the graph exactly as the solver sees it (after
+    /// whatever passes the pipeline ran).
+    pub ir_hash: u64,
+    /// [`arch_hash`] of the target [`ArchSpec`].
+    pub arch_hash: u64,
+    /// [`schedule_config_string`] or [`modulo_config_string`].
+    pub config: String,
+}
+
+impl SolveKey {
+    /// Key for a straight-line scheduling run.
+    pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> SolveKey {
+        SolveKey {
+            ir_hash: ir_hash(g),
+            arch_hash: arch_hash(spec),
+            config: schedule_config_string(opts),
+        }
+    }
+
+    /// Key for a modulo-scheduling sweep.
+    pub fn modulo(g: &Graph, spec: &ArchSpec, opts: &ModuloOptions) -> SolveKey {
+        SolveKey {
+            ir_hash: ir_hash(g),
+            arch_hash: arch_hash(spec),
+            config: modulo_config_string(opts),
+        }
+    }
+
+    /// Fixed-width printable form (`ir-arch-config`, each fnv64 hex) —
+    /// the content address reported in service responses.
+    pub fn content_address(&self) -> String {
+        format!(
+            "{:016x}-{:016x}-{:016x}",
+            self.ir_hash,
+            self.arch_hash,
+            fnv1a(self.config.as_bytes())
+        )
+    }
+}
+
 /// Build the `eit-trace/1` header for recording a straight-line
 /// scheduling run of `g` on `spec`.
 pub fn schedule_header(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> TraceHeader {

@@ -1,0 +1,38 @@
+//! `eit-serve` — schedule-compilation-as-a-service.
+//!
+//! A long-running daemon wrapping the `eitc` pipeline: clients submit
+//! kernels (builtin name or inline XML IR) plus an architecture
+//! configuration over a line-oriented TCP protocol
+//! ([`protocol`], `eit-serve/1`) and receive the schedule or modulo
+//! allocation, an independent verification verdict, and metrics.
+//!
+//! The interesting part is the [`cache`]: solves are content-addressed
+//! on `(ir_hash, arch_hash, config_string)` — the triple that uniquely
+//! determines the solver's *output* — with single-flight compilation,
+//! LRU eviction, and verify-at-insert. Wall-clock deadlines ride a
+//! deadline-bearing `CancelToken` into the solver, and worker panics
+//! are contained at the request boundary ([`server`]).
+//!
+//! ```no_run
+//! use eit_serve::{ServeOptions, Server};
+//! let srv = Server::start(ServeOptions::default()).unwrap();
+//! println!("listening on {}", srv.local_addr());
+//! // ... send JSONL requests, then the shutdown op ...
+//! srv.join();
+//! ```
+//!
+//! Std-only, like the rest of the workspace: `std::net` + threads, no
+//! async runtime and no serde — the JSON layer is `eit_core::json`.
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, Lease, MissGuard, ScheduleCache};
+pub use metrics::{Outcome, ServerMetrics};
+pub use protocol::{
+    decode_request, encode_response, CompileReply, CompileRequest, DecodeError, Envelope,
+    ErrorKind, Request, RequestTiming, Response, PROTOCOL,
+};
+pub use server::{CachedSolve, ServeOptions, Server};

@@ -1,0 +1,434 @@
+//! The `eit-serve/1` wire protocol: JSON Lines over TCP.
+//!
+//! Every request and every response is one JSON object on one line
+//! (compact rendering — `\n` terminates a message and never appears
+//! inside one). Requests carry an `op`; responses echo the request `id`
+//! and carry a `status`:
+//!
+//! ```text
+//! → {"v":"eit-serve/1","id":"1","op":"compile","kernel":"qrd"}
+//! ← {"v":"eit-serve/1","id":"1","status":"ok","cached":false,...}
+//! ```
+//!
+//! | op        | meaning |
+//! |-----------|---------|
+//! | `compile` | schedule a kernel (`kernel` builtin name or inline `xml` IR), `mode` `"schedule"` (default) or `"modulo"` |
+//! | `ping`    | liveness probe |
+//! | `stats`   | aggregated server metrics (`eit-run-metrics/1` document) |
+//! | `shutdown`| stop accepting, drain, exit |
+//! | `panic`   | fault-injection hook: the worker deliberately panics; the caller must get a structured `error` response and the server must survive |
+//!
+//! Response `status` is `"ok"`, `"deadline"` (the request's wall-clock
+//! budget expired in the queue or mid-solve), or `"error"` with an
+//! `error.kind` of `bad-request`, `overloaded`, `panic`, `infeasible`,
+//! `timeout`, `shutting-down`, or `internal`.
+//!
+//! Decoding is total: any malformed line becomes a structured
+//! [`DecodeError`] (never a panic), and the JSON parser underneath caps
+//! nesting depth, so no request byte sequence can take down a worker.
+
+use eit_core::json::Json;
+
+/// Protocol identifier, sent as `v` in every message.
+pub const PROTOCOL: &str = "eit-serve/1";
+
+/// Hard cap on `slots` in a compile request: keeps an adversarial
+/// request from inflating the CP model arbitrarily.
+pub const MAX_SLOTS: u32 = 4096;
+
+/// Hard cap on inline `xml` kernels (bytes). Generous — the biggest
+/// table kernel serialises to ~20 KiB.
+pub const MAX_XML_BYTES: usize = 4 << 20;
+
+/// What to compile and how — the cacheable part of a request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileRequest {
+    /// Builtin kernel name (`qrd`, `matmul`, …); exclusive with `xml`.
+    pub kernel: Option<String>,
+    /// Inline IR as `eit-ir` XML; exclusive with `kernel`.
+    pub xml: Option<String>,
+    /// Memory-slot budget (`ArchSpec::with_slots`).
+    pub slots: u32,
+    /// `false` = straight-line schedule, `true` = modulo sweep.
+    pub modulo: bool,
+    /// Modulo only: model reconfigurations inside the optimisation.
+    pub include_reconfig: bool,
+    /// Per-request wall-clock budget; `None` = server default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A decoded request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Ping,
+    Stats,
+    Shutdown,
+    /// Fault-injection test hook (see module docs).
+    Panic,
+    Compile(Box<CompileRequest>),
+}
+
+/// Request plus its client-chosen correlation id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    pub id: String,
+    pub req: Request,
+}
+
+/// Why a request line was rejected. Carries whatever `id` could still
+/// be extracted so the error response stays correlatable.
+#[derive(Debug)]
+pub struct DecodeError {
+    pub id: String,
+    pub message: String,
+}
+
+fn field_str(obj: &Json, key: &str) -> Option<String> {
+    obj.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+/// Best-effort id extraction — also used for malformed requests, so the
+/// client can correlate the `bad-request` response. Accepts a string or
+/// an integer id.
+fn extract_id(obj: &Json) -> String {
+    match obj.get("id") {
+        Some(Json::Str(s)) => s.clone(),
+        Some(Json::Num(n)) => Json::Num(*n).render_compact(),
+        _ => String::new(),
+    }
+}
+
+/// Decode one request line. Never panics; every malformed input maps to
+/// a [`DecodeError`] naming what was wrong.
+pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
+    let doc = Json::parse(line).map_err(|e| DecodeError {
+        id: String::new(),
+        message: format!("invalid JSON: {e}"),
+    })?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(DecodeError {
+            id: String::new(),
+            message: "request must be a JSON object".into(),
+        });
+    }
+    let id = extract_id(&doc);
+    let err = |message: String| DecodeError {
+        id: id.clone(),
+        message,
+    };
+    if let Some(v) = doc.get("v") {
+        match v.as_str() {
+            Some(PROTOCOL) => {}
+            Some(other) => return Err(err(format!("unsupported protocol '{other}'"))),
+            None => return Err(err("'v' must be a string".into())),
+        }
+    }
+    let op = field_str(&doc, "op").ok_or_else(|| err("missing 'op'".into()))?;
+    let req = match op.as_str() {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "panic" => Request::Panic,
+        "compile" => {
+            let kernel = field_str(&doc, "kernel");
+            let xml = field_str(&doc, "xml");
+            match (&kernel, &xml) {
+                (None, None) => return Err(err("compile needs 'kernel' or 'xml'".into())),
+                (Some(_), Some(_)) => {
+                    return Err(err("'kernel' and 'xml' are mutually exclusive".into()))
+                }
+                _ => {}
+            }
+            if let Some(x) = &xml {
+                if x.len() > MAX_XML_BYTES {
+                    return Err(err(format!(
+                        "inline xml is {} bytes; the limit is {MAX_XML_BYTES}",
+                        x.len()
+                    )));
+                }
+            }
+            let slots = match doc.get("slots") {
+                None => 64,
+                Some(v) => match v.as_u64() {
+                    Some(n) if (1..=MAX_SLOTS as u64).contains(&n) => n as u32,
+                    _ => {
+                        return Err(err(format!(
+                            "'slots' must be an integer in 1..={MAX_SLOTS}"
+                        )))
+                    }
+                },
+            };
+            let modulo = match doc.get("mode") {
+                None => false,
+                Some(m) => match m.as_str() {
+                    Some("schedule") => false,
+                    Some("modulo") => true,
+                    _ => return Err(err("'mode' must be \"schedule\" or \"modulo\"".into())),
+                },
+            };
+            let include_reconfig = match doc.get("include_reconfig") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err(err("'include_reconfig' must be a boolean".into())),
+            };
+            let deadline_ms = match doc.get("deadline_ms") {
+                None => None,
+                Some(v) => match v.as_u64() {
+                    Some(n) => Some(n),
+                    None => return Err(err("'deadline_ms' must be a non-negative integer".into())),
+                },
+            };
+            Request::Compile(Box::new(CompileRequest {
+                kernel,
+                xml,
+                slots,
+                modulo,
+                include_reconfig,
+                deadline_ms,
+            }))
+        }
+        other => return Err(err(format!("unknown op '{other}'"))),
+    };
+    Ok(Envelope { id, req })
+}
+
+/// Error classification in `error.kind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request could not be decoded or named an unknown kernel /
+    /// invalid IR.
+    BadRequest,
+    /// The admission queue was full.
+    Overloaded,
+    /// The worker panicked; the panic was contained at the request
+    /// boundary.
+    Panic,
+    /// The CP model was proven infeasible for this input.
+    Infeasible,
+    /// The solver budget expired (distinct from a missed *deadline*).
+    Timeout,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Infeasible => "infeasible",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Per-request timing block attached to compile responses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestTiming {
+    /// Time spent queued before a worker picked the request up.
+    pub queue_us: u64,
+    /// Solve time: the cold compile for misses, 0 for cache hits.
+    pub solve_us: u64,
+}
+
+/// A successful compile.
+#[derive(Clone, Debug)]
+pub struct CompileReply {
+    /// Served from the content-addressed cache.
+    pub cached: bool,
+    /// Content address of the solve (`SolveKey::content_address`).
+    pub address: String,
+    /// Independent-verifier verdict (`eit-arch::verify`), established
+    /// once before the entry's first serve.
+    pub verified: bool,
+    pub violations: u64,
+    /// Straight-line: optimal makespan. Modulo: `None`.
+    pub makespan: Option<i64>,
+    /// Modulo: issue II. Straight-line: `None`.
+    pub ii: Option<i64>,
+    /// Canonical textual rendering — byte-identical to `eitc` stdout
+    /// for the same input.
+    pub listing: String,
+    pub timing: RequestTiming,
+}
+
+/// Everything a server can say about one request.
+#[derive(Clone, Debug)]
+pub enum Response {
+    Pong,
+    ShuttingDown,
+    Stats(Json),
+    Compiled(Box<CompileReply>),
+    /// The request's wall-clock deadline passed at `stage` (`"queue"`:
+    /// before a worker picked it up; `"solve"`: mid-search, the solve
+    /// was cancelled via its deadline token).
+    Deadline {
+        stage: &'static str,
+        timing: RequestTiming,
+    },
+    Error {
+        kind: ErrorKind,
+        message: String,
+    },
+}
+
+fn timing_json(t: &RequestTiming) -> Json {
+    Json::Obj(vec![
+        ("queue_us".into(), Json::int(t.queue_us)),
+        ("solve_us".into(), Json::int(t.solve_us)),
+    ])
+}
+
+/// Encode a response as one JSONL line (terminating `\n` included).
+pub fn encode_response(id: &str, resp: &Response) -> String {
+    let mut members = vec![
+        ("v".to_string(), Json::str(PROTOCOL)),
+        ("id".to_string(), Json::str(id)),
+    ];
+    match resp {
+        Response::Pong => {
+            members.push(("status".into(), Json::str("ok")));
+            members.push(("pong".into(), Json::Bool(true)));
+        }
+        Response::ShuttingDown => {
+            members.push(("status".into(), Json::str("ok")));
+            members.push(("shutting_down".into(), Json::Bool(true)));
+        }
+        Response::Stats(doc) => {
+            members.push(("status".into(), Json::str("ok")));
+            members.push(("metrics".into(), doc.clone()));
+        }
+        Response::Compiled(r) => {
+            members.push(("status".into(), Json::str("ok")));
+            members.push(("cached".into(), Json::Bool(r.cached)));
+            members.push(("address".into(), Json::str(r.address.clone())));
+            members.push(("verified".into(), Json::Bool(r.verified)));
+            members.push(("violations".into(), Json::int(r.violations)));
+            if let Some(m) = r.makespan {
+                members.push(("makespan".into(), Json::int(m as u64)));
+            }
+            if let Some(ii) = r.ii {
+                members.push(("ii".into(), Json::int(ii as u64)));
+            }
+            members.push(("listing".into(), Json::str(r.listing.clone())));
+            members.push(("timing".into(), timing_json(&r.timing)));
+        }
+        Response::Deadline { stage, timing } => {
+            members.push(("status".into(), Json::str("deadline")));
+            members.push(("stage".into(), Json::str(*stage)));
+            members.push(("timing".into(), timing_json(timing)));
+        }
+        Response::Error { kind, message } => {
+            members.push(("status".into(), Json::str("error")));
+            members.push((
+                "error".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::str(kind.as_str())),
+                    ("message".into(), Json::str(message.clone())),
+                ]),
+            ));
+        }
+    }
+    let mut line = Json::Obj(members).render_compact();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_minimal_compile_request() {
+        let e = decode_request(r#"{"v":"eit-serve/1","id":"7","op":"compile","kernel":"qrd"}"#)
+            .unwrap();
+        assert_eq!(e.id, "7");
+        let Request::Compile(c) = e.req else {
+            panic!("expected compile")
+        };
+        assert_eq!(c.kernel.as_deref(), Some("qrd"));
+        assert_eq!(c.slots, 64);
+        assert!(!c.modulo);
+        assert_eq!(c.deadline_ms, None);
+    }
+
+    #[test]
+    fn decodes_modulo_options_and_numeric_id() {
+        let e = decode_request(
+            r#"{"id":3,"op":"compile","xml":"<graph/>","mode":"modulo","include_reconfig":true,"slots":16,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(e.id, "3");
+        let Request::Compile(c) = e.req else {
+            panic!("expected compile")
+        };
+        assert!(c.modulo && c.include_reconfig);
+        assert_eq!(c.slots, 16);
+        assert_eq!(c.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn malformed_lines_become_structured_errors() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"op":"compile"}"#,
+            r#"{"op":"compile","kernel":"a","xml":"b"}"#,
+            r#"{"op":"compile","kernel":"a","slots":0}"#,
+            r#"{"op":"compile","kernel":"a","slots":999999}"#,
+            r#"{"op":"compile","kernel":"a","mode":"turbo"}"#,
+            r#"{"op":"compile","kernel":"a","deadline_ms":-5}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"v":"eit-serve/2","op":"ping"}"#,
+            r#"{"no_op":true}"#,
+        ] {
+            assert!(decode_request(bad).is_err(), "accepted {bad:?}");
+        }
+        // The id survives decode failure for correlation.
+        let e = decode_request(r#"{"id":"x","op":"frobnicate"}"#).unwrap_err();
+        assert_eq!(e.id, "x");
+    }
+
+    #[test]
+    fn responses_are_single_lines_that_reparse() {
+        let replies = [
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Deadline {
+                stage: "queue",
+                timing: RequestTiming::default(),
+            },
+            Response::Error {
+                kind: ErrorKind::Panic,
+                message: "worker panicked: boom".into(),
+            },
+            Response::Compiled(Box::new(CompileReply {
+                cached: true,
+                address: "aa-bb-cc".into(),
+                verified: true,
+                violations: 0,
+                makespan: Some(34),
+                ii: None,
+                listing: "; status Optimal\nline2\n".into(),
+                timing: RequestTiming {
+                    queue_us: 5,
+                    solve_us: 0,
+                },
+            })),
+        ];
+        for r in &replies {
+            let line = encode_response("42", r);
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "one line: {line:?}");
+            let doc = Json::parse(line.trim_end()).unwrap();
+            assert_eq!(doc.get("id").and_then(Json::as_str), Some("42"));
+            assert!(doc.get("status").is_some());
+        }
+    }
+}

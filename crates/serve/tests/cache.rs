@@ -1,0 +1,81 @@
+//! Concurrency tests for the single-flight schedule cache: a hot key
+//! compiles exactly once no matter how many clients race on it, and an
+//! abandoned leader (panic, missed deadline) promotes a waiter instead
+//! of wedging the key.
+
+use eit_core::SolveKey;
+use eit_serve::{Lease, ScheduleCache};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn key(n: u64) -> SolveKey {
+    SolveKey {
+        ir_hash: n,
+        arch_hash: 0xbeef,
+        config: "mode=schedule;test".into(),
+    }
+}
+
+#[test]
+fn racing_clients_compile_once_and_all_hit() {
+    let cache: Arc<ScheduleCache<String>> = Arc::new(ScheduleCache::new(8));
+    // Main thread claims leadership before any racer starts.
+    let Lease::Miss(guard) = cache.get_or_lease(&key(1)) else {
+        panic!("cold cache hit");
+    };
+    let racers: Vec<_> = (0..8)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.get_or_lease(&key(1)) {
+                Lease::Hit(v) => (*v).clone(),
+                Lease::Miss(_) => panic!("second leader for an in-flight key"),
+            })
+        })
+        .collect();
+    // Let the racers pile up on the condvar, then publish.
+    std::thread::sleep(Duration::from_millis(50));
+    guard.fulfill("the one schedule".into());
+    for r in racers {
+        assert_eq!(r.join().unwrap(), "the one schedule");
+    }
+    let s = cache.stats();
+    assert_eq!(s.misses, 1, "exactly one compile leader");
+    assert_eq!(s.inserts, 1);
+    assert_eq!(s.hits, 8, "every racer served from the single insert");
+    assert!(s.waits >= 1, "racers blocked behind the in-flight leader");
+}
+
+#[test]
+fn abandoned_leader_promotes_exactly_one_waiter() {
+    let cache: Arc<ScheduleCache<String>> = Arc::new(ScheduleCache::new(8));
+    let Lease::Miss(guard) = cache.get_or_lease(&key(2)) else {
+        panic!("cold cache hit");
+    };
+    let racers: Vec<_> = (0..4)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.get_or_lease(&key(2)) {
+                // The promoted waiter finishes the job.
+                Lease::Miss(g) => {
+                    g.fulfill("recovered".into());
+                    true
+                }
+                Lease::Hit(v) => {
+                    assert_eq!(*v, "recovered");
+                    false
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    drop(guard); // leader "panics" without fulfilling
+    let promoted = racers
+        .into_iter()
+        .map(|r| r.join().unwrap())
+        .filter(|&was_leader| was_leader)
+        .count();
+    assert_eq!(promoted, 1, "exactly one waiter became the new leader");
+    let s = cache.stats();
+    assert_eq!(s.misses, 2, "original leader + promoted waiter");
+    assert_eq!(s.inserts, 1);
+}

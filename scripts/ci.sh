@@ -94,6 +94,43 @@ cmp "$t1" "$t4" || { echo "FAIL: matmul --modulo trace differs between --jobs 1 
 echo "   matmul --modulo: jobs-1/jobs-4 traces byte-identical, strict replay clean"
 rm -f "$t1" "$t4"
 
+echo "== serve smoke: daemon survives faults, hot kernels hit the cache byte-identically"
+# The eit-serve acceptance gate, in one daemon session:
+#   1. a malformed request, a panicking solve, and a deadline-missed
+#      request all come back as structured responses (server stays up);
+#   2. all 6 table kernels submitted twice — the second pass must be all
+#      cache hits and every response byte-identical to one-shot eitc;
+#   3. clean shutdown with the aggregated metrics showing 6 hits.
+servedir="$(mktemp -d /tmp/eit-serve.XXXXXX)"
+SERVE_ADDR=127.0.0.1:17871
+./target/release/eitc --serve "$SERVE_ADDR" --jobs 4 --metrics "$servedir/metrics.json" \
+  > "$servedir/daemon.log" 2>&1 &
+serve_pid=$!
+client() { ./target/release/eit_client --addr "$SERVE_ADDR" "$@"; }
+client --retry 50 ping | grep -q '"pong":true'
+client raw 'this is not json'            | grep -q '"kind":"bad-request"'
+client panic                             | grep -q '"kind":"panic"'
+client compile qrd --deadline-ms 0       | grep -q '"status":"deadline"'
+for k in qrd arf matmul fir detector blockmm; do
+  client compile "$k" --out "$servedir/serve_$k.txt" | grep -q '"cached":false' \
+    || { echo "FAIL: $k pass 1 was not a cold compile"; exit 1; }
+done
+for k in qrd arf matmul fir detector blockmm; do
+  client compile "$k" --out "$servedir/serve2_$k.txt" | grep -q '"cached":true' \
+    || { echo "FAIL: $k pass 2 was not a cache hit"; exit 1; }
+  ./target/release/eitc "$k" > "$servedir/oneshot_$k.txt" 2>/dev/null
+  cmp "$servedir/serve_$k.txt"  "$servedir/oneshot_$k.txt" \
+    || { echo "FAIL: $k served listing differs from one-shot eitc"; exit 1; }
+  cmp "$servedir/serve2_$k.txt" "$servedir/oneshot_$k.txt" \
+    || { echo "FAIL: $k cached listing differs from one-shot eitc"; exit 1; }
+done
+client stats | grep -q '"hits":6'
+client shutdown | grep -q '"shutting_down":true'
+wait "$serve_pid" || { echo "FAIL: daemon exited non-zero"; exit 1; }
+grep -q '"schema": "eit-run-metrics/1"' "$servedir/metrics.json"
+rm -rf "$servedir"
+echo "   daemon survived malformed/panic/deadline; 6/6 kernels cache-hit byte-identically"
+
 echo "== solver bench smoke: trace overhead + engine A/B"
 cargo bench -p eit-bench --bench trace_overhead
 
