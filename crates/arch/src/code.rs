@@ -52,7 +52,6 @@ impl ConfigStream {
     /// exactly where another begins is hazard-free, matching the Diff2
     /// touching-rectangles semantics of constraint (11)).
     pub fn from_schedule(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> Self {
-        let lat = &spec.latencies;
         let n_cycles = (sched.makespan + 1).max(0) as usize;
         let mut cycles = vec![Cycle::default(); n_cycles];
 
@@ -79,7 +78,7 @@ impl ConfigStream {
                         }
                     }
                     // Writes: vector outputs, at write-back.
-                    let wb = t + lat.latency(&g.node(id).kind) as usize;
+                    let wb = t + spec.latency(&g.node(id).kind) as usize;
                     if wb < cycles.len() {
                         for &d in g.succs(id) {
                             if g.category(d) == Category::VectorData {
@@ -123,14 +122,15 @@ impl ConfigStream {
         self.reconfig_switches() + usize::from(any_issue)
     }
 
-    /// Lane-cycles actually used by the vector core.
-    pub fn lane_cycles_used(&self, g: &Graph) -> u64 {
+    /// Lane-cycles actually used by the vector core (a matrix op uses the
+    /// spec's full matrix width).
+    pub fn lane_cycles_used(&self, g: &Graph, spec: &ArchSpec) -> u64 {
         self.cycles
             .iter()
             .flat_map(|c| &c.vector_ops)
             .map(|&op| {
                 if g.category(op) == Category::MatrixOp {
-                    4
+                    spec.matrix_lanes() as u64
                 } else {
                     1
                 }
@@ -143,7 +143,8 @@ impl ConfigStream {
         if self.cycles.is_empty() {
             return 0.0;
         }
-        self.lane_cycles_used(g) as f64 / (spec.n_lanes as u64 * self.cycles.len() as u64) as f64
+        self.lane_cycles_used(g, spec) as f64
+            / (spec.n_lanes as u64 * self.cycles.len() as u64) as f64
     }
 }
 
@@ -266,7 +267,7 @@ mod tests {
         let mut s = Schedule::new(g.len());
         s.makespan = 1;
         let cs = ConfigStream::from_schedule(&g, &ArchSpec::eit(), &s);
-        assert_eq!(cs.lane_cycles_used(&g), 4);
+        assert_eq!(cs.lane_cycles_used(&g, &ArchSpec::eit()), 4);
         assert_eq!(cs.utilization(&g, &ArchSpec::eit()), 0.5); // 4 of 8
     }
 }

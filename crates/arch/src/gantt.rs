@@ -2,28 +2,50 @@
 //! per cycle, for eyeballing pipelines, gaps and reconfigurations.
 //!
 //! ```text
-//! lane0 |AAAA....BBBB|
-//! lane1 |AAAA........|
-//! accel |....ss......|
+//! lane0        |AAAA....BBBB|
+//! lane1        |AAAA........|
+//! scalar-accel |....s-......|
 //! ```
+//!
+//! The row set is derived from the [`ArchSpec`]: one row per vector lane
+//! (`n_lanes` of them) and one row per functional unit of the spec's unit
+//! table beyond the vector core, labelled with the unit's name — a wide
+//! or custom machine renders with its own shape, nothing assumes the
+//! 4-lane EIT instance.
 
 use crate::code::ConfigStream;
 use crate::schedule::Schedule;
 use crate::spec::ArchSpec;
-use eit_ir::{Category, Graph};
+use eit_ir::OpClass;
 use std::fmt::Write as _;
 
-/// Render a schedule as a text Gantt chart. Rows: vector lanes (ops are
-/// drawn with letters cycling per configuration, `#` for matrix ops
-/// across all lanes), the scalar accelerator, and the index/merge unit.
-/// `.` is idle; the occupancy of multi-cycle ops is drawn with `-`.
-pub fn render_gantt(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
-    let lat = &spec.latencies;
+/// Render a schedule as a text Gantt chart. Lane rows draw ops with
+/// letters cycling per configuration (`#` for matrix ops across the
+/// matrix width); unit rows draw `s`/`i`/`m` per op class, `-` for the
+/// occupancy of multi-cycle ops, `.` for idle.
+pub fn render_gantt(g: &eit_ir::Graph, spec: &ArchSpec, sched: &Schedule) -> String {
     let n = (sched.makespan + 1).max(1) as usize;
     let lanes = spec.n_lanes as usize;
     let mut lane_rows = vec![vec!['.'; n]; lanes];
-    let mut accel_row = vec!['.'; n];
-    let mut im_row = vec!['.'; n];
+
+    // One row per non-vector unit, in table order, labelled by name.
+    let unit_defs: Vec<(&str, Vec<OpClass>)> = spec
+        .units
+        .units
+        .iter()
+        .filter(|u| {
+            !u.ops
+                .iter()
+                .any(|o| matches!(o.class, OpClass::Vector | OpClass::Matrix))
+        })
+        .map(|u| {
+            (
+                u.name.as_str(),
+                u.ops.iter().map(|o| o.class).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let mut unit_rows = vec![vec!['.'; n]; unit_defs.len()];
 
     // Stable letter per vector configuration.
     let cs = ConfigStream::from_schedule(g, spec, sched);
@@ -43,7 +65,7 @@ pub fn render_gantt(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
         if let Some(cfg) = c.vector_config {
             let ch = if cfg.matrix { '#' } else { letter_of(cfg) };
             let count = if cfg.matrix {
-                lanes
+                (spec.matrix_lanes() as usize).min(lanes)
             } else {
                 c.vector_ops.len().min(lanes)
             };
@@ -54,39 +76,58 @@ pub fn render_gantt(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
     }
 
     for node in g.ids() {
-        let cat = g.category(node);
+        let Some(class) = OpClass::of(&g.node(node).kind) else {
+            continue;
+        };
+        let Some(row_idx) = unit_defs.iter().position(|(_, cs)| cs.contains(&class)) else {
+            continue;
+        };
         let t = sched.start_of(node);
         if t < 0 || t as usize >= n {
             continue;
         }
-        let dur = lat.duration(&g.node(node).kind).max(1) as usize;
-        match cat {
-            Category::ScalarOp => {
-                accel_row[t as usize] = 's';
-                for dt in 1..dur.min(n - t as usize) {
-                    accel_row[t as usize + dt] = '-';
-                }
-            }
-            Category::Index => im_row[t as usize] = 'i',
-            Category::Merge => im_row[t as usize] = 'm',
-            _ => {}
+        let ch = match class {
+            OpClass::Index => 'i',
+            OpClass::Merge => 'm',
+            _ => 's',
+        };
+        let dur = spec.duration(&g.node(node).kind).max(1) as usize;
+        let row = &mut unit_rows[row_idx];
+        row[t as usize] = ch;
+        for dt in 1..dur.min(n - t as usize) {
+            row[t as usize + dt] = '-';
         }
     }
 
+    // Align every label to the widest one.
+    let label_w = unit_defs
+        .iter()
+        .map(|(name, _)| name.len())
+        .chain(std::iter::once(
+            format!("lane{}", lanes.saturating_sub(1)).len(),
+        ))
+        .max()
+        .unwrap_or(5);
     let mut out = String::new();
     let _ = writeln!(out, "cycles 0..{} (one column per cc)", sched.makespan);
     for (k, row) in lane_rows.iter().enumerate() {
-        let _ = writeln!(out, "lane{k} |{}|", row.iter().collect::<String>());
+        let label = format!("lane{k}");
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{}|",
+            row.iter().collect::<String>()
+        );
     }
-    let _ = writeln!(out, "accel |{}|", accel_row.iter().collect::<String>());
-    let _ = writeln!(out, "idxmg |{}|", im_row.iter().collect::<String>());
+    for ((name, _), row) in unit_defs.iter().zip(&unit_rows) {
+        let _ = writeln!(out, "{name:<label_w$} |{}|", row.iter().collect::<String>());
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eit_ir::{CoreOp, DataKind, Opcode, ScalarOp};
+    use eit_ir::{CoreOp, DataKind, Graph, Opcode, ScalarOp};
 
     #[test]
     fn gantt_shows_all_units() {
@@ -115,9 +156,14 @@ mod tests {
         s.slot[b.idx()] = Some(1);
         s.makespan = 15;
         let txt = render_gantt(&g, &spec, &s);
-        assert!(txt.contains("lane0 |A"));
+        assert!(txt.contains("|A"), "{txt}");
+        assert!(txt.contains("lane0"), "{txt}");
+        // Unit rows carry the spec's unit names.
+        assert!(txt.contains("scalar-accel"), "{txt}");
+        assert!(txt.contains("index-merge"), "{txt}");
         // sqrt occupies 2 cycles: 's' then '-'.
-        assert!(txt.contains("s-"));
+        assert!(txt.contains("s-"), "{txt}");
+        // Header + one row per lane + one per non-vector unit.
         assert_eq!(txt.lines().count(), 1 + 4 + 2);
     }
 
@@ -142,7 +188,21 @@ mod tests {
         s.makespan = 7;
         let txt = render_gantt(&g, &ArchSpec::eit(), &s);
         for lane in 0..4 {
-            assert!(txt.contains(&format!("lane{lane} |#")), "{txt}");
+            assert!(
+                txt.lines()
+                    .any(|l| l.starts_with(&format!("lane{lane}")) && l.contains('#')),
+                "{txt}"
+            );
         }
+    }
+
+    #[test]
+    fn row_shape_follows_the_spec() {
+        let g = Graph::new("t");
+        let s = Schedule::new(0);
+        // The wide machine renders 8 lane rows without touching the code.
+        let txt = render_gantt(&g, &ArchSpec::wide(), &s);
+        assert_eq!(txt.lines().count(), 1 + 8 + 2);
+        assert!(txt.contains("lane7"), "{txt}");
     }
 }

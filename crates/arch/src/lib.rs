@@ -32,6 +32,7 @@ pub mod sim;
 pub mod spec;
 pub mod vcd;
 pub mod verify;
+pub mod xml;
 
 pub use code::{ConfigStream, Cycle};
 pub use gantt::render_gantt;
@@ -44,6 +45,7 @@ pub use sim::{
     simulate, validate_structure, validate_structure_with, SimCounters, SimReport, UnitUtilization,
     Violation,
 };
-pub use spec::ArchSpec;
+pub use spec::{ArchSpec, FuncUnit, UnitOp, UnitTable};
 pub use vcd::to_vcd;
 pub use verify::{verify_modulo, verify_schedule};
+pub use xml::{from_arch_xml, resolve_arch, to_arch_xml, ARCH_XML_VERSION};

@@ -28,7 +28,7 @@ use crate::memory::{check_access, Geometry, VectorMemory};
 use crate::schedule::Schedule;
 use crate::spec::ArchSpec;
 use eit_ir::sem::{apply, Value};
-use eit_ir::{Category, Graph, NodeId, VectorConfig};
+use eit_ir::{Category, Graph, NodeId, OpClass, VectorConfig};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -122,7 +122,8 @@ pub struct UnitUtilization {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimCounters {
     /// `lane_histogram[k]` = cycles issuing exactly `k` lane-worths of
-    /// vector work (a matrix op counts as 4); index runs `0..=n_lanes`.
+    /// vector work (a matrix op counts as the spec's matrix width); index
+    /// runs `0..=n_lanes`.
     pub lane_histogram: Vec<u64>,
     /// Physical (broadcast-deduplicated) reads served per bank over the
     /// whole run.
@@ -159,7 +160,7 @@ impl SimCounters {
                 .iter()
                 .map(|&op| {
                     if g.category(op) == Category::MatrixOp {
-                        4
+                        spec.matrix_lanes()
                     } else {
                         1
                     }
@@ -256,7 +257,6 @@ pub fn validate_structure_with(
     sched: &Schedule,
     check_memory: bool,
 ) -> Vec<Violation> {
-    let lat = &spec.latencies;
     let mut out = check_shape(g, sched);
     if !out.is_empty() {
         return out;
@@ -268,8 +268,8 @@ pub fn validate_structure_with(
         return out;
     }
 
-    let latency = |n: NodeId| lat.latency(&g.node(n).kind);
-    let duration = |n: NodeId| lat.duration(&g.node(n).kind);
+    let latency = |n: NodeId| spec.latency(&g.node(n).kind);
+    let duration = |n: NodeId| spec.duration(&g.node(n).kind);
 
     // Starts are non-negative.
     for n in g.ids() {
@@ -304,7 +304,7 @@ pub fn validate_structure_with(
             .iter()
             .map(|&o| {
                 if g.category(o) == Category::MatrixOp {
-                    4
+                    spec.matrix_lanes()
                 } else {
                     1
                 }
@@ -330,30 +330,46 @@ pub fn validate_structure_with(
         }
     }
 
-    // Unit-capacity resources: accelerator and index/merge, with
-    // durations (iterative accelerator ops occupy several cycles).
-    let overlap_pairs = |cat_filter: &dyn Fn(Category) -> bool| {
-        let mut items: Vec<(NodeId, i32, i32)> = g
+    // Capacity-limited resources beyond the vector core: one sorted
+    // interval sweep per unit of the table, with a width-aware active set
+    // so replicated units (`count > 1`) are honoured. Ops occupy their
+    // unit for their duration (iterative accelerator ops several cycles).
+    for unit in &spec.units.units {
+        let classes: Vec<OpClass> = unit.ops.iter().map(|o| o.class).collect();
+        if classes.contains(&OpClass::Vector) || classes.contains(&OpClass::Matrix) {
+            continue; // the lane rule above covers the vector core
+        }
+        let is_accel = classes
+            .iter()
+            .any(|c| matches!(c, OpClass::ScalarIterative | OpClass::ScalarSimple));
+        let mut items: Vec<(NodeId, i32, i32, u32)> = g
             .ids()
-            .filter(|&n| cat_filter(g.category(n)))
-            .map(|n| (n, sched.start_of(n), sched.start_of(n) + duration(n)))
+            .filter_map(|n| {
+                let c = OpClass::of(&g.node(n).kind)?;
+                if !classes.contains(&c) {
+                    return None;
+                }
+                let w = spec.units.class_width(c).unwrap_or(1);
+                let s = sched.start_of(n);
+                Some((n, s, s + duration(n).max(1), w))
+            })
             .collect();
-        items.sort_by_key(|&(_, s, _)| s);
-        let mut pairs = Vec::new();
-        for w in items.windows(2) {
-            let (a, _, ea) = w[0];
-            let (b, sb, _) = w[1];
-            if sb < ea {
-                pairs.push((a, b));
+        items.sort_by_key(|&(n, s, _, _)| (s, n.idx()));
+        let mut active: Vec<(NodeId, i32, u32)> = Vec::new(); // (node, end, width)
+        for (n, s, e, w) in items {
+            active.retain(|&(_, end, _)| end > s);
+            let used: u32 = active.iter().map(|&(_, _, w)| w).sum();
+            if used + w > unit.count {
+                let prev = active[0].0;
+                out.push(if is_accel {
+                    Violation::AcceleratorOverlap { a: prev, b: n }
+                } else {
+                    Violation::IndexMergeOverlap { a: prev, b: n }
+                });
+            } else {
+                active.push((n, e, w));
             }
         }
-        pairs
-    };
-    for (a, b) in overlap_pairs(&|c| c == Category::ScalarOp) {
-        out.push(Violation::AcceleratorOverlap { a, b });
-    }
-    for (a, b) in overlap_pairs(&|c| matches!(c, Category::Index | Category::Merge)) {
-        out.push(Violation::IndexMergeOverlap { a, b });
     }
 
     if !check_memory {
@@ -444,7 +460,6 @@ pub fn simulate(
     inputs: &HashMap<NodeId, Value>,
 ) -> SimReport {
     let mut violations = validate_structure(g, spec, sched);
-    let lat = &spec.latencies;
 
     // A schedule that cannot be indexed (or a cyclic graph) cannot be
     // replayed; report what validation found and stop before any of the
@@ -553,7 +568,7 @@ pub fn simulate(
                     Some(p) => {
                         // Write-back lands at the datum's start cycle; reads
                         // in the same cycle see the previous occupant.
-                        let wb = sched.start_of(p) + lat.latency(&g.node(p).kind);
+                        let wb = sched.start_of(p) + spec.latency(&g.node(p).kind);
                         events.push((wb, 1, Ev::Write { data: n, slot }));
                     }
                 }
@@ -631,14 +646,14 @@ pub fn simulate(
     // Metrics.
     let cs = ConfigStream::from_schedule(g, spec, sched);
     let counters = SimCounters::from_stream(&cs, g, spec);
-    let lane_cycles = cs.lane_cycles_used(g);
+    let lane_cycles = cs.lane_cycles_used(g, spec);
     let total = (sched.makespan + 1).max(1) as f64;
     let mut accel_busy = 0i64;
     let mut im_busy = 0i64;
     for n in g.ids() {
         match g.category(n) {
-            Category::ScalarOp => accel_busy += lat.duration(&g.node(n).kind) as i64,
-            Category::Index | Category::Merge => im_busy += lat.duration(&g.node(n).kind) as i64,
+            Category::ScalarOp => accel_busy += spec.duration(&g.node(n).kind) as i64,
+            Category::Index | Category::Merge => im_busy += spec.duration(&g.node(n).kind) as i64,
             _ => {}
         }
     }

@@ -1,14 +1,161 @@
-//! The EIT machine model (§1.1 of the paper).
+//! The machine model (§1.1 of the paper), lifted into data.
 //!
 //! One struct gathers every architectural parameter the scheduler and the
-//! simulator need: the four-lane CMAC vector core behind a seven-stage
-//! pipeline, the scalar accelerator (divide/√/CORDIC), the index/merge
-//! unit, and the 16-bank paged vector memory. Everything is
-//! parameterisable; [`ArchSpec::eit`] is the paper's instance.
+//! simulator need: the lane geometry of the CMAC vector core, the paged
+//! vector memory, and — new since the parametric-architecture refactor —
+//! a data-driven [`UnitTable`] describing the functional units themselves
+//! (name, opcode classes served, latency, occupancy, replication count).
+//! Nothing downstream assumes the EIT's fixed three-unit mix any more;
+//! [`ArchSpec::eit`] is merely the paper's instance of the table, and
+//! [`ArchSpec::wide`] a doubled design-space variant. Both render to the
+//! versioned XML format in [`crate::xml`] and reload bit-for-bit.
 
-use eit_ir::LatencyModel;
+use eit_ir::{LatencyModel, NodeKind, OpClass};
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One opcode class served by a functional unit: how long it takes, how
+/// long it blocks the unit, and how many replicas it consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitOp {
+    /// Which op class this row prices.
+    pub class: OpClass,
+    /// `l_i`: cycles from issue until the result is usable.
+    pub latency: i32,
+    /// `d_i`: cycles the op occupies the unit (initiation interval of the
+    /// unit for this class).
+    pub occupancy: i32,
+    /// Replicas of the unit one op consumes; `0` means *all* of them
+    /// (e.g. a matrix op takes the whole lane group).
+    pub width: u32,
+}
+
+/// A replicated functional unit and the opcode classes it serves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncUnit {
+    /// Stable name, used for XML, hashing, and render row labels.
+    pub name: String,
+    /// Number of identical replicas (lanes for the vector core).
+    pub count: u32,
+    /// The classes this unit serves, with per-class timing.
+    pub ops: Vec<UnitOp>,
+}
+
+/// The functional-unit table of one architecture. Unit order is
+/// significant: resource constraints are posted in table order, so two
+/// specs with the same units in a different order are different machines
+/// as far as trace determinism is concerned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitTable {
+    pub units: Vec<FuncUnit>,
+}
+
+impl UnitTable {
+    /// The paper's three-unit mix, priced by a [`LatencyModel`]: an
+    /// `n_lanes`-wide vector core (matrix ops take every lane), a
+    /// unit-capacity scalar accelerator with split iterative/simple
+    /// timing, and a unit-capacity index/merge unit.
+    pub fn classic(m: &LatencyModel, n_lanes: u32) -> UnitTable {
+        UnitTable {
+            units: vec![
+                FuncUnit {
+                    name: "vector-core".into(),
+                    count: n_lanes,
+                    ops: vec![
+                        UnitOp {
+                            class: OpClass::Vector,
+                            latency: m.vector_pipeline,
+                            occupancy: m.vector_duration,
+                            width: 1,
+                        },
+                        UnitOp {
+                            class: OpClass::Matrix,
+                            latency: m.vector_pipeline,
+                            occupancy: m.vector_duration,
+                            width: 0,
+                        },
+                    ],
+                },
+                FuncUnit {
+                    name: "scalar-accel".into(),
+                    count: 1,
+                    ops: vec![
+                        UnitOp {
+                            class: OpClass::ScalarIterative,
+                            latency: m.accel_iterative,
+                            occupancy: m.accel_duration_iterative,
+                            width: 1,
+                        },
+                        UnitOp {
+                            class: OpClass::ScalarSimple,
+                            latency: m.accel_simple,
+                            occupancy: m.accel_duration_simple,
+                            width: 1,
+                        },
+                    ],
+                },
+                FuncUnit {
+                    name: "index-merge".into(),
+                    count: 1,
+                    ops: vec![
+                        UnitOp {
+                            class: OpClass::Index,
+                            latency: m.index_merge,
+                            occupancy: m.index_merge,
+                            width: 1,
+                        },
+                        UnitOp {
+                            class: OpClass::Merge,
+                            latency: m.index_merge,
+                            occupancy: m.index_merge,
+                            width: 1,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    /// The unit serving `class` (first match) and its pricing row.
+    pub fn lookup(&self, class: OpClass) -> Option<(&FuncUnit, &UnitOp)> {
+        self.units
+            .iter()
+            .find_map(|u| u.ops.iter().find(|op| op.class == class).map(|op| (u, op)))
+    }
+
+    /// Latency of one op class; `None` if no unit serves it.
+    pub fn class_latency(&self, class: OpClass) -> Option<i32> {
+        self.lookup(class).map(|(_, op)| op.latency)
+    }
+
+    /// Occupancy of one op class; `None` if no unit serves it.
+    pub fn class_occupancy(&self, class: OpClass) -> Option<i32> {
+        self.lookup(class).map(|(_, op)| op.occupancy)
+    }
+
+    /// Replicas one op of `class` consumes, with `width = 0` resolved to
+    /// the unit's full replica count.
+    pub fn class_width(&self, class: OpClass) -> Option<u32> {
+        self.lookup(class)
+            .map(|(u, op)| if op.width == 0 { u.count } else { op.width })
+    }
+
+    /// `l_i` for a node kind (0 for data nodes and unserved classes —
+    /// [`ArchSpec::validate`] guarantees the latter never happens on a
+    /// spec the pipeline accepted).
+    pub fn latency(&self, kind: &NodeKind) -> i32 {
+        OpClass::of(kind)
+            .and_then(|c| self.class_latency(c))
+            .unwrap_or(0)
+    }
+
+    /// `d_i` for a node kind (0 for data nodes and unserved classes).
+    pub fn duration(&self, kind: &NodeKind) -> i32 {
+        OpClass::of(kind)
+            .and_then(|c| self.class_occupancy(c))
+            .unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArchSpec {
     /// Parallel processing lanes in PE3 (each four CMACs). A vector op
     /// occupies one lane, a matrix op all of them.
@@ -32,8 +179,10 @@ pub struct ArchSpec {
     /// budgets like 10 that are not multiples of the bank count); slots
     /// `0..cap` of the linear enumeration remain usable.
     pub slot_cap: Option<u32>,
-    /// Latency/duration table shared with the scheduler.
-    pub latencies: LatencyModel,
+    /// The functional-unit table: which units exist, what they serve, and
+    /// at what latency/occupancy. Shared by the scheduler, simulator and
+    /// both verifiers.
+    pub units: UnitTable,
 }
 
 impl ArchSpec {
@@ -49,8 +198,38 @@ impl ArchSpec {
             max_vector_writes: 4,
             reconfig_cost: 1,
             slot_cap: None,
-            latencies: LatencyModel::default(),
+            units: UnitTable::classic(&LatencyModel::default(), 4),
         }
+    }
+
+    /// A wider hypothetical machine for design-space studies: double the
+    /// EIT everywhere — 8 lanes, 32 banks (still 4-bank pages), 8 slots
+    /// per bank (256 slots), double the port budgets.
+    pub fn wide() -> Self {
+        let mut s = Self::eit();
+        s.n_lanes = 8;
+        s.n_banks = 32;
+        s.slots_per_bank = 8;
+        s.max_vector_reads = 16;
+        s.max_vector_writes = 8;
+        s.units = UnitTable::classic(&LatencyModel::default(), 8);
+        s
+    }
+
+    /// The builtin presets by name; these are the values `--arch eit` /
+    /// `--arch wide` load, and they render to the same XML format as any
+    /// custom machine.
+    pub fn preset(name: &str) -> Option<ArchSpec> {
+        match name {
+            "eit" => Some(Self::eit()),
+            "wide" => Some(Self::wide()),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`ArchSpec::preset`].
+    pub fn preset_names() -> &'static [&'static str] {
+        &["eit", "wide"]
     }
 
     /// Same machine with a different total slot budget. `n_slots` need not
@@ -75,46 +254,165 @@ impl ArchSpec {
 
     /// Pipeline depth in cycles (= vector-op latency).
     pub fn pipeline_depth(&self) -> i32 {
-        self.latencies.vector_pipeline
+        self.units.class_latency(OpClass::Vector).unwrap_or(0)
     }
 
-    /// A wider hypothetical machine for design-space studies: 8 lanes,
-    /// 32 banks in 4-bank pages, double the port budgets.
-    pub fn wide() -> Self {
-        let mut s = Self::eit();
-        s.n_lanes = 8;
-        s.n_banks = 32;
-        s.max_vector_reads = 16;
-        s.max_vector_writes = 8;
-        s
+    /// Lanes a matrix op occupies on this machine (the resolved width of
+    /// the matrix class — all lanes on the classic table).
+    pub fn matrix_lanes(&self) -> u32 {
+        self.units
+            .class_width(OpClass::Matrix)
+            .unwrap_or(self.n_lanes)
+    }
+
+    /// `l_i` for a node kind, from the unit table.
+    pub fn latency(&self, kind: &NodeKind) -> i32 {
+        self.units.latency(kind)
+    }
+
+    /// `d_i` for a node kind, from the unit table.
+    pub fn duration(&self, kind: &NodeKind) -> i32 {
+        self.units.duration(kind)
+    }
+
+    /// Latency function over a graph, for `Graph` analyses.
+    pub fn latency_of<'g>(&'g self, g: &'g eit_ir::Graph) -> impl Fn(eit_ir::NodeId) -> i32 + 'g {
+        move |id| self.latency(&g.node(id).kind)
     }
 
     /// Sanity-check the parameter set; returns a description of the first
-    /// inconsistency found.
+    /// inconsistency found. Error messages name the XML attribute they
+    /// refer to, in the same style as the parsers.
     pub fn validate(&self) -> Result<(), String> {
         if self.n_lanes == 0 {
-            return Err("n_lanes must be positive".into());
+            return Err("lanes=\"0\": must be positive".into());
         }
-        if self.n_banks == 0 || self.page_size == 0 {
-            return Err("banks and page size must be positive".into());
+        if self.n_banks == 0 {
+            return Err("banks=\"0\": must be positive".into());
+        }
+        if self.page_size == 0 {
+            return Err("page_size=\"0\": must be positive".into());
+        }
+        if self.page_size > self.n_banks {
+            return Err(format!(
+                "page_size=\"{}\": exceeds the bank count (banks=\"{}\")",
+                self.page_size, self.n_banks
+            ));
         }
         if !self.n_banks.is_multiple_of(self.page_size) {
             return Err(format!(
-                "bank count {} is not a multiple of the page size {}",
+                "banks=\"{}\": not a multiple of page_size=\"{}\"",
                 self.n_banks, self.page_size
             ));
         }
         if self.slots_per_bank == 0 {
-            return Err("memory needs at least one slot per bank".into());
+            return Err("slots_per_bank=\"0\": memory needs at least one slot per bank".into());
         }
-        if self.max_vector_writes == 0 || self.max_vector_reads == 0 {
-            return Err("port budgets must be positive".into());
+        if self.max_vector_reads == 0 {
+            return Err("max_vector_reads=\"0\": must be positive".into());
+        }
+        if self.max_vector_writes == 0 {
+            return Err("max_vector_writes=\"0\": must be positive".into());
+        }
+        // Each bank serves at most one read and one write per cycle
+        // (§3.4), so a port budget beyond the bank count can never be
+        // reached — reject it as a description error.
+        if self.max_vector_reads > self.n_banks {
+            return Err(format!(
+                "max_vector_reads=\"{}\": exceeds what the bank geometry can serve \
+                 (one read per bank per cycle, banks=\"{}\")",
+                self.max_vector_reads, self.n_banks
+            ));
+        }
+        if self.max_vector_writes > self.n_banks {
+            return Err(format!(
+                "max_vector_writes=\"{}\": exceeds what the bank geometry can serve \
+                 (one write per bank per cycle, banks=\"{}\")",
+                self.max_vector_writes, self.n_banks
+            ));
         }
         if self.reconfig_cost < 0 {
-            return Err("reconfiguration cost cannot be negative".into());
+            return Err(format!(
+                "reconfig_cost=\"{}\": cannot be negative",
+                self.reconfig_cost
+            ));
         }
-        if self.latencies.vector_pipeline < 1 || self.latencies.vector_duration < 1 {
-            return Err("the vector pipeline needs positive latency/duration".into());
+        if self.slot_cap == Some(0) {
+            return Err("slot_cap=\"0\": must be positive when present".into());
+        }
+
+        // Unit table.
+        if self.units.units.is_empty() {
+            return Err("arch: needs at least one <unit>".into());
+        }
+        let mut seen_names: Vec<&str> = Vec::new();
+        let mut seen_classes: Vec<OpClass> = Vec::new();
+        for u in &self.units.units {
+            if u.name.is_empty() {
+                return Err("unit name=\"\": must be non-empty".into());
+            }
+            if seen_names.contains(&u.name.as_str()) {
+                return Err(format!("unit name=\"{}\": duplicate unit name", u.name));
+            }
+            seen_names.push(&u.name);
+            if u.count == 0 {
+                return Err(format!(
+                    "unit name=\"{}\" count=\"0\": must be positive",
+                    u.name
+                ));
+            }
+            if u.ops.is_empty() {
+                return Err(format!(
+                    "unit name=\"{}\": serves no op class (needs at least one <op>)",
+                    u.name
+                ));
+            }
+            for op in &u.ops {
+                if seen_classes.contains(&op.class) {
+                    return Err(format!(
+                        "op class=\"{}\": served by more than one unit",
+                        op.class
+                    ));
+                }
+                seen_classes.push(op.class);
+                if op.latency < 1 {
+                    return Err(format!(
+                        "op class=\"{}\" latency=\"{}\": must be at least 1",
+                        op.class, op.latency
+                    ));
+                }
+                if op.occupancy < 1 {
+                    return Err(format!(
+                        "op class=\"{}\" occupancy=\"{}\": must be at least 1",
+                        op.class, op.occupancy
+                    ));
+                }
+                if op.width > u.count {
+                    return Err(format!(
+                        "op class=\"{}\" width=\"{}\": exceeds unit count=\"{}\"",
+                        op.class, op.width, u.count
+                    ));
+                }
+            }
+        }
+        for c in OpClass::ALL {
+            if !seen_classes.contains(&c) {
+                return Err(format!("arch: no unit serves op class=\"{c}\""));
+            }
+        }
+        // The lane budget and the vector-core replica count are the same
+        // physical thing; keep them in lock-step so the memory rules
+        // (keyed on n_lanes) and the unit constraints cannot drift apart.
+        for c in [OpClass::Vector, OpClass::Matrix] {
+            if let Some((u, _)) = self.units.lookup(c) {
+                if u.count != self.n_lanes {
+                    return Err(format!(
+                        "unit name=\"{}\" count=\"{}\": the unit serving class=\"{}\" \
+                         must have count equal to lanes=\"{}\"",
+                        u.name, u.count, c, self.n_lanes
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -140,6 +438,8 @@ mod tests {
         assert_eq!(a.max_vector_reads, 8);
         assert_eq!(a.max_vector_writes, 4);
         assert_eq!(a.pipeline_depth(), 7);
+        assert_eq!(a.matrix_lanes(), 4);
+        assert_eq!(a.n_slots(), 64);
     }
 
     #[test]
@@ -148,19 +448,99 @@ mod tests {
         ArchSpec::wide().validate().unwrap();
         assert_eq!(ArchSpec::wide().n_lanes, 8);
         assert_eq!(ArchSpec::wide().n_pages(), 8);
+        assert_eq!(ArchSpec::preset("eit"), Some(ArchSpec::eit()));
+        assert_eq!(ArchSpec::preset("wide"), Some(ArchSpec::wide()));
+        assert_eq!(ArchSpec::preset("weird"), None);
+    }
+
+    #[test]
+    fn wide_doubles_the_memory_too() {
+        // Regression: wide() used to leave slots_per_bank at the EIT
+        // default, silently giving the "double everything" machine only
+        // 128 slots.
+        let w = ArchSpec::wide();
+        assert_eq!(w.slots_per_bank, 8);
+        assert_eq!(w.n_slots(), 256);
+        assert_eq!(w.matrix_lanes(), 8);
+        w.validate().unwrap();
     }
 
     #[test]
     fn invalid_parameter_sets_are_rejected() {
         let mut s = ArchSpec::eit();
         s.page_size = 3; // 16 % 3 != 0
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().starts_with("banks=\"16\""));
         let mut s = ArchSpec::eit();
         s.n_lanes = 0;
         assert!(s.validate().is_err());
         let mut s = ArchSpec::eit();
         s.reconfig_cost = -1;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn strengthened_validation_names_the_attribute() {
+        let mut s = ArchSpec::eit();
+        s.page_size = 32; // > n_banks
+        assert!(s.validate().unwrap_err().starts_with("page_size=\"32\""));
+
+        let mut s = ArchSpec::eit();
+        s.slot_cap = Some(0);
+        assert!(s.validate().unwrap_err().starts_with("slot_cap=\"0\""));
+
+        let mut s = ArchSpec::eit();
+        s.max_vector_reads = 17; // 16 banks serve at most 16 reads
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .starts_with("max_vector_reads=\"17\""));
+
+        let mut s = ArchSpec::eit();
+        s.max_vector_writes = 17;
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .starts_with("max_vector_writes=\"17\""));
+    }
+
+    #[test]
+    fn unit_table_inconsistencies_are_rejected() {
+        // Lane count and vector-core replica count must agree.
+        let mut s = ArchSpec::eit();
+        s.n_lanes = 2;
+        assert!(s.validate().unwrap_err().contains("count"));
+
+        // A class served twice is ambiguous.
+        let mut s = ArchSpec::eit();
+        let extra = s.units.units[1].clone();
+        s.units.units.push(FuncUnit {
+            name: "accel2".into(),
+            ..extra
+        });
+        assert!(s.validate().unwrap_err().contains("more than one unit"));
+
+        // Every class must be served.
+        let mut s = ArchSpec::eit();
+        s.units.units.pop();
+        assert!(s.validate().unwrap_err().contains("no unit serves"));
+
+        // Width cannot exceed the replica count.
+        let mut s = ArchSpec::eit();
+        s.units.units[1].ops[0].width = 5;
+        assert!(s.validate().unwrap_err().contains("width=\"5\""));
+    }
+
+    #[test]
+    fn unit_table_lookups_price_the_classic_mix() {
+        let s = ArchSpec::eit();
+        assert_eq!(s.units.class_latency(OpClass::Vector), Some(7));
+        assert_eq!(s.units.class_latency(OpClass::Matrix), Some(7));
+        assert_eq!(s.units.class_latency(OpClass::ScalarIterative), Some(8));
+        assert_eq!(s.units.class_latency(OpClass::ScalarSimple), Some(2));
+        assert_eq!(s.units.class_latency(OpClass::Index), Some(1));
+        assert_eq!(s.units.class_occupancy(OpClass::ScalarIterative), Some(2));
+        assert_eq!(s.units.class_width(OpClass::Vector), Some(1));
+        assert_eq!(s.units.class_width(OpClass::Matrix), Some(4)); // width 0 = all
     }
 
     #[test]

@@ -3,17 +3,18 @@
 //! hardware-native rendition of the Gantt chart.
 //!
 //! Signals emitted:
-//! - `lane0..laneN` (wire 1): vector-lane occupancy;
+//! - `lane0..laneN` (wire 1): vector-lane occupancy, one per spec lane;
 //! - `vconfig` (wire 8): the vector core's configuration index
 //!   (0 = idle, k = the k-th distinct configuration in issue order);
-//! - `accel`, `idxmerge` (wire 1): scalar accelerator / index-merge
-//!   occupancy;
+//! - one wire-1 occupancy signal per non-vector functional unit of the
+//!   spec's unit table, named after the unit (non-alphanumeric characters
+//!   become `_`, so the EIT preset emits `scalar_accel` and `index_merge`);
 //! - `mem_reads`, `mem_writes` (wire 8): vector-memory port activity.
 
 use crate::code::ConfigStream;
 use crate::schedule::Schedule;
 use crate::spec::ArchSpec;
-use eit_ir::{Category, Graph, VectorConfig};
+use eit_ir::{Graph, OpClass, VectorConfig};
 use std::fmt::Write as _;
 
 fn ident(i: usize) -> String {
@@ -30,10 +31,34 @@ fn ident(i: usize) -> String {
     s
 }
 
+fn signal_name(unit: &str) -> String {
+    unit.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
 /// Render a schedule as a VCD document.
 pub fn to_vcd(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
     let cs = ConfigStream::from_schedule(g, spec, sched);
     let lanes = spec.n_lanes as usize;
+
+    // Non-vector functional units, in table order.
+    let unit_defs: Vec<(&str, Vec<OpClass>)> = spec
+        .units
+        .units
+        .iter()
+        .filter(|u| {
+            !u.ops
+                .iter()
+                .any(|o| matches!(o.class, OpClass::Vector | OpClass::Matrix))
+        })
+        .map(|u| {
+            (
+                u.name.as_str(),
+                u.ops.iter().map(|o| o.class).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
 
     let mut out = String::new();
     let _ = writeln!(out, "$date eit-vector schedule dump $end");
@@ -59,36 +84,34 @@ pub fn to_vcd(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
         .map(|k| declare(&mut out, 1, &format!("lane{k}")))
         .collect();
     let cfg_id = declare(&mut out, 8, "vconfig");
-    let accel_id = declare(&mut out, 1, "accel");
-    let im_id = declare(&mut out, 1, "idxmerge");
+    let unit_ids: Vec<String> = unit_defs
+        .iter()
+        .map(|(name, _)| declare(&mut out, 1, &signal_name(name)))
+        .collect();
     let rd_id = declare(&mut out, 8, "mem_reads");
     let wr_id = declare(&mut out, 8, "mem_writes");
     let _ = writeln!(out, "$upscope $end");
     let _ = writeln!(out, "$enddefinitions $end");
 
-    // Accelerator/index-merge occupancy per cycle (durations matter).
-    let lat = &spec.latencies;
+    // Per-unit occupancy per cycle (durations matter).
     let n = cs.cycles.len();
-    let mut accel = vec![false; n];
-    let mut im = vec![false; n];
+    let mut unit_busy = vec![vec![false; n]; unit_defs.len()];
     for node in g.ids() {
         let t = sched.start_of(node);
         if t < 0 {
             continue;
         }
-        match g.category(node) {
-            Category::ScalarOp => {
-                let d = lat.duration(&g.node(node).kind).max(1);
-                for dt in 0..d {
-                    if ((t + dt) as usize) < n {
-                        accel[(t + dt) as usize] = true;
-                    }
-                }
+        let Some(class) = OpClass::of(&g.node(node).kind) else {
+            continue;
+        };
+        let Some(u) = unit_defs.iter().position(|(_, cs)| cs.contains(&class)) else {
+            continue;
+        };
+        let d = spec.duration(&g.node(node).kind).max(1);
+        for dt in 0..d {
+            if ((t + dt) as usize) < n {
+                unit_busy[u][(t + dt) as usize] = true;
             }
-            Category::Index | Category::Merge if (t as usize) < n => {
-                im[t as usize] = true;
-            }
-            _ => {}
         }
     }
 
@@ -104,16 +127,18 @@ pub fn to_vcd(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
         }
     };
 
-    // Emit changes only when a value differs from the previous cycle.
-    let mut prev: Option<(Vec<bool>, usize, bool, bool, usize, usize)> = None;
+    // Emit changes only when a value differs from the previous cycle:
+    // (lane busy bits, config number, unit busy bits, reads, writes).
+    type CycleState = (Vec<bool>, usize, Vec<bool>, usize, usize);
+    let mut prev: Option<CycleState> = None;
     for (t, c) in cs.cycles.iter().enumerate() {
         let mut lanes_now = vec![false; lanes];
         let active = c
             .vector_ops
             .iter()
             .map(|&op| {
-                if g.category(op) == Category::MatrixOp {
-                    lanes
+                if g.category(op) == eit_ir::Category::MatrixOp {
+                    spec.matrix_lanes() as usize
                 } else {
                     1
                 }
@@ -124,11 +149,11 @@ pub fn to_vcd(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
             *l = true;
         }
         let cfg_now = c.vector_config.map_or(0, &mut cfg_index);
+        let units_now: Vec<bool> = unit_busy.iter().map(|b| b[t]).collect();
         let state = (
             lanes_now.clone(),
             cfg_now,
-            accel[t],
-            im[t],
+            units_now.clone(),
             c.reads.len(),
             c.writes.len(),
         );
@@ -144,16 +169,15 @@ pub fn to_vcd(g: &Graph, spec: &ArchSpec, sched: &Schedule) -> String {
             if dump_all || p.map(|p| p.1) != Some(cfg_now) {
                 let _ = writeln!(out, "b{cfg_now:b} {cfg_id}");
             }
-            if dump_all || p.map(|p| p.2) != Some(accel[t]) {
-                let _ = writeln!(out, "{}{}", u8::from(accel[t]), accel_id);
+            for (u, id) in unit_ids.iter().enumerate() {
+                if dump_all || p.map(|p| p.2[u]) != Some(units_now[u]) {
+                    let _ = writeln!(out, "{}{}", u8::from(units_now[u]), id);
+                }
             }
-            if dump_all || p.map(|p| p.3) != Some(im[t]) {
-                let _ = writeln!(out, "{}{}", u8::from(im[t]), im_id);
-            }
-            if dump_all || p.map(|p| p.4) != Some(c.reads.len()) {
+            if dump_all || p.map(|p| p.3) != Some(c.reads.len()) {
                 let _ = writeln!(out, "b{:b} {rd_id}", c.reads.len());
             }
-            if dump_all || p.map(|p| p.5) != Some(c.writes.len()) {
+            if dump_all || p.map(|p| p.4) != Some(c.writes.len()) {
                 let _ = writeln!(out, "b{:b} {wr_id}", c.writes.len());
             }
             prev = Some(state);
@@ -209,6 +233,18 @@ mod tests {
         // Config 1 (add) at t=0, config 2 (mul) at t=7.
         assert!(vcd.contains("b1 "));
         assert!(vcd.contains("b10 ")); // 2 in binary
+    }
+
+    #[test]
+    fn unit_signals_carry_spec_names() {
+        let (g, spec, s) = scheduled();
+        let vcd = to_vcd(&g, &spec, &s);
+        // The EIT preset's unit names, sanitised for VCD identifiers.
+        assert!(vcd.contains(" scalar_accel $end"), "{vcd}");
+        assert!(vcd.contains(" index_merge $end"), "{vcd}");
+        // A wide machine declares all eight lanes.
+        let vcd = to_vcd(&g, &ArchSpec::wide(), &s);
+        assert!(vcd.contains(" lane7 $end"), "{vcd}");
     }
 
     #[test]

@@ -40,16 +40,72 @@ use crate::memory::AccessViolation;
 use crate::schedule::Schedule;
 use crate::sim::Violation;
 use crate::spec::ArchSpec;
-use eit_ir::{Category, Graph, NodeId, VectorConfig};
+use eit_ir::{Category, Graph, NodeId, OpClass, VectorConfig};
 use std::collections::HashMap;
 
-/// Lanes an op occupies: a matrix op reads/writes four vectors, so it
-/// takes four lanes' worth of the core; a vector op takes one.
-fn lanes_of(cat: Category) -> u32 {
+/// Lanes an op occupies: a matrix op takes the spec's full matrix width
+/// (all four lanes on EIT); a vector op takes one.
+fn lanes_of(spec: &ArchSpec, cat: Category) -> u32 {
     if cat == Category::MatrixOp {
-        4
+        spec.matrix_lanes()
     } else {
         1
+    }
+}
+
+/// Per-cycle occupancy check for every capacity-limited unit beyond the
+/// vector core, in table order, honouring replication (`count`) and
+/// per-class widths. `fold` maps an absolute cycle into the window the
+/// occupancy is accounted in (identity for straight-line schedules,
+/// `t mod ii` for modulo ones).
+fn check_units(
+    g: &Graph,
+    spec: &ArchSpec,
+    start: &dyn Fn(NodeId) -> i32,
+    duration: &dyn Fn(NodeId) -> i32,
+    fold: &dyn Fn(i32) -> i32,
+    out: &mut Vec<Violation>,
+) {
+    for unit in &spec.units.units {
+        let classes: Vec<OpClass> = unit.ops.iter().map(|o| o.class).collect();
+        if classes.contains(&OpClass::Vector) || classes.contains(&OpClass::Matrix) {
+            continue; // the lane rule covers the vector core
+        }
+        let is_accel = classes
+            .iter()
+            .any(|c| matches!(c, OpClass::ScalarIterative | OpClass::ScalarSimple));
+        let mut nodes: Vec<(NodeId, u32)> = g
+            .ids()
+            .filter_map(|n| {
+                let c = OpClass::of(&g.node(n).kind)?;
+                if !classes.contains(&c) {
+                    return None;
+                }
+                Some((n, spec.units.class_width(c).unwrap_or(1)))
+            })
+            .collect();
+        nodes.sort_by_key(|&(n, _)| (start(n), n.idx()));
+        let mut busy: HashMap<i32, (u32, NodeId)> = HashMap::new();
+        let mut reported: Vec<(NodeId, NodeId)> = Vec::new();
+        for (n, w) in nodes {
+            for dt in 0..duration(n).max(1) {
+                let t = fold(start(n).saturating_add(dt));
+                let e = busy.entry(t).or_insert((0, n));
+                if e.0 + w > unit.count {
+                    let prev = e.1;
+                    if !reported.contains(&(prev, n)) {
+                        reported.push((prev, n));
+                        out.push(if is_accel {
+                            Violation::AcceleratorOverlap { a: prev, b: n }
+                        } else {
+                            Violation::IndexMergeOverlap { a: prev, b: n }
+                        });
+                    }
+                } else {
+                    e.0 += w;
+                }
+            }
+        }
     }
 }
 
@@ -83,10 +139,9 @@ pub fn verify_schedule(
         });
         return out;
     }
-    let lat = spec.latencies;
     let start = |n: NodeId| sched.start[n.idx()];
-    let latency = |n: NodeId| lat.latency(&g.node(n).kind);
-    let duration = |n: NodeId| lat.duration(&g.node(n).kind);
+    let latency = |n: NodeId| spec.latency(&g.node(n).kind);
+    let duration = |n: NodeId| spec.duration(&g.node(n).kind);
 
     // Starts are cycles of a real execution: non-negative.
     for n in g.ids() {
@@ -132,7 +187,7 @@ pub fn verify_schedule(
         let cat = g.category(n);
         if matches!(cat, Category::VectorOp | Category::MatrixOp) {
             let e = core_cycles.entry(start(n)).or_default();
-            e.0 += lanes_of(cat);
+            e.0 += lanes_of(spec, cat);
             e.1.push((n, g.opcode(n).and_then(|o| o.config())));
         }
     }
@@ -161,44 +216,10 @@ pub fn verify_schedule(
         }
     }
 
-    // Unit-capacity accelerator and index/merge: per-cycle occupancy maps
-    // (the simulator uses a sorted interval sweep — different algorithm,
-    // same rule).
-    let mut unit_overlaps = |is_accel: bool| {
-        let mut busy: HashMap<i32, NodeId> = HashMap::new();
-        let mut reported: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut nodes: Vec<NodeId> = g
-            .ids()
-            .filter(|&n| {
-                let c = g.category(n);
-                if is_accel {
-                    c == Category::ScalarOp
-                } else {
-                    matches!(c, Category::Index | Category::Merge)
-                }
-            })
-            .collect();
-        nodes.sort_by_key(|&n| (start(n), n.idx()));
-        for n in nodes {
-            for dt in 0..duration(n).max(1) {
-                let t = start(n).saturating_add(dt);
-                if let Some(&prev) = busy.get(&t) {
-                    if !reported.contains(&(prev, n)) {
-                        reported.push((prev, n));
-                        out.push(if is_accel {
-                            Violation::AcceleratorOverlap { a: prev, b: n }
-                        } else {
-                            Violation::IndexMergeOverlap { a: prev, b: n }
-                        });
-                    }
-                } else {
-                    busy.insert(t, n);
-                }
-            }
-        }
-    };
-    unit_overlaps(true);
-    unit_overlaps(false);
+    // Capacity-limited units beyond the vector core: per-cycle occupancy
+    // maps (the simulator uses a sorted interval sweep — different
+    // algorithm, same rule), driven by the spec's unit table.
+    check_units(g, spec, &start, &duration, &|t| t, &mut out);
 
     if !check_memory {
         return out;
@@ -382,10 +403,9 @@ pub fn verify_modulo(
     if !out.is_empty() {
         return out;
     }
-    let lat = spec.latencies;
     let start = |n: NodeId| starts[&n];
-    let latency = |n: NodeId| lat.latency(&g.node(n).kind);
-    let duration = |n: NodeId| lat.duration(&g.node(n).kind);
+    let latency = |n: NodeId| spec.latency(&g.node(n).kind);
+    let duration = |n: NodeId| spec.duration(&g.node(n).kind);
 
     for n in g.ids() {
         if start(n) < 0 {
@@ -421,7 +441,7 @@ pub fn verify_modulo(
         let cat = g.category(n);
         for dt in 0..duration(n).max(1) {
             let t = (start(n).saturating_add(dt)).rem_euclid(ii);
-            *lanes_at.entry(t).or_default() += lanes_of(cat);
+            *lanes_at.entry(t).or_default() += lanes_of(spec, cat);
             match g.opcode(n).and_then(|o| o.config()) {
                 None => out.push(Violation::MalformedSchedule {
                     detail: format!("node {n:?} on the vector core has no configuration"),
@@ -449,47 +469,9 @@ pub fn verify_modulo(
         }
     }
 
-    // Unit-capacity accelerator and index/merge with wraparound: an
-    // occupancy longer than II collides with the next iteration's own
-    // instance of the same op.
-    let mut unit = |is_accel: bool| {
-        let mut busy: HashMap<i32, NodeId> = HashMap::new();
-        let mut reported: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut nodes: Vec<NodeId> = g
-            .ids()
-            .filter(|&n| {
-                let c = g.category(n);
-                if is_accel {
-                    c == Category::ScalarOp
-                } else {
-                    matches!(c, Category::Index | Category::Merge)
-                }
-            })
-            .collect();
-        nodes.sort_by_key(|&n| (start(n), n.idx()));
-        for n in nodes {
-            for dt in 0..duration(n).max(1) {
-                let t = (start(n).saturating_add(dt)).rem_euclid(ii);
-                match busy.get(&t) {
-                    Some(&prev) => {
-                        if !reported.contains(&(prev, n)) {
-                            reported.push((prev, n));
-                            out.push(if is_accel {
-                                Violation::AcceleratorOverlap { a: prev, b: n }
-                            } else {
-                                Violation::IndexMergeOverlap { a: prev, b: n }
-                            });
-                        }
-                    }
-                    None => {
-                        busy.insert(t, n);
-                    }
-                }
-            }
-        }
-    };
-    unit(true);
-    unit(false);
+    // Capacity-limited units with wraparound: an occupancy longer than II
+    // collides with the next iteration's own instance of the same op.
+    check_units(g, spec, &start, &duration, &|t| t.rem_euclid(ii), &mut out);
 
     out
 }

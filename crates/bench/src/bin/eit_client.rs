@@ -13,7 +13,11 @@
 //!   panic                         fault-injection: make a worker panic
 //!   raw LINE                      send LINE verbatim (protocol testing)
 //!   compile <kernel|path.xml>     compile a builtin kernel or an IR file
-//!       [--slots N]               memory budget (default: server's 64)
+//!       [--arch A]                target machine: preset name, path to an
+//!                                 eit-arch/1 XML file (sent inline), or
+//!                                 inline XML (default: server's eit)
+//!       [--slots N]               memory budget (default: the arch's own;
+//!                                 64 for the server's default machine)
 //!       [--modulo [incl]]         modulo schedule instead
 //!       [--deadline-ms N]         per-request wall-clock deadline
 //!       [--out FILE]              write the decoded listing to FILE
@@ -43,6 +47,7 @@ enum Command {
     Raw(String),
     Compile {
         kernel: String,
+        arch: Option<String>,
         slots: Option<u64>,
         modulo: Option<bool>, // Some(include_reconfig)
         deadline_ms: Option<u64>,
@@ -53,7 +58,9 @@ enum Command {
 fn usage() -> ! {
     eprintln!("usage: eit_client [--addr HOST:PORT] [--retry N] <command>");
     eprintln!("       commands: ping | stats | shutdown | panic | raw LINE");
-    eprintln!("                 | compile <kernel|path.xml> [--slots N] [--modulo [incl]]");
+    eprintln!(
+        "                 | compile <kernel|path.xml> [--arch A] [--slots N] [--modulo [incl]]"
+    );
     eprintln!("                           [--deadline-ms N] [--out FILE]");
     exit(2);
 }
@@ -79,12 +86,14 @@ fn parse_args() -> Args {
             Some("raw") => break Command::Raw(it.next().unwrap_or_else(|| usage())),
             Some("compile") => {
                 let kernel = it.next().unwrap_or_else(|| usage());
+                let mut arch = None;
                 let mut slots = None;
                 let mut modulo = None;
                 let mut deadline_ms = None;
                 let mut out = None;
                 while let Some(a) = it.next() {
                     match a.as_str() {
+                        "--arch" => arch = Some(it.next().unwrap_or_else(|| usage())),
                         "--slots" => {
                             slots = Some(
                                 it.next()
@@ -115,6 +124,7 @@ fn parse_args() -> Args {
                 }
                 break Command::Compile {
                     kernel,
+                    arch,
                     slots,
                     modulo,
                     deadline_ms,
@@ -169,6 +179,7 @@ fn request_line(cmd: &Command) -> String {
         Command::Raw(line) => return line.clone(),
         Command::Compile {
             kernel,
+            arch,
             slots,
             modulo,
             deadline_ms,
@@ -183,6 +194,20 @@ fn request_line(cmd: &Command) -> String {
                 members.push(("xml".into(), Json::str(xml)));
             } else {
                 members.push(("kernel".into(), Json::str(kernel.clone())));
+            }
+            if let Some(a) = arch {
+                // A path to an arch file is read here and shipped inline;
+                // preset names and inline XML pass through untouched. The
+                // wire format only ever carries presets or XML.
+                let value = if std::path::Path::new(a).exists() {
+                    std::fs::read_to_string(a).unwrap_or_else(|e| {
+                        eprintln!("eit_client: cannot read {a}: {e}");
+                        exit(1);
+                    })
+                } else {
+                    a.clone()
+                };
+                members.push(("arch".into(), Json::str(value)));
             }
             if let Some(n) = slots {
                 members.push(("slots".into(), Json::int(*n)));

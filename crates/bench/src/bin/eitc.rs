@@ -7,7 +7,14 @@
 //!
 //!   <kernel>            qrd | arf | matmul | fir | detector | blockmm,
 //!                       or a path to an IR .xml file
-//!   --slots N           memory budget (default: 64)
+//!   --arch A            target machine: a preset name (eit | wide), a path
+//!                       to an eit-arch/1 XML file, or inline XML; the
+//!                       description is validated on load (default: eit)
+//!   --dump-arch A       render the resolved architecture as eit-arch/1
+//!                       XML on stdout and exit (no kernel needed); the
+//!                       output reloads byte-identical via --arch
+//!   --slots N           memory budget override (default: the arch's own;
+//!                       64 for the builtin presets)
 //!   --no-memory         schedule without the memory model (manual-baseline mode)
 //!   --no-merge          skip the fig. 6 pipeline-merge pass
 //!   --modulo [incl]     emit a modulo schedule instead (optionally with
@@ -67,7 +74,9 @@ use std::time::Duration;
 
 struct Args {
     kernel: String,
-    slots: u32,
+    arch: Option<String>,
+    dump_arch: Option<String>,
+    slots: Option<u32>,
     memory: bool,
     merge: bool,
     modulo: Option<bool>, // Some(include_reconfig)
@@ -91,12 +100,13 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!("usage: eitc <qrd|arf|matmul|fir|detector|blockmm|path.xml>");
-    eprintln!("            [--slots N] [--no-memory] [--no-merge]");
+    eprintln!("            [--arch PRESET|FILE] [--slots N] [--no-memory] [--no-merge]");
     eprintln!("            [--modulo [incl]] [--jobs N] [--overlap M] [--timeout SECS]");
     eprintln!("            [--emit xml|gantt|dot|vcd] [--verify]");
     eprintln!("            [--trace FILE] [--record FILE] [--replay FILE [--strict|--lenient]]");
     eprintln!("            [--profile] [--fifo] [--metrics FILE]");
     eprintln!("       eitc --serve ADDR [--jobs N] [--timeout SECS] [--metrics FILE]");
+    eprintln!("       eitc --dump-arch PRESET|FILE");
     exit(2);
 }
 
@@ -108,7 +118,9 @@ fn bad_arg(what: &str) -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         kernel: String::new(),
-        slots: 64,
+        arch: None,
+        dump_arch: None,
+        slots: None,
         memory: true,
         merge: true,
         modulo: None,
@@ -132,11 +144,14 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--arch" => args.arch = Some(it.next().unwrap_or_else(|| usage())),
+            "--dump-arch" => args.dump_arch = Some(it.next().unwrap_or_else(|| usage())),
             "--slots" => {
-                args.slots = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                args.slots = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--no-memory" => args.memory = false,
             "--no-merge" => args.merge = false,
@@ -189,10 +204,31 @@ fn parse_args() -> Args {
             other => bad_arg(other),
         }
     }
-    if args.kernel.is_empty() && args.serve.is_none() {
+    if args.kernel.is_empty() && args.serve.is_none() && args.dump_arch.is_none() {
         usage();
     }
     args
+}
+
+/// Resolve an `--arch` argument: a path to an eit-arch/1 XML file wins
+/// when one exists on disk; otherwise the value is handed to
+/// [`eit_arch::resolve_arch`] as a preset name or inline XML. Either way
+/// the description is validated before the scheduler ever sees it.
+fn load_arch(arg: &str) -> ArchSpec {
+    let looks_like_file = std::path::Path::new(arg).exists();
+    let resolved = if looks_like_file {
+        let src = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+            eprintln!("eitc: cannot read arch file {arg}: {e}");
+            exit(1);
+        });
+        eit_arch::from_arch_xml(&src).map_err(|e| format!("{arg}: {e}"))
+    } else {
+        eit_arch::resolve_arch(arg)
+    };
+    resolved.unwrap_or_else(|e| {
+        eprintln!("eitc: --arch: {e}");
+        exit(1);
+    })
 }
 
 /// Daemon mode: bind `addr` and answer `eit-serve/1` requests until a
@@ -403,6 +439,12 @@ fn trace_section(path: &str, rec: &Arc<Mutex<RecorderSink>>) -> Json {
 
 fn main() {
     let args = parse_args();
+    if let Some(a) = &args.dump_arch {
+        // The rendered bytes reload equal to the source description, so
+        // `--arch <(eitc --dump-arch eit)` is the builtin path verbatim.
+        print!("{}", eit_arch::to_arch_xml(&load_arch(a)));
+        return;
+    }
     if let Some(addr) = &args.serve {
         serve_mode(addr, &args);
     }
@@ -426,7 +468,15 @@ fn main() {
         return;
     }
 
-    let spec = ArchSpec::eit().with_slots(args.slots);
+    // --slots only overrides when given explicitly, so a custom arch's
+    // own slot budget survives `--arch machine.xml` with no other flags.
+    let mut spec = match &args.arch {
+        Some(a) => load_arch(a),
+        None => ArchSpec::eit().with_slots(64),
+    };
+    if let Some(n) = args.slots {
+        spec = spec.with_slots(n);
+    }
     let timeout = Duration::from_secs(args.timeout);
 
     let rr = args.record.is_some() || args.replay.is_some();

@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! fuzz --seed 5 --cases 200 [--out DIR] [--no-modulo] [--no-shrink] \
-//!      [--timeout SECS]
+//!      [--timeout SECS] [--arch-fuzz]
 //! ```
+//!
+//! `--arch-fuzz` walks the architecture×kernel product space: every case
+//! draws a fresh generated machine (always `validate()`-clean) before
+//! generating the kernel, and failures shrink to an arch-XML + kernel-XML
+//! reproducer pair.
 //!
 //! Exit status 0 when every case passes differentially, 1 when any case
 //! fails (reproducers are written to `--out`, default `fuzz-failures/`),
@@ -17,7 +22,7 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seed N] [--cases N] [--out DIR] [--no-modulo] \
-         [--no-shrink] [--timeout SECS]"
+         [--no-shrink] [--timeout SECS] [--arch-fuzz]"
     );
     std::process::exit(2)
 }
@@ -32,6 +37,7 @@ fn main() {
             "--cases" => opts.cases = val().parse().unwrap_or_else(|_| usage()),
             "--out" => opts.out_dir = Some(val().into()),
             "--no-modulo" => opts.check_modulo = false,
+            "--arch-fuzz" => opts.arch_fuzz = true,
             "--no-shrink" => opts.shrink = false,
             "--timeout" => {
                 opts.solver_timeout = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))

@@ -4,10 +4,10 @@
 //! steady-state allocation (N in-flight iterations at the issue II) with
 //! the full constraint model and reports the real slot footprint.
 //!
-//! Run: `cargo run --release -p eit-bench --bin modulo_memory`
+//! Run: `cargo run --release -p eit-bench --bin modulo_memory [--arch A]`
 
 use eit_arch::validate_structure;
-use eit_bench::{eit, prepared, rule};
+use eit_bench::{arch_arg, prepared, rule};
 use eit_core::{
     allocate_modulo_memory, ii_lower_bound, modulo_schedule, schedule_at_ii, IiOutcome,
     ModuloOptions, ModuloResult,
@@ -23,9 +23,10 @@ fn main() {
         "kernel", "II", "#v_data×4", "slots used", "of available", "valid"
     );
     rule(86);
+    let arch = arch_arg();
     for name in ["qrd", "arf", "matmul", "fir"] {
         let p = prepared(name);
-        let spec = eit();
+        let spec = arch.clone();
         let Some(r) = modulo_schedule(
             &p.graph,
             &spec,

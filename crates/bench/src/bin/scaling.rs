@@ -2,10 +2,10 @@
 //! kernels of growing size through the full scheduling pipeline,
 //! reporting |V|, makespan and solver effort.
 //!
-//! Run: `cargo run --release -p eit-bench --bin scaling`
+//! Run: `cargo run --release -p eit-bench --bin scaling [--arch A]`
 
 use eit_apps::synth::{build, SynthParams};
-use eit_arch::ArchSpec;
+use eit_bench::arch_arg;
 use eit_core::{list_schedule, schedule, SchedulerOptions};
 use std::time::Duration;
 
@@ -14,7 +14,7 @@ fn main() {
         "{:>6} {:>6} {:>9} {:>9} {:>10} {:>10} {:>12}",
         "|V|", "ops", "CP", "heuristic", "nodes", "fails", "time (ms)"
     );
-    let spec = ArchSpec::eit();
+    let spec = arch_arg();
     for (layers, width) in [(2usize, 4usize), (3, 6), (4, 8), (5, 10), (6, 12)] {
         let k = build(SynthParams {
             layers,

@@ -9,16 +9,18 @@
 //! a timeout at 9 and an infeasibility proof at 8; our kernel's live-set
 //! floor sits at 8 slots (it has 8 vector inputs alive at cycle 0).
 //!
-//! Run: `cargo run --release -p eit-bench --bin table1 [--metrics FILE]`
+//! Run: `cargo run --release -p eit-bench --bin table1 [--arch A] [--metrics FILE]`
 
-use eit_arch::ArchSpec;
-use eit_bench::{graph_props, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics};
+use eit_bench::{
+    arch_arg, graph_props, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics,
+};
 use eit_core::{schedule, SchedulerOptions};
 use eit_cp::SearchStatus;
 use std::time::Duration;
 
 fn main() {
     let metrics_path = metrics_arg();
+    let arch = arch_arg();
     let mut rows = Vec::new();
     let p = prepared("qrd");
     let (v, e, cp) = graph_props(&p.graph);
@@ -34,7 +36,7 @@ fn main() {
     rule(78);
 
     for slots in [64u32, 32, 16, 10, 9, 8, 7, 6] {
-        let spec = ArchSpec::eit().with_slots(slots);
+        let spec = arch.clone().with_slots(slots);
         let r = schedule(
             &p.graph,
             &spec,
@@ -92,7 +94,7 @@ fn main() {
 
     if let Some(path) = metrics_path {
         let mut m = RunMetrics::new("table1", "qrd");
-        m.arch(&ArchSpec::eit()).section("rows", Json::Arr(rows));
+        m.arch(&arch).section("rows", Json::Arr(rows));
         write_metrics(&m, &path);
     }
 }

@@ -15,21 +15,27 @@
 //! reconfigurations stay around 1.5–2 per iteration, and the automated
 //! flow lands within ~20 % of the manual baseline.
 //!
-//! Run: `cargo run --release -p eit-bench --bin table2 [--metrics FILE]`
+//! Run: `cargo run --release -p eit-bench --bin table2 [--arch A] [--metrics FILE]`
 
-use eit_bench::{eit, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics};
+use eit_arch::ArchSpec;
+use eit_bench::{arch_arg, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics};
 use eit_core::{
     bundles_from_schedule, manual_style_bundles, overlapped_execution, schedule, Bundle,
     SchedulerOptions,
 };
 use std::time::Duration;
 
-fn row(label: &str, bundles: &[Bundle], p: &eit_bench::Prepared, m: usize) -> Json {
-    let spec = eit();
-    let r = overlapped_execution(&p.graph, &spec, bundles, m);
+fn row(
+    label: &str,
+    bundles: &[Bundle],
+    p: &eit_bench::Prepared,
+    m: usize,
+    spec: &ArchSpec,
+) -> Json {
+    let r = overlapped_execution(&p.graph, spec, bundles, m);
     // Structural validation (memory excluded, as in the paper's manual
     // baseline which has no allocation).
-    let v = eit_arch::validate_structure_with(&r.graph, &spec, &r.schedule, false);
+    let v = eit_arch::validate_structure_with(&r.graph, spec, &r.schedule, false);
     assert!(v.is_empty(), "{label}: overlap schedule invalid: {v:?}");
     println!(
         "{:>10} {:>9} {:>12} {:>8} {:>14.2} {:>18.4}",
@@ -51,6 +57,7 @@ fn row(label: &str, bundles: &[Bundle], p: &eit_bench::Prepared, m: usize) -> Js
 
 fn main() {
     let m = 12;
+    let spec = arch_arg();
     let p = prepared("qrd");
     println!("Table 2: overlapped execution of {m} QRD iterations");
     rule(78);
@@ -61,13 +68,13 @@ fn main() {
     rule(78);
 
     // Manual: instruction-count-minimising greedy, no memory allocation.
-    let manual = manual_style_bundles(&p.graph, &eit());
-    let manual_row = row("manual", &manual, &p, m);
+    let manual = manual_style_bundles(&p.graph, &spec);
+    let manual_row = row("manual", &manual, &p, m, &spec);
 
     // Automated: CP schedule with memory allocation, bundles extracted.
     let r = schedule(
         &p.graph,
-        &eit(),
+        &spec,
         &SchedulerOptions {
             timeout: Some(Duration::from_secs(120)),
             ..Default::default()
@@ -75,7 +82,7 @@ fn main() {
     );
     let s = r.schedule.expect("QRD must schedule");
     let auto = bundles_from_schedule(&p.graph, &s);
-    let auto_row = row("automated", &auto, &p, m);
+    let auto_row = row("automated", &auto, &p, m, &spec);
 
     rule(78);
     println!("paper reference: manual 460 cc, 18 reconf (1.5/iter), 0.026 iter/cc;");
@@ -84,7 +91,7 @@ fn main() {
     if let Some(path) = metrics_arg() {
         let mut metrics = RunMetrics::new("table2", "qrd");
         metrics
-            .arch(&eit())
+            .arch(&spec)
             .solver(r.status, r.makespan, &r.stats, r.winner)
             .section("iterations", Json::int(m as u64))
             .section("rows", Json::Arr(vec![manual_row, auto_row]));

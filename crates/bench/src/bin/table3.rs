@@ -9,14 +9,17 @@
 //! configuration needs no steady-state reconfiguration at all, so both
 //! models tie at the resource-bound II of 4 with throughput 0.250.
 //!
-//! Run: `cargo run --release -p eit-bench --bin table3 [--metrics FILE]`
+//! Run: `cargo run --release -p eit-bench --bin table3 [--arch A] [--metrics FILE]`
 
-use eit_bench::{eit, graph_props, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics};
+use eit_bench::{
+    arch_arg, graph_props, metrics_arg, prepared, rule, write_metrics, Json, RunMetrics,
+};
 use eit_core::{modulo_schedule, validate_modulo, ModuloOptions};
 use std::time::Duration;
 
 fn main() {
     let metrics_path = metrics_arg();
+    let arch = arch_arg();
     let mut rows = Vec::new();
     println!("Table 3: modulo scheduling, excluding vs including reconfigurations");
     rule(110);
@@ -38,7 +41,7 @@ fn main() {
     for name in ["qrd", "arf", "matmul"] {
         let p = prepared(name);
         let (v, e, cp) = graph_props(&p.graph);
-        let spec = eit();
+        let spec = arch.clone();
 
         let excl = modulo_schedule(
             &p.graph,
@@ -115,7 +118,7 @@ fn main() {
 
     if let Some(path) = metrics_path {
         let mut m = RunMetrics::new("table3", "qrd+arf+matmul");
-        m.arch(&eit()).section("rows", Json::Arr(rows));
+        m.arch(&arch).section("rows", Json::Arr(rows));
         write_metrics(&m, &path);
     }
 }

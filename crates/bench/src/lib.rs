@@ -47,6 +47,41 @@ pub fn eit() -> ArchSpec {
     ArchSpec::eit()
 }
 
+/// Resolve an `--arch` value the way every harness binary does: a value
+/// naming an existing file is read and parsed as `eit-arch/1` XML;
+/// anything else is a preset name or inline XML. Exits with a message on
+/// any error — the description never reaches a scheduler unvalidated.
+pub fn resolve_arch_value(v: &str) -> ArchSpec {
+    let resolved = if std::path::Path::new(v).exists() {
+        match std::fs::read_to_string(v) {
+            Ok(src) => eit_arch::from_arch_xml(&src).map_err(|e| format!("{v}: {e}")),
+            Err(e) => Err(format!("cannot read {v}: {e}")),
+        }
+    } else {
+        eit_arch::resolve_arch(v)
+    };
+    resolved.unwrap_or_else(|e| {
+        eprintln!("--arch: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `--arch PRESET|FILE` support for the table binaries: the resolved
+/// target machine when the flag is present, the EIT preset otherwise.
+pub fn arch_arg() -> ArchSpec {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--arch" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("--arch needs a preset name, file path, or inline XML");
+                std::process::exit(2);
+            });
+            return resolve_arch_value(&v);
+        }
+    }
+    ArchSpec::eit()
+}
+
 /// Print a horizontal rule sized to `width`.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));

@@ -33,12 +33,14 @@ use crate::list_sched::list_schedule;
 use crate::model::{schedule, SchedulerOptions};
 use crate::modulo::{modulo_schedule, validate_modulo, ModuloOptions};
 use eit_arch::{
-    schedule_from_text, schedule_to_text, simulate, validate_structure, validate_structure_with,
-    verify_modulo, verify_schedule, ArchSpec, Violation,
+    schedule_from_text, schedule_to_text, simulate, to_arch_xml, validate_structure,
+    validate_structure_with, verify_modulo, verify_schedule, ArchSpec, UnitTable, Violation,
 };
 use eit_cp::SearchStatus;
 use eit_ir::sem::Value;
-use eit_ir::{from_xml, to_xml, CoreOp, Cplx, DataKind, Graph, NodeId, Opcode, ScalarOp};
+use eit_ir::{
+    from_xml, to_xml, CoreOp, Cplx, DataKind, Graph, LatencyModel, NodeId, Opcode, ScalarOp,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -62,6 +64,11 @@ pub struct FuzzOptions {
     pub check_modulo: bool,
     /// Shrink failures before reporting.
     pub shrink: bool,
+    /// Fuzz the architecture×kernel product space: each case runs on a
+    /// seed-derived random [`ArchSpec`] (always `validate()`-clean)
+    /// instead of the fixed EIT instance, and reproducers ship the arch
+    /// XML next to the kernel XML.
+    pub arch_fuzz: bool,
 }
 
 impl Default for FuzzOptions {
@@ -73,6 +80,7 @@ impl Default for FuzzOptions {
             solver_timeout: Duration::from_secs(20),
             check_modulo: true,
             shrink: true,
+            arch_fuzz: false,
         }
     }
 }
@@ -90,6 +98,9 @@ pub struct FuzzFailure {
     pub detail: String,
     /// XML of the (shrunk) reproducer graph.
     pub graph_xml: String,
+    /// `eit-arch/1` XML of the architecture the case ran on (`None` when
+    /// the run used the builtin EIT instance).
+    pub arch_xml: Option<String>,
     /// Where the reproducer was written, if `out_dir` was set.
     pub reproducer: Option<PathBuf>,
 }
@@ -237,6 +248,45 @@ pub fn gen_graph(rng: &mut StdRng) -> Graph {
     g
 }
 
+/// Generate a random, always-[`ArchSpec::validate`]-clean architecture:
+/// the classic three-unit mix priced by a randomized latency model on a
+/// randomized memory geometry. Bounds keep the machine inside the
+/// envelope the constraint model covers (the crossbar never narrower
+/// than what the lane count can demand, pages dividing banks), so any
+/// differential failure on a generated arch is a toolchain bug, not a
+/// nonsensical machine.
+pub fn gen_arch(rng: &mut StdRng) -> ArchSpec {
+    let n_lanes = rng.gen_range(1..5u32);
+    let n_banks = [8u32, 16, 32][rng.gen_range(0..3usize)];
+    let page_size = [2u32, 4, 8][rng.gen_range(0..3usize)];
+    let slots_per_bank = rng.gen_range(2..9u32);
+    let m = LatencyModel {
+        vector_pipeline: rng.gen_range(2..10),
+        vector_duration: 1,
+        accel_iterative: rng.gen_range(4..11),
+        accel_simple: rng.gen_range(1..4),
+        accel_duration_iterative: rng.gen_range(1..4),
+        accel_duration_simple: 1,
+        index_merge: rng.gen_range(1..3),
+    };
+    let spec = ArchSpec {
+        n_lanes,
+        n_banks,
+        page_size,
+        slots_per_bank,
+        // EIT proportions: two reads and one write per lane per cycle,
+        // floored at a matrix op's four simultaneous input reads and
+        // never beyond what the banks can serve.
+        max_vector_reads: (2 * n_lanes).max(4).min(n_banks),
+        max_vector_writes: n_lanes.max(2).min(n_banks),
+        reconfig_cost: rng.gen_range(1..5),
+        slot_cap: None,
+        units: UnitTable::classic(&m, n_lanes),
+    };
+    debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+    spec
+}
+
 /// Deterministic input values for every producer-less data node, keyed on
 /// the node index alone so shrinking never changes a surviving input.
 pub fn inputs_for(g: &Graph) -> HashMap<NodeId, Value> {
@@ -264,12 +314,22 @@ fn fmt_violations(tag: &str, vs: &[Violation]) -> String {
     format!("{tag}: {} violation(s): {}", vs.len(), head.join("; "))
 }
 
-/// Run every differential stage on one graph. `Ok(checks)` counts the
-/// stages executed; `Err((stage, detail))` is the first disagreement.
+/// Run every differential stage on one graph against the builtin EIT
+/// instance. `Ok(checks)` counts the stages executed; `Err((stage,
+/// detail))` is the first disagreement.
 pub fn check_case(g: &Graph, opts: &FuzzOptions) -> Result<u64, (String, String)> {
+    check_case_on(g, &ArchSpec::eit(), opts)
+}
+
+/// Run every differential stage on one `(graph, architecture)` pair.
+pub fn check_case_on(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &FuzzOptions,
+) -> Result<u64, (String, String)> {
     let fail = |stage: &str, detail: String| Err((stage.to_string(), detail));
     let mut checks = 0u64;
-    let spec = ArchSpec::eit();
+    let spec = spec.clone();
 
     // Stage: the generator's output is valid IR.
     checks += 1;
@@ -400,7 +460,7 @@ pub fn check_case(g: &Graph, opts: &FuzzOptions) -> Result<u64, (String, String)
     // a produced schedule must survive both verifiers and replay.
     checks += 1;
     let n_data = g.ids().filter(|&n| g.category(n).is_data()).count() as u32;
-    let tight_spec = ArchSpec::eit().with_slots(n_data.div_ceil(2).max(4));
+    let tight_spec = spec.clone().with_slots(n_data.div_ceil(2).max(4));
     let tight = schedule(g, &tight_spec, &sched_opts);
     if let Some(s) = &tight.schedule {
         let sim_v = validate_structure(g, &tight_spec, s);
@@ -485,9 +545,15 @@ pub fn check_case(g: &Graph, opts: &FuzzOptions) -> Result<u64, (String, String)
     Ok(checks)
 }
 
-/// Greedy shrink: repeatedly delete sink ops (with their now-dead
-/// outputs) and orphan inputs while the same stage keeps failing.
+/// Greedy shrink against the builtin EIT instance.
 pub fn shrink(g: &Graph, stage: &str, opts: &FuzzOptions) -> Graph {
+    shrink_on(g, &ArchSpec::eit(), stage, opts)
+}
+
+/// Greedy shrink: repeatedly delete sink ops (with their now-dead
+/// outputs) and orphan inputs while the same stage keeps failing on the
+/// same architecture.
+pub fn shrink_on(g: &Graph, spec: &ArchSpec, stage: &str, opts: &FuzzOptions) -> Graph {
     let mut cur = g.clone();
     let mut budget = 200usize;
     loop {
@@ -519,7 +585,7 @@ pub fn shrink(g: &Graph, stage: &str, opts: &FuzzOptions) -> Graph {
             if next.is_empty() {
                 continue;
             }
-            if matches!(&check_case(&next, opts), Err((s, _)) if s == stage) {
+            if matches!(&check_case_on(&next, spec, opts), Err((s, _)) if s == stage) {
                 cur = next;
                 progressed = true;
                 break;
@@ -536,67 +602,89 @@ pub fn shrink(g: &Graph, stage: &str, opts: &FuzzOptions) -> Graph {
 /// next to its XML.
 fn record_reproducer_trace(
     g: &Graph,
+    spec: &ArchSpec,
     path: &std::path::Path,
     timeout: Duration,
 ) -> std::io::Result<()> {
     use eit_cp::trace::TraceHandle;
     use eit_cp::RecorderSink;
-    let spec = ArchSpec::eit();
     let mut sched_opts = SchedulerOptions {
         timeout: Some(timeout),
         state_hash_every: Some(crate::rr::DEFAULT_HASH_EVERY),
         ..Default::default()
     };
-    let header = crate::rr::schedule_header(g, &spec, &sched_opts);
+    let header = crate::rr::schedule_header(g, spec, &sched_opts);
     let sink = RecorderSink::create(path, &header)?;
     sched_opts.trace = Some(TraceHandle::new(sink));
-    schedule(g, &spec, &sched_opts);
+    schedule(g, spec, &sched_opts);
     Ok(())
 }
 
 /// Run the full differential fuzzer. Deterministic in `opts.seed`.
+///
+/// With `arch_fuzz` set, each case's seed first draws a random
+/// architecture ([`gen_arch`]), then the kernel, so the run walks the
+/// architecture×kernel product space; a failure's reproducer is then an
+/// arch-XML + kernel-XML *pair*.
 pub fn run(opts: &FuzzOptions) -> FuzzReport {
     let mut report = FuzzReport::default();
     for case in 0..opts.cases {
         let cs = case_seed(opts.seed, case);
         let mut rng = StdRng::seed_from_u64(cs);
+        let spec = if opts.arch_fuzz {
+            gen_arch(&mut rng)
+        } else {
+            ArchSpec::eit()
+        };
         let g = gen_graph(&mut rng);
         report.cases += 1;
-        match check_case(&g, opts) {
+        match check_case_on(&g, &spec, opts) {
             Ok(n) => report.checks += n,
             Err((stage, detail)) => {
                 let minimal = if opts.shrink {
-                    shrink(&g, &stage, opts)
+                    shrink_on(&g, &spec, &stage, opts)
                 } else {
                     g.clone()
                 };
                 // Re-derive the detail from the minimal graph when the
                 // shrink preserved the stage (it always does by
                 // construction, but don't trust — re-check).
-                let detail = match check_case(&minimal, opts) {
+                let detail = match check_case_on(&minimal, &spec, opts) {
                     Err((_, d)) => d,
                     Ok(_) => detail,
                 };
                 let graph_xml = to_xml(&minimal);
+                let arch_xml = opts.arch_fuzz.then(|| to_arch_xml(&spec));
                 let reproducer = opts.out_dir.as_ref().and_then(|dir| {
                     std::fs::create_dir_all(dir).ok()?;
                     let base = dir.join(format!("seed{}-case{case}", opts.seed));
                     let xml_path = base.with_extension("xml");
                     std::fs::write(&xml_path, &graph_xml).ok()?;
+                    if let Some(ax) = &arch_xml {
+                        // The machine half of the reproducer pair, ready
+                        // for `eitc --arch`.
+                        std::fs::write(base.with_extension("arch.xml"), ax).ok()?;
+                    }
                     let _ = std::fs::write(
                         base.with_extension("txt"),
                         format!(
                             "seed: {}\ncase: {case}\ncase_seed: {cs}\nstage: {stage}\n\
-                             detail: {detail}\nnodes: {} (shrunk from {})\n",
+                             detail: {detail}\nnodes: {} (shrunk from {})\narch: {}\n",
                             opts.seed,
                             minimal.len(),
-                            g.len()
+                            g.len(),
+                            if opts.arch_fuzz {
+                                "generated (see .arch.xml)"
+                            } else {
+                                "eit"
+                            },
                         ),
                     );
                     // Replayable `eit-trace/1` recording of the minimal
                     // graph's scheduler run (`eitc --replay` validates it).
                     let _ = record_reproducer_trace(
                         &minimal,
+                        &spec,
                         &base.with_extension("trace"),
                         opts.solver_timeout,
                     );
@@ -608,6 +696,7 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
                     stage,
                     detail,
                     graph_xml,
+                    arch_xml,
                     reproducer,
                 });
             }
@@ -628,6 +717,7 @@ mod tests {
             solver_timeout: Duration::from_secs(10),
             check_modulo: modulo,
             shrink: true,
+            arch_fuzz: false,
         }
     }
 
@@ -638,6 +728,40 @@ mod tests {
         assert_eq!(to_xml(&a), to_xml(&b));
         let c = gen_graph(&mut StdRng::seed_from_u64(8));
         assert_ne!(to_xml(&a), to_xml(&c));
+    }
+
+    #[test]
+    fn generated_arches_are_deterministic_and_always_valid() {
+        let a = gen_arch(&mut StdRng::seed_from_u64(7));
+        let b = gen_arch(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let mut distinct = 0;
+        for case in 0..100 {
+            let spec = gen_arch(&mut StdRng::seed_from_u64(case_seed(1, case)));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{spec:?}"));
+            if spec != a {
+                distinct += 1;
+            }
+        }
+        // The generator actually walks the space.
+        assert!(distinct > 90, "only {distinct} distinct arches in 100");
+    }
+
+    #[test]
+    fn arch_kernel_product_space_smoke() {
+        let mut opts = quick(11, 6, false);
+        opts.arch_fuzz = true;
+        let r = run(&opts);
+        assert!(
+            r.ok(),
+            "{:?}",
+            r.failures
+                .iter()
+                .map(|f| (&f.stage, &f.detail, &f.arch_xml))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(r.cases, 6);
     }
 
     #[test]

@@ -46,9 +46,8 @@ impl MachineState {
 /// Schedule `g` heuristically. Returns `None` only when memory allocation
 /// fails outright (slot budget below the live-set floor).
 pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<ListScheduleResult> {
-    let lat = &spec.latencies;
-    let latency = |n: NodeId| lat.latency(&g.node(n).kind);
-    let duration = |n: NodeId| lat.duration(&g.node(n).kind);
+    let latency = |n: NodeId| spec.latency(&g.node(n).kind);
+    let duration = |n: NodeId| spec.duration(&g.node(n).kind);
 
     // Priority: longest path to a sink (standard CP ranking).
     let order = g.topo_order()?;
@@ -102,7 +101,7 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
             let cat = g.category(op);
             let dur = duration(op);
             let need_lanes = match cat {
-                Category::MatrixOp => 4,
+                Category::MatrixOp => spec.matrix_lanes(),
                 Category::VectorOp => 1,
                 _ => 0,
             };
@@ -130,10 +129,12 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
                         }
                     }
                 }
-                if matches!(cat, Category::Index | Category::Merge)
-                    && *machine.im_busy.get(&t).unwrap_or(&false)
-                {
-                    ok = false;
+                if matches!(cat, Category::Index | Category::Merge) {
+                    for dt in 0..dur {
+                        if *machine.im_busy.get(&(t + dt)).unwrap_or(&false) {
+                            ok = false;
+                        }
+                    }
                 }
 
                 // Memory feasibility (reads at t, writes at t + latency).
@@ -213,7 +214,9 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
                         }
                     }
                     if matches!(cat, Category::Index | Category::Merge) {
-                        machine.im_busy.insert(t, true);
+                        for dt in 0..dur {
+                            machine.im_busy.insert(t + dt, true);
+                        }
                     }
                     // Outputs.
                     for &d in g.succs(op) {
@@ -291,7 +294,7 @@ pub fn list_schedule(g: &Graph, spec: &ArchSpec, with_memory: bool) -> Option<Li
         }
     }
 
-    sched.compute_makespan(g, &lat.of(g));
+    sched.compute_makespan(g, &spec.latency_of(g));
     Some(ListScheduleResult {
         schedule: sched,
         delayed_ops: delayed,

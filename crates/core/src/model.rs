@@ -28,7 +28,7 @@ use eit_cp::{
     minimize, Model, Phase, PropProfile, SearchConfig, SearchStats, SearchStatus, ValSel, VarId,
     VarSel,
 };
-use eit_ir::{Category, Graph, NodeId};
+use eit_ir::{Category, Graph, NodeId, OpClass};
 use std::time::{Duration, Instant};
 
 /// Options for [`schedule`].
@@ -105,11 +105,10 @@ pub struct BuiltModel {
 
 /// A safe horizon: every op executed serially.
 pub fn serial_horizon(g: &Graph, spec: &ArchSpec) -> i32 {
-    let lat = &spec.latencies;
     g.ids()
         .map(|i| {
-            lat.latency(&g.node(i).kind)
-                .max(lat.duration(&g.node(i).kind))
+            spec.latency(&g.node(i).kind)
+                .max(spec.duration(&g.node(i).kind))
         })
         .sum::<i32>()
         .max(1)
@@ -119,7 +118,6 @@ pub fn serial_horizon(g: &Graph, spec: &ArchSpec) -> i32 {
 pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> BuiltModel {
     let build_start = Instant::now();
     let mut timings = PhaseTimings::new();
-    let lat = spec.latencies;
     let horizon = opts.horizon.unwrap_or_else(|| serial_horizon(g, spec));
     let mut m = if opts.fifo_engine {
         Model::with_fifo_baseline()
@@ -141,8 +139,8 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
         })
         .collect();
 
-    let latency = |i: NodeId| lat.latency(&g.node(i).kind);
-    let duration = |i: NodeId| lat.duration(&g.node(i).kind);
+    let latency = |i: NodeId| spec.latency(&g.node(i).kind);
+    let duration = |i: NodeId| spec.duration(&g.node(i).kind);
 
     // Longest-path preprocessing: earliest starts tighten every domain's
     // lower bound, and the critical path is a sound lower bound on the
@@ -165,55 +163,54 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
         }
     }
 
-    // (2) the three Cumulatives.
+    // (2) one resource constraint per functional unit, in table order.
+    // On the classic table this posts exactly the paper's three: the lane
+    // Cumulative (vector req 1, matrix req = matrix width) and two
+    // Disjunctives for the accelerator and the index/merge unit. A
+    // replicated unit (count > 1) becomes a Cumulative with the op's
+    // resolved width as its resource requirement.
     let vec_core_ops: Vec<NodeId> = g
         .ids()
         .filter(|&i| matches!(g.category(i), Category::VectorOp | Category::MatrixOp))
         .collect();
-    m.cumulative(
-        vec_core_ops
+    for unit in &spec.units.units {
+        let classes: Vec<OpClass> = unit.ops.iter().map(|o| o.class).collect();
+        let is_vcore = classes
             .iter()
-            .map(|&i| CumTask {
-                start: start[i.idx()],
-                dur: duration(i),
-                req: if g.category(i) == Category::MatrixOp {
-                    4
-                } else {
-                    1
-                },
-            })
-            .collect(),
-        spec.n_lanes as i32,
-    );
-    let scalar_ops: Vec<NodeId> = g
-        .ids()
-        .filter(|&i| g.category(i) == Category::ScalarOp)
-        .collect();
-    if !scalar_ops.is_empty() {
-        m.disjunctive(
-            scalar_ops
-                .iter()
-                .map(|&i| DisjTask {
-                    start: start[i.idx()],
-                    dur: duration(i),
-                })
-                .collect(),
-        );
-    }
-    let im_ops: Vec<NodeId> = g
-        .ids()
-        .filter(|&i| matches!(g.category(i), Category::Index | Category::Merge))
-        .collect();
-    if !im_ops.is_empty() {
-        m.disjunctive(
-            im_ops
-                .iter()
-                .map(|&i| DisjTask {
-                    start: start[i.idx()],
-                    dur: duration(i),
-                })
-                .collect(),
-        );
+            .any(|c| matches!(c, OpClass::Vector | OpClass::Matrix));
+        let unit_ops: Vec<NodeId> = g
+            .ids()
+            .filter(|&i| OpClass::of(&g.node(i).kind).is_some_and(|c| classes.contains(&c)))
+            .collect();
+        if !is_vcore && unit_ops.is_empty() {
+            continue;
+        }
+        if !is_vcore && unit.count == 1 {
+            m.disjunctive(
+                unit_ops
+                    .iter()
+                    .map(|&i| DisjTask {
+                        start: start[i.idx()],
+                        dur: duration(i),
+                    })
+                    .collect(),
+            );
+        } else {
+            m.cumulative(
+                unit_ops
+                    .iter()
+                    .map(|&i| CumTask {
+                        start: start[i.idx()],
+                        dur: duration(i),
+                        req: spec
+                            .units
+                            .class_width(OpClass::of(&g.node(i).kind).unwrap())
+                            .unwrap_or(1) as i32,
+                    })
+                    .collect(),
+                unit.count as i32,
+            );
+        }
     }
 
     // (3) one configuration per cycle: differently-configured vector ops
@@ -235,12 +232,12 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
     }
 
     // (5) makespan = max completion over op nodes.
-    let objective = m.new_var_named(critical_path, horizon + lat.vector_pipeline, "makespan");
+    let objective = m.new_var_named(critical_path, horizon + spec.pipeline_depth(), "makespan");
     let completions: Vec<VarId> = g
         .ids()
         .filter(|&i| g.category(i).is_op())
         .map(|i| {
-            let c = m.new_var(0, horizon + lat.vector_pipeline);
+            let c = m.new_var(0, horizon + spec.pipeline_depth());
             m.eq_offset(start[i.idx()], latency(i), c);
             c
         })
@@ -367,7 +364,7 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
         let mut rects = Vec::with_capacity(vdata.len());
         let one = m.new_const(1);
         for &d in &vdata {
-            let life = m.new_var_named(1, horizon + lat.vector_pipeline, "life");
+            let life = m.new_var_named(1, horizon + spec.pipeline_depth(), "life");
             for &c in g.succs(d) {
                 // life ≥ s_c − s_d
                 m.linear_leq(
@@ -440,7 +437,7 @@ fn extract(g: &Graph, spec: &ArchSpec, built: &BuiltModel, sol: &eit_cp::Solutio
         s.start[i.idx()] = sol.value(built.start[i.idx()]);
         s.slot[i.idx()] = built.slot[i.idx()].map(|v| sol.value(v) as u32);
     }
-    s.compute_makespan(g, &spec.latencies.of(g));
+    s.compute_makespan(g, &spec.latency_of(g));
     s
 }
 

@@ -34,7 +34,7 @@ use eit_cp::{
     solve, CancelToken, Model, Phase, SearchConfig, SearchStats, SearchStatus, ValSel, VarId,
     VarSel,
 };
-use eit_ir::{Category, Graph, NodeId, VectorConfig};
+use eit_ir::{Category, Graph, NodeId, OpClass, VectorConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -153,22 +153,25 @@ pub struct ModuloResult {
 /// bound is sound; it already prunes whole candidate IIs from the sweep on
 /// port-narrow machine configurations.
 pub fn ii_lower_bound(g: &Graph, spec: &ArchSpec) -> i32 {
-    let lat = &spec.latencies;
-    let mut lane_work = 0i64;
-    let mut accel_work = 0i64;
-    let mut im_work = 0i64;
-    for n in g.ids() {
-        let d = lat.duration(&g.node(n).kind) as i64;
-        match g.category(n) {
-            Category::VectorOp => lane_work += d,
-            Category::MatrixOp => lane_work += 4 * d,
-            Category::ScalarOp => accel_work += d,
-            Category::Index | Category::Merge => im_work += d,
-            _ => {}
-        }
+    // Per-unit work bound, from the unit table: each op contributes
+    // width·duration to the unit serving its class, and the unit clears
+    // at most `count` of that per cycle.
+    let mut unit_bound = 0i64;
+    for unit in &spec.units.units {
+        let classes: Vec<OpClass> = unit.ops.iter().map(|o| o.class).collect();
+        let work: i64 = g
+            .ids()
+            .filter_map(|n| {
+                let c = OpClass::of(&g.node(n).kind)?;
+                classes.contains(&c).then(|| {
+                    spec.duration(&g.node(n).kind) as i64
+                        * spec.units.class_width(c).unwrap_or(1) as i64
+                })
+            })
+            .sum();
+        let cap = (unit.count as i64).max(1);
+        unit_bound = unit_bound.max((work + cap - 1) / cap);
     }
-    let lanes = spec.n_lanes as i64;
-    let lane_bound = (lane_work + lanes - 1) / lanes;
 
     let mut consumed = vec![false; g.len()];
     let mut produced = vec![false; g.len()];
@@ -192,11 +195,7 @@ pub fn ii_lower_bound(g: &Graph, spec: &ArchSpec) -> i32 {
     let wp = (spec.max_vector_writes as i64).max(1);
     let port_bound = ((reads + rp - 1) / rp).max((writes + wp - 1) / wp);
 
-    lane_bound
-        .max(accel_work)
-        .max(im_work)
-        .max(port_bound)
-        .max(1) as i32
+    unit_bound.max(port_bound).max(1) as i32
 }
 
 /// The vector-core configuration groups of a graph, in first-appearance
@@ -287,9 +286,8 @@ pub fn build_probe(
     ii: i32,
     include_reconfig: bool,
 ) -> Option<ProbeModel> {
-    let lat = &spec.latencies;
-    let latency = |n: NodeId| lat.latency(&g.node(n).kind);
-    let duration = |n: NodeId| lat.duration(&g.node(n).kind);
+    let latency = |n: NodeId| spec.latency(&g.node(n).kind);
+    let duration = |n: NodeId| spec.duration(&g.node(n).kind);
     let cp = g.critical_path(&latency);
     // Stage bound: latency alone needs cp/ii stages, but the banded model
     // can force a wrap-around (stage increment) at every hop of a
@@ -321,7 +319,7 @@ pub fn build_probe(
         } else if g.producer(n).is_none() {
             s_var.push(m.new_const(0));
         } else {
-            s_var.push(m.new_var(0, horizon + lat.vector_pipeline));
+            s_var.push(m.new_var(0, horizon + spec.pipeline_depth()));
         }
     }
 
@@ -334,40 +332,32 @@ pub fn build_probe(
         }
     }
 
-    // Window resource constraints on t.
-    let cum =
-        |m: &mut Model, ops: &[NodeId], t_var: &HashMap<NodeId, VarId>, cap: i32, matrix4: bool| {
-            let tasks: Vec<CumTask> = ops
-                .iter()
-                .map(|&n| CumTask {
-                    start: t_var[&n],
-                    dur: duration(n),
-                    req: if matrix4 && g.category(n) == Category::MatrixOp {
-                        4
-                    } else {
-                        1
-                    },
-                })
-                .collect();
-            if !tasks.is_empty() {
-                m.cumulative(tasks, cap);
-            }
-        };
+    // Window resource constraints on t: one Cumulative per functional
+    // unit of the table, in table order (on the classic table: lanes with
+    // matrix req = matrix width, then accelerator and index/merge at
+    // capacity 1).
     let vec_core: Vec<NodeId> = g
         .ids()
         .filter(|&n| matches!(g.category(n), Category::VectorOp | Category::MatrixOp))
         .collect();
-    cum(&mut m, &vec_core, &t_var, spec.n_lanes as i32, true);
-    let scalars: Vec<NodeId> = g
-        .ids()
-        .filter(|&n| g.category(n) == Category::ScalarOp)
-        .collect();
-    cum(&mut m, &scalars, &t_var, 1, false);
-    let ims: Vec<NodeId> = g
-        .ids()
-        .filter(|&n| matches!(g.category(n), Category::Index | Category::Merge))
-        .collect();
-    cum(&mut m, &ims, &t_var, 1, false);
+    for unit in &spec.units.units {
+        let classes: Vec<OpClass> = unit.ops.iter().map(|o| o.class).collect();
+        let tasks: Vec<CumTask> = g
+            .ids()
+            .filter(|&n| OpClass::of(&g.node(n).kind).is_some_and(|c| classes.contains(&c)))
+            .map(|n| CumTask {
+                start: t_var[&n],
+                dur: duration(n),
+                req: spec
+                    .units
+                    .class_width(OpClass::of(&g.node(n).kind).unwrap())
+                    .unwrap_or(1) as i32,
+            })
+            .collect();
+        if !tasks.is_empty() {
+            m.cumulative(tasks, unit.count as i32);
+        }
+    }
 
     // One configuration per window slot.
     let vops: Vec<NodeId> = vec_core
@@ -897,7 +887,7 @@ pub fn validate_modulo(
             sched.start[ids[n.idx()].idx()] = r.s[&n] + it as i32 * r.ii_issue;
         }
     }
-    sched.compute_makespan(&big, &spec.latencies.of(&big));
+    sched.compute_makespan(&big, &spec.latency_of(&big));
     eit_arch::validate_structure_with(&big, spec, &sched, false)
 }
 
@@ -1237,7 +1227,7 @@ pub fn allocate_modulo_memory_with(
             sched.start[ids[n.idx()].idx()] = r.s[&n] + it as i32 * r.ii_issue;
         }
     }
-    sched.compute_makespan(&big, &spec.latencies.of(&big));
+    sched.compute_makespan(&big, &spec.latency_of(&big));
 
     let vdata: Vec<eit_ir::NodeId> = big
         .ids()

@@ -178,7 +178,6 @@ pub fn overlapped_execution(
     m: usize,
 ) -> OverlapResult {
     assert!(m >= 1);
-    let lat = &spec.latencies;
     let (big, map) = replicate(g, m);
 
     let mut sched = Schedule::new(big.len());
@@ -202,7 +201,7 @@ pub fn overlapped_execution(
             .iter()
             .chain(&b.scalar_op)
             .chain(&b.index_merge_op)
-            .map(|&op| lat.duration(&g.node(op).kind))
+            .map(|&op| spec.duration(&g.node(op).kind))
             .max()
             .unwrap_or(1)
             .max(1);
@@ -218,7 +217,7 @@ pub fn overlapped_execution(
                 let cop = ids[op.idx()];
                 for &d in big.preds(cop) {
                     if let Some(p) = big.producer(d) {
-                        let ready = start[p.idx()] + lat.latency(&big.node(p).kind);
+                        let ready = start[p.idx()] + spec.latency(&big.node(p).kind);
                         earliest = earliest.max(ready);
                     }
                 }
@@ -227,7 +226,7 @@ pub fn overlapped_execution(
                 let cop = ids[op.idx()];
                 start[cop.idx()] = earliest;
                 for &d in big.succs(cop) {
-                    start[d.idx()] = earliest + lat.latency(&big.node(cop).kind);
+                    start[d.idx()] = earliest + spec.latency(&big.node(cop).kind);
                 }
             }
             cursor = earliest + stride;
@@ -235,7 +234,7 @@ pub fn overlapped_execution(
     }
 
     sched.start = start;
-    sched.compute_makespan(&big, &lat.of(&big));
+    sched.compute_makespan(&big, &spec.latency_of(&big));
     let cs = ConfigStream::from_schedule(&big, spec, &sched);
     let makespan = sched.makespan;
     OverlapResult {

@@ -36,13 +36,14 @@ pub fn schedule_portfolio(
     opts: &SchedulerOptions,
 ) -> crate::model::ScheduleResult {
     let g = Arc::new(g.clone());
-    let spec = *spec;
+    let spec = spec.clone();
     let opts = opts.clone();
 
     let strategies: Vec<Strategy> = variants()
         .into_iter()
         .map(|(vs, vals, slot_vals)| {
             let g = Arc::clone(&g);
+            let spec = spec.clone();
             let opts = opts.clone();
             let strat: Strategy = Box::new(move || {
                 let built = build_model(&g, &spec, &opts);
@@ -83,7 +84,7 @@ pub fn schedule_portfolio(
                 s.start[i.idx()] = sol.value(built.start[i.idx()]);
                 s.slot[i.idx()] = built.slot[i.idx()].map(|v| sol.value(v) as u32);
             }
-            s.compute_makespan(&g, &spec.latencies.of(&g));
+            s.compute_makespan(&g, &spec.latency_of(&g));
             s
         })
     });

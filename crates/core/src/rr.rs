@@ -39,10 +39,9 @@ pub fn ir_hash(g: &Graph) -> u64 {
 /// Canonical hash of an [`ArchSpec`]: FNV-1a over a fixed rendering of
 /// every field that reaches the solver.
 pub fn arch_hash(spec: &ArchSpec) -> u64 {
-    let lat = &spec.latencies;
-    let s = format!(
-        "lanes={};banks={};page={};spb={};reads={};writes={};reconfig={};cap={:?};\
-         lat={},{},{},{},{},{},{}",
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "lanes={};banks={};page={};spb={};reads={};writes={};reconfig={};cap={:?};units=",
         spec.n_lanes,
         spec.n_banks,
         spec.page_size,
@@ -51,14 +50,21 @@ pub fn arch_hash(spec: &ArchSpec) -> u64 {
         spec.max_vector_writes,
         spec.reconfig_cost,
         spec.slot_cap,
-        lat.vector_pipeline,
-        lat.vector_duration,
-        lat.accel_iterative,
-        lat.accel_simple,
-        lat.accel_duration_iterative,
-        lat.accel_duration_simple,
-        lat.index_merge,
     );
+    for u in &spec.units.units {
+        let _ = write!(s, "[{}x{}:", u.name, u.count);
+        for o in &u.ops {
+            let _ = write!(
+                s,
+                "({},{},{},{})",
+                o.class.name(),
+                o.latency,
+                o.occupancy,
+                o.width
+            );
+        }
+        s.push(']');
+    }
     fnv1a(s.as_bytes())
 }
 
@@ -368,12 +374,85 @@ mod tests {
             ctx.finish()
         };
         assert_ne!(h1, ir_hash(&g2));
-        let mut spec2 = spec;
+        let mut spec2 = spec.clone();
         spec2.n_banks = 8;
         assert_ne!(arch_hash(&spec), arch_hash(&spec2));
         // Stable across calls.
         assert_eq!(h1, ir_hash(&g));
         assert_eq!(arch_hash(&spec), arch_hash(&spec));
+    }
+
+    /// Every ArchSpec field — geometry, ports, costs, and every field of
+    /// every unit-table entry — must perturb [`arch_hash`]: the hash is
+    /// the cache key component that distinguishes target machines, so a
+    /// blind spot would let one machine's schedule serve another's.
+    #[test]
+    fn arch_hash_is_sensitive_to_every_field() {
+        let base = ArchSpec::eit();
+        let h0 = arch_hash(&base);
+        let mut variants: Vec<(&'static str, ArchSpec)> = Vec::new();
+
+        let mut s = base.clone();
+        s.n_lanes += 1;
+        variants.push(("n_lanes", s));
+        let mut s = base.clone();
+        s.n_banks *= 2;
+        variants.push(("n_banks", s));
+        let mut s = base.clone();
+        s.page_size *= 2;
+        variants.push(("page_size", s));
+        let mut s = base.clone();
+        s.slots_per_bank += 1;
+        variants.push(("slots_per_bank", s));
+        let mut s = base.clone();
+        s.max_vector_reads += 1;
+        variants.push(("max_vector_reads", s));
+        let mut s = base.clone();
+        s.max_vector_writes += 1;
+        variants.push(("max_vector_writes", s));
+        let mut s = base.clone();
+        s.reconfig_cost += 1;
+        variants.push(("reconfig_cost", s));
+        let mut s = base.clone();
+        s.slot_cap = Some(32);
+        variants.push(("slot_cap", s));
+
+        // Unit-table fields, for every unit and every op.
+        for ui in 0..base.units.units.len() {
+            let mut s = base.clone();
+            s.units.units[ui].name.push('X');
+            variants.push(("unit.name", s));
+            let mut s = base.clone();
+            s.units.units[ui].count += 1;
+            variants.push(("unit.count", s));
+            for oi in 0..base.units.units[ui].ops.len() {
+                let mut s = base.clone();
+                s.units.units[ui].ops[oi].latency += 1;
+                variants.push(("op.latency", s));
+                let mut s = base.clone();
+                s.units.units[ui].ops[oi].occupancy += 1;
+                variants.push(("op.occupancy", s));
+                let mut s = base.clone();
+                s.units.units[ui].ops[oi].width += 1;
+                variants.push(("op.width", s));
+            }
+        }
+        // Op class identity matters too: swap a class for another.
+        let mut s = base.clone();
+        s.units.units[2].ops[0].class = eit_ir::OpClass::ScalarSimple;
+        variants.push(("op.class", s));
+
+        let mut hashes = vec![h0];
+        for (field, v) in &variants {
+            let h = arch_hash(v);
+            assert_ne!(h, h0, "perturbing {field} did not change arch_hash");
+            hashes.push(h);
+        }
+        // And the perturbations are mutually distinct — no two collide.
+        hashes.sort_unstable();
+        let n = hashes.len();
+        hashes.dedup();
+        assert_eq!(hashes.len(), n, "two distinct specs share an arch_hash");
     }
 
     #[test]

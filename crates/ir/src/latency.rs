@@ -12,6 +12,100 @@
 //! assumption in DESIGN.md) and are fully parameterisable.
 
 use crate::node::{NodeId, NodeKind, Opcode, ScalarOp};
+use std::fmt;
+
+/// The functional-unit *class* of an operation — the key a data-driven
+/// unit table is indexed by. Every op node falls into exactly one class;
+/// data nodes have none (they cost no cycles and occupy no unit).
+///
+/// The classes deliberately split the scalar accelerator's two latency
+/// regimes (iterative √/÷/CORDIC vs. single-pass ±/×) so an architecture
+/// description can price them independently — exactly the distinction
+/// [`LatencyModel`] hard-codes for the EIT instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Single-lane vector-core op (one lane, full pipeline trip).
+    Vector,
+    /// Matrix op on the vector core (consumes the whole lane group).
+    Matrix,
+    /// Iterative scalar-accelerator op (√, 1/√, ÷, reciprocal, CORDIC).
+    ScalarIterative,
+    /// Single-pass scalar-accelerator op (±, ×, negate, …).
+    ScalarSimple,
+    /// Index-unit op.
+    Index,
+    /// Merge-unit op.
+    Merge,
+}
+
+impl OpClass {
+    /// Every class, in the canonical (rendering/hashing) order.
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Vector,
+        OpClass::Matrix,
+        OpClass::ScalarIterative,
+        OpClass::ScalarSimple,
+        OpClass::Index,
+        OpClass::Merge,
+    ];
+
+    /// Classify a node; `None` for data nodes.
+    pub fn of(kind: &NodeKind) -> Option<OpClass> {
+        match kind {
+            NodeKind::Data(_) => None,
+            NodeKind::Op(op) => Some(match op {
+                Opcode::Vector { .. } => OpClass::Vector,
+                Opcode::Matrix { .. } => OpClass::Matrix,
+                Opcode::Scalar(s) => {
+                    if is_iterative(*s) {
+                        OpClass::ScalarIterative
+                    } else {
+                        OpClass::ScalarSimple
+                    }
+                }
+                Opcode::Index(_) => OpClass::Index,
+                Opcode::Merge => OpClass::Merge,
+            }),
+        }
+    }
+
+    /// Stable lower-case name used in the arch XML format.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Vector => "vector",
+            OpClass::Matrix => "matrix",
+            OpClass::ScalarIterative => "scalar-iterative",
+            OpClass::ScalarSimple => "scalar-simple",
+            OpClass::Index => "index",
+            OpClass::Merge => "merge",
+        }
+    }
+
+    /// Inverse of [`OpClass::name`].
+    pub fn parse(s: &str) -> Option<OpClass> {
+        OpClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether a scalar op uses the accelerator's iterative (multi-cycle,
+/// unit-blocking) datapath.
+fn is_iterative(s: ScalarOp) -> bool {
+    matches!(
+        s,
+        ScalarOp::Sqrt
+            | ScalarOp::RSqrt
+            | ScalarOp::Div
+            | ScalarOp::Recip
+            | ScalarOp::CordicRot
+            | ScalarOp::CordicVec
+    )
+}
 
 /// Cycle-count parameters of the target machine, as seen by the scheduler.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,50 +144,32 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// `l_i`: cycles until the node's output is ready.
     pub fn latency(&self, kind: &NodeKind) -> i32 {
-        match kind {
-            NodeKind::Data(_) => 0,
-            NodeKind::Op(op) => match op {
-                Opcode::Vector { .. } | Opcode::Matrix { .. } => self.vector_pipeline,
-                Opcode::Scalar(s) => {
-                    if Self::is_iterative(*s) {
-                        self.accel_iterative
-                    } else {
-                        self.accel_simple
-                    }
-                }
-                Opcode::Index(_) | Opcode::Merge => self.index_merge,
-            },
-        }
+        OpClass::of(kind).map_or(0, |c| self.class_latency(c))
     }
 
     /// `d_i`: cycles the node occupies its resource.
     pub fn duration(&self, kind: &NodeKind) -> i32 {
-        match kind {
-            NodeKind::Data(_) => 0,
-            NodeKind::Op(op) => match op {
-                Opcode::Vector { .. } | Opcode::Matrix { .. } => self.vector_duration,
-                Opcode::Scalar(s) => {
-                    if Self::is_iterative(*s) {
-                        self.accel_duration_iterative
-                    } else {
-                        self.accel_duration_simple
-                    }
-                }
-                Opcode::Index(_) | Opcode::Merge => self.index_merge,
-            },
+        OpClass::of(kind).map_or(0, |c| self.class_duration(c))
+    }
+
+    /// Latency of one op class under this model.
+    pub fn class_latency(&self, c: OpClass) -> i32 {
+        match c {
+            OpClass::Vector | OpClass::Matrix => self.vector_pipeline,
+            OpClass::ScalarIterative => self.accel_iterative,
+            OpClass::ScalarSimple => self.accel_simple,
+            OpClass::Index | OpClass::Merge => self.index_merge,
         }
     }
 
-    fn is_iterative(s: ScalarOp) -> bool {
-        matches!(
-            s,
-            ScalarOp::Sqrt
-                | ScalarOp::RSqrt
-                | ScalarOp::Div
-                | ScalarOp::Recip
-                | ScalarOp::CordicRot
-                | ScalarOp::CordicVec
-        )
+    /// Occupancy of one op class under this model.
+    pub fn class_duration(&self, c: OpClass) -> i32 {
+        match c {
+            OpClass::Vector | OpClass::Matrix => self.vector_duration,
+            OpClass::ScalarIterative => self.accel_duration_iterative,
+            OpClass::ScalarSimple => self.accel_duration_simple,
+            OpClass::Index | OpClass::Merge => self.index_merge,
+        }
     }
 
     /// Latency function over a graph, for [`crate::graph::Graph`] analyses.
@@ -131,5 +207,38 @@ mod tests {
         let m = LatencyModel::default();
         assert_eq!(m.latency(&NodeKind::Op(Opcode::Index(2))), 1);
         assert_eq!(m.latency(&NodeKind::Op(Opcode::Merge)), 1);
+    }
+
+    #[test]
+    fn op_class_covers_every_opcode_and_roundtrips_names() {
+        assert_eq!(
+            OpClass::of(&NodeKind::Op(Opcode::vector(CoreOp::Add))),
+            Some(OpClass::Vector)
+        );
+        assert_eq!(
+            OpClass::of(&NodeKind::Op(Opcode::matrix(CoreOp::Mul))),
+            Some(OpClass::Matrix)
+        );
+        assert_eq!(
+            OpClass::of(&NodeKind::Op(Opcode::Scalar(ScalarOp::Sqrt))),
+            Some(OpClass::ScalarIterative)
+        );
+        assert_eq!(
+            OpClass::of(&NodeKind::Op(Opcode::Scalar(ScalarOp::Add))),
+            Some(OpClass::ScalarSimple)
+        );
+        assert_eq!(
+            OpClass::of(&NodeKind::Op(Opcode::Index(1))),
+            Some(OpClass::Index)
+        );
+        assert_eq!(
+            OpClass::of(&NodeKind::Op(Opcode::Merge)),
+            Some(OpClass::Merge)
+        );
+        assert_eq!(OpClass::of(&NodeKind::Data(DataKind::Vector)), None);
+        for c in OpClass::ALL {
+            assert_eq!(OpClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(OpClass::parse("warp"), None);
     }
 }

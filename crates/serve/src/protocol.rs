@@ -12,7 +12,7 @@
 //!
 //! | op        | meaning |
 //! |-----------|---------|
-//! | `compile` | schedule a kernel (`kernel` builtin name or inline `xml` IR), `mode` `"schedule"` (default) or `"modulo"` |
+//! | `compile` | schedule a kernel (`kernel` builtin name or inline `xml` IR), `mode` `"schedule"` (default) or `"modulo"`; optional `arch` selects the target machine (preset name or inline `eit-arch/1` XML, default `eit`) |
 //! | `ping`    | liveness probe |
 //! | `stats`   | aggregated server metrics (`eit-run-metrics/1` document) |
 //! | `shutdown`| stop accepting, drain, exit |
@@ -40,6 +40,10 @@ pub const MAX_SLOTS: u32 = 4096;
 /// table kernel serialises to ~20 KiB.
 pub const MAX_XML_BYTES: usize = 4 << 20;
 
+/// Hard cap on an inline `arch` description (bytes). A machine with a
+/// dozen units renders to well under a kilobyte.
+pub const MAX_ARCH_BYTES: usize = 64 << 10;
+
 /// What to compile and how — the cacheable part of a request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompileRequest {
@@ -47,8 +51,14 @@ pub struct CompileRequest {
     pub kernel: Option<String>,
     /// Inline IR as `eit-ir` XML; exclusive with `kernel`.
     pub xml: Option<String>,
-    /// Memory-slot budget (`ArchSpec::with_slots`).
-    pub slots: u32,
+    /// Target machine: a preset name or an inline `eit-arch/1` XML
+    /// document (resolved by `eit_arch::resolve_arch`); `None` = the
+    /// `eit` preset. Part of the cache key via the resolved arch hash.
+    pub arch: Option<String>,
+    /// Memory-slot budget (`ArchSpec::with_slots`). `None` = the arch's
+    /// own budget (64 for the default `eit` preset, preserving the
+    /// pre-`arch` wire behaviour byte for byte).
+    pub slots: Option<u32>,
     /// `false` = straight-line schedule, `true` = modulo sweep.
     pub modulo: bool,
     /// Modulo only: model reconfigurations inside the optimisation.
@@ -147,10 +157,19 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
                     )));
                 }
             }
+            let arch = field_str(&doc, "arch");
+            if let Some(a) = &arch {
+                if a.len() > MAX_ARCH_BYTES {
+                    return Err(err(format!(
+                        "inline arch is {} bytes; the limit is {MAX_ARCH_BYTES}",
+                        a.len()
+                    )));
+                }
+            }
             let slots = match doc.get("slots") {
-                None => 64,
+                None => None,
                 Some(v) => match v.as_u64() {
-                    Some(n) if (1..=MAX_SLOTS as u64).contains(&n) => n as u32,
+                    Some(n) if (1..=MAX_SLOTS as u64).contains(&n) => Some(n as u32),
                     _ => {
                         return Err(err(format!(
                             "'slots' must be an integer in 1..={MAX_SLOTS}"
@@ -181,6 +200,7 @@ pub fn decode_request(line: &str) -> Result<Envelope, DecodeError> {
             Request::Compile(Box::new(CompileRequest {
                 kernel,
                 xml,
+                arch,
                 slots,
                 modulo,
                 include_reconfig,
@@ -352,9 +372,26 @@ mod tests {
             panic!("expected compile")
         };
         assert_eq!(c.kernel.as_deref(), Some("qrd"));
-        assert_eq!(c.slots, 64);
+        assert_eq!(c.arch, None);
+        assert_eq!(c.slots, None);
         assert!(!c.modulo);
         assert_eq!(c.deadline_ms, None);
+    }
+
+    #[test]
+    fn decodes_an_arch_selector() {
+        let e = decode_request(r#"{"op":"compile","kernel":"qrd","arch":"wide"}"#).unwrap();
+        let Request::Compile(c) = e.req else {
+            panic!("expected compile")
+        };
+        assert_eq!(c.arch.as_deref(), Some("wide"));
+        // Oversized inline arch documents are refused at decode time.
+        let big = format!(
+            r#"{{"op":"compile","kernel":"qrd","arch":"{}"}}"#,
+            "x".repeat(MAX_ARCH_BYTES + 1)
+        );
+        let err = decode_request(&big).unwrap_err();
+        assert!(err.message.contains("inline arch"), "{}", err.message);
     }
 
     #[test]
@@ -368,7 +405,7 @@ mod tests {
             panic!("expected compile")
         };
         assert!(c.modulo && c.include_reconfig);
-        assert_eq!(c.slots, 16);
+        assert_eq!(c.slots, Some(16));
         assert_eq!(c.deadline_ms, Some(250));
     }
 

@@ -501,7 +501,24 @@ fn handle_job(shared: &Arc<Shared>, job: &Job, mut timing: RequestTiming) -> Res
         return bad_request(format!("invalid IR: {e}"));
     }
     let _ = eit_ir::merge_pipeline_ops(&mut g);
-    let spec = ArchSpec::eit().with_slots(req.slots);
+    // Resolve the target machine: preset name or inline eit-arch/1 XML,
+    // validated on load. The resolved spec's hash is part of the cache
+    // key, so different machines never alias in the solve cache.
+    let mut spec = match &req.arch {
+        Some(a) => match eit_arch::resolve_arch(a) {
+            Ok(s) => s,
+            Err(e) => return bad_request(e),
+        },
+        None => ArchSpec::eit(),
+    };
+    // An explicit `slots` overrides the arch's own budget; absent, the
+    // default machine keeps its historical 64-slot cap so pre-`arch`
+    // requests hash to the same cache addresses as before.
+    match (req.slots, req.arch.is_some()) {
+        (Some(n), _) => spec = spec.with_slots(n),
+        (None, false) => spec = spec.with_slots(64),
+        (None, true) => {}
+    }
     let token = CancelToken::with_deadline(job.deadline);
     let solve_started = Instant::now();
 

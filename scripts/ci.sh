@@ -62,6 +62,38 @@ echo "== differential fuzz smoke: 200 fixed-seed cases"
 # (~30s ceiling; typically well under).
 ./target/release/fuzz --seed 5 --cases 200 --out /tmp/eit-fuzz-failures
 
+echo "== arch-fuzz smoke: 100 fixed-seed architecture×kernel cases"
+# Each case draws a generated machine (always validate()-clean) before
+# the kernel; the full differential stack must agree on every pair.
+./target/release/fuzz --seed 7 --cases 100 --arch-fuzz --out /tmp/eit-arch-fuzz-failures
+
+echo "== parametric arch gate: preset → XML → reload is byte-identical"
+# The eit-arch/1 contract: a dumped preset is a parse/render fixpoint,
+# reloading it compiles every table kernel byte-identical to the builtin
+# path, and invalid descriptions are rejected with named attributes.
+archdir="$(mktemp -d /tmp/eit-arch.XXXXXX)"
+./target/release/eitc --dump-arch eit  > "$archdir/eit.xml"
+./target/release/eitc --dump-arch wide > "$archdir/wide.xml"
+./target/release/eitc --dump-arch "$archdir/eit.xml"  | cmp - "$archdir/eit.xml" \
+  || { echo "FAIL: eit.xml is not a dump fixpoint"; exit 1; }
+./target/release/eitc --dump-arch "$archdir/wide.xml" | cmp - "$archdir/wide.xml" \
+  || { echo "FAIL: wide.xml is not a dump fixpoint"; exit 1; }
+for k in qrd arf matmul fir detector blockmm; do
+  ./target/release/eitc "$k" > "$archdir/builtin_$k.txt"
+  ./target/release/eitc "$k" --arch "$archdir/eit.xml" > "$archdir/reloaded_$k.txt"
+  cmp "$archdir/builtin_$k.txt" "$archdir/reloaded_$k.txt" \
+    || { echo "FAIL: $k --arch eit.xml differs from the builtin path"; exit 1; }
+  echo "   $k: reloaded-preset listing byte-identical to builtin"
+done
+# Validation-on-load: a parseable but impossible machine is refused.
+sed 's/page_size="4"/page_size="32"/' "$archdir/eit.xml" > "$archdir/bad.xml"
+if ./target/release/eitc qrd --arch "$archdir/bad.xml" >/dev/null 2>"$archdir/bad.err"; then
+  echo "FAIL: invalid arch description was accepted"; exit 1
+fi
+grep -q 'page_size="32"' "$archdir/bad.err" \
+  || { echo "FAIL: arch rejection did not name the attribute"; exit 1; }
+echo "   invalid description rejected with the attribute named"
+
 echo "== independent verification of the table 1/2/3 reference schedules"
 # Every paper kernel, straight-line at its table slot budget, must pass
 # the solver-independent verifier AND the simulator's structural rules
@@ -124,11 +156,24 @@ for k in qrd arf matmul fir detector blockmm; do
   cmp "$servedir/serve2_$k.txt" "$servedir/oneshot_$k.txt" \
     || { echo "FAIL: $k cached listing differs from one-shot eitc"; exit 1; }
 done
+# Arch-threading through the daemon: an inline reloaded-preset arch must
+# serve every kernel byte-identical to the one-shot builtin path (these
+# are cold misses — the arch hash keys the cache — so hits stay at 6),
+# and a bad arch value comes back as a structured bad-request.
+for k in qrd arf matmul fir detector blockmm; do
+  client compile "$k" --arch "$archdir/eit.xml" --out "$servedir/arch_$k.txt" \
+    | grep -q '"status":"ok"' || { echo "FAIL: $k --arch via serve errored"; exit 1; }
+  cmp "$servedir/arch_$k.txt" "$servedir/oneshot_$k.txt" \
+    || { echo "FAIL: $k served --arch listing differs from one-shot eitc"; exit 1; }
+done
+client compile qrd --arch not-a-preset | grep -q '"kind":"bad-request"' \
+  || { echo "FAIL: bad arch value not rejected as bad-request"; exit 1; }
+echo "   6/6 kernels served byte-identically under --arch; bad arch → bad-request"
 client stats | grep -q '"hits":6'
 client shutdown | grep -q '"shutting_down":true'
 wait "$serve_pid" || { echo "FAIL: daemon exited non-zero"; exit 1; }
 grep -q '"schema": "eit-run-metrics/1"' "$servedir/metrics.json"
-rm -rf "$servedir"
+rm -rf "$servedir" "$archdir"
 echo "   daemon survived malformed/panic/deadline; 6/6 kernels cache-hit byte-identically"
 
 echo "== solver bench smoke: trace overhead + engine A/B"

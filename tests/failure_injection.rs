@@ -95,7 +95,7 @@ fn corrupted_schedules_never_pass_silently() {
     for _ in 0..200 {
         let mut s = base.clone();
         let _tag = mutate(&mut rng, &g, &spec, &mut s);
-        s.compute_makespan(&g, &spec.latencies.of(&g));
+        s.compute_makespan(&g, &spec.latency_of(&g));
         let report = simulate(&g, &spec, &s, &kernel.inputs);
         if report.ok() {
             // The mutation produced another valid schedule — then the
