@@ -47,5 +47,5 @@ pub use sim::{
 };
 pub use spec::{ArchSpec, FuncUnit, UnitOp, UnitTable};
 pub use vcd::to_vcd;
-pub use verify::{verify_modulo, verify_schedule};
+pub use verify::{verify_modulo, verify_overlapped, verify_schedule};
 pub use xml::{from_arch_xml, resolve_arch, to_arch_xml, ARCH_XML_VERSION};

@@ -53,6 +53,16 @@ pub enum Violation {
     ConfigConflict {
         cycle: i32,
     },
+    /// Two consecutive vector-core issue cycles carry different
+    /// configurations without the reconfiguration stall between them
+    /// (overlapped-execution rule: the core switches only at bundle
+    /// boundaries and each switch costs `reconfig_cost` idle cycles).
+    ReconfigStall {
+        prev_cycle: i32,
+        cycle: i32,
+        gap: i32,
+        need: i32,
+    },
     AcceleratorOverlap {
         a: NodeId,
         b: NodeId,

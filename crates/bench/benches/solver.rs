@@ -22,6 +22,29 @@ fn bench_domain(c: &mut Criterion) {
             d.size()
         })
     });
+    // The hybrid representation's raison d'être: on a span-128 domain
+    // (every start/slot variable under a realistic horizon) the bitset
+    // path does `remove_value` and `contains` as word ops where the
+    // pinned interval list splits and scans runs. Same op stream, same
+    // observable results — only the representation differs.
+    for (name, pin) in [("bitset", false), ("interval", true)] {
+        c.bench_function(&format!("solver/domain_small_ops_{name}"), |b| {
+            b.iter(|| {
+                let mut d = Domain::interval(0, 127);
+                if pin {
+                    d.pin();
+                }
+                let mut member = 0u32;
+                for v in (0..128).step_by(3) {
+                    d.remove_value(v);
+                }
+                for v in 0..128 {
+                    member += d.contains(v) as u32;
+                }
+                (d.size(), member)
+            })
+        });
+    }
     c.bench_function("solver/domain_intersect_holey", |b| {
         let a = Domain::from_values((0..1000).filter(|v| v % 3 != 0));
         let bd = Domain::from_values((0..1000).filter(|v| v % 5 != 0));
@@ -231,6 +254,65 @@ fn bench_parallel_ab(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_restart_ab(c: &mut Criterion) {
+    // Restarts + nogood recording on the same phase-transition instance
+    // the EPS bench uses: QRD's steady-state memory allocation at a
+    // 39-slot budget. A plain sequential dive commits to a bad prefix
+    // and thrashes until the 2 s cap; geometric restarts abandon the
+    // prefix, the recorded nogoods stop the next dive from re-entering
+    // it, and the single-threaded search finds a valid allocation well
+    // inside the budget. This is the CP-native analogue of the clause
+    // learning the SAT-based modulo schedulers lean on.
+    let k = eit_apps::by_name("qrd").expect("built-in kernel");
+    let mut g = k.graph.clone();
+    eit_ir::merge_pipeline_ops(&mut g);
+    let modulo = modulo_schedule(
+        &g,
+        &ArchSpec::eit(),
+        &ModuloOptions {
+            include_reconfig: true,
+            ..Default::default()
+        },
+    )
+    .expect("qrd incl pipelines");
+    let spec = ArchSpec::eit().with_slots(39);
+
+    let mut group = c.benchmark_group("solver/restart_ab");
+    group.sample_size(10);
+    for (name, restarts) in [
+        ("alloc_plain_2s_cap", None),
+        (
+            "alloc_restarts_nogoods",
+            Some(eit_cp::RestartConfig::default()),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = allocate_modulo_memory_with(
+                    &g,
+                    &spec,
+                    &modulo,
+                    4,
+                    &AllocOptions {
+                        timeout: Duration::from_secs(2),
+                        jobs: 1,
+                        restarts,
+                        ..Default::default()
+                    },
+                );
+                if restarts.is_some() {
+                    assert!(
+                        matches!(out, AllocOutcome::Allocated(..)),
+                        "restarts+nogoods should crack the 39-slot allocation within budget"
+                    );
+                }
+                matches!(out, AllocOutcome::Allocated(..))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_domain,
@@ -238,6 +320,7 @@ criterion_group!(
     bench_synthetic_scaling,
     bench_engine_ab,
     bench_search_heuristics,
-    bench_parallel_ab
+    bench_parallel_ab,
+    bench_restart_ab
 );
 criterion_main!(benches);

@@ -46,6 +46,13 @@
 //!   --profile           print the per-propagator profile table (stderr)
 //!   --fifo              use the legacy FIFO propagation scheduler (A/B
 //!                       baseline for the event-driven engine)
+//!   --no-bitset         pin every solver variable to interval-list domains
+//!                       instead of the hybrid bitset representation (A/B
+//!                       baseline; same schedules, slower propagation)
+//!   --restarts [P]      fail-budgeted restarts with nogood recording.
+//!                       P = geom:BASE:FACTOR_PERCENT | luby:UNIT, with an
+//!                       optional +ng suffix to record nogoods
+//!                       (default policy: geom:256:150+ng)
 //!   --metrics FILE      write machine-readable run metrics as JSON
 //!   --serve ADDR        run as a compile daemon instead: bind ADDR and
 //!                       speak the eit-serve/1 JSONL protocol until a
@@ -94,6 +101,8 @@ struct Args {
     lenient: bool,
     profile: bool,
     fifo: bool,
+    no_bitset: bool,
+    restarts: Option<eit_cp::RestartConfig>,
     metrics: Option<String>,
     serve: Option<String>,
 }
@@ -104,7 +113,8 @@ fn usage() -> ! {
     eprintln!("            [--modulo [incl]] [--jobs N] [--overlap M] [--timeout SECS]");
     eprintln!("            [--emit xml|gantt|dot|vcd] [--verify]");
     eprintln!("            [--trace FILE] [--record FILE] [--replay FILE [--strict|--lenient]]");
-    eprintln!("            [--profile] [--fifo] [--metrics FILE]");
+    eprintln!("            [--profile] [--fifo] [--no-bitset] [--restarts [POLICY]]");
+    eprintln!("            [--metrics FILE]");
     eprintln!("       eitc --serve ADDR [--jobs N] [--timeout SECS] [--metrics FILE]");
     eprintln!("       eitc --dump-arch PRESET|FILE");
     exit(2);
@@ -138,6 +148,8 @@ fn parse_args() -> Args {
         lenient: false,
         profile: false,
         fifo: false,
+        no_bitset: false,
+        restarts: None,
         metrics: None,
         serve: None,
     };
@@ -198,6 +210,22 @@ fn parse_args() -> Args {
             "--lenient" => args.lenient = true,
             "--profile" => args.profile = true,
             "--fifo" => args.fifo = true,
+            "--no-bitset" => args.no_bitset = true,
+            "--restarts" => {
+                // The policy token is optional: a following argument is
+                // consumed only when it parses as one, so `--restarts
+                // qrd` still reads `qrd` as the kernel.
+                let parsed = it
+                    .peek()
+                    .and_then(|t| eit_cp::RestartConfig::parse_token(t));
+                args.restarts = Some(match parsed {
+                    Some(cfg) => {
+                        it.next();
+                        cfg
+                    }
+                    None => eit_cp::RestartConfig::default(),
+                });
+            }
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             "--serve" => args.serve = Some(it.next().unwrap_or_else(|| usage())),
             k if !k.starts_with('-') && args.kernel.is_empty() => args.kernel = k.to_string(),
@@ -513,6 +541,8 @@ fn main() {
             total_timeout: timeout,
             jobs: args.jobs,
             trace: trace.clone(),
+            restarts: args.restarts,
+            bitset: !args.no_bitset,
             ..Default::default()
         };
         if let Some(path) = &args.replay {
@@ -594,6 +624,8 @@ fn main() {
         trace,
         profile: args.profile || args.metrics.is_some(),
         fifo_engine: args.fifo,
+        restarts: args.restarts,
+        bitset: !args.no_bitset,
         ..Default::default()
     };
 
@@ -684,6 +716,7 @@ fn main() {
         let mut m = RunMetrics::new("eitc", &args.kernel);
         m.arch(&spec)
             .solver(out.status, Some(out.schedule.makespan), &out.solver, None)
+            .domains(out.domain_reps)
             .spans(&out.timings)
             .propagators(&out.propagator_profile)
             .program(&out.program);
@@ -710,6 +743,13 @@ fn main() {
             ov.reconfig_switches,
             ov.throughput
         );
+        if args.verify {
+            report_verification(
+                &format!("overlap x{m} ({} bundles)", ov.n_bundles),
+                &eit_arch::verify_overlapped(&ov.graph, &spec, &ov.schedule),
+                &eit_arch::validate_structure_with(&ov.graph, &spec, &ov.schedule, false),
+            );
+        }
         return;
     }
 

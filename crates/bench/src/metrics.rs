@@ -82,12 +82,28 @@ impl RunMetrics {
             ("solutions".into(), Json::int(stats.solutions)),
             ("propagations".into(), Json::int(stats.propagations)),
             ("max_depth".into(), Json::int(stats.max_depth as u64)),
+            ("restarts".into(), Json::int(stats.restarts)),
+            ("nogoods_posted".into(), Json::int(stats.nogoods_posted)),
+            ("nogoods_pruned".into(), Json::int(stats.nogoods_pruned)),
             ("time_us".into(), Json::int(stats.time.as_micros() as u64)),
         ];
         if let Some(w) = winner {
             obj.push(("winner".into(), Json::int(w as u64)));
         }
         self.push("solver", Json::Obj(obj))
+    }
+
+    /// Domain-representation histogram of the solved model: how many
+    /// variables ended the search on the bitset fast path vs. interval
+    /// lists (see `eit_cp::Domain` and DESIGN.md §5k).
+    pub fn domains(&mut self, reps: (usize, usize)) -> &mut Self {
+        self.push(
+            "domains",
+            Json::Obj(vec![
+                ("bitset".into(), Json::int(reps.0 as u64)),
+                ("interval".into(), Json::int(reps.1 as u64)),
+            ]),
+        )
     }
 
     /// Phase-timing spans, in record order.

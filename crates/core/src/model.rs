@@ -67,6 +67,16 @@ pub struct SchedulerOptions {
     /// thread. Excluded from [`crate::rr::schedule_config_string`] like
     /// `timeout`: budgets shape *when* a run stops, not its trajectory.
     pub cancel: Option<eit_cp::CancelToken>,
+    /// Restart the branch-and-bound on a fail-count schedule, recording
+    /// decision-prefix nogoods at each restart (`None` = plain DFS).
+    /// Restarts reshape the search trajectory, so this **is** part of
+    /// [`crate::rr::schedule_config_string`].
+    pub restarts: Option<eit_cp::RestartConfig>,
+    /// Use the hybrid bitset/interval domain representation (default).
+    /// `false` pins every variable to interval lists — the A/B baseline.
+    /// Representation changes propagation *speed*, not the trajectory,
+    /// so this is excluded from the record/replay config string.
+    pub bitset: bool,
 }
 
 impl Default for SchedulerOptions {
@@ -82,6 +92,8 @@ impl Default for SchedulerOptions {
             profile: false,
             fifo_engine: false,
             cancel: None,
+            restarts: None,
+            bitset: true,
         }
     }
 }
@@ -124,6 +136,8 @@ pub fn build_model(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Built
     } else {
         Model::new()
     };
+    // Must precede variable creation: the switch pins vars at birth.
+    m.store.set_bitset(opts.bitset);
 
     // --- start variables ---------------------------------------------------
     let start: Vec<VarId> = g
@@ -428,6 +442,9 @@ pub struct ScheduleResult {
     /// Per-propagator accounting (aggregated by name, sorted by cost);
     /// empty unless [`SchedulerOptions::profile`] was set.
     pub propagator_profile: Vec<PropProfile>,
+    /// Domain-representation histogram at end of search:
+    /// `(bitset_vars, interval_vars)`.
+    pub domain_reps: (usize, usize),
 }
 
 /// Extract a [`Schedule`] from a solver solution.
@@ -459,10 +476,12 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
         trace: opts.trace.clone(),
         state_hash_every: opts.state_hash_every,
         cancel: opts.cancel.clone(),
+        restarts: opts.restarts,
     };
     let r = timings.time("search", || {
         minimize(&mut built.model, built.objective, &cfg)
     });
+    let domain_reps = built.model.store.domain_rep_counts();
     let mut schedule = timings.time("extract", || {
         r.best.as_ref().map(|sol| extract(g, spec, &built, sol))
     });
@@ -495,6 +514,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
                 trace: opts.trace.clone(),
                 state_hash_every: opts.state_hash_every,
                 cancel: opts.cancel.clone(),
+                restarts: opts.restarts,
             };
             let r2 = minimize(&mut built2.model, max_slot, &cfg2);
             if let Some(sol) = r2.best.as_ref() {
@@ -512,6 +532,7 @@ pub fn schedule(g: &Graph, spec: &ArchSpec, opts: &SchedulerOptions) -> Schedule
         timings,
         winner: None,
         propagator_profile,
+        domain_reps,
     }
 }
 

@@ -75,6 +75,13 @@ pub struct ModuloOptions {
     /// feasible II) intact. Excluded from
     /// [`crate::rr::modulo_config_string`], like the time budgets.
     pub cancel: Option<CancelToken>,
+    /// Restart policy for each probe's satisfaction search (`None` =
+    /// plain DFS). Trajectory-shaping, so it **is** part of
+    /// [`crate::rr::modulo_config_string`].
+    pub restarts: Option<eit_cp::RestartConfig>,
+    /// Hybrid bitset/interval domains in every probe model (default).
+    /// Representation-only — excluded from the config string.
+    pub bitset: bool,
 }
 
 impl Default for ModuloOptions {
@@ -88,6 +95,8 @@ impl Default for ModuloOptions {
             trace: None,
             state_hash_every: None,
             cancel: None,
+            restarts: None,
+            bitset: true,
         }
     }
 }
@@ -260,7 +269,19 @@ pub fn schedule_at_ii(
     include_reconfig: bool,
     budget: Duration,
 ) -> IiOutcome {
-    probe_ii(g, spec, ii, include_reconfig, budget, None, None, None).0
+    probe_ii(
+        g,
+        spec,
+        ii,
+        include_reconfig,
+        budget,
+        None,
+        None,
+        None,
+        None,
+        true,
+    )
+    .0
 }
 
 /// The per-candidate-II CSP with its variable handles, ready to solve.
@@ -286,6 +307,20 @@ pub fn build_probe(
     ii: i32,
     include_reconfig: bool,
 ) -> Option<ProbeModel> {
+    build_probe_with(g, spec, ii, include_reconfig, true)
+}
+
+/// As [`build_probe`], with the hybrid bitset domain representation
+/// switchable (`bitset: false` pins every variable to interval lists —
+/// the `--no-bitset` A/B baseline; the trajectory is identical either
+/// way, only propagation speed changes).
+pub fn build_probe_with(
+    g: &Graph,
+    spec: &ArchSpec,
+    ii: i32,
+    include_reconfig: bool,
+    bitset: bool,
+) -> Option<ProbeModel> {
     let latency = |n: NodeId| spec.latency(&g.node(n).kind);
     let duration = |n: NodeId| spec.duration(&g.node(n).kind);
     let cp = g.critical_path(&latency);
@@ -298,6 +333,7 @@ pub fn build_probe(
     let horizon = (k_max + 1) * ii;
 
     let mut m = Model::new();
+    m.store.set_bitset(bitset);
     let mut t_var: HashMap<NodeId, VarId> = HashMap::new();
     let mut k_var: HashMap<NodeId, VarId> = HashMap::new();
     let mut s_var: Vec<VarId> = Vec::with_capacity(g.len());
@@ -489,8 +525,10 @@ pub fn probe_ii(
     cancel: Option<CancelToken>,
     trace: Option<TraceHandle>,
     state_hash_every: Option<u64>,
+    restarts: Option<eit_cp::RestartConfig>,
+    bitset: bool,
 ) -> (IiOutcome, SearchStats) {
-    let Some(pm) = build_probe(g, spec, ii, include_reconfig) else {
+    let Some(pm) = build_probe_with(g, spec, ii, include_reconfig, bitset) else {
         return (IiOutcome::Infeasible, SearchStats::default());
     };
     let ProbeModel {
@@ -506,6 +544,7 @@ pub fn probe_ii(
         cancel,
         trace,
         state_hash_every,
+        restarts,
         ..Default::default()
     };
     let r = solve(&mut model, &cfg);
@@ -654,6 +693,8 @@ fn modulo_schedule_sequential(
             opts.cancel.clone(),
             probe_trace,
             opts.state_hash_every,
+            opts.restarts,
+            opts.bitset,
         );
         if let Some(sink) = buffer {
             let events: Vec<SearchEvent> = sink
@@ -796,6 +837,8 @@ fn modulo_schedule_parallel(
                     Some(tokens[idx].clone()),
                     probe_trace,
                     opts.state_hash_every,
+                    opts.restarts,
+                    opts.bitset,
                 );
                 if matches!(outcome, IiOutcome::Feasible(..)) {
                     // This candidate can only lose to a *lower* feasible
@@ -1181,6 +1224,10 @@ pub struct AllocOptions {
     /// Cooperative cancellation / wall-clock deadline, polled by every
     /// worker's search (the EPS subproblem configs inherit it).
     pub cancel: Option<CancelToken>,
+    /// Restart policy for the allocation search (`None` = plain DFS).
+    pub restarts: Option<eit_cp::RestartConfig>,
+    /// Hybrid bitset/interval domains in the allocation model (default).
+    pub bitset: bool,
 }
 
 impl Default for AllocOptions {
@@ -1191,6 +1238,8 @@ impl Default for AllocOptions {
             split_factor: 30,
             race: false,
             cancel: None,
+            restarts: None,
+            bitset: true,
         }
     }
 }
@@ -1240,6 +1289,7 @@ pub fn allocate_modulo_memory_with(
     // valid for solution extraction.
     let build = || -> (Model, Vec<VarId>) {
         let mut m = Model::new();
+        m.store.set_bitset(opts.bitset);
         let n_slots = spec.n_slots() as i32;
         let n_lines = spec.slots_per_bank as i32;
         let n_pages = spec.n_pages() as i32;
@@ -1344,6 +1394,7 @@ pub fn allocate_modulo_memory_with(
         phases: vec![Phase::new(slot_vars, VarSel::FirstFail, ValSel::Min)],
         timeout: Some(opts.timeout),
         cancel: opts.cancel.clone(),
+        restarts: opts.restarts,
         ..Default::default()
     };
 

@@ -324,6 +324,25 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_execution_passes_the_independent_verifier() {
+        // Both bundle sources, several interleave depths, checked by the
+        // adversarial eit-arch verifier (including the reconfig-stall
+        // rule) — the same gate `eitc --overlap --verify` runs.
+        let g = chain_graph();
+        let spec = ArchSpec::eit();
+        let manual = manual_style_bundles(&g, &spec);
+        let r = schedule(&g, &spec, &SchedulerOptions::default());
+        let auto = bundles_from_schedule(&g, &r.schedule.unwrap());
+        for bundles in [&manual, &auto] {
+            for m in [1, 4, 12] {
+                let o = overlapped_execution(&g, &spec, bundles, m);
+                let v = eit_arch::verify_overlapped(&o.graph, &spec, &o.schedule);
+                assert!(v.is_empty(), "m={m}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
     fn output_burstiness_all_outputs_in_tail() {
         // The paper's noted drawback: all output lands at the end.
         let g = chain_graph();

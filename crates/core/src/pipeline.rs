@@ -87,6 +87,9 @@ pub struct Compiled {
     /// Per-propagator accounting; empty unless
     /// [`SchedulerOptions::profile`] was set.
     pub propagator_profile: Vec<PropProfile>,
+    /// Domain-representation histogram `(bitset_vars, interval_vars)`
+    /// of the scheduling model at end of search.
+    pub domain_reps: (usize, usize),
 }
 
 /// Run the full toolchain on `graph`.
@@ -133,6 +136,7 @@ pub fn compile(
         solver: result.stats,
         timings,
         propagator_profile: result.propagator_profile,
+        domain_reps: result.domain_reps,
     })
 }
 

@@ -64,6 +64,7 @@ pub fn schedule_portfolio(
                     trace: opts.trace.clone(),
                     state_hash_every: opts.state_hash_every,
                     cancel: None,
+                    restarts: opts.restarts,
                 };
                 (built.model, built.objective, cfg)
             });
@@ -98,6 +99,7 @@ pub fn schedule_portfolio(
         winner: Some(report.winner),
         // Racers each own their engine; no per-propagator profile here.
         propagator_profile: Vec::new(),
+        domain_reps: (0, 0),
     }
 }
 

@@ -72,10 +72,14 @@ pub fn arch_hash(spec: &ArchSpec) -> u64 {
 /// rendered for the trace header. Wall-clock budgets and worker counts
 /// are deliberately excluded: deadlines are nondeterministic and the
 /// merged event stream is `jobs`-independent by construction, so traces
-/// recorded under different budgets/parallelism stay comparable.
+/// recorded under different budgets/parallelism stay comparable. The
+/// restart/nogood policy **is** included — restarts replay the tree in
+/// a different order — while the bitset/interval domain representation
+/// is **excluded**: it changes propagation speed, never the trajectory,
+/// so recordings stay comparable across `--no-bitset` A/B runs.
 pub fn schedule_config_string(opts: &SchedulerOptions) -> String {
     format!(
-        "mode=schedule;memory={};horizon={};minimize_slots={};fifo={};node_limit={}",
+        "mode=schedule;memory={};horizon={};minimize_slots={};fifo={};node_limit={};restarts={}",
         u8::from(opts.memory),
         opts.horizon
             .map_or_else(|| "auto".into(), |h| h.to_string()),
@@ -83,15 +87,19 @@ pub fn schedule_config_string(opts: &SchedulerOptions) -> String {
         u8::from(opts.fifo_engine),
         opts.node_limit
             .map_or_else(|| "none".into(), |n| n.to_string()),
+        opts.restarts
+            .map_or_else(|| "off".into(), |rc| rc.config_token()),
     )
 }
 
 /// As [`schedule_config_string`], for a modulo sweep.
 pub fn modulo_config_string(opts: &ModuloOptions) -> String {
     format!(
-        "mode=modulo;incl={};max_ii={}",
+        "mode=modulo;incl={};max_ii={};restarts={}",
         u8::from(opts.include_reconfig),
         opts.max_ii.map_or_else(|| "auto".into(), |n| n.to_string()),
+        opts.restarts
+            .map_or_else(|| "off".into(), |rc| rc.config_token()),
     )
 }
 
@@ -230,6 +238,7 @@ pub fn replay_schedule(
         trace: None,
         state_hash_every: opts.state_hash_every,
         cancel: None,
+        restarts: opts.restarts,
     };
     let rep = eit_cp::replay(
         &mut built.model,
@@ -322,6 +331,7 @@ pub fn replay_modulo(
         let cfg = SearchConfig {
             phases: pm.phases.clone(),
             state_hash_every: opts.state_hash_every,
+            restarts: opts.restarts,
             ..Default::default()
         };
         let rep = eit_cp::replay(&mut pm.model, None, &cfg, events, ropts);
@@ -360,6 +370,107 @@ mod tests {
         crate::model::schedule(g, spec, &o);
         let events = sink.lock().unwrap().events.iter().cloned().collect();
         events
+    }
+
+    #[test]
+    fn config_string_includes_restarts_and_excludes_bitset() {
+        // The restart/nogood policy reshapes the search trajectory, so a
+        // trace recorded with restarts must not replay against a
+        // restart-free config (and vice versa): the token is part of the
+        // header. The domain representation changes only propagation
+        // speed, so `--no-bitset` recordings stay interchangeable.
+        let base = SchedulerOptions::default();
+        assert!(
+            schedule_config_string(&base).ends_with(";restarts=off"),
+            "{}",
+            schedule_config_string(&base)
+        );
+        let mut with_restarts = base.clone();
+        with_restarts.restarts = Some(eit_cp::RestartConfig::default());
+        assert!(
+            schedule_config_string(&with_restarts).ends_with(";restarts=geom:256:150+ng"),
+            "{}",
+            schedule_config_string(&with_restarts)
+        );
+        assert_ne!(
+            schedule_config_string(&base),
+            schedule_config_string(&with_restarts)
+        );
+        let mut no_bitset = base.clone();
+        no_bitset.bitset = false;
+        assert_eq!(
+            schedule_config_string(&base),
+            schedule_config_string(&no_bitset),
+            "bitset on/off must not split the replay/cache key"
+        );
+        // The restart token round-trips through the parser eitc uses to
+        // reconstruct a header's policy.
+        let rc = eit_cp::RestartConfig::default();
+        assert_eq!(
+            eit_cp::RestartConfig::parse_token(&rc.config_token()),
+            Some(rc)
+        );
+
+        // Same contract for the modulo sweep.
+        let mbase = ModuloOptions::default();
+        assert!(modulo_config_string(&mbase).ends_with(";restarts=off"));
+        let mut mrestart = mbase.clone();
+        mrestart.restarts = Some(eit_cp::RestartConfig::default());
+        assert_ne!(
+            modulo_config_string(&mbase),
+            modulo_config_string(&mrestart)
+        );
+        let mut mnobits = mbase.clone();
+        mnobits.bitset = false;
+        assert_eq!(modulo_config_string(&mbase), modulo_config_string(&mnobits));
+    }
+
+    #[test]
+    fn restarted_run_records_and_replays_node_identically() {
+        // A schedule recorded with restarts+nogoods must replay through
+        // the same restart-enabled config with zero divergence (the
+        // Restart events are part of the stream).
+        let g = chain();
+        let spec = ArchSpec::eit();
+        let opts = SchedulerOptions {
+            restarts: Some(eit_cp::RestartConfig {
+                policy: eit_cp::RestartPolicy::Geometric {
+                    base: 2,
+                    factor_percent: 150,
+                },
+                nogoods: true,
+            }),
+            ..Default::default()
+        };
+        let recorded = record_schedule(&g, &spec, &opts);
+        assert!(!recorded.is_empty());
+        let rep = replay_schedule(&g, &spec, &opts, &recorded, &ReplayOptions::default());
+        assert!(rep.ok, "divergence: {:?}", rep.divergence);
+        assert_eq!(rep.replay_nodes, rep.recorded_nodes);
+    }
+
+    #[test]
+    fn bitset_off_recording_replays_against_bitset_on() {
+        // The two representations must produce byte-identical event
+        // streams: record with interval lists pinned, replay with the
+        // hybrid bitset domains (and the reverse direction).
+        let g = chain();
+        let spec = ArchSpec::eit();
+        let off = SchedulerOptions {
+            bitset: false,
+            ..Default::default()
+        };
+        let on = SchedulerOptions::default();
+        let rec_off = record_schedule(&g, &spec, &off);
+        let rep = replay_schedule(&g, &spec, &on, &rec_off, &ReplayOptions::default());
+        assert!(rep.ok, "bitset-on replay of bitset-off recording diverged");
+        let rec_on = record_schedule(&g, &spec, &on);
+        let rep = replay_schedule(&g, &spec, &off, &rec_on, &ReplayOptions::default());
+        assert!(rep.ok, "bitset-off replay of bitset-on recording diverged");
+        assert_eq!(
+            rec_on, rec_off,
+            "event streams must be representation-independent"
+        );
     }
 
     #[test]

@@ -1,11 +1,28 @@
-//! Finite integer domains represented as sorted, disjoint interval lists.
+//! Finite integer domains: hybrid bitset / interval-list representation.
 //!
 //! A [`Domain`] is the set of values a finite-domain variable may still
-//! take. The representation is a sorted `Vec` of closed, pairwise-disjoint,
-//! non-adjacent intervals `[lo, hi]`. All mutating operations preserve this
-//! normal form. Most domains in the scheduling model are a single interval,
-//! so the common case allocates one element and all bound operations are
-//! O(1); value removal in the middle is O(k) in the number of intervals.
+//! take. Two representations live behind one API:
+//!
+//! - **Bitset** (`Rep::Bits`): domains whose initial span fits 128 values
+//!   — which covers nearly every start/slot variable in the scheduling
+//!   models, where horizons and slot budgets are small — store membership
+//!   as bits of a `u128` anchored at a fixed `base`. `contains` and
+//!   `remove_value` are branch-free bit tests, `size` is a popcount,
+//!   `min`/`max` are trailing/leading-zero counts and `intersect` is a
+//!   word AND. The anchor never moves: bits are only ever cleared, so a
+//!   value's bit position is stable for the lifetime of the domain.
+//! - **Interval list** (`Rep::Ivs`): a sorted `Vec` of closed, pairwise
+//!   disjoint, non-adjacent intervals `[lo, hi]` — the representation for
+//!   wide domains (span > 128), with O(1) bound operations on the common
+//!   single-interval case.
+//!
+//! A wide interval-list domain **promotes** itself to the bitset
+//! representation as soon as a narrowing operation brings its span within
+//! 128 values (unless it is [`Domain::pin`]ned to the interval list, the
+//! A/B baseline). Promotion is invisible: equality, ordering of iterated
+//! values, interval runs, bounds and the store's state hash are all
+//! representation-independent, so traces and recordings are byte-stable
+//! across the two representations.
 
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
@@ -101,33 +118,92 @@ impl fmt::Debug for DomainEvent {
     }
 }
 
-/// A finite set of `i32` values stored as disjoint closed intervals.
-#[derive(Clone, PartialEq, Eq)]
+/// Maximum span (inclusive value count) the bitset representation holds.
+pub const BITSET_SPAN: i64 = 128;
+
+/// Bits at offsets `≥ o` (offsets count from a bitset's base).
+#[inline]
+fn mask_ge(o: i64) -> u128 {
+    if o <= 0 {
+        u128::MAX
+    } else if o >= 128 {
+        0
+    } else {
+        u128::MAX << o
+    }
+}
+
+/// Bits at offsets `≤ o`.
+#[inline]
+fn mask_le(o: i64) -> u128 {
+    if o < 0 {
+        0
+    } else if o >= 127 {
+        u128::MAX
+    } else {
+        (1u128 << (o + 1)) - 1
+    }
+}
+
+#[derive(Clone)]
+enum Rep {
+    /// Membership bitset over `[base, base + 127]`: bit `i` ⇔ `base + i`
+    /// is a member. The base is fixed at creation/promotion time and bits
+    /// are only ever cleared, so offsets stay stable.
+    Bits { base: i32, bits: u128 },
+    /// Sorted, disjoint, non-adjacent closed intervals. Empty ⇔ domain
+    /// empty. `pinned` suppresses promotion to the bitset representation
+    /// (the `--no-bitset` A/B baseline).
+    Ivs { ivs: Vec<(i32, i32)>, pinned: bool },
+}
+
+/// A finite set of `i32` values (see the module docs for the two
+/// representations).
+#[derive(Clone)]
 pub struct Domain {
-    /// Sorted, disjoint, non-adjacent closed intervals. Empty ⇔ domain empty.
-    ivs: Vec<(i32, i32)>,
+    rep: Rep,
 }
 
 impl Domain {
     /// The interval domain `lo..=hi`. An inverted pair yields the empty domain.
     pub fn interval(lo: i32, hi: i32) -> Self {
         if lo > hi {
-            Domain { ivs: Vec::new() }
+            return Domain::empty();
+        }
+        // Offset arithmetic is i64 throughout: `hi - lo` overflows i32 for
+        // wide domains (and wrapping tricks mis-classify extreme bounds).
+        if hi as i64 - (lo as i64) < BITSET_SPAN {
+            Domain {
+                rep: Rep::Bits {
+                    base: lo,
+                    bits: mask_le(hi as i64 - lo as i64),
+                },
+            }
         } else {
             Domain {
-                ivs: vec![(lo, hi)],
+                rep: Rep::Ivs {
+                    ivs: vec![(lo, hi)],
+                    pinned: false,
+                },
             }
         }
     }
 
     /// Singleton domain `{v}`.
     pub fn singleton(v: i32) -> Self {
-        Domain { ivs: vec![(v, v)] }
+        Domain {
+            rep: Rep::Bits { base: v, bits: 1 },
+        }
     }
 
     /// The empty domain.
     pub fn empty() -> Self {
-        Domain { ivs: Vec::new() }
+        Domain {
+            rep: Rep::Ivs {
+                ivs: Vec::new(),
+                pinned: false,
+            },
+        }
     }
 
     /// Build a domain from an arbitrary iterator of values.
@@ -144,33 +220,90 @@ impl Domain {
                 _ => ivs.push((v, v)),
             }
         }
-        Domain { ivs }
+        let mut d = Domain {
+            rep: Rep::Ivs { ivs, pinned: false },
+        };
+        d.maybe_promote();
+        d
+    }
+
+    /// Force (and keep) the interval-list representation: the domain never
+    /// promotes to the bitset form again. This is the `--no-bitset` A/B
+    /// baseline; behaviour is otherwise identical.
+    pub fn pin(&mut self) {
+        let ivs = match &self.rep {
+            Rep::Bits { .. } => self.intervals().collect(),
+            Rep::Ivs { ivs, .. } => ivs.clone(),
+        };
+        self.rep = Rep::Ivs { ivs, pinned: true };
+    }
+
+    /// True if the domain currently uses the bitset representation.
+    pub fn is_bitset(&self) -> bool {
+        matches!(self.rep, Rep::Bits { .. })
+    }
+
+    /// Promote an unpinned interval list whose span now fits
+    /// [`BITSET_SPAN`] values. The new base is the current minimum.
+    #[inline]
+    fn maybe_promote(&mut self) {
+        if let Rep::Ivs { ivs, pinned: false } = &self.rep {
+            let (Some(&(lo, _)), Some(&(_, hi))) = (ivs.first(), ivs.last()) else {
+                return;
+            };
+            if hi as i64 - lo as i64 >= BITSET_SPAN {
+                return;
+            }
+            let mut bits: u128 = 0;
+            for &(l, h) in ivs {
+                bits |= mask_ge(l as i64 - lo as i64) & mask_le(h as i64 - lo as i64);
+            }
+            self.rep = Rep::Bits { base: lo, bits };
+        }
     }
 
     /// True if no value remains.
     pub fn is_empty(&self) -> bool {
-        self.ivs.is_empty()
+        match &self.rep {
+            Rep::Bits { bits, .. } => *bits == 0,
+            Rep::Ivs { ivs, .. } => ivs.is_empty(),
+        }
     }
 
     /// True if exactly one value remains.
     pub fn is_fixed(&self) -> bool {
-        self.ivs.len() == 1 && self.ivs[0].0 == self.ivs[0].1
+        match &self.rep {
+            Rep::Bits { bits, .. } => bits.count_ones() == 1,
+            Rep::Ivs { ivs, .. } => ivs.len() == 1 && ivs[0].0 == ivs[0].1,
+        }
     }
 
     /// Smallest value. Panics on an empty domain.
     pub fn min(&self) -> i32 {
-        self.ivs[0].0
+        match &self.rep {
+            Rep::Bits { base, bits } => {
+                assert!(*bits != 0, "min() on empty domain");
+                (*base as i64 + bits.trailing_zeros() as i64) as i32
+            }
+            Rep::Ivs { ivs, .. } => ivs[0].0,
+        }
     }
 
     /// Largest value. Panics on an empty domain.
     pub fn max(&self) -> i32 {
-        self.ivs[self.ivs.len() - 1].1
+        match &self.rep {
+            Rep::Bits { base, bits } => {
+                assert!(*bits != 0, "max() on empty domain");
+                (*base as i64 + 127 - bits.leading_zeros() as i64) as i32
+            }
+            Rep::Ivs { ivs, .. } => ivs[ivs.len() - 1].1,
+        }
     }
 
     /// The single remaining value, if fixed.
     pub fn value(&self) -> Option<i32> {
         if self.is_fixed() {
-            Some(self.ivs[0].0)
+            Some(self.min())
         } else {
             None
         }
@@ -178,30 +311,47 @@ impl Domain {
 
     /// Number of values in the domain.
     pub fn size(&self) -> u64 {
-        self.ivs
-            .iter()
-            .map(|&(l, h)| (h as i64 - l as i64 + 1) as u64)
-            .sum()
+        match &self.rep {
+            Rep::Bits { bits, .. } => bits.count_ones() as u64,
+            Rep::Ivs { ivs, .. } => ivs
+                .iter()
+                .map(|&(l, h)| (h as i64 - l as i64 + 1) as u64)
+                .sum(),
+        }
     }
 
     /// Number of maximal intervals (for diagnostics).
     pub fn interval_count(&self) -> usize {
-        self.ivs.len()
+        match &self.rep {
+            Rep::Bits { bits, .. } => {
+                // A run starts at every set bit whose predecessor is clear.
+                (bits & !(bits << 1)).count_ones() as usize
+            }
+            Rep::Ivs { ivs, .. } => ivs.len(),
+        }
     }
 
-    /// Membership test, O(log k).
+    /// Membership test: O(1) on a bitset, O(log k) on an interval list.
     pub fn contains(&self, v: i32) -> bool {
-        self.ivs
-            .binary_search_by(|&(l, h)| {
-                if v < l {
-                    std::cmp::Ordering::Greater
-                } else if v > h {
-                    std::cmp::Ordering::Less
-                } else {
-                    std::cmp::Ordering::Equal
-                }
-            })
-            .is_ok()
+        match &self.rep {
+            Rep::Bits { base, bits } => {
+                let o = v as i64 - *base as i64;
+                // Casting a negative offset to u64 makes it huge, so one
+                // unsigned compare rejects both out-of-range directions.
+                (o as u64) < 128 && (bits >> o) & 1 == 1
+            }
+            Rep::Ivs { ivs, .. } => ivs
+                .binary_search_by(|&(l, h)| {
+                    if v < l {
+                        std::cmp::Ordering::Greater
+                    } else if v > h {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .is_ok(),
+        }
     }
 
     /// Remove all values `< lo`. Returns true if the domain changed.
@@ -209,14 +359,22 @@ impl Domain {
         if self.is_empty() || lo <= self.min() {
             return false;
         }
-        let mut first = 0;
-        while first < self.ivs.len() && self.ivs[first].1 < lo {
-            first += 1;
-        }
-        self.ivs.drain(..first);
-        if let Some(iv) = self.ivs.first_mut() {
-            if iv.0 < lo {
-                iv.0 = lo;
+        match &mut self.rep {
+            Rep::Bits { base, bits } => {
+                *bits &= mask_ge(lo as i64 - *base as i64);
+            }
+            Rep::Ivs { ivs, .. } => {
+                let mut first = 0;
+                while first < ivs.len() && ivs[first].1 < lo {
+                    first += 1;
+                }
+                ivs.drain(..first);
+                if let Some(iv) = ivs.first_mut() {
+                    if iv.0 < lo {
+                        iv.0 = lo;
+                    }
+                }
+                self.maybe_promote();
             }
         }
         true
@@ -227,14 +385,22 @@ impl Domain {
         if self.is_empty() || hi >= self.max() {
             return false;
         }
-        let mut last = self.ivs.len();
-        while last > 0 && self.ivs[last - 1].0 > hi {
-            last -= 1;
-        }
-        self.ivs.truncate(last);
-        if let Some(iv) = self.ivs.last_mut() {
-            if iv.1 > hi {
-                iv.1 = hi;
+        match &mut self.rep {
+            Rep::Bits { base, bits } => {
+                *bits &= mask_le(hi as i64 - *base as i64);
+            }
+            Rep::Ivs { ivs, .. } => {
+                let mut last = ivs.len();
+                while last > 0 && ivs[last - 1].0 > hi {
+                    last -= 1;
+                }
+                ivs.truncate(last);
+                if let Some(iv) = ivs.last_mut() {
+                    if iv.1 > hi {
+                        iv.1 = hi;
+                    }
+                }
+                self.maybe_promote();
             }
         }
         true
@@ -242,28 +408,42 @@ impl Domain {
 
     /// Remove a single value. Returns true if the domain changed.
     pub fn remove_value(&mut self, v: i32) -> bool {
-        let idx = self.ivs.binary_search_by(|&(l, h)| {
-            if v < l {
-                std::cmp::Ordering::Greater
-            } else if v > h {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
+        match &mut self.rep {
+            Rep::Bits { base, bits } => {
+                let o = v as i64 - *base as i64;
+                if (o as u64) >= 128 {
+                    return false;
+                }
+                let bit = 1u128 << o;
+                let had = *bits & bit != 0;
+                *bits &= !bit;
+                had
             }
-        });
-        let Ok(i) = idx else { return false };
-        let (l, h) = self.ivs[i];
-        if l == h {
-            self.ivs.remove(i);
-        } else if v == l {
-            self.ivs[i].0 = l + 1;
-        } else if v == h {
-            self.ivs[i].1 = h - 1;
-        } else {
-            self.ivs[i].1 = v - 1;
-            self.ivs.insert(i + 1, (v + 1, h));
+            Rep::Ivs { ivs, .. } => {
+                let idx = ivs.binary_search_by(|&(l, h)| {
+                    if v < l {
+                        std::cmp::Ordering::Greater
+                    } else if v > h {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                });
+                let Ok(i) = idx else { return false };
+                let (l, h) = ivs[i];
+                if l == h {
+                    ivs.remove(i);
+                } else if v == l {
+                    ivs[i].0 = l + 1;
+                } else if v == h {
+                    ivs[i].1 = h - 1;
+                } else {
+                    ivs[i].1 = v - 1;
+                    ivs.insert(i + 1, (v + 1, h));
+                }
+                true
+            }
         }
-        true
     }
 
     /// Keep only values in `[lo, hi]`. Returns true if the domain changed.
@@ -276,16 +456,53 @@ impl Domain {
     /// Fix the domain to `{v}`. Returns true if the domain changed; the
     /// domain becomes empty if `v` was not a member.
     pub fn fix(&mut self, v: i32) -> bool {
-        if self.is_fixed() && self.ivs[0].0 == v {
+        if self.value() == Some(v) {
             return false;
         }
-        if self.contains(v) {
-            self.ivs.clear();
-            self.ivs.push((v, v));
-        } else {
-            self.ivs.clear();
+        let member = self.contains(v);
+        match &mut self.rep {
+            Rep::Bits { base, bits } => {
+                *bits = if member {
+                    1u128 << (v as i64 - *base as i64)
+                } else {
+                    0
+                };
+            }
+            Rep::Ivs { ivs, pinned } => {
+                ivs.clear();
+                if member {
+                    ivs.push((v, v));
+                    if !*pinned {
+                        self.rep = Rep::Bits { base: v, bits: 1 };
+                    }
+                }
+            }
         }
         true
+    }
+
+    /// Membership mask of `self` over the 128-value window starting at
+    /// `base` (bit `i` ⇔ `base + i` is a member).
+    fn mask_at(&self, base: i32) -> u128 {
+        match &self.rep {
+            Rep::Bits { base: ob, bits } => {
+                let d = *ob as i64 - base as i64;
+                if d >= 128 || d <= -128 {
+                    0
+                } else if d >= 0 {
+                    bits << d
+                } else {
+                    bits >> -d
+                }
+            }
+            Rep::Ivs { ivs, .. } => {
+                let mut m: u128 = 0;
+                for &(l, h) in ivs {
+                    m |= mask_ge(l as i64 - base as i64) & mask_le(h as i64 - base as i64);
+                }
+                m
+            }
+        }
     }
 
     /// Intersect with another domain in place. Returns true if changed.
@@ -293,66 +510,122 @@ impl Domain {
         if self.is_empty() {
             return false;
         }
-        let mut out: Vec<(i32, i32)> = Vec::with_capacity(self.ivs.len());
-        let (mut i, mut j) = (0, 0);
-        while i < self.ivs.len() && j < other.ivs.len() {
-            let (al, ah) = self.ivs[i];
-            let (bl, bh) = other.ivs[j];
-            let lo = al.max(bl);
-            let hi = ah.min(bh);
-            if lo <= hi {
-                out.push((lo, hi));
+        match &mut self.rep {
+            Rep::Bits { base, bits } => {
+                // Word AND against `other`'s membership over our window —
+                // values outside the window are not in `self` anyway.
+                let new = *bits & other.mask_at(*base);
+                let changed = new != *bits;
+                *bits = new;
+                changed
             }
-            if ah < bh {
-                i += 1;
-            } else {
-                j += 1;
+            Rep::Ivs { ivs, .. } => {
+                let mut out: Vec<(i32, i32)> = Vec::with_capacity(ivs.len());
+                let mut oruns = other.intervals().peekable();
+                let mut i = 0;
+                while i < ivs.len() {
+                    let Some(&(bl, bh)) = oruns.peek() else { break };
+                    let (al, ah) = ivs[i];
+                    let lo = al.max(bl);
+                    let hi = ah.min(bh);
+                    if lo <= hi {
+                        out.push((lo, hi));
+                    }
+                    if ah < bh {
+                        i += 1;
+                    } else {
+                        oruns.next();
+                    }
+                }
+                if out == *ivs {
+                    false
+                } else {
+                    *ivs = out;
+                    self.maybe_promote();
+                    true
+                }
             }
-        }
-        if out == self.ivs {
-            false
-        } else {
-            self.ivs = out;
-            true
         }
     }
 
     /// True if the two domains share no value.
     pub fn disjoint(&self, other: &Domain) -> bool {
-        let (mut i, mut j) = (0, 0);
-        while i < self.ivs.len() && j < other.ivs.len() {
-            let (al, ah) = self.ivs[i];
-            let (bl, bh) = other.ivs[j];
-            if al.max(bl) <= ah.min(bh) {
-                return false;
-            }
-            if ah < bh {
-                i += 1;
-            } else {
-                j += 1;
+        match (&self.rep, &other.rep) {
+            (Rep::Bits { base, bits }, _) => bits & other.mask_at(*base) == 0,
+            (_, Rep::Bits { base, bits }) => bits & self.mask_at(*base) == 0,
+            (Rep::Ivs { ivs: a, .. }, Rep::Ivs { ivs: b, .. }) => {
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    let (al, ah) = a[i];
+                    let (bl, bh) = b[j];
+                    if al.max(bl) <= ah.min(bh) {
+                        return false;
+                    }
+                    if ah < bh {
+                        i += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                true
             }
         }
-        true
     }
 
     /// Iterate over the remaining values in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = i32> + '_ {
-        self.ivs.iter().flat_map(|&(l, h)| l..=h)
+        self.intervals().flat_map(|(l, h)| l..=h)
     }
 
-    /// Iterate over the maximal intervals.
-    pub fn intervals(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
-        self.ivs.iter().copied()
+    /// Iterate over the maximal intervals in increasing order.
+    pub fn intervals(&self) -> Runs<'_> {
+        match &self.rep {
+            Rep::Bits { base, bits } => Runs::Bits {
+                base: *base,
+                bits: *bits,
+            },
+            Rep::Ivs { ivs, .. } => Runs::Ivs(ivs.iter()),
+        }
     }
 
     /// Smallest member `≥ v`, if any.
     pub fn next_member(&self, v: i32) -> Option<i32> {
-        for &(l, h) in &self.ivs {
-            if v <= h {
-                return Some(v.max(l));
+        match &self.rep {
+            Rep::Bits { base, bits } => {
+                let rest = bits & mask_ge(v as i64 - *base as i64);
+                if rest == 0 {
+                    None
+                } else {
+                    Some((*base as i64 + rest.trailing_zeros() as i64) as i32)
+                }
+            }
+            Rep::Ivs { ivs, .. } => {
+                for &(l, h) in ivs {
+                    if v <= h {
+                        return Some(v.max(l));
+                    }
+                }
+                None
             }
         }
-        None
+    }
+
+    /// The `n`-th smallest member (0-based). `n` must be `< size()`.
+    /// Used by restart-diversified branching, which picks a
+    /// deterministic pseudo-random rank instead of the minimum.
+    pub fn nth_member(&self, n: u64) -> i32 {
+        let mut left = n;
+        for (l, h) in self.intervals() {
+            let run = (h as i64 - l as i64 + 1) as u64;
+            if left < run {
+                return (l as i64 + left as i64) as i32;
+            }
+            left -= run;
+        }
+        panic!(
+            "nth_member({n}) out of range for domain of size {}",
+            self.size()
+        )
     }
 
     /// The midpoint used by domain-splitting branchers: `(min+max)/2`
@@ -365,10 +638,57 @@ impl Domain {
     }
 }
 
+/// Iterator over a domain's maximal intervals, representation-agnostic
+/// (returned by [`Domain::intervals`]).
+pub enum Runs<'a> {
+    #[doc(hidden)]
+    Bits { base: i32, bits: u128 },
+    #[doc(hidden)]
+    Ivs(std::slice::Iter<'a, (i32, i32)>),
+}
+
+impl Iterator for Runs<'_> {
+    type Item = (i32, i32);
+
+    fn next(&mut self) -> Option<(i32, i32)> {
+        match self {
+            Runs::Bits { base, bits } => {
+                if *bits == 0 {
+                    return None;
+                }
+                let start = bits.trailing_zeros();
+                // Length of the run of consecutive set bits from `start`.
+                let len = (!(*bits >> start)).trailing_zeros();
+                let lo = *base as i64 + start as i64;
+                let hi = lo + len as i64 - 1;
+                *bits &= mask_ge(start as i64 + len as i64);
+                Some((lo as i32, hi as i32))
+            }
+            Runs::Ivs(it) => it.next().copied(),
+        }
+    }
+}
+
+/// Equality is *set* equality, independent of representation: a bitset
+/// and an interval list holding the same values compare equal (and two
+/// bitsets with different anchors do too).
+impl PartialEq for Domain {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.rep, &other.rep) {
+            (Rep::Bits { base: b1, bits: x1 }, Rep::Bits { base: b2, bits: x2 }) if b1 == b2 => {
+                x1 == x2
+            }
+            _ => self.intervals().eq(other.intervals()),
+        }
+    }
+}
+
+impl Eq for Domain {}
+
 impl fmt::Debug for Domain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (l, h)) in self.ivs.iter().enumerate() {
+        for (i, (l, h)) in self.intervals().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -596,5 +916,163 @@ mod tests {
         for v in -5..6 {
             assert_eq!(d.contains(v), d.iter().any(|x| x == v), "v={v}");
         }
+    }
+
+    // ---- hybrid-representation specifics ---------------------------------
+
+    #[test]
+    fn small_domains_use_the_bitset() {
+        assert!(Domain::interval(0, 127).is_bitset());
+        assert!(Domain::singleton(i32::MAX).is_bitset());
+        assert!(Domain::from_values([-3, 0, 99]).is_bitset());
+        assert!(!Domain::interval(0, 128).is_bitset());
+        assert!(!Domain::interval(i32::MIN, i32::MAX).is_bitset());
+    }
+
+    #[test]
+    fn wide_domain_promotes_on_narrowing() {
+        let mut d = Domain::interval(0, 1000);
+        assert!(!d.is_bitset());
+        assert!(d.remove_above(500));
+        assert!(!d.is_bitset()); // span 501: still wide
+        assert!(d.remove_below(400));
+        assert!(d.is_bitset()); // span 101: promoted
+        assert_eq!(d.min(), 400);
+        assert_eq!(d.max(), 500);
+        assert_eq!(d.size(), 101);
+    }
+
+    #[test]
+    fn pinned_domain_never_promotes() {
+        let mut d = Domain::interval(0, 1000);
+        d.pin();
+        d.remove_above(10);
+        assert!(!d.is_bitset());
+        d.fix(3);
+        assert!(!d.is_bitset());
+        assert_eq!(d.value(), Some(3));
+        // Pinning survives cloning (the trail restores pinned domains).
+        let mut c = d.clone();
+        c.remove_value(3);
+        assert!(c.is_empty());
+        assert!(!c.is_bitset());
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let mut pinned = Domain::interval(5, 40);
+        pinned.pin();
+        let bits = Domain::interval(5, 40);
+        assert!(bits.is_bitset() && !pinned.is_bitset());
+        assert_eq!(pinned, bits);
+        assert_eq!(bits, pinned);
+
+        // Same set, different anchors.
+        let mut a = Domain::interval(0, 100);
+        a.remove_below(50);
+        let b = Domain::interval(50, 100);
+        assert_eq!(a, b);
+
+        // Empty domains compare equal across representations.
+        let mut eb = Domain::singleton(3);
+        eb.remove_value(3);
+        assert_eq!(eb, Domain::empty());
+    }
+
+    #[test]
+    fn bitset_ops_match_interval_ops_exhaustively() {
+        // One shared script of mutations applied to a bitset domain and a
+        // pinned interval domain; every observation must agree after every
+        // step. (The broad randomized battery lives in tests/.)
+        let script: &[fn(&mut Domain) -> bool] = &[
+            |d| d.remove_value(7),
+            |d| d.remove_below(3),
+            |d| d.remove_above(90),
+            |d| d.remove_value(3),
+            |d| d.intersect(&Domain::from_values((0..100).filter(|v| v % 3 != 1))),
+            |d| d.restrict_to_interval(10, 50),
+            |d| d.remove_value(30),
+            |d| d.fix(33),
+        ];
+        let mut b = Domain::interval(0, 100);
+        let mut p = Domain::interval(0, 100);
+        p.pin();
+        assert!(b.is_bitset());
+        for (i, step) in script.iter().enumerate() {
+            let cb = step(&mut b);
+            let cp = step(&mut p);
+            assert_eq!(cb, cp, "step {i}: changed flags differ");
+            assert_eq!(b, p, "step {i}: sets differ");
+            assert_eq!(b.size(), p.size(), "step {i}");
+            assert_eq!(b.interval_count(), p.interval_count(), "step {i}");
+            assert_eq!(
+                b.intervals().collect::<Vec<_>>(),
+                p.intervals().collect::<Vec<_>>(),
+                "step {i}"
+            );
+            if !b.is_empty() {
+                assert_eq!(b.min(), p.min(), "step {i}");
+                assert_eq!(b.max(), p.max(), "step {i}");
+                assert_eq!(b.split_point(), p.split_point(), "step {i}");
+            }
+            for v in -2..103 {
+                assert_eq!(b.contains(v), p.contains(v), "step {i}, v={v}");
+                assert_eq!(b.next_member(v), p.next_member(v), "step {i}, v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_near_extreme_bounds() {
+        // A bitset anchored at i32::MAX - 127: offsets never overflow.
+        let mut d = Domain::interval(i32::MAX - 127, i32::MAX);
+        assert!(d.is_bitset());
+        assert_eq!(d.size(), 128);
+        assert!(d.contains(i32::MAX));
+        assert!(!d.contains(i32::MIN)); // offset wraps far out of range
+        assert!(d.remove_value(i32::MAX));
+        assert_eq!(d.max(), i32::MAX - 1);
+        assert!(d.remove_below(i32::MAX - 3));
+        assert_eq!(d.size(), 3);
+        assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            vec![i32::MAX - 3, i32::MAX - 2, i32::MAX - 1]
+        );
+
+        // And anchored at i32::MIN.
+        let mut lo = Domain::interval(i32::MIN, i32::MIN + 127);
+        assert!(lo.is_bitset());
+        assert!(!lo.contains(i32::MAX));
+        assert!(lo.remove_above(i32::MIN + 1));
+        assert_eq!(lo.size(), 2);
+        assert_eq!(lo.min(), i32::MIN);
+    }
+
+    #[test]
+    fn bitset_intersect_across_anchors() {
+        let mut a = Domain::interval(0, 100); // base 0
+        let mut b = Domain::interval(0, 160);
+        b.remove_below(60); // promotes with base 60
+        assert!(a.is_bitset() && b.is_bitset());
+        assert!(a.intersect(&b));
+        assert_eq!(a.min(), 60);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.size(), 41);
+
+        // Disjoint windows AND to empty.
+        let mut c = Domain::interval(0, 50);
+        let far = Domain::interval(1000, 1050);
+        assert!(c.intersect(&far));
+        assert!(c.is_empty());
+        assert!(Domain::interval(0, 50).disjoint(&far));
+    }
+
+    #[test]
+    fn bitset_intersect_with_wide_interval_list() {
+        let mut a = Domain::interval(10, 90);
+        let wide = Domain::from_values([0, 11, 12, 500_000, 1_000_000]);
+        assert!(!wide.is_bitset());
+        assert!(a.intersect(&wide));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![11, 12]);
     }
 }

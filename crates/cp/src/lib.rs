@@ -73,8 +73,8 @@ pub use portfolio::{RaceReport, RacerOutcome};
 pub use record::{fnv1a, Fnv64, RecorderSink, Trace, TraceHeader, TRACE_MAGIC, TRACE_VERSION};
 pub use replay::{replay, DivergenceReport, ReplayOptions, ReplayReport, ValidatingSink};
 pub use search::{
-    minimize, solve, solve_all, Phase, SearchConfig, SearchResult, SearchStats, SearchStatus,
-    Solution, ValSel, VarSel,
+    minimize, solve, solve_all, Phase, RestartConfig, RestartPolicy, SearchConfig, SearchResult,
+    SearchStats, SearchStatus, Solution, ValSel, VarSel,
 };
 pub use store::{Fail, PropResult, Store, VarId};
 pub use trace::{

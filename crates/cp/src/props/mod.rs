@@ -6,6 +6,7 @@
 //! - [`alldiff`] — the `AllDifferent` global constraint
 //! - [`basic`] — equalities, offsets, disequalities, `max`
 //! - [`linear`] — linear (in)equalities with bounds consistency
+//! - [`nogood`] — watched-literal enforcement of restart-harvested nogoods
 //! - [`cumulative`] — renewable-resource scheduling (time-table filtering)
 //! - [`diff2`] — two-dimensional non-overlap of rectangles
 //! - [`disjunctive`] — unary-resource scheduling with overload checking
@@ -32,5 +33,6 @@ pub mod diff2;
 pub mod disjunctive;
 pub mod geometry;
 pub mod linear;
+pub mod nogood;
 pub mod reify;
 pub mod table;

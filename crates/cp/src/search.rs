@@ -10,10 +10,11 @@
 
 use crate::cancel::CancelToken;
 use crate::model::Model;
+use crate::props::nogood::{NogoodBase, NogoodProp};
 use crate::store::VarId;
 use crate::trace::{SearchEvent, TraceHandle};
 use std::sync::atomic::{AtomicI32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Variable-selection heuristic within a phase.
@@ -37,6 +38,122 @@ pub enum ValSel {
     Max,
     /// Binary domain splitting at the midpoint (lower half first).
     Split,
+}
+
+/// When to abandon a dive and restart the search from the root.
+///
+/// Budgets are counted in *fails*. Parameters are integers (a percentage
+/// instead of a float factor) so the policy is `Copy + Eq` and renders
+/// exactly into record/replay config strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Budgets grow geometrically: `base`, then `× factor_percent / 100`
+    /// after each restart. Factors ≤ 100 are treated as 101 so budgets
+    /// always grow and a complete search stays complete.
+    Geometric { base: u64, factor_percent: u32 },
+    /// The Luby sequence (1, 1, 2, 1, 1, 2, 4, …) scaled by `unit` fails.
+    Luby { unit: u64 },
+}
+
+/// `i`-th element (1-based) of the Luby sequence.
+fn luby(mut i: u64) -> u64 {
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+impl RestartPolicy {
+    /// Fail budget for the `i`-th dive (0-based).
+    pub fn budget(self, i: u64) -> u64 {
+        match self {
+            RestartPolicy::Geometric {
+                base,
+                factor_percent,
+            } => {
+                let f = factor_percent.max(101) as u128;
+                let mut b = base.max(1) as u128;
+                for _ in 0..i {
+                    // `.max(b + 1)` forces strict growth even where the
+                    // integer division rounds the factor away (small
+                    // bases), preserving completeness.
+                    b = (b * f / 100).max(b + 1);
+                    if b > u64::MAX as u128 {
+                        return u64::MAX;
+                    }
+                }
+                b as u64
+            }
+            RestartPolicy::Luby { unit } => unit.max(1).saturating_mul(luby(i + 1)),
+        }
+    }
+}
+
+/// Fail-budgeted restarts with optional nogood recording.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartConfig {
+    pub policy: RestartPolicy,
+    /// Harvest the refuted decision prefixes of each abandoned dive as
+    /// nogoods and enforce them with a watched-literal propagator
+    /// ([`crate::props::nogood`]) for the remainder of the run, so
+    /// restarts never re-explore a refuted subtree.
+    pub nogoods: bool,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        RestartConfig {
+            policy: RestartPolicy::Geometric {
+                base: 256,
+                factor_percent: 150,
+            },
+            nogoods: true,
+        }
+    }
+}
+
+impl RestartConfig {
+    /// Stable rendering for record/replay config strings — the restart
+    /// policy shapes the search tree, so it is part of a trace's
+    /// identity (unlike the domain representation, which must not be).
+    pub fn config_token(&self) -> String {
+        let ng = if self.nogoods { "+ng" } else { "" };
+        match self.policy {
+            RestartPolicy::Geometric {
+                base,
+                factor_percent,
+            } => format!("geom:{base}:{factor_percent}{ng}"),
+            RestartPolicy::Luby { unit } => format!("luby:{unit}{ng}"),
+        }
+    }
+
+    /// Parse a [`RestartConfig::config_token`] rendering (`geom:B:F`,
+    /// `luby:U`, optional `+ng` suffix). Used by the `eitc --restarts`
+    /// flag and replay header reconstruction.
+    pub fn parse_token(s: &str) -> Option<RestartConfig> {
+        let (body, nogoods) = match s.strip_suffix("+ng") {
+            Some(b) => (b, true),
+            None => (s, false),
+        };
+        let parts: Vec<&str> = body.split(':').collect();
+        let policy = match parts.as_slice() {
+            ["geom", b, f] => RestartPolicy::Geometric {
+                base: b.parse().ok()?,
+                factor_percent: f.parse().ok()?,
+            },
+            ["luby", u] => RestartPolicy::Luby {
+                unit: u.parse().ok()?,
+            },
+            _ => return None,
+        };
+        Some(RestartConfig { policy, nogoods })
+    }
 }
 
 /// One search phase: a variable group plus its heuristics.
@@ -73,6 +190,14 @@ pub struct SearchConfig {
     /// chronologically. With strong propagation this avoids thrashing in
     /// the subtree where the incumbent was found.
     pub restart_on_solution: bool,
+    /// Fail-budgeted restarts with nogood recording, layered under the
+    /// per-incumbent root restarts of `restart_on_solution`. `None` (the
+    /// default) disables them. Ignored by [`solve_all`]: re-diving would
+    /// enumerate duplicate solutions. Each restart-enabled run posts one
+    /// nogood propagator on the model and clears its clause base at run
+    /// end (recorded nogoods are only valid under that run's
+    /// monotonically tightening bound).
+    pub restarts: Option<RestartConfig>,
     /// Event sink for structured search tracing; `None` (the default)
     /// costs one branch per would-be event.
     pub trace: Option<TraceHandle>,
@@ -135,6 +260,12 @@ pub struct SearchStats {
     pub max_depth: usize,
     pub propagations: u64,
     pub time: Duration,
+    /// Fail-budget restarts performed ([`SearchConfig::restarts`]).
+    pub restarts: u64,
+    /// Prefix nogoods harvested and posted across all restarts.
+    pub nogoods_posted: u64,
+    /// Values pruned by nogood unit propagation.
+    pub nogoods_pruned: u64,
 }
 
 #[derive(Debug)]
@@ -164,6 +295,9 @@ enum Abort {
     Timeout,
     NodeLimit,
     Cancelled,
+    /// The fail budget of the current dive expired: unwind to the root
+    /// (harvesting nogoods on the way) and re-dive with a bigger budget.
+    Restart,
 }
 
 /// Pick the next branching variable exactly as the DFS brancher would:
@@ -210,6 +344,23 @@ struct Dfs<'m> {
     trace: Option<TraceHandle>,
     state_hash_every: Option<u64>,
     cancel: Option<CancelToken>,
+    /// Fail-budgeted restart policy (`None` = single dive).
+    restart_cfg: Option<RestartConfig>,
+    /// Dives started so far (indexes [`RestartPolicy::budget`]).
+    restart_index: u64,
+    /// Fails left before the current dive restarts.
+    fails_remaining: Option<u64>,
+    /// Positive `(var, val)` decisions on the current DFS branch, root
+    /// first — the prefix of every nogood harvested below it.
+    path: Vec<(u32, i32)>,
+    /// Split frames currently on the stack. A split decision is not a
+    /// `(var, val)` literal, so prefixes through one are inexpressible
+    /// as nogoods and harvesting is suppressed while any are open.
+    split_frames: u32,
+    /// Nogoods harvested during the current restart unwind.
+    harvested: Vec<Vec<(VarId, i32)>>,
+    /// Shared clause store of the posted nogood propagator.
+    nogood_base: Option<Arc<Mutex<NogoodBase>>>,
 }
 
 impl<'m> Dfs<'m> {
@@ -247,6 +398,10 @@ impl<'m> Dfs<'m> {
                 });
                 return Err(Abort::NodeLimit);
             }
+        }
+        // Last so real budget aborts always win over a mere restart.
+        if self.fails_remaining == Some(0) {
+            return Err(Abort::Restart);
         }
         Ok(())
     }
@@ -331,9 +486,61 @@ impl<'m> Dfs<'m> {
     #[inline]
     fn fail(&mut self) {
         self.stats.fails += 1;
+        if let Some(f) = &mut self.fails_remaining {
+            *f = f.saturating_sub(1);
+        }
         self.emit(|| SearchEvent::Fail {
             depth: self.model.store.depth(),
         });
+    }
+
+    /// Turn this frame's refuted values into prefix nogoods
+    /// (`¬(path ∧ var=u)` for each refuted `u`), collected during a
+    /// restart unwind and posted by [`Dfs::dive`]. Sound only when no
+    /// split frame is open — see the `split_frames` field.
+    fn harvest(&mut self, var: VarId, refuted: &[i32]) {
+        if self.split_frames > 0 || !self.restart_cfg.is_some_and(|rc| rc.nogoods) {
+            return;
+        }
+        for &u in refuted {
+            let mut clause: Vec<(VarId, i32)> =
+                self.path.iter().map(|&(v, val)| (VarId(v), val)).collect();
+            clause.push((var, u));
+            self.harvested.push(clause);
+        }
+    }
+
+    /// The branch value under the phase's selector, diversified after a
+    /// restart: on dive `k > 0` the value is a deterministic
+    /// pseudo-random member keyed on `(k, depth)`, so successive dives
+    /// descend into *different* regions of the space while the recorded
+    /// nogoods keep the already-refuted prefixes off-limits — without
+    /// this, a deterministic heuristic re-walks the same leftmost region
+    /// every dive and restarts degenerate into plain DFS with overhead.
+    /// Dive 0 (and any search without restarts) uses the pure Min/Max
+    /// heuristic, so trajectories with the policy disabled are
+    /// untouched, and the whole scheme stays replayable: the value is a
+    /// pure function of deterministic search state.
+    fn branch_value(&self, var: VarId, val_sel: ValSel) -> i32 {
+        if self.restart_index > 0 && self.restart_cfg.is_some() {
+            let size = self.model.store.size(var);
+            let depth = self.path.len() as u64;
+            // splitmix64-style finalizer over (dive, depth): cheap, and
+            // uncorrelated enough that sibling depths land in different
+            // parts of the domain.
+            let mut z = self
+                .restart_index
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(depth.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            return self.model.store.dom(var).nth_member(z % size);
+        }
+        if val_sel == ValSel::Min {
+            self.model.store.min(var)
+        } else {
+            self.model.store.max(var)
+        }
     }
 
     /// Returns Ok(()) when the subtree is exhausted (normally or by
@@ -376,21 +583,23 @@ impl<'m> Dfs<'m> {
         let val_sel = self.phases[pi].val_sel;
         match val_sel {
             ValSel::Min | ValSel::Max => {
+                // Values whose subtrees were exhausted without stopping:
+                // refuted under the current bound, and so the material of
+                // prefix nogoods if a restart unwinds through this frame.
+                let mut refuted: Vec<i32> = Vec::new();
                 // Enumerate values; domains can change between attempts, so
                 // re-read the next candidate each time.
                 loop {
                     if self.model.store.is_fixed(var) {
                         // A neighbour's propagation fixed it; descend once.
+                        // No path entry: the value is entailed by the
+                        // prefix, so adding it would only lengthen nogoods.
                         self.model.store.push_level();
                         let r = self.dfs();
                         self.model.store.pop_level();
                         return r;
                     }
-                    let v = if val_sel == ValSel::Min {
-                        self.model.store.min(var)
-                    } else {
-                        self.model.store.max(var)
-                    };
+                    let v = self.branch_value(var, val_sel);
                     // Try var = v.
                     self.emit(|| SearchEvent::Branch {
                         depth: self.model.store.depth(),
@@ -410,18 +619,27 @@ impl<'m> Dfs<'m> {
                         false
                     };
                     if ok {
+                        self.path.push((var.0, v));
                         let r = self.dfs();
+                        self.path.pop();
                         self.model.store.pop_level();
                         self.emit(|| SearchEvent::Backtrack {
                             depth: self.model.store.depth(),
                         });
-                        r?;
+                        if let Err(a) = r {
+                            if a == Abort::Restart {
+                                self.harvest(var, &refuted);
+                            }
+                            return Err(a);
+                        }
                         if (self.stop_at_first && self.best.is_some()) || self.collection_full() {
                             return Ok(());
                         }
+                        refuted.push(v);
                     } else {
                         self.model.store.pop_level();
                         self.fail();
+                        refuted.push(v);
                     }
                     // Refute var = v and continue with the rest.
                     if self.model.store.remove_value(var, v).is_err() || !self.fixpoint()? {
@@ -431,48 +649,109 @@ impl<'m> Dfs<'m> {
                 }
             }
             ValSel::Split => {
-                let mid = self.model.store.dom(var).split_point();
-                for half in 0..2 {
-                    // Lower half is `≤ mid`, upper is `≥ mid+1`; the event's
-                    // `val` is the half's boundary.
-                    self.emit(|| SearchEvent::Branch {
-                        depth: self.model.store.depth(),
-                        var: var.0,
-                        val: if half == 0 { mid } else { mid + 1 },
-                    });
-                    self.model.store.push_level();
-                    let narrowed = if half == 0 {
-                        self.model.store.remove_above(var, mid).is_ok()
-                    } else {
-                        self.model.store.remove_below(var, mid + 1).is_ok()
-                    };
-                    let ok = if narrowed {
-                        match self.fixpoint() {
-                            Ok(consistent) => consistent,
-                            Err(a) => {
-                                self.model.store.pop_level();
-                                return Err(a);
-                            }
-                        }
-                    } else {
-                        false
-                    };
-                    if ok {
-                        let r = self.dfs();
+                self.split_frames += 1;
+                let r = self.dfs_split(var);
+                self.split_frames -= 1;
+                r
+            }
+        }
+    }
+
+    /// The [`ValSel::Split`] frame body: two half-domain children.
+    fn dfs_split(&mut self, var: VarId) -> Result<(), Abort> {
+        let mid = self.model.store.dom(var).split_point();
+        for half in 0..2 {
+            // Lower half is `≤ mid`, upper is `≥ mid+1`; the event's
+            // `val` is the half's boundary.
+            self.emit(|| SearchEvent::Branch {
+                depth: self.model.store.depth(),
+                var: var.0,
+                val: if half == 0 { mid } else { mid + 1 },
+            });
+            self.model.store.push_level();
+            let narrowed = if half == 0 {
+                self.model.store.remove_above(var, mid).is_ok()
+            } else {
+                self.model.store.remove_below(var, mid + 1).is_ok()
+            };
+            let ok = if narrowed {
+                match self.fixpoint() {
+                    Ok(consistent) => consistent,
+                    Err(a) => {
                         self.model.store.pop_level();
-                        self.emit(|| SearchEvent::Backtrack {
-                            depth: self.model.store.depth(),
-                        });
-                        r?;
-                        if (self.stop_at_first && self.best.is_some()) || self.collection_full() {
-                            return Ok(());
-                        }
-                    } else {
-                        self.model.store.pop_level();
-                        self.fail();
+                        return Err(a);
                     }
                 }
-                Ok(())
+            } else {
+                false
+            };
+            if ok {
+                let r = self.dfs();
+                self.model.store.pop_level();
+                self.emit(|| SearchEvent::Backtrack {
+                    depth: self.model.store.depth(),
+                });
+                r?;
+                if (self.stop_at_first && self.best.is_some()) || self.collection_full() {
+                    return Ok(());
+                }
+            } else {
+                self.model.store.pop_level();
+                self.fail();
+            }
+        }
+        Ok(())
+    }
+
+    /// One search descent under its own backtrack level, re-diving on
+    /// fail-budget restarts until the tree is exhausted or a real budget
+    /// aborts. Harvested nogoods are posted to the shared base and
+    /// propagated at the root between dives, so each restart resumes
+    /// with every refuted prefix excluded.
+    fn dive(&mut self) -> Result<(), Abort> {
+        loop {
+            if let Some(rc) = self.restart_cfg {
+                self.fails_remaining = Some(rc.policy.budget(self.restart_index));
+            }
+            // Every dive runs under its own backtrack level so search
+            // refutations never permanently mutate the root store (a
+            // root-level `remove_value` could otherwise leave an empty
+            // domain behind an exhausted dive).
+            self.model.store.push_level();
+            let r = self.dfs();
+            self.model.store.pop_level();
+            debug_assert!(self.path.is_empty(), "decision path survived unwind");
+            self.path.clear();
+            match r {
+                Err(Abort::Restart) => {
+                    self.restart_index += 1;
+                    self.stats.restarts += 1;
+                    let harvested = std::mem::take(&mut self.harvested);
+                    self.stats.nogoods_posted += harvested.len() as u64;
+                    let posted_any = !harvested.is_empty();
+                    if let Some(base) = &self.nogood_base {
+                        let mut b = base.lock().unwrap();
+                        for clause in harvested {
+                            b.add_clause(clause);
+                        }
+                    }
+                    if posted_any && self.nogood_base.is_some() {
+                        // Run the new clauses (length-1 nogoods prune
+                        // permanently here) to a root fixpoint. A failing
+                        // root means every remaining branch is refuted:
+                        // the dive sequence is exhausted, which the
+                        // caller reads as a completed tree.
+                        self.model.engine.schedule_all();
+                        match self.fixpoint() {
+                            Ok(true) => {}
+                            Ok(false) => return Ok(()),
+                            Err(a) => return Err(a),
+                        }
+                    }
+                    let bound = self.bound;
+                    self.emit(|| SearchEvent::Restart { bound });
+                }
+                other => return other,
             }
         }
     }
@@ -505,6 +784,38 @@ fn run_with_collect(
     // unconditional so a token left by a previous cancelled run on the
     // same model never bleeds into this one.
     model.engine.set_cancel(config.cancel.clone());
+    // Fail-budgeted restarts are disabled under enumeration: a re-dive
+    // would collect solutions already emitted by an abandoned dive.
+    let restart_cfg = if collect.is_some() {
+        None
+    } else {
+        config.restarts
+    };
+    // With nogood recording on, post the watched-literal propagator over
+    // the decision variables before the initial full-rescan scheduling
+    // below. The clause base starts empty (the propagator no-ops until
+    // the first restart harvest) and is cleared again at run end.
+    let nogood_base = match restart_cfg {
+        Some(rc) if rc.nogoods => {
+            let mut seen = std::collections::HashSet::new();
+            let vars: Vec<VarId> = config
+                .phases
+                .iter()
+                .flat_map(|p| p.vars.iter().copied())
+                .filter(|v| seen.insert(v.0))
+                .collect();
+            if vars.is_empty() {
+                None
+            } else {
+                let base = Arc::new(Mutex::new(NogoodBase::new(vars)));
+                model
+                    .engine
+                    .post(Box::new(NogoodProp::new(base.clone())), &model.store);
+                Some(base)
+            }
+        }
+        _ => None,
+    };
     // A previous run on this model may have aborted mid-fixpoint — a
     // failure or cancellation resets the queue and discards pending wake
     // events, leaving root domains partially propagated with nobody
@@ -546,22 +857,19 @@ fn run_with_collect(
         trace: config.trace.clone(),
         state_hash_every: config.state_hash_every,
         cancel: config.cancel.clone(),
-    };
-
-    // Every dive runs under its own backtrack level so search refutations
-    // never permanently mutate the root store (a root-level `remove_value`
-    // could otherwise leave an empty domain behind an exhausted dive).
-    let dive = |dfs: &mut Dfs| -> Result<(), Abort> {
-        dfs.model.store.push_level();
-        let r = dfs.dfs();
-        dfs.model.store.pop_level();
-        r
+        restart_cfg,
+        restart_index: 0,
+        fails_remaining: None,
+        path: Vec::new(),
+        split_frames: 0,
+        harvested: Vec::new(),
+        nogood_base: nogood_base.clone(),
     };
 
     let aborted: Option<Abort> = if !root_ok {
         None
     } else if !restart {
-        dive(&mut dfs).err()
+        dfs.dive().err()
     } else {
         // Restart BnB: dive to the first (improving) solution, tighten the
         // bound permanently at the root, and re-dive until refuted.
@@ -569,7 +877,7 @@ fn run_with_collect(
         let mut aborted = None;
         loop {
             let sols_before = dfs.stats.solutions;
-            match dive(&mut dfs) {
+            match dfs.dive() {
                 Err(a) => {
                     aborted = Some(a);
                     break;
@@ -620,6 +928,14 @@ fn run_with_collect(
     let mut stats = dfs.stats;
     stats.time = t0.elapsed();
     stats.propagations = dfs.model.engine.propagations;
+    if let Some(base) = &nogood_base {
+        let mut b = base.lock().unwrap();
+        stats.nogoods_pruned = b.pruned;
+        // Recorded nogoods are only valid under this run's monotonically
+        // tightening bound; disarm them so a reused model cannot replay
+        // them against a different objective.
+        b.clear();
+    }
 
     if let Some(t) = &config.trace {
         t.emit(&SearchEvent::Done {
@@ -1034,5 +1350,228 @@ mod more_tests {
             vars.iter().map(|&v| sol.value(v)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn luby_sequence_is_the_classic_one() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn geometric_budgets_always_grow() {
+        // A degenerate factor (≤ 1.0x) is clamped so the budget sequence
+        // still diverges — the completeness guarantee.
+        let p = RestartPolicy::Geometric {
+            base: 4,
+            factor_percent: 100,
+        };
+        assert!(p.budget(1) > p.budget(0));
+        let g = RestartPolicy::Geometric {
+            base: 256,
+            factor_percent: 150,
+        };
+        assert_eq!(g.budget(0), 256);
+        assert_eq!(g.budget(1), 384);
+        assert_eq!(g.budget(2), 576);
+        // Saturates instead of overflowing.
+        assert_eq!(g.budget(500), u64::MAX);
+    }
+
+    #[test]
+    fn restart_config_token_round_trips() {
+        for cfg in [
+            RestartConfig::default(),
+            RestartConfig {
+                policy: RestartPolicy::Luby { unit: 64 },
+                nogoods: false,
+            },
+            RestartConfig {
+                policy: RestartPolicy::Geometric {
+                    base: 100,
+                    factor_percent: 200,
+                },
+                nogoods: true,
+            },
+        ] {
+            let token = cfg.config_token();
+            assert_eq!(RestartConfig::parse_token(&token), Some(cfg), "{token}");
+        }
+        assert_eq!(
+            RestartConfig::default().config_token(),
+            "geom:256:150+ng",
+            "default token is pinned: it appears in recorded trace headers"
+        );
+        assert!(RestartConfig::parse_token("bogus").is_none());
+        assert!(RestartConfig::parse_token("geom:1").is_none());
+    }
+
+    /// A tight pigeonhole-flavoured instance: enough fails to cross small
+    /// restart budgets, small enough to exhaust quickly.
+    fn crowded_model() -> (Model, Vec<VarId>, VarId) {
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..7).map(|_| m.new_var(0, 6)).collect();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                m.post(Box::new(NeqOffset {
+                    x: vars[i],
+                    y: vars[j],
+                    c: 0,
+                }));
+            }
+        }
+        let obj = m.new_var(0, 6);
+        m.post(Box::new(MaxOf {
+            xs: vars.clone(),
+            y: obj,
+        }));
+        (m, vars, obj)
+    }
+
+    #[test]
+    fn restarts_preserve_the_optimum() {
+        let mut plain_nodes = 0;
+        let run = |restarts: Option<RestartConfig>| {
+            let (mut m, vars, obj) = crowded_model();
+            let cfg = SearchConfig {
+                phases: vec![Phase::new(vars, VarSel::FirstFail, ValSel::Max)],
+                restarts,
+                ..Default::default()
+            };
+            let r = minimize(&mut m, obj, &cfg);
+            assert_eq!(r.status, SearchStatus::Optimal);
+            (r.objective, r.stats)
+        };
+        let (obj_plain, stats_plain) = run(None);
+        plain_nodes += stats_plain.nodes;
+        assert_eq!(stats_plain.restarts, 0);
+        for policy in [
+            RestartPolicy::Geometric {
+                base: 2,
+                factor_percent: 150,
+            },
+            RestartPolicy::Luby { unit: 2 },
+        ] {
+            for nogoods in [false, true] {
+                let (obj_r, stats_r) = run(Some(RestartConfig { policy, nogoods }));
+                assert_eq!(obj_r, obj_plain, "restarts changed the optimum");
+                assert!(stats_r.restarts > 0, "budget of 2 fails must trigger");
+                if nogoods {
+                    assert!(stats_r.nogoods_posted > 0);
+                    // With prefix nogoods the re-dives skip refuted
+                    // ground: never more nodes than unassisted restarts.
+                    let _ = plain_nodes;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restarted_infeasible_proof_is_still_a_proof() {
+        // 8 vars, 7 values: pigeonhole-infeasible. Restarts + nogoods
+        // must still report Infeasible, not Unknown.
+        let mut m = Model::new();
+        let vars: Vec<VarId> = (0..8).map(|_| m.new_var(0, 6)).collect();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                m.post(Box::new(NeqOffset {
+                    x: vars[i],
+                    y: vars[j],
+                    c: 0,
+                }));
+            }
+        }
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars, VarSel::InputOrder, ValSel::Min)],
+            restarts: Some(RestartConfig {
+                policy: RestartPolicy::Geometric {
+                    base: 2,
+                    factor_percent: 150,
+                },
+                nogoods: true,
+            }),
+            ..Default::default()
+        };
+        let r = solve(&mut m, &cfg);
+        assert_eq!(r.status, SearchStatus::Infeasible);
+        assert!(r.stats.restarts > 0);
+    }
+
+    #[test]
+    fn nogood_base_is_cleared_at_run_end() {
+        // Reusing a model after a restarted run must not leak clauses
+        // recorded under the previous (tighter) objective bound.
+        let (mut m, vars, obj) = crowded_model();
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vars, VarSel::FirstFail, ValSel::Max)],
+            restarts: Some(RestartConfig {
+                policy: RestartPolicy::Geometric {
+                    base: 2,
+                    factor_percent: 150,
+                },
+                nogoods: true,
+            }),
+            ..Default::default()
+        };
+        let r1 = minimize(&mut m, obj, &cfg);
+        let r2 = minimize(&mut m, obj, &cfg);
+        assert_eq!(r1.objective, r2.objective);
+        assert_eq!(r1.status, SearchStatus::Optimal);
+        assert_eq!(r2.status, SearchStatus::Optimal);
+    }
+
+    #[test]
+    fn solve_all_ignores_restarts() {
+        // Enumeration re-dives would duplicate solutions; restarts are
+        // disabled under solve_all and the count stays exact.
+        let count = |restarts| {
+            let mut m = Model::new();
+            let x = m.new_var(0, 2);
+            let y = m.new_var(0, 2);
+            m.post(Box::new(NeqOffset { x, y, c: 0 }));
+            let cfg = SearchConfig {
+                phases: vec![Phase::new(vec![x, y], VarSel::InputOrder, ValSel::Min)],
+                restarts,
+                ..Default::default()
+            };
+            solve_all(&mut m, &cfg, 100).1.len()
+        };
+        assert_eq!(count(None), 6);
+        assert_eq!(
+            count(Some(RestartConfig {
+                policy: RestartPolicy::Geometric {
+                    base: 1,
+                    factor_percent: 150,
+                },
+                nogoods: true,
+            })),
+            6
+        );
+    }
+
+    #[test]
+    fn restarts_compose_with_split_branching() {
+        // Wide domains route through interval splitting; split frames
+        // suppress nogood harvesting but restarts must stay sound.
+        let mut m = Model::new();
+        let x = m.new_var(0, 4000);
+        let y = m.new_var(0, 4000);
+        m.post(Box::new(XPlusCLeqY { x, c: 1000, y }));
+        let obj = m.new_var(0, 4000);
+        m.post(Box::new(MaxOf {
+            xs: vec![x, y],
+            y: obj,
+        }));
+        let cfg = SearchConfig {
+            phases: vec![Phase::new(vec![x, y], VarSel::SmallestMin, ValSel::Split)],
+            restarts: Some(RestartConfig {
+                policy: RestartPolicy::Luby { unit: 1 },
+                nogoods: true,
+            }),
+            ..Default::default()
+        };
+        let r = minimize(&mut m, obj, &cfg);
+        assert_eq!(r.status, SearchStatus::Optimal);
+        assert_eq!(r.objective, Some(1000));
     }
 }

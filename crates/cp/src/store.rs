@@ -55,6 +55,9 @@ pub struct Store {
     /// Monotone count of domain mutations (never rewound on backtrack);
     /// deltas around a propagator run give its pruning count.
     changes: u64,
+    /// When false, every new variable is [`Domain::pin`]ned to the
+    /// interval-list representation — the `--no-bitset` A/B baseline.
+    bitset_enabled: bool,
 }
 
 impl Store {
@@ -68,7 +71,24 @@ impl Store {
             magic: 0,
             log: Vec::new(),
             changes: 0,
+            bitset_enabled: true,
         }
+    }
+
+    /// Enable or disable the bitset domain representation for variables
+    /// created *after* this call (existing domains keep their
+    /// representation). Disabling pins new domains to the interval list;
+    /// search behaviour is identical either way — this exists as the
+    /// `--no-bitset` A/B baseline.
+    pub fn set_bitset(&mut self, on: bool) {
+        self.bitset_enabled = on;
+    }
+
+    /// `(bitset, interval-list)` counts over the current domains — the
+    /// domain-representation histogram surfaced in run metrics.
+    pub fn domain_rep_counts(&self) -> (usize, usize) {
+        let bits = self.domains.iter().filter(|d| d.is_bitset()).count();
+        (bits, self.domains.len() - bits)
     }
 
     /// Create a variable with domain `lo..=hi`.
@@ -84,15 +104,22 @@ impl Store {
             "variables must be created at the root level"
         );
         let id = VarId(self.domains.len() as u32);
-        self.domains.push(Domain::interval(lo, hi));
+        let mut dom = Domain::interval(lo, hi);
+        if !self.bitset_enabled {
+            dom.pin();
+        }
+        self.domains.push(dom);
         self.names.push(name.to_string());
         self.saved_at.push(0);
         id
     }
 
     /// Create a variable with an explicit (possibly holey) domain.
-    pub fn new_var_with_domain(&mut self, dom: Domain, name: &str) -> VarId {
+    pub fn new_var_with_domain(&mut self, mut dom: Domain, name: &str) -> VarId {
         assert!(!dom.is_empty(), "empty initial domain for {name}");
+        if !self.bitset_enabled {
+            dom.pin();
+        }
         assert!(
             self.level_marks.is_empty(),
             "variables must be created at the root level"
@@ -517,6 +544,33 @@ mod tests {
         s.remove_above(x, 5).unwrap(); // must be saved at parent
         s.pop_level();
         assert_eq!(s.max(x), 10);
+    }
+
+    #[test]
+    fn bitset_switch_pins_new_vars_without_changing_behaviour() {
+        let mut on = Store::new();
+        let mut off = Store::new();
+        off.set_bitset(false);
+        let xs: Vec<VarId> = (0..3).map(|_| on.new_var(0, 60)).collect();
+        let ys: Vec<VarId> = (0..3).map(|_| off.new_var(0, 60)).collect();
+        assert_eq!(on.domain_rep_counts(), (3, 0));
+        assert_eq!(off.domain_rep_counts(), (0, 3));
+        on.push_level();
+        off.push_level();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            on.remove_value(x, 30).unwrap();
+            off.remove_value(y, 30).unwrap();
+            on.remove_below(x, 10).unwrap();
+            off.remove_below(y, 10).unwrap();
+        }
+        assert_eq!(on.state_hash(), off.state_hash());
+        assert_eq!(on.take_events(), off.take_events());
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(on.dom(x), off.dom(y));
+        }
+        // The A/B baseline sticks across backtracking.
+        off.pop_level();
+        assert_eq!(off.domain_rep_counts(), (0, 3));
     }
 
     #[test]

@@ -462,6 +462,194 @@ fn restart_bnb_agrees_with_brute_force() {
     }
 }
 
+/// Minimize `max(vars)` under `cs` with an explicit restart policy and
+/// domain representation; returns the optimum plus the full stats block
+/// so callers can check the policy actually fired.
+fn minimize_configured(
+    n: usize,
+    hi: i32,
+    cs: &[C],
+    restarts: Option<eit_cp::RestartConfig>,
+    bitset: bool,
+) -> (Option<i32>, Option<Vec<i32>>, eit_cp::SearchStats) {
+    let mut m = Model::new();
+    m.store.set_bitset(bitset);
+    let vars: Vec<VarId> = (0..n).map(|_| m.new_var(0, hi)).collect();
+    for c in cs {
+        post(c, &mut m, &vars);
+    }
+    let obj = m.new_var(0, hi);
+    m.max_of(vars.clone(), obj);
+    let cfg = SearchConfig {
+        phases: vec![Phase::new(vars.clone(), VarSel::FirstFail, ValSel::Min)],
+        restarts,
+        ..Default::default()
+    };
+    let r = minimize(&mut m, obj, &cfg);
+    let best = r
+        .best
+        .as_ref()
+        .map(|sol| vars.iter().map(|&v| sol.value(v)).collect());
+    (r.objective, best, r.stats)
+}
+
+/// Restarted search with nogood recording is a different *trajectory*
+/// through the same space — the optimum it proves must still be the
+/// brute-force optimum, for every policy shape we ship.
+#[test]
+fn restarted_nogood_search_agrees_with_brute_force() {
+    use eit_cp::{RestartConfig, RestartPolicy};
+    let policies = [
+        RestartConfig {
+            policy: RestartPolicy::Geometric {
+                base: 2,
+                factor_percent: 150,
+            },
+            nogoods: true,
+        },
+        RestartConfig {
+            policy: RestartPolicy::Geometric {
+                base: 2,
+                factor_percent: 150,
+            },
+            nogoods: false,
+        },
+        RestartConfig {
+            policy: RestartPolicy::Luby { unit: 1 },
+            nogoods: true,
+        },
+    ];
+    let mut rng = StdRng::seed_from_u64(0x9060);
+    let mut total_restarts = 0u64;
+    let mut total_nogoods = 0u64;
+    for case in 0..150 {
+        let n = rng.gen_range(2..5);
+        let hi = rng.gen_range(2..5);
+        let cs = random_instance(&mut rng, n, hi);
+        let (_, bf_best) = brute_force(n, hi, &cs);
+        for rc in policies {
+            let (obj, _, stats) = minimize_configured(n, hi, &cs, Some(rc), true);
+            assert_eq!(bf_best, obj, "case {case} policy {rc:?}: {cs:?}");
+            total_restarts += stats.restarts;
+            total_nogoods += stats.nogoods_posted;
+        }
+    }
+    // The suite must actually exercise the machinery, not just configure it.
+    assert!(total_restarts > 100, "only {total_restarts} restarts fired");
+    assert!(total_nogoods > 100, "only {total_nogoods} nogoods recorded");
+}
+
+/// The hybrid bitset representation is a pure speed change: pinned
+/// interval-list domains and bitset domains must drive the *identical*
+/// search — same optimum, same incumbent, same node/fail/propagation
+/// counts — with and without restarts layered on top.
+#[test]
+fn bitset_and_interval_domains_are_search_equivalent() {
+    let mut rng = StdRng::seed_from_u64(0xB175E7);
+    for case in 0..150 {
+        let n = rng.gen_range(2..5);
+        let hi = rng.gen_range(2..5);
+        let cs = random_instance(&mut rng, n, hi);
+        for restarts in [
+            None,
+            Some(eit_cp::RestartConfig {
+                policy: eit_cp::RestartPolicy::Geometric {
+                    base: 2,
+                    factor_percent: 150,
+                },
+                nogoods: true,
+            }),
+        ] {
+            let (obj_b, best_b, st_b) = minimize_configured(n, hi, &cs, restarts, true);
+            let (obj_i, best_i, st_i) = minimize_configured(n, hi, &cs, restarts, false);
+            assert_eq!(obj_b, obj_i, "case {case} restarts={restarts:?}: {cs:?}");
+            assert_eq!(best_b, best_i, "case {case} restarts={restarts:?}: {cs:?}");
+            assert_eq!(
+                (st_b.nodes, st_b.fails, st_b.propagations),
+                (st_i.nodes, st_i.fails, st_i.propagations),
+                "case {case} restarts={restarts:?}: search effort diverged: {cs:?}"
+            );
+        }
+    }
+}
+
+/// Op-level differential across the representation boundary, including
+/// the i32 edges where offset arithmetic can wrap: a bitset store and a
+/// pinned interval store fed the identical op stream must agree on every
+/// observable (bounds, size, membership, success/failure) at every step.
+#[test]
+fn domain_ops_agree_across_representations_at_extreme_bounds() {
+    use eit_cp::Store;
+    let windows: &[(i32, i32)] = &[
+        (i32::MIN, i32::MIN + 100),
+        (i32::MAX - 100, i32::MAX),
+        (i32::MIN, i32::MIN + 500), // wide: stays interval in both stores
+        (-64, 64),
+        (-3, 130),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xED6E);
+    for case in 0..200 {
+        let mut bits = Store::new();
+        let mut ivs = Store::new();
+        ivs.set_bitset(false);
+        let (lo, hi) = windows[rng.gen_range(0..windows.len())];
+        let lo = lo.saturating_add(rng.gen_range(0..8));
+        let hi = hi.saturating_sub(rng.gen_range(0..8));
+        let vb = bits.new_var(lo, hi);
+        let vi = ivs.new_var(lo, hi);
+        for step in 0..60 {
+            // Probe a value near the current bounds (i64 so the ±2 slack
+            // can't overflow at the i32 edges).
+            let pick = |r: &mut StdRng, s: &Store, v: VarId| -> i32 {
+                let (mn, mx) = (s.min(v) as i64, s.max(v) as i64);
+                r.gen_range(mn - 2..=mx + 2)
+                    .clamp(i32::MIN as i64, i32::MAX as i64) as i32
+            };
+            let val = pick(&mut rng, &bits, vb);
+            let op = rng.gen_range(0..5);
+            if op == 4 && bits.depth() > 0 && rng.gen_bool(0.5) {
+                bits.pop_level();
+                ivs.pop_level();
+            } else if op == 4 {
+                bits.push_level();
+                ivs.push_level();
+            } else {
+                let rb = match op {
+                    0 => bits.remove_value(vb, val),
+                    1 => bits.remove_below(vb, val),
+                    2 => bits.remove_above(vb, val),
+                    _ => bits.fix(vb, val),
+                };
+                let ri = match op {
+                    0 => ivs.remove_value(vi, val),
+                    1 => ivs.remove_below(vi, val),
+                    2 => ivs.remove_above(vi, val),
+                    _ => ivs.fix(vi, val),
+                };
+                assert_eq!(
+                    rb.is_err(),
+                    ri.is_err(),
+                    "case {case} step {step}: op {op} val {val} disagreed on failure"
+                );
+                if rb.is_err() {
+                    break;
+                }
+            }
+            assert_eq!(bits.min(vb), ivs.min(vi), "case {case} step {step}");
+            assert_eq!(bits.max(vb), ivs.max(vi), "case {case} step {step}");
+            assert_eq!(bits.size(vb), ivs.size(vi), "case {case} step {step}");
+            for _ in 0..8 {
+                let p = pick(&mut rng, &bits, vb);
+                assert_eq!(
+                    bits.dom(vb).contains(p),
+                    ivs.dom(vi).contains(p),
+                    "case {case} step {step}: membership of {p} diverged"
+                );
+            }
+        }
+    }
+}
+
 /// Test double for the parallel II sweep's cancellation path: a propagator
 /// that cancels its token after a fixed number of wakes, planting the
 /// cancellation *inside* a propagation fixpoint mid-search — exactly where

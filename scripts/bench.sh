@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Perf-baseline snapshot: run the solver bench groups plus the six table
+# kernels and collapse everything into one BENCH_<label>.json, so future
+# PRs have a recorded trajectory point to diff search effort and wall
+# clock against.
+#
+# Usage: ./scripts/bench.sh [label]          (default label: git short hash)
+#
+# Output schema (eit-bench-baseline/1):
+#   benches:  per-criterion-bench mean/min ns (micro + meso groups)
+#   kernels:  per-kernel wall-clock, nodes, fails, propagations, and the
+#             domain-representation histogram from eit-run-metrics/1
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD)}"
+out="BENCH_${label}.json"
+
+cargo build --release
+echo "== bench groups: solver + trace_overhead"
+bench_log="$(mktemp /tmp/eit-bench.XXXXXX.log)"
+trap 'rm -f "$bench_log"' EXIT
+cargo bench -p eit-bench --bench solver         | tee    "$bench_log"
+cargo bench -p eit-bench --bench trace_overhead | tee -a "$bench_log"
+
+echo "== table kernels (straight-line, default budget)"
+kernels_json=""
+for k in qrd arf matmul fir detector blockmm; do
+  m="$(mktemp /tmp/eit-bench-k.XXXXXX.json)"
+  ./target/release/eitc "$k" --timeout 120 --metrics "$m" >/dev/null
+  entry="$(python3 - "$k" "$m" <<'EOF'
+import json, sys
+k, path = sys.argv[1], sys.argv[2]
+doc = json.load(open(path))
+s = doc["solver"]
+row = {
+    "wall_us": s["time_us"],
+    "nodes": s["nodes"],
+    "fails": s["fails"],
+    "propagations": s["propagations"],
+    "domains": doc["domains"],
+}
+print(json.dumps({k: row}, separators=(",", ":")))
+EOF
+)"
+  kernels_json="$kernels_json $entry"
+  rm -f "$m"
+  echo "   $k: done"
+done
+
+python3 - "$label" "$bench_log" "$out" $kernels_json <<'EOF'
+import json, re, sys
+label, log_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+benches = {}
+pat = re.compile(r"^bench (\S+)\s+mean\s+(\d+) ns/iter\s+min\s+(\d+) ns/iter")
+for line in open(log_path):
+    m = pat.match(line.strip())
+    if m:
+        benches[m.group(1)] = {"mean_ns": int(m.group(2)), "min_ns": int(m.group(3))}
+kernels = {}
+for blob in sys.argv[4:]:
+    kernels.update(json.loads(blob))
+doc = {
+    "schema": "eit-bench-baseline/1",
+    "label": label,
+    "benches": benches,
+    "kernels": kernels,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}: {len(benches)} benches, {len(kernels)} kernels")
+EOF

@@ -55,11 +55,13 @@ for k in matmul fir qrd; do
   echo "   $k: schedules and normalized metrics byte-identical"
 done
 
-echo "== differential fuzz smoke: 200 fixed-seed cases"
+echo "== differential fuzz smoke: 200 fixed-seed cases (hybrid bitset domains on)"
 # Deterministic: same seed, same graphs, same verdicts on every machine.
 # Each case cross-checks XML round-trips, the list/CP/modulo schedulers,
 # both independent verifiers, persistence, and functional replay
-# (~30s ceiling; typically well under).
+# (~30s ceiling; typically well under). The solver runs with the hybrid
+# bitset representation enabled (the Store default), so the corpus also
+# exercises promotion and the bitset fast paths on every case.
 ./target/release/fuzz --seed 5 --cases 200 --out /tmp/eit-fuzz-failures
 
 echo "== arch-fuzz smoke: 100 fixed-seed architecture×kernel cases"
@@ -108,6 +110,32 @@ for k in matmul fir; do
   ./target/release/eitc "$k" --modulo --timeout 60 --verify >/dev/null
   echo "   $k --modulo: verified clean"
 done
+
+echo "== ablation gate: bitset x restarts A/B on all six table kernels"
+# The two search-engine features must be pure wins on the paper kernels:
+# the hybrid bitset representation may not change the search trajectory
+# at all (byte-identical schedule, identical node count), and the default
+# restart policy may not change the emitted schedule or explore more
+# nodes (on these fail-free instances it must be a strict no-op).
+abdir="$(mktemp -d /tmp/eit-ab.XXXXXX)"
+nodes_of() { grep -o '"nodes": [0-9]*' "$1" | head -1 | grep -o '[0-9]*'; }
+for k in qrd arf matmul fir detector blockmm; do
+  ./target/release/eitc "$k" --timeout 120 --metrics "$abdir/base.json" > "$abdir/base.txt"
+  ./target/release/eitc "$k" --timeout 120 --no-bitset --metrics "$abdir/nobits.json" > "$abdir/nobits.txt"
+  ./target/release/eitc "$k" --timeout 120 --restarts --metrics "$abdir/rs.json" > "$abdir/rs.txt"
+  ./target/release/eitc "$k" --timeout 120 --restarts --no-bitset > "$abdir/rs_nobits.txt"
+  for ab in nobits rs rs_nobits; do
+    cmp "$abdir/base.txt" "$abdir/$ab.txt" \
+      || { echo "FAIL: $k ($ab) schedule differs from baseline"; exit 1; }
+  done
+  nb="$(nodes_of "$abdir/base.json")"
+  nn="$(nodes_of "$abdir/nobits.json")"
+  nr="$(nodes_of "$abdir/rs.json")"
+  [ "$nn" = "$nb" ] || { echo "FAIL: $k --no-bitset changed the node count ($nn vs $nb)"; exit 1; }
+  [ "$nr" -le "$nb" ] || { echo "FAIL: $k --restarts explored more nodes ($nr > $nb)"; exit 1; }
+  echo "   $k: 4-way A/B schedules byte-identical; nodes $nr (restarts) <= $nb (baseline)"
+done
+rm -rf "$abdir"
 
 echo "== replay smoke: record then strict-replay, and trace-hash determinism across --jobs"
 # The record/replay contract: a recorded solve must strict-replay clean
