@@ -22,12 +22,22 @@
 //!   --jobs N            worker threads for the modulo II sweep (default: 1;
 //!                       N > 1 probes candidate IIs speculatively in parallel
 //!                       and yields the same schedule as N = 1)
+//!   --backend B         decision procedure for the modulo sweep:
+//!                       cp (default), sat (the self-contained CDCL solver
+//!                       over the order-encoded CNF model), or race (both
+//!                       in parallel; first feasible answer wins and the
+//!                       loser is cancelled). All backends agree on the
+//!                       winning II; sat/race require the exclude-reconfig
+//!                       model (no `--modulo incl`)
 //!   --overlap M         overlapped execution of M iterations
 //!   --timeout SECS      solver budget (default: 120)
 //!   --emit xml          dump the (merged) IR as XML instead of compiling
 //!   --emit dot          dump the (merged) IR as Graphviz DOT
 //!   --emit vcd          dump the schedule as a VCD waveform
 //!   --emit gantt        print a Gantt chart of the schedule instead of a listing
+//!   --emit cnf          with --modulo: print the first encodable candidate
+//!                       II of the sweep as a DIMACS CNF problem and exit
+//!                       (escape hatch for external SAT solvers)
 //!   --verify            after scheduling, re-check the result with the
 //!                       independent verifier (eit-arch `verify` module) AND
 //!                       the simulator's structural validation; exit 1 if
@@ -67,9 +77,7 @@
 use eit_arch::ArchSpec;
 use eit_bench::{Json, RunMetrics};
 use eit_core::pipeline::{compile, CompileError, CompileOptions};
-use eit_core::{
-    bundles_from_schedule, modulo_schedule, overlapped_execution, ModuloOptions, SchedulerOptions,
-};
+use eit_core::{bundles_from_schedule, overlapped_execution, ModuloOptions, SchedulerOptions};
 use eit_cp::trace::{JsonlSink, TraceHandle};
 use eit_cp::{RecorderSink, ReplayOptions, Trace, TraceHeader};
 use eit_ir::sem::Value;
@@ -87,6 +95,7 @@ struct Args {
     memory: bool,
     merge: bool,
     modulo: Option<bool>, // Some(include_reconfig)
+    backend: eit_core::Backend,
     jobs: usize,
     overlap: Option<usize>,
     timeout: u64,
@@ -94,6 +103,7 @@ struct Args {
     emit_gantt: bool,
     emit_dot: bool,
     emit_vcd: bool,
+    emit_cnf: bool,
     verify: bool,
     trace: Option<String>,
     record: Option<String>,
@@ -110,8 +120,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!("usage: eitc <qrd|arf|matmul|fir|detector|blockmm|path.xml>");
     eprintln!("            [--arch PRESET|FILE] [--slots N] [--no-memory] [--no-merge]");
-    eprintln!("            [--modulo [incl]] [--jobs N] [--overlap M] [--timeout SECS]");
-    eprintln!("            [--emit xml|gantt|dot|vcd] [--verify]");
+    eprintln!("            [--modulo [incl]] [--backend cp|sat|race] [--jobs N]");
+    eprintln!("            [--overlap M] [--timeout SECS]");
+    eprintln!("            [--emit xml|gantt|dot|vcd|cnf] [--verify]");
     eprintln!("            [--trace FILE] [--record FILE] [--replay FILE [--strict|--lenient]]");
     eprintln!("            [--profile] [--fifo] [--no-bitset] [--restarts [POLICY]]");
     eprintln!("            [--metrics FILE]");
@@ -134,6 +145,7 @@ fn parse_args() -> Args {
         memory: true,
         merge: true,
         modulo: None,
+        backend: eit_core::Backend::Cp,
         jobs: 1,
         overlap: None,
         timeout: 120,
@@ -141,6 +153,7 @@ fn parse_args() -> Args {
         emit_gantt: false,
         emit_dot: false,
         emit_vcd: false,
+        emit_cnf: false,
         verify: false,
         trace: None,
         record: None,
@@ -174,6 +187,16 @@ fn parse_args() -> Args {
                 }
                 args.modulo = Some(incl);
             }
+            "--backend" => {
+                args.backend = it
+                    .next()
+                    .as_deref()
+                    .and_then(eit_core::Backend::parse)
+                    .unwrap_or_else(|| {
+                        eprintln!("eitc: --backend expects cp, sat, or race");
+                        usage();
+                    })
+            }
             "--jobs" => {
                 args.jobs = it
                     .next()
@@ -199,6 +222,7 @@ fn parse_args() -> Args {
                 Some("gantt") => args.emit_gantt = true,
                 Some("dot") => args.emit_dot = true,
                 Some("vcd") => args.emit_vcd = true,
+                Some("cnf") => args.emit_cnf = true,
                 Some(other) => bad_arg(&format!("--emit {other}")),
                 None => usage(),
             },
@@ -390,20 +414,37 @@ fn modulo_metrics(r: &eit_core::ModuloResult) -> Json {
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("ii_issue".into(), Json::int(r.ii_issue as u64)),
         ("switches".into(), Json::int(r.switches as u64)),
         ("actual_ii".into(), Json::int(r.actual_ii as u64)),
         ("throughput".into(), Json::num(r.throughput)),
         ("timed_out".into(), Json::Bool(r.timed_out)),
         ("jobs".into(), Json::int(r.jobs as u64)),
+        // Which decision procedure produced the accepted schedule — under
+        // `--backend race` this is the winner attribution.
+        ("backend".into(), Json::str(r.backend)),
         (
             "opt_time_us".into(),
             Json::int(r.opt_time.as_micros() as u64),
         ),
         ("probes".into(), Json::Arr(probes)),
         ("workers".into(), Json::Arr(workers)),
-    ])
+    ];
+    if let Some(s) = &r.sat {
+        fields.push((
+            "sat".into(),
+            Json::Obj(vec![
+                ("vars".into(), Json::int(s.vars)),
+                ("clauses".into(), Json::int(s.clauses)),
+                ("decisions".into(), Json::int(s.decisions)),
+                ("conflicts".into(), Json::int(s.conflicts)),
+                ("propagations".into(), Json::int(s.propagations)),
+                ("restarts".into(), Json::int(s.restarts)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 /// Refuse a trace recorded for a different problem or solver setup.
@@ -537,6 +578,7 @@ fn main() {
     if let Some(include_reconfig) = args.modulo {
         let mut mopts = ModuloOptions {
             include_reconfig,
+            backend: args.backend,
             timeout_per_ii: timeout,
             total_timeout: timeout,
             jobs: args.jobs,
@@ -545,6 +587,34 @@ fn main() {
             bitset: !args.no_bitset,
             ..Default::default()
         };
+        if rr && args.backend != eit_core::Backend::Cp {
+            // The trace format records CP search events; the SAT sweep
+            // (and hence the race, whose winner varies with load) has no
+            // node-per-node trajectory to diff against.
+            eprintln!(
+                "eitc: --record/--replay require the cp backend \
+                 (got --backend {})",
+                args.backend.as_str()
+            );
+            exit(2);
+        }
+        if args.emit_cnf {
+            match eit_core::modulo_cnf_dimacs(&g, &spec, &mopts) {
+                Ok(Some((ii, dimacs))) => {
+                    eprintln!("; DIMACS CNF for candidate II {ii}");
+                    print!("{dimacs}");
+                }
+                Ok(None) => {
+                    eprintln!("eitc: every candidate II is statically refuted; no CNF to emit");
+                    exit(1);
+                }
+                Err(e) => {
+                    eprintln!("eitc: --emit cnf: {e}");
+                    exit(1);
+                }
+            }
+            return;
+        }
         if let Some(path) = &args.replay {
             let t = Trace::read(path).unwrap_or_else(|e| {
                 eprintln!("eitc: cannot read trace {path}: {e}");
@@ -579,10 +649,17 @@ fn main() {
             mopts.trace = Some(TraceHandle::new(Arc::clone(&arc)));
             arc
         });
-        let r = modulo_schedule(&g, &spec, &mopts).unwrap_or_else(|| {
-            eprintln!("eitc: no modulo schedule found within budget");
-            exit(1);
-        });
+        let r = match eit_core::modulo_schedule_checked(&g, &spec, &mopts) {
+            Ok(Some(r)) => r,
+            Ok(None) => {
+                eprintln!("eitc: no modulo schedule found within budget");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("eitc: modulo scheduling failed: {e}");
+                exit(1);
+            }
+        };
         if let (Some(path), Some(rec)) = (&args.record, &recorder) {
             let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
             println!(

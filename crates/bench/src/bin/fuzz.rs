@@ -4,8 +4,12 @@
 //!
 //! ```text
 //! fuzz --seed 5 --cases 200 [--out DIR] [--no-modulo] [--no-shrink] \
-//!      [--timeout SECS] [--arch-fuzz]
+//!      [--timeout SECS] [--arch-fuzz] [--backend-fuzz]
 //! ```
+//!
+//! `--backend-fuzz` cross-checks every CP modulo result against the
+//! independent SAT backend: equal minimum II, and the SAT schedule clean
+//! under both verifiers.
 //!
 //! `--arch-fuzz` walks the architecture×kernel product space: every case
 //! draws a fresh generated machine (always `validate()`-clean) before
@@ -22,7 +26,7 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seed N] [--cases N] [--out DIR] [--no-modulo] \
-         [--no-shrink] [--timeout SECS] [--arch-fuzz]"
+         [--no-shrink] [--timeout SECS] [--arch-fuzz] [--backend-fuzz]"
     );
     std::process::exit(2)
 }
@@ -38,6 +42,7 @@ fn main() {
             "--out" => opts.out_dir = Some(val().into()),
             "--no-modulo" => opts.check_modulo = false,
             "--arch-fuzz" => opts.arch_fuzz = true,
+            "--backend-fuzz" => opts.backend_fuzz = true,
             "--no-shrink" => opts.shrink = false,
             "--timeout" => {
                 opts.solver_timeout = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))

@@ -80,6 +80,8 @@ fn main() {
                         timed_out: false,
                         probes: Vec::new(),
                         jobs: 1,
+                        backend: "cp",
+                        sat: None,
                     };
                     if let Some((big, sched)) = allocate_modulo_memory(&p.graph, &spec2, &rr, 4) {
                         let v = validate_structure(&big, &spec2, &sched);

@@ -69,6 +69,10 @@ pub struct FuzzOptions {
     /// instead of the fixed EIT instance, and reproducers ship the arch
     /// XML next to the kernel XML.
     pub arch_fuzz: bool,
+    /// Cross-check the CP modulo sweep against the independent SAT
+    /// backend on every case where CP finds a schedule: equal II, and the
+    /// SAT schedule clean under both verifiers. Implies the modulo stage.
+    pub backend_fuzz: bool,
 }
 
 impl Default for FuzzOptions {
@@ -81,6 +85,7 @@ impl Default for FuzzOptions {
             check_modulo: true,
             shrink: true,
             arch_fuzz: false,
+            backend_fuzz: false,
         }
     }
 }
@@ -489,7 +494,7 @@ pub fn check_case_on(
 
     // Stage: modulo sweep determinism (jobs=1 vs jobs=4) and wraparound
     // verification of the winner.
-    if opts.check_modulo {
+    if opts.check_modulo || opts.backend_fuzz {
         checks += 1;
         let mopts = |jobs: usize| ModuloOptions {
             include_reconfig: false,
@@ -527,6 +532,50 @@ pub fn check_case_on(
                         "modulo-wraparound",
                         fmt_violations(&format!("II {}", a.ii_issue), &wrapped),
                     );
+                }
+                // Stage: cross-backend differential. The CDCL/CNF sweep is
+                // an independent implementation of the same model, so its
+                // minimum feasible II must match CP's, and its (different)
+                // concrete schedule must satisfy both verifiers.
+                if opts.backend_fuzz {
+                    checks += 1;
+                    let sopts = ModuloOptions {
+                        backend: crate::modulo::Backend::Sat,
+                        ..mopts(1)
+                    };
+                    match crate::modulo::modulo_schedule_checked(g, &spec, &sopts) {
+                        Err(e) => {
+                            return fail("modulo-backend-differential", format!("sat: {e}"));
+                        }
+                        Ok(None) => {
+                            return fail(
+                                "modulo-backend-differential",
+                                format!("cp found II {} but sat found nothing", a.ii_issue),
+                            );
+                        }
+                        Ok(Some(sr)) => {
+                            if sr.ii_issue != a.ii_issue {
+                                return fail(
+                                    "modulo-backend-differential",
+                                    format!("cp II {} vs sat II {}", a.ii_issue, sr.ii_issue),
+                                );
+                            }
+                            let unrolled = validate_modulo(g, &spec, &sr, 3);
+                            if !unrolled.is_empty() {
+                                return fail(
+                                    "modulo-backend-differential",
+                                    fmt_violations("sat unrolled", &unrolled),
+                                );
+                            }
+                            let wrapped = verify_modulo(g, &spec, &sr.s, sr.ii_issue);
+                            if !wrapped.is_empty() {
+                                return fail(
+                                    "modulo-backend-differential",
+                                    fmt_violations("sat wraparound", &wrapped),
+                                );
+                            }
+                        }
+                    }
                 }
             }
             (a, b) => {
@@ -718,7 +767,23 @@ mod tests {
             check_modulo: modulo,
             shrink: true,
             arch_fuzz: false,
+            backend_fuzz: false,
         }
+    }
+
+    #[test]
+    fn backend_fuzz_smoke_finds_no_disagreement() {
+        let mut o = quick(11, 12, true);
+        o.backend_fuzz = true;
+        let rep = run(&o);
+        assert!(
+            rep.failures.is_empty(),
+            "cross-backend differential failed: {:?}",
+            rep.failures
+                .iter()
+                .map(|f| (&f.stage, &f.detail))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

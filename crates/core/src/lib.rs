@@ -34,8 +34,9 @@ pub use list_sched::{list_schedule, ListScheduleResult};
 pub use model::{build_model, schedule, BuiltModel, ScheduleResult, SchedulerOptions};
 pub use modulo::{
     allocate_modulo_memory, allocate_modulo_memory_with, build_probe, ii_lower_bound,
-    modulo_schedule, probe_ii, schedule_at_ii, validate_modulo, AllocOptions, AllocOutcome,
-    IiOutcome, ModuloOptions, ModuloResult, ProbeModel, ProbeStat,
+    modulo_cnf_dimacs, modulo_schedule, modulo_schedule_checked, probe_ii, schedule_at_ii,
+    validate_modulo, AllocOptions, AllocOutcome, Backend, IiOutcome, ModuloError, ModuloOptions,
+    ModuloResult, ProbeModel, ProbeStat, SatStats,
 };
 pub use obs::PhaseTimings;
 pub use overlap::{

@@ -40,6 +40,88 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Which decision procedure answers each candidate II of the sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The CP solver (the paper's engine; supports both reconfiguration
+    /// models, record/replay, and the parallel speculative sweep).
+    #[default]
+    Cp,
+    /// The CDCL SAT backend (`eit-sat`): order-encoded CNF per candidate
+    /// II, exclude-reconfig model only. Every satisfying assignment is
+    /// re-checked by both independent verifiers before it is accepted.
+    Sat,
+    /// Race CP against SAT under child cancellation tokens; the first
+    /// backend to find a (verified) schedule wins and cancels the other.
+    /// Both sweep the same bottom-up candidate order, so the winning II
+    /// is backend-independent — only the attribution varies.
+    Race,
+}
+
+impl Backend {
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "cp" => Some(Backend::Cp),
+            "sat" => Some(Backend::Sat),
+            "race" => Some(Backend::Race),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Cp => "cp",
+            Backend::Sat => "sat",
+            Backend::Race => "race",
+        }
+    }
+}
+
+/// Structured failure of a modulo-scheduling run: the model could not be
+/// built or a backend misbehaved. Distinct from the ordinary "no
+/// schedule within budget" outcome, which stays `Ok(None)` /
+/// [`Option::None`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModuloError {
+    /// The graph refers to something the model cannot express — e.g. a
+    /// vector-core op without a configuration entry. Names the node.
+    ModelBuild { node: String, detail: String },
+    /// The requested backend cannot serve this configuration (the SAT
+    /// encoding covers the exclude-reconfig model only).
+    UnsupportedBackend(String),
+    /// A backend produced an assignment that one of the independent
+    /// verifiers rejected — a solver bug surfaced as data, not a panic.
+    BackendDisagreement(String),
+}
+
+impl std::fmt::Display for ModuloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModuloError::ModelBuild { node, detail } => {
+                write!(f, "model build failed at node '{node}': {detail}")
+            }
+            ModuloError::UnsupportedBackend(msg) => write!(f, "unsupported backend: {msg}"),
+            ModuloError::BackendDisagreement(msg) => {
+                write!(f, "backend produced an invalid schedule: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModuloError {}
+
+/// Aggregated SAT-solver counters of one sweep (summed over every
+/// candidate II the SAT backend touched), for `eit-run-metrics/1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SatStats {
+    pub vars: u64,
+    pub clauses: u64,
+    pub decisions: u64,
+    pub conflicts: u64,
+    pub propagations: u64,
+    pub restarts: u64,
+}
+
 /// Options for [`modulo_schedule`].
 #[derive(Clone, Debug)]
 pub struct ModuloOptions {
@@ -82,6 +164,10 @@ pub struct ModuloOptions {
     /// Hybrid bitset/interval domains in every probe model (default).
     /// Representation-only — excluded from the config string.
     pub bitset: bool,
+    /// Decision procedure for the sweep: CP (default), SAT, or a race of
+    /// the two. Trajectory-shaping, so it joins
+    /// [`crate::rr::modulo_config_string`].
+    pub backend: Backend,
 }
 
 impl Default for ModuloOptions {
@@ -97,6 +183,7 @@ impl Default for ModuloOptions {
             cancel: None,
             restarts: None,
             bitset: true,
+            backend: Backend::Cp,
         }
     }
 }
@@ -142,6 +229,12 @@ pub struct ModuloResult {
     pub probes: Vec<ProbeStat>,
     /// Worker threads the sweep ran with.
     pub jobs: usize,
+    /// Backend that produced the schedule (`"cp"` or `"sat"` — under
+    /// `Backend::Race` this is the winner's attribution).
+    pub backend: &'static str,
+    /// SAT-solver counters, when the SAT backend ran (its sweep, or its
+    /// side of a race — present even if CP won the race).
+    pub sat: Option<SatStats>,
 }
 
 /// Resource-based lower bound on II: for each unit,
@@ -259,6 +352,10 @@ pub enum IiOutcome {
     /// The probe's cancellation token was raised before it could decide
     /// the candidate (speculative sweeps only; never a refutation proof).
     Cancelled,
+    /// The model could not be built for this candidate (malformed graph
+    /// — e.g. a vector op without a configuration). II-independent: the
+    /// sweep aborts with the structured error instead of probing on.
+    Malformed(ModuloError),
 }
 
 /// Attempt one candidate II (public so harnesses can probe specific IIs).
@@ -298,15 +395,17 @@ pub struct ProbeModel {
     pub s_var: Vec<VarId>,
 }
 
-/// Build the CSP for one candidate II. Returns `None` when a static
+/// Build the CSP for one candidate II. Returns `Ok(None)` when a static
 /// capacity cut already refutes the candidate — no search runs, so a
-/// recorded probe stream for such a candidate is empty.
+/// recorded probe stream for such a candidate is empty — and `Err` with
+/// a named diagnostic when the graph itself is malformed (a model-build
+/// failure is a property of the graph, not of the candidate).
 pub fn build_probe(
     g: &Graph,
     spec: &ArchSpec,
     ii: i32,
     include_reconfig: bool,
-) -> Option<ProbeModel> {
+) -> Result<Option<ProbeModel>, ModuloError> {
     build_probe_with(g, spec, ii, include_reconfig, true)
 }
 
@@ -320,7 +419,7 @@ pub fn build_probe_with(
     ii: i32,
     include_reconfig: bool,
     bitset: bool,
-) -> Option<ProbeModel> {
+) -> Result<Option<ProbeModel>, ModuloError> {
     let latency = |n: NodeId| spec.latency(&g.node(n).kind);
     let duration = |n: NodeId| spec.duration(&g.node(n).kind);
     let cp = g.critical_path(&latency);
@@ -401,10 +500,21 @@ pub fn build_probe_with(
         .copied()
         .filter(|&n| g.category(n) == Category::VectorOp)
         .collect();
+    // A vector-core op always carries a configuration on a well-formed
+    // graph; a graph that violates that is reported as a named
+    // model-build diagnostic instead of aborting the scheduler.
+    let config_of = |n: NodeId| {
+        g.opcode(n)
+            .and_then(|o| o.config())
+            .ok_or_else(|| ModuloError::ModelBuild {
+                node: g.node(n).name.clone(),
+                detail: "vector-core op has no configuration entry in its opcode".into(),
+            })
+    };
     for (a, &i) in vops.iter().enumerate() {
         for &j in &vops[a + 1..] {
-            let ci = g.opcode(i).unwrap().config().unwrap();
-            let cj = g.opcode(j).unwrap().config().unwrap();
+            let ci = config_of(i)?;
+            let cj = config_of(j)?;
             if ci != cj {
                 m.neq(t_var[&i], t_var[&j]);
             }
@@ -449,7 +559,7 @@ pub fn build_probe_with(
             let lanes = spec.n_lanes as i64;
             let need = ((work + lanes - 1) / lanes).max(1) as i32;
             if need > ii {
-                return None;
+                return Ok(None);
             }
             let len = m.new_var(need, ii);
             // b + len <= ii
@@ -503,13 +613,13 @@ pub fn build_probe_with(
     }
     phases.push(Phase::new(data_s, VarSel::SmallestMin, ValSel::Min));
 
-    Some(ProbeModel {
+    Ok(Some(ProbeModel {
         model: m,
         phases,
         t_var,
         k_var,
         s_var,
-    })
+    }))
 }
 
 /// As [`schedule_at_ii`], with a cooperative cancellation token, an
@@ -528,8 +638,10 @@ pub fn probe_ii(
     restarts: Option<eit_cp::RestartConfig>,
     bitset: bool,
 ) -> (IiOutcome, SearchStats) {
-    let Some(pm) = build_probe_with(g, spec, ii, include_reconfig, bitset) else {
-        return (IiOutcome::Infeasible, SearchStats::default());
+    let pm = match build_probe_with(g, spec, ii, include_reconfig, bitset) {
+        Ok(Some(pm)) => pm,
+        Ok(None) => return (IiOutcome::Infeasible, SearchStats::default()),
+        Err(e) => return (IiOutcome::Malformed(e), SearchStats::default()),
     };
     let ProbeModel {
         mut model,
@@ -579,6 +691,8 @@ fn assemble_result(
     opt_time: Duration,
     timed_out: bool,
     probes: Vec<ProbeStat>,
+    backend: &'static str,
+    sat: Option<SatStats>,
 ) -> ModuloResult {
     let switches = if opts.include_reconfig {
         let groups = config_groups(g).len();
@@ -603,6 +717,8 @@ fn assemble_result(
         timed_out,
         probes,
         jobs: opts.jobs.max(1),
+        backend,
+        sat,
     }
 }
 
@@ -612,6 +728,7 @@ fn outcome_str(o: &IiOutcome) -> &'static str {
         IiOutcome::Infeasible => "infeasible",
         IiOutcome::Timeout => "timeout",
         IiOutcome::Cancelled => "cancelled",
+        IiOutcome::Malformed(_) => "malformed",
     }
 }
 
@@ -646,7 +763,84 @@ fn forward_probe_streams<'a>(
 /// schedule is bit-identical (its CSP ran to a natural stop under its own
 /// deterministic DFS — cancellation only ever hits candidates above the
 /// winner).
+///
+/// This is the `Option`-shaped convenience wrapper around
+/// [`modulo_schedule_checked`]: structured failures (malformed graph,
+/// unsupported backend, backend disagreement) collapse into `None`.
+/// Call the checked variant when the diagnostic matters.
 pub fn modulo_schedule(g: &Graph, spec: &ArchSpec, opts: &ModuloOptions) -> Option<ModuloResult> {
+    modulo_schedule_checked(g, spec, opts).ok().flatten()
+}
+
+/// As [`modulo_schedule`], with structured errors kept apart from the
+/// ordinary "no schedule within budget" (`Ok(None)`) outcome, and with
+/// the backend dispatch: CP sweep, SAT sweep, or a race of the two.
+pub fn modulo_schedule_checked(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+) -> Result<Option<ModuloResult>, ModuloError> {
+    match opts.backend {
+        Backend::Cp => modulo_schedule_cp(g, spec, opts),
+        Backend::Sat => {
+            check_sat_supported(opts)?;
+            modulo_schedule_sat(g, spec, opts).map(|(r, _)| r)
+        }
+        Backend::Race => {
+            check_sat_supported(opts)?;
+            modulo_schedule_race(g, spec, opts)
+        }
+    }
+}
+
+fn check_sat_supported(opts: &ModuloOptions) -> Result<(), ModuloError> {
+    if opts.include_reconfig {
+        return Err(ModuloError::UnsupportedBackend(
+            "the SAT encoding covers the exclude-reconfig modulo model only; \
+             use the cp backend for --modulo incl"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The `--emit cnf` escape hatch: render the first encodable candidate
+/// II of the sweep as a DIMACS problem (with the sweep position recorded
+/// in comment lines) so the instance can be handed to an external SAT
+/// solver. Returns `Ok(None)` when every candidate in the sweep range is
+/// statically refuted before encoding.
+pub fn modulo_cnf_dimacs(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+) -> Result<Option<(i32, String)>, ModuloError> {
+    check_sat_supported(opts)?;
+    let lb = ii_lower_bound(g, spec);
+    let ub = opts
+        .max_ii
+        .unwrap_or_else(|| crate::model::serial_horizon(g, spec));
+    for ii in lb..=ub {
+        let enc = eit_sat::encode_modulo(g, spec, ii).map_err(|e| ModuloError::ModelBuild {
+            node: e.node.clone(),
+            detail: e.detail,
+        })?;
+        if let Some(enc) = enc {
+            let comments = [
+                format!("eit modulo model (sec 4.3), candidate II {ii}"),
+                format!("sweep range {lb}..={ub}; first encodable candidate"),
+                format!("graph {}, {} nodes", g.name, g.len()),
+            ];
+            return Ok(Some((ii, enc.cnf.to_dimacs(&comments))));
+        }
+    }
+    Ok(None)
+}
+
+fn modulo_schedule_cp(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+) -> Result<Option<ModuloResult>, ModuloError> {
     if opts.jobs > 1 {
         modulo_schedule_parallel(g, spec, opts)
     } else {
@@ -654,11 +848,236 @@ pub fn modulo_schedule(g: &Graph, spec: &ArchSpec, opts: &ModuloOptions) -> Opti
     }
 }
 
+/// The SAT sweep: encode each candidate II to CNF, solve it with the
+/// CDCL engine, and — before accepting — decode the model and run it
+/// through **both** independent verifiers ([`eit_arch::verify_modulo`]
+/// on the steady-state window and [`validate_modulo`] on the unrolled
+/// schedule). A verifier rejection is a structured
+/// [`ModuloError::BackendDisagreement`], never a panic and never a
+/// silently-wrong schedule. Returns the solver counters alongside so a
+/// race can report them even when CP wins.
+fn modulo_schedule_sat(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+) -> Result<(Option<ModuloResult>, SatStats), ModuloError> {
+    let t0 = Instant::now();
+    let lb = ii_lower_bound(g, spec);
+    let ub = opts
+        .max_ii
+        .unwrap_or_else(|| crate::model::serial_horizon(g, spec));
+    let mut agg = SatStats::default();
+    let mut timed_out_any = false;
+    let mut probes: Vec<ProbeStat> = Vec::new();
+
+    for ii in lb..=ub {
+        if t0.elapsed() >= opts.total_timeout {
+            break;
+        }
+        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            break;
+        }
+        let budget = opts
+            .timeout_per_ii
+            .min(opts.total_timeout.saturating_sub(t0.elapsed()));
+        let tp = Instant::now();
+        let enc = match eit_sat::encode_modulo(g, spec, ii) {
+            Ok(Some(enc)) => enc,
+            Ok(None) => {
+                probes.push(sat_probe_stat(ii, "infeasible", None, tp.elapsed()));
+                continue;
+            }
+            Err(e) => {
+                return Err(ModuloError::ModelBuild {
+                    node: e.node,
+                    detail: e.detail,
+                })
+            }
+        };
+        agg.vars += enc.cnf.n_vars as u64;
+        agg.clauses += enc.cnf.clauses.len() as u64;
+        let mut solver = eit_sat::Solver::new();
+        for _ in 0..enc.cnf.n_vars {
+            solver.new_var();
+        }
+        for c in &enc.cnf.clauses {
+            solver.add_clause(c);
+        }
+        let deadline = tp + budget;
+        let cancel = opts.cancel.clone();
+        let mut stop =
+            || Instant::now() >= deadline || cancel.as_ref().is_some_and(|c| c.is_cancelled());
+        let out = solver.solve(&mut stop);
+        agg.decisions += solver.stats.decisions;
+        agg.conflicts += solver.stats.conflicts;
+        agg.propagations += solver.stats.propagations;
+        agg.restarts += solver.stats.restarts;
+        match out {
+            eit_sat::SolveOutcome::Sat => {
+                probes.push(sat_probe_stat(
+                    ii,
+                    "feasible",
+                    Some(&solver.stats),
+                    tp.elapsed(),
+                ));
+                let (t, k, s) = enc.decode(g, spec, &|v| solver.model_value(v));
+                let violations = eit_arch::verify_modulo(g, spec, &s, ii);
+                if !violations.is_empty() {
+                    return Err(ModuloError::BackendDisagreement(format!(
+                        "sat schedule at II={ii} rejected by verify_modulo: {:?}",
+                        violations.first()
+                    )));
+                }
+                let r = assemble_result(
+                    g,
+                    spec,
+                    opts,
+                    ii,
+                    (t, k, s),
+                    t0.elapsed(),
+                    timed_out_any,
+                    probes,
+                    "sat",
+                    Some(agg),
+                );
+                let structural = validate_modulo(g, spec, &r, 3);
+                if !structural.is_empty() {
+                    return Err(ModuloError::BackendDisagreement(format!(
+                        "sat schedule at II={ii} rejected by the structural validator: {:?}",
+                        structural.first()
+                    )));
+                }
+                return Ok((Some(r), agg));
+            }
+            eit_sat::SolveOutcome::Unsat => {
+                probes.push(sat_probe_stat(
+                    ii,
+                    "infeasible",
+                    Some(&solver.stats),
+                    tp.elapsed(),
+                ));
+            }
+            eit_sat::SolveOutcome::Stopped => {
+                let cancelled = opts.cancel.as_ref().is_some_and(|c| c.is_cancelled());
+                let outcome = if cancelled { "cancelled" } else { "timeout" };
+                timed_out_any |= !cancelled;
+                probes.push(sat_probe_stat(
+                    ii,
+                    outcome,
+                    Some(&solver.stats),
+                    tp.elapsed(),
+                ));
+            }
+        }
+    }
+    Ok((None, agg))
+}
+
+/// Map one SAT probe onto the sweep's [`ProbeStat`] shape: decisions
+/// count as nodes, conflicts as fails.
+fn sat_probe_stat(
+    ii: i32,
+    outcome: &'static str,
+    stats: Option<&eit_sat::SolverStats>,
+    time: Duration,
+) -> ProbeStat {
+    ProbeStat {
+        ii,
+        outcome,
+        nodes: stats.map_or(0, |s| s.decisions),
+        fails: stats.map_or(0, |s| s.conflicts),
+        time,
+        worker: 0,
+    }
+}
+
+/// Race the CP and SAT sweeps under child cancellation tokens: both
+/// probe the same bottom-up candidate order, the first to return a
+/// schedule cancels the other. Because both sweeps start at the same
+/// resource lower bound and stop at their first feasible candidate, the
+/// winning II is the same either way (absent timeouts) — the race only
+/// decides *which backend* gets there first, reported in
+/// [`ModuloResult::backend`].
+fn modulo_schedule_race(
+    g: &Graph,
+    spec: &ArchSpec,
+    opts: &ModuloOptions,
+) -> Result<Option<ModuloResult>, ModuloError> {
+    let mk_child = || {
+        opts.cancel
+            .as_ref()
+            .map_or_else(CancelToken::new, |c| c.child())
+    };
+    let cp_token = mk_child();
+    let sat_token = mk_child();
+    let finish_order = AtomicUsize::new(0);
+
+    type Arm = (Result<Option<ModuloResult>, ModuloError>, SatStats, usize);
+    let run = |backend: Backend, token: CancelToken, other: CancelToken| -> Arm {
+        let sub = ModuloOptions {
+            cancel: Some(token),
+            backend,
+            // Racing is untraced: per-backend streams would interleave
+            // nondeterministically (the cp backend keeps full tracing).
+            trace: None,
+            ..opts.clone()
+        };
+        let (res, sat) = match backend {
+            Backend::Sat => match modulo_schedule_sat(g, spec, &sub) {
+                Ok((r, stats)) => (Ok(r), stats),
+                Err(e) => (Err(e), SatStats::default()),
+            },
+            _ => (modulo_schedule_cp(g, spec, &sub), SatStats::default()),
+        };
+        let seq = finish_order.fetch_add(1, Ordering::AcqRel);
+        if matches!(res, Ok(Some(_))) {
+            other.cancel();
+        }
+        (res, sat, seq)
+    };
+
+    let ((cp_res, _, cp_seq), (sat_res, sat_stats, sat_seq)) = std::thread::scope(|scope| {
+        let cp = scope.spawn(|| run(Backend::Cp, cp_token.clone(), sat_token.clone()));
+        let sat = scope.spawn(|| run(Backend::Sat, sat_token.clone(), cp_token.clone()));
+        (
+            cp.join().expect("cp racer panicked"),
+            sat.join().expect("sat racer panicked"),
+        )
+    });
+
+    // First finisher with a schedule wins; a structured error surfaces
+    // only when neither side produced one.
+    let mut arms: Vec<Arm> = vec![
+        (cp_res, SatStats::default(), cp_seq),
+        (sat_res, sat_stats, sat_seq),
+    ];
+    arms.sort_by_key(|&(_, _, seq)| seq);
+    let mut first_err = None;
+    for (res, _, _) in arms {
+        match res {
+            Ok(Some(mut r)) => {
+                if r.sat.is_none() {
+                    r.sat = Some(sat_stats);
+                }
+                return Ok(Some(r));
+            }
+            Ok(None) => {}
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(None),
+    }
+}
+
 fn modulo_schedule_sequential(
     g: &Graph,
     spec: &ArchSpec,
     opts: &ModuloOptions,
-) -> Option<ModuloResult> {
+) -> Result<Option<ModuloResult>, ModuloError> {
     let t0 = Instant::now();
     let lb = ii_lower_bound(g, spec);
     let ub = opts
@@ -728,7 +1147,7 @@ fn modulo_schedule_sequential(
                         streams.iter().map(|(pii, ev)| (*pii, ev.as_slice())),
                     );
                 }
-                return Some(assemble_result(
+                return Ok(Some(assemble_result(
                     g,
                     spec,
                     opts,
@@ -737,12 +1156,15 @@ fn modulo_schedule_sequential(
                     t0.elapsed(),
                     timed_out_any,
                     probes,
-                ));
+                    "cp",
+                    None,
+                )));
             }
+            IiOutcome::Malformed(e) => return Err(e),
             IiOutcome::Infeasible | IiOutcome::Cancelled => continue,
         }
     }
-    None
+    Ok(None)
 }
 
 /// The speculative parallel II sweep (see [`modulo_schedule`]).
@@ -750,14 +1172,14 @@ fn modulo_schedule_parallel(
     g: &Graph,
     spec: &ArchSpec,
     opts: &ModuloOptions,
-) -> Option<ModuloResult> {
+) -> Result<Option<ModuloResult>, ModuloError> {
     let t0 = Instant::now();
     let lb = ii_lower_bound(g, spec);
     let ub = opts
         .max_ii
         .unwrap_or_else(|| crate::model::serial_horizon(g, spec));
     if ub < lb {
-        return None;
+        return Ok(None);
     }
     let candidates: Vec<i32> = (lb..=ub).collect();
     // Per-probe tokens; children of the sweep-level token (when present)
@@ -869,9 +1291,24 @@ fn modulo_schedule_parallel(
 
     let mut entries = entries.into_inner().unwrap_or_else(|e| e.into_inner());
     entries.sort_by_key(|(i, ..)| *i);
-    let wpos = entries
+    // A malformed model is a property of the graph, not of a candidate:
+    // surface the structured diagnostic instead of an empty sweep.
+    if let Some(pos) = entries
         .iter()
-        .position(|(_, _, o, _, _, _)| matches!(o, IiOutcome::Feasible(..)))?;
+        .position(|(_, _, o, _, _, _)| matches!(o, IiOutcome::Malformed(_)))
+    {
+        let (_, _, outcome, _, _, _) = entries.swap_remove(pos);
+        let IiOutcome::Malformed(e) = outcome else {
+            unreachable!("pos indexes a malformed entry");
+        };
+        return Err(e);
+    }
+    let Some(wpos) = entries
+        .iter()
+        .position(|(_, _, o, _, _, _)| matches!(o, IiOutcome::Feasible(..)))
+    else {
+        return Ok(None);
+    };
     let timed_out_any = entries[..wpos]
         .iter()
         .any(|(_, _, o, _, _, _)| matches!(o, IiOutcome::Timeout));
@@ -901,7 +1338,7 @@ fn modulo_schedule_parallel(
     let IiOutcome::Feasible(t, k, s) = outcome else {
         unreachable!("wpos indexes a feasible entry");
     };
-    Some(assemble_result(
+    Ok(Some(assemble_result(
         g,
         spec,
         opts,
@@ -910,7 +1347,9 @@ fn modulo_schedule_parallel(
         t0.elapsed(),
         timed_out_any,
         probes,
-    ))
+        "cp",
+        None,
+    )))
 }
 
 /// Unroll `n_iters` iterations at the issue II and validate the combined
@@ -1049,6 +1488,101 @@ mod tests {
         assert_eq!(key(&par), key(&seq));
         assert_eq!(par.jobs, 4);
         assert_eq!(seq.jobs, 1);
+    }
+
+    #[test]
+    fn sat_backend_matches_cp_ii_on_matmul() {
+        let g = matmul();
+        let spec = eit_arch::ArchSpec::eit();
+        let cp = modulo_schedule(&g, &spec, &ModuloOptions::default()).unwrap();
+        let sat = modulo_schedule(
+            &g,
+            &spec,
+            &ModuloOptions {
+                backend: Backend::Sat,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sat.ii_issue, cp.ii_issue);
+        assert_eq!(sat.backend, "sat");
+        let stats = sat.sat.expect("sat result must carry solver stats");
+        assert!(stats.vars > 0 && stats.clauses > 0);
+        // The SAT schedule is independently decoded; both verifiers have
+        // already run inside modulo_schedule_sat, but check the public one
+        // again from the outside.
+        assert!(eit_arch::verify_modulo(&g, &spec, &sat.s, sat.ii_issue).is_empty());
+    }
+
+    #[test]
+    fn race_backend_reports_winner_and_matches_ii() {
+        let g = matmul();
+        let spec = eit_arch::ArchSpec::eit();
+        let cp = modulo_schedule(&g, &spec, &ModuloOptions::default()).unwrap();
+        let race = modulo_schedule(
+            &g,
+            &spec,
+            &ModuloOptions {
+                backend: Backend::Race,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(race.ii_issue, cp.ii_issue);
+        assert!(
+            race.backend == "cp" || race.backend == "sat",
+            "race winner must be attributed, got {:?}",
+            race.backend
+        );
+        // SAT counters ride along even when CP wins the race.
+        assert!(race.sat.is_some());
+        assert!(eit_arch::verify_modulo(&g, &spec, &race.s, race.ii_issue).is_empty());
+    }
+
+    #[test]
+    fn sat_backend_rejects_include_reconfig() {
+        let g = matmul();
+        let spec = eit_arch::ArchSpec::eit();
+        for backend in [Backend::Sat, Backend::Race] {
+            let r = modulo_schedule_checked(
+                &g,
+                &spec,
+                &ModuloOptions {
+                    backend,
+                    include_reconfig: true,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                matches!(r, Err(ModuloError::UnsupportedBackend(_))),
+                "{backend:?} must reject include_reconfig, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sat_backend_honours_expired_deadline() {
+        let g = matmul();
+        let spec = eit_arch::ArchSpec::eit();
+        for backend in [Backend::Sat, Backend::Race] {
+            let token = CancelToken::with_deadline(std::time::Instant::now());
+            let t0 = std::time::Instant::now();
+            let r = modulo_schedule(
+                &g,
+                &spec,
+                &ModuloOptions {
+                    backend,
+                    cancel: Some(token),
+                    ..Default::default()
+                },
+            );
+            assert!(r.is_none(), "{backend:?}: cancelled sweep found {r:?}");
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(5),
+                "{backend:?}: cancelled sweep took {:?}",
+                t0.elapsed()
+            );
+        }
     }
 
     #[test]
@@ -1269,6 +1803,12 @@ pub fn allocate_modulo_memory_with(
     use eit_cp::props::diff2::Rect;
     use eit_cp::props::reify::GuardedPair;
 
+    // A partial start map (e.g. a hand-built or truncated result from a
+    // foreign decode path) must degrade to a structured no-answer, never
+    // a panic mid-build.
+    if g.ids().any(|n| !r.s.contains_key(&n)) {
+        return AllocOutcome::Unknown;
+    }
     let (big, map) = crate::replicate::replicate(g, n_iters);
     let mut sched = Schedule::new(big.len());
     for (it, ids) in map.iter().enumerate() {
@@ -1287,24 +1827,24 @@ pub fn allocate_modulo_memory_with(
     // so the slot variable ids are identical across builds — EPS rebuilds
     // the model per worker and the ids captured from any one build stay
     // valid for solution extraction.
-    let build = || -> (Model, Vec<VarId>) {
+    let build = || -> (Model, Vec<(eit_ir::NodeId, VarId)>) {
         let mut m = Model::new();
         m.store.set_bitset(opts.bitset);
         let n_slots = spec.n_slots() as i32;
         let n_lines = spec.slots_per_bank as i32;
         let n_pages = spec.n_pages() as i32;
 
-        let mut slot = vec![None; big.len()];
-        let mut line = vec![None; big.len()];
-        let mut page = vec![None; big.len()];
+        // (slot, line, page) variable triple per vector datum. Every
+        // consumer below *looks up* the triple and skips nodes without
+        // one — a vector datum the decode missed degrades to a weaker
+        // model (caught by downstream validation), never to a panic.
+        let mut geo: Vec<Option<(VarId, VarId, VarId)>> = vec![None; big.len()];
         for &d in &vdata {
             let s = m.new_var(0, n_slots - 1);
             let l = m.new_var(0, n_lines - 1);
             let p = m.new_var(0, n_pages - 1);
             m.slot_geometry(s, l, p, spec.n_banks as i32, spec.page_size as i32);
-            slot[d.idx()] = Some(s);
-            line[d.idx()] = Some(l);
-            page[d.idx()] = Some(p);
+            geo[d.idx()] = Some((s, l, p));
         }
 
         let vec_core: Vec<eit_ir::NodeId> = big
@@ -1314,19 +1854,13 @@ pub fn allocate_modulo_memory_with(
         // (7): same-instruction inputs and outputs.
         for &op in &vec_core {
             for group in [big.preds(op), big.succs(op)] {
-                let vd: Vec<_> = group
+                let vd: Vec<(VarId, VarId)> = group
                     .iter()
-                    .copied()
-                    .filter(|&d| big.category(d) == Category::VectorData)
+                    .filter_map(|&d| geo[d.idx()].map(|(_, l, p)| (l, p)))
                     .collect();
-                for (x, &d) in vd.iter().enumerate() {
-                    for &e in &vd[x + 1..] {
-                        m.page_line_implies(
-                            page[d.idx()].unwrap(),
-                            line[d.idx()].unwrap(),
-                            page[e.idx()].unwrap(),
-                            line[e.idx()].unwrap(),
-                        );
+                for (x, &(ld, pd)) in vd.iter().enumerate() {
+                    for &(le, pe) in &vd[x + 1..] {
+                        m.page_line_implies(pd, ld, pe, le);
                     }
                 }
             }
@@ -1339,25 +1873,22 @@ pub fn allocate_modulo_memory_with(
                     continue;
                 }
                 let pairs = |xs: &[eit_ir::NodeId], ys: &[eit_ir::NodeId]| -> Vec<GuardedPair> {
-                    let fx: Vec<_> = xs
-                        .iter()
-                        .copied()
-                        .filter(|&d| big.category(d) == Category::VectorData)
-                        .collect();
-                    let fy: Vec<_> = ys
-                        .iter()
-                        .copied()
-                        .filter(|&d| big.category(d) == Category::VectorData)
-                        .collect();
+                    let with_geo = |ds: &[eit_ir::NodeId]| -> Vec<(eit_ir::NodeId, VarId, VarId)> {
+                        ds.iter()
+                            .filter_map(|&d| geo[d.idx()].map(|(_, l, p)| (d, l, p)))
+                            .collect()
+                    };
+                    let fx = with_geo(xs);
+                    let fy = with_geo(ys);
                     let mut out = Vec::new();
-                    for &d in &fx {
-                        for &e in &fy {
+                    for &(d, line_d, page_d) in &fx {
+                        for &(e, line_e, page_e) in &fy {
                             if d != e {
                                 out.push(GuardedPair {
-                                    page_d: page[d.idx()].unwrap(),
-                                    line_d: line[d.idx()].unwrap(),
-                                    page_e: page[e.idx()].unwrap(),
-                                    line_e: line[e.idx()].unwrap(),
+                                    page_d,
+                                    line_d,
+                                    page_e,
+                                    line_e,
                                 });
                             }
                         }
@@ -1375,23 +1906,31 @@ pub fn allocate_modulo_memory_with(
         // (10)/(11): lifetimes are constants now.
         let one = m.new_const(1);
         let mut rects = Vec::with_capacity(vdata.len());
+        let mut slot_vars: Vec<(eit_ir::NodeId, VarId)> = Vec::with_capacity(vdata.len());
         for &d in &vdata {
+            let Some((sv, _, _)) = geo[d.idx()] else {
+                continue;
+            };
             let (s0, s1) = sched.lifetime(&big, d);
             let x = m.new_const(s0);
             let life = m.new_const((s1 - s0).max(1));
             rects.push(Rect {
-                origin: [x, slot[d.idx()].unwrap()],
+                origin: [x, sv],
                 len: [life, one],
             });
+            slot_vars.push((d, sv));
         }
         m.diff2(rects);
 
-        let slot_vars: Vec<VarId> = vdata.iter().map(|&d| slot[d.idx()].unwrap()).collect();
         (m, slot_vars)
     };
 
-    let mk_cfg = |slot_vars: Vec<VarId>| SearchConfig {
-        phases: vec![Phase::new(slot_vars, VarSel::FirstFail, ValSel::Min)],
+    let mk_cfg = |slot_vars: &[(eit_ir::NodeId, VarId)]| SearchConfig {
+        phases: vec![Phase::new(
+            slot_vars.iter().map(|&(_, v)| v).collect(),
+            VarSel::FirstFail,
+            ValSel::Min,
+        )],
         timeout: Some(opts.timeout),
         cancel: opts.cancel.clone(),
         restarts: opts.restarts,
@@ -1402,7 +1941,8 @@ pub fn allocate_modulo_memory_with(
         let (_, slot_vars) = build();
         let builder = || {
             let (m, sv) = build();
-            (m, mk_cfg(sv))
+            let cfg = mk_cfg(&sv);
+            (m, cfg)
         };
         let eps = eit_cp::EpsConfig {
             jobs: opts.jobs,
@@ -1414,7 +1954,7 @@ pub fn allocate_modulo_memory_with(
         (res, slot_vars)
     } else {
         let (mut m, sv) = build();
-        let cfg = mk_cfg(sv.clone());
+        let cfg = mk_cfg(&sv);
         (solve(&mut m, &cfg), sv)
     };
 
@@ -1423,7 +1963,7 @@ pub fn allocate_modulo_memory_with(
             let Some(sol) = res.best else {
                 return AllocOutcome::Unknown;
             };
-            for (&d, &sv) in vdata.iter().zip(&slot_vars) {
+            for &(d, sv) in &slot_vars {
                 sched.slot[d.idx()] = Some(sol.value(sv) as u32);
             }
             AllocOutcome::Allocated(big, sched)
@@ -1456,6 +1996,35 @@ mod memory_tests {
             .expect("steady-state allocation must fit 64 slots");
         let v = eit_arch::validate_structure(&big, &spec, &sched);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn partial_schedule_map_yields_unknown_not_panic() {
+        // Shrunk reproducer for the decode-path hardening: a ModuloResult
+        // whose `s` map is missing nodes (as a buggy or interrupted
+        // backend could produce) used to panic inside the allocator —
+        // first at `r.s[&n]` during replication, then at the
+        // slot/line/page `.unwrap()`s while building memory constraints.
+        // A partial assignment must surface structurally as Unknown.
+        let ctx = Ctx::new("k");
+        let a = ctx.vector([1.0, 0.0, 0.0, 0.0]);
+        let b = ctx.vector([0.0, 1.0, 0.0, 0.0]);
+        let x = a.v_add(&b);
+        let _ = x.v_mul(&b);
+        let g = ctx.finish();
+        let spec = ArchSpec::eit();
+        let mut r = modulo_schedule(&g, &spec, &ModuloOptions::default()).unwrap();
+        // Drop one node from every per-node map to simulate a truncated
+        // decode.
+        let victim = g.ids().last().unwrap();
+        r.s.remove(&victim);
+        r.t.remove(&victim);
+        r.k.remove(&victim);
+        let out = allocate_modulo_memory_with(&g, &spec, &r, 4, &AllocOptions::default());
+        assert!(
+            matches!(out, AllocOutcome::Unknown),
+            "partial assignment must be Unknown, got a different outcome"
+        );
     }
 
     #[test]

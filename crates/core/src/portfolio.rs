@@ -63,7 +63,7 @@ pub fn schedule_portfolio(
                     restart_on_solution: true,
                     trace: opts.trace.clone(),
                     state_hash_every: opts.state_hash_every,
-                    cancel: None,
+                    cancel: opts.cancel.clone(),
                     restarts: opts.restarts,
                 };
                 (built.model, built.objective, cfg)
@@ -137,6 +137,38 @@ mod tests {
         assert_eq!(multi.makespan, single.makespan);
         let s = multi.schedule.unwrap();
         assert!(validate_structure(&g, &spec, &s).is_empty());
+    }
+
+    #[test]
+    fn portfolio_expired_deadline_returns_no_schedule() {
+        // Regression: the portfolio's per-strategy SearchConfigs used to
+        // hard-code `cancel: None`, so an already-expired deadline token
+        // passed via SchedulerOptions was silently ignored and every racer
+        // ran to its (600 s default) timeout. With the token plumbed
+        // through, all racers cancel at their first budget check and the
+        // race reports no schedule — structurally, without panicking.
+        let g = kernel();
+        let spec = ArchSpec::eit();
+        let token = eit_cp::CancelToken::with_deadline(std::time::Instant::now());
+        let t0 = std::time::Instant::now();
+        let r = schedule_portfolio(
+            &g,
+            &spec,
+            &SchedulerOptions {
+                cancel: Some(token),
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.schedule.is_none(),
+            "cancelled race must not claim a schedule"
+        );
+        assert_eq!(r.status, SearchStatus::Unknown);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "cancelled portfolio took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -92,14 +92,19 @@ pub fn schedule_config_string(opts: &SchedulerOptions) -> String {
     )
 }
 
-/// As [`schedule_config_string`], for a modulo sweep.
+/// As [`schedule_config_string`], for a modulo sweep. The decision
+/// backend (`cp`, `sat`, `race`) is part of the token: backends agree on
+/// the winning II but not on the concrete assignment, so two runs that
+/// differ only in backend are distinct computations for caching and
+/// tracing purposes.
 pub fn modulo_config_string(opts: &ModuloOptions) -> String {
     format!(
-        "mode=modulo;incl={};max_ii={};restarts={}",
+        "mode=modulo;incl={};max_ii={};restarts={};backend={}",
         u8::from(opts.include_reconfig),
         opts.max_ii.map_or_else(|| "auto".into(), |n| n.to_string()),
         opts.restarts
             .map_or_else(|| "off".into(), |rc| rc.config_token()),
+        opts.backend.as_str(),
     )
 }
 
@@ -314,18 +319,28 @@ pub fn replay_modulo(
         report.streams += 1;
         report.recorded_events += events.len();
         report.recorded_nodes += recorded_nodes_of(events);
-        let Some(pm) = build_probe(g, spec, ii as i32, opts.include_reconfig) else {
-            // Statically refuted candidate: the recorded run never
-            // searched, so its stream must be empty.
-            if !events.is_empty() {
+        let pm = match build_probe(g, spec, ii as i32, opts.include_reconfig) {
+            Ok(Some(pm)) => pm,
+            Ok(None) => {
+                // Statically refuted candidate: the recorded run never
+                // searched, so its stream must be empty.
+                if !events.is_empty() {
+                    report.ok = false;
+                    report.structure_error = Some(format!(
+                        "candidate II {ii} is statically infeasible but its stream has {} events",
+                        events.len()
+                    ));
+                    return report;
+                }
+                continue;
+            }
+            Err(e) => {
                 report.ok = false;
                 report.structure_error = Some(format!(
-                    "candidate II {ii} is statically infeasible but its stream has {} events",
-                    events.len()
+                    "candidate II {ii}: model build failed during replay: {e}"
                 ));
                 return report;
             }
-            continue;
         };
         let mut pm = pm;
         let cfg = SearchConfig {
@@ -411,9 +426,15 @@ mod tests {
             Some(rc)
         );
 
-        // Same contract for the modulo sweep.
+        // Same contract for the modulo sweep, which also keys on the
+        // decision backend (different backends produce different concrete
+        // assignments at the same II).
         let mbase = ModuloOptions::default();
-        assert!(modulo_config_string(&mbase).ends_with(";restarts=off"));
+        assert!(
+            modulo_config_string(&mbase).ends_with(";restarts=off;backend=cp"),
+            "{}",
+            modulo_config_string(&mbase)
+        );
         let mut mrestart = mbase.clone();
         mrestart.restarts = Some(eit_cp::RestartConfig::default());
         assert_ne!(
@@ -423,6 +444,10 @@ mod tests {
         let mut mnobits = mbase.clone();
         mnobits.bitset = false;
         assert_eq!(modulo_config_string(&mbase), modulo_config_string(&mnobits));
+        let mut msat = mbase.clone();
+        msat.backend = crate::modulo::Backend::Sat;
+        assert!(modulo_config_string(&msat).ends_with(";backend=sat"));
+        assert_ne!(modulo_config_string(&mbase), modulo_config_string(&msat));
     }
 
     #[test]

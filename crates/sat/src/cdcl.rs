@@ -1,0 +1,743 @@
+//! A compact CDCL solver: two-watched-literal propagation, first-UIP
+//! conflict analysis, VSIDS-lite variable activities on an indexed heap,
+//! phase saving, and Luby-sequence restarts with learnt-clause reduction
+//! at restart boundaries. No dependencies outside std.
+
+/// Variable index (0-based).
+pub type Var = u32;
+
+/// A literal: variable + sign, packed as `var << 1 | negated`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+    pub fn neg(v: Var) -> Lit {
+        Lit(v << 1 | 1)
+    }
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Lit {
+    /// DIMACS style: 1-based, minus for negation.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.is_neg() { "-" } else { "" },
+            self.var() + 1
+        )
+    }
+}
+
+/// Counters of one `solve` run (cumulative across restarts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    pub decisions: u64,
+    pub conflicts: u64,
+    pub propagations: u64,
+    pub restarts: u64,
+    pub learnt: u64,
+}
+
+/// Result of a `solve` call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    Sat,
+    Unsat,
+    /// The `should_stop` callback fired (deadline or cancellation) before
+    /// a decision either way.
+    Stopped,
+}
+
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+const UNDEF: u32 = u32::MAX;
+
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[l.idx()]`: clauses with `l` among their two watched
+    /// literals — visited when `l` becomes false.
+    watches: Vec<Vec<u32>>,
+    /// Per-var assignment: 0 = unassigned, 1 = true, -1 = false.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    heap: VarHeap,
+    /// Saved phase per var (last assigned polarity; `false` initially —
+    /// the encoding is mostly-false, so this is the productive default).
+    polarity: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    pub stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            heap: VarHeap::default(),
+            polarity: Vec::new(),
+            seen: Vec::new(),
+            unsat: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    pub fn n_vars(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(0);
+        self.level.push(0);
+        self.reason.push(UNDEF);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    fn lit_value(&self, l: Lit) -> i8 {
+        let a = self.assign[l.var() as usize];
+        if l.is_neg() {
+            -a
+        } else {
+            a
+        }
+    }
+
+    /// Model value of a variable after `SolveOutcome::Sat`. An
+    /// unconstrained variable left unassigned reads as `false`.
+    pub fn model_value(&self, v: Var) -> bool {
+        self.assign[v as usize] == 1
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Add an input clause. Must be called before `solve`. Tautologies
+    /// are dropped; literals already false at the root are stripped.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(l.var() < self.n_vars());
+            if self.lit_value(l) == 1 || c.contains(&l.negated()) {
+                return; // satisfied at root / tautology
+            }
+            if self.lit_value(l) == -1 || c.contains(&l) {
+                continue; // root-false or duplicate
+            }
+            c.push(l);
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(c[0], UNDEF) {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[c[0].idx()].push(ci);
+                self.watches[c[1].idx()].push(ci);
+                self.clauses.push(Clause {
+                    lits: c,
+                    learnt: false,
+                });
+            }
+        }
+    }
+
+    /// Assign `l` true with the given reason clause; `false` on conflict
+    /// with an existing assignment.
+    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
+        match self.lit_value(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = l.var() as usize;
+                self.assign[v] = if l.is_neg() { -1 } else { 1 };
+                self.level[v] = self.decision_level() as u32;
+                self.reason[v] = reason;
+                self.polarity[v] = !l.is_neg();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Propagate to fixpoint; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = p.negated();
+            let ws = std::mem::take(&mut self.watches[false_lit.idx()]);
+            let mut keep: Vec<u32> = Vec::with_capacity(ws.len());
+            let mut confl: Option<u32> = None;
+            'clauses: for (wi, &ci) in ws.iter().enumerate() {
+                enum Act {
+                    Rewatch(Lit),
+                    Unit(Lit),
+                    Satisfied,
+                    Conflict,
+                }
+                let act = {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                    let first = c.lits[0];
+                    let first_val = {
+                        let a = self.assign[first.var() as usize];
+                        if first.is_neg() {
+                            -a
+                        } else {
+                            a
+                        }
+                    };
+                    if first_val == 1 {
+                        Act::Satisfied
+                    } else {
+                        let mut found = None;
+                        for k in 2..c.lits.len() {
+                            let l = c.lits[k];
+                            let a = self.assign[l.var() as usize];
+                            let val = if l.is_neg() { -a } else { a };
+                            if val != -1 {
+                                found = Some(k);
+                                break;
+                            }
+                        }
+                        match found {
+                            Some(k) => {
+                                c.lits.swap(1, k);
+                                Act::Rewatch(c.lits[1])
+                            }
+                            None if first_val == -1 => Act::Conflict,
+                            None => Act::Unit(first),
+                        }
+                    }
+                };
+                match act {
+                    Act::Rewatch(w) => {
+                        self.watches[w.idx()].push(ci);
+                        continue 'clauses;
+                    }
+                    Act::Satisfied => keep.push(ci),
+                    Act::Unit(first) => {
+                        keep.push(ci);
+                        self.stats.propagations += 1;
+                        let ok = self.enqueue(first, ci);
+                        debug_assert!(ok);
+                    }
+                    Act::Conflict => {
+                        keep.push(ci);
+                        keep.extend_from_slice(&ws[wi + 1..]);
+                        confl = Some(ci);
+                        break 'clauses;
+                    }
+                }
+            }
+            self.watches[false_lit.idx()] = keep;
+            if confl.is_some() {
+                self.qhead = self.trail.len();
+                return confl;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.act_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    /// First-UIP learning. Returns the learnt clause (asserting literal
+    /// first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = UIP
+        let mut touched: Vec<Var> = Vec::new();
+        let cur_level = self.decision_level() as u32;
+        let mut counter = 0usize;
+        let mut idx = self.trail.len();
+        let mut expanding = false;
+        loop {
+            let skip = usize::from(expanding);
+            // Reason clauses keep their implied literal at position 0.
+            for li in skip..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[li];
+                let v = q.var();
+                if !self.seen[v as usize] && self.level[v as usize] > 0 {
+                    self.seen[v as usize] = true;
+                    touched.push(v);
+                    self.bump_var(v);
+                    if self.level[v as usize] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var() as usize] {
+                    break;
+                }
+            }
+            let p = self.trail[idx];
+            self.seen[p.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.negated();
+                break;
+            }
+            confl = self.reason[p.var() as usize];
+            debug_assert_ne!(confl, UNDEF, "non-decision literal must have a reason");
+            expanding = true;
+        }
+        for v in touched {
+            self.seen[v as usize] = false;
+        }
+        // Backtrack to the second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize] as usize
+        };
+        (learnt, bt)
+    }
+
+    fn cancel_until(&mut self, lvl: usize) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let lim = self.trail_lim[lvl];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v as usize] = 0;
+            self.reason[v as usize] = UNDEF;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(lvl);
+        self.qhead = lim;
+    }
+
+    /// Install a learnt clause and enqueue its asserting literal.
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learnt += 1;
+        if learnt.len() == 1 {
+            let ok = self.enqueue(learnt[0], UNDEF);
+            if !ok {
+                self.unsat = true;
+            }
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        self.watches[learnt[0].idx()].push(ci);
+        self.watches[learnt[1].idx()].push(ci);
+        let first = learnt[0];
+        self.clauses.push(Clause {
+            lits: learnt,
+            learnt: true,
+        });
+        let ok = self.enqueue(first, ci);
+        debug_assert!(ok);
+    }
+
+    /// Drop the oldest half of the long learnt clauses. Only sound at
+    /// decision level 0 (no reason above the root can dangle); watches
+    /// are rebuilt and propagation restarted from the top of the trail.
+    fn reduce_learnts(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let learnt_ids: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && c.lits.len() > 2)
+            .map(|(i, _)| i)
+            .collect();
+        let drop: std::collections::HashSet<usize> =
+            learnt_ids[..learnt_ids.len() / 2].iter().copied().collect();
+        let mut kept = Vec::with_capacity(self.clauses.len() - drop.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if !drop.contains(&i) {
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for v in 0..self.assign.len() {
+            self.reason[v] = UNDEF;
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].idx()].push(i as u32);
+            self.watches[c.lits[1].idx()].push(i as u32);
+        }
+        // Re-scan the root trail so the watch invariant is restored.
+        self.qhead = 0;
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v as usize] == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Run the CDCL loop. `should_stop` is polled periodically; when it
+    /// returns true the search stops with `SolveOutcome::Stopped`.
+    pub fn solve(&mut self, should_stop: &mut dyn FnMut() -> bool) -> SolveOutcome {
+        if self.unsat {
+            return SolveOutcome::Unsat;
+        }
+        const RESTART_BASE: u64 = 128;
+        let mut restart_num = 0u64;
+        let mut conflicts_left = luby(restart_num + 1) * RESTART_BASE;
+        let mut reduce_at = (self.clauses.len() as u64 / 2).max(4000);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                self.record_learnt(learnt);
+                if self.unsat {
+                    return SolveOutcome::Unsat;
+                }
+                self.act_inc /= 0.95;
+                conflicts_left = conflicts_left.saturating_sub(1);
+                if self.stats.conflicts.is_multiple_of(128) && should_stop() {
+                    return SolveOutcome::Stopped;
+                }
+            } else if conflicts_left == 0 {
+                restart_num += 1;
+                self.stats.restarts += 1;
+                conflicts_left = luby(restart_num + 1) * RESTART_BASE;
+                self.cancel_until(0);
+                if self.stats.learnt > reduce_at {
+                    self.reduce_learnts();
+                    reduce_at = reduce_at + reduce_at / 2;
+                }
+            } else {
+                match self.pick_branch() {
+                    None => return SolveOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        if self.stats.decisions.is_multiple_of(1024) && should_stop() {
+                            return SolveOutcome::Stopped;
+                        }
+                        self.trail_lim.push(self.trail.len());
+                        let l = if self.polarity[v as usize] {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        };
+                        let ok = self.enqueue(l, UNDEF);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
+fn luby(i: u64) -> u64 {
+    let mut i = i;
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Max-heap over variables keyed by activity, with a position index for
+/// in-place updates (the usual MiniSat order heap).
+#[derive(Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarHeap {
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if (v as usize) >= self.pos.len() {
+            self.pos.resize(v as usize + 1, NOT_IN_HEAP);
+        }
+        if self.pos[v as usize] != NOT_IN_HEAP {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        if (v as usize) < self.pos.len() && self.pos[v as usize] != NOT_IN_HEAP {
+            self.sift_up(self.pos[v as usize], act);
+        }
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[p] as usize] {
+                break;
+            }
+            self.swap(i, p);
+            i = p;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_stop() -> impl FnMut() -> bool {
+        || false
+    }
+
+    fn solver_with(n: u32, clauses: &[&[Lit]]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let p = Lit::pos;
+        let n = Lit::neg;
+        let mut s = solver_with(2, &[&[p(0), p(1)], &[n(0)]]);
+        assert_eq!(s.solve(&mut no_stop()), SolveOutcome::Sat);
+        assert!(!s.model_value(0));
+        assert!(s.model_value(1));
+
+        let mut s = solver_with(1, &[&[p(0)], &[n(0)]]);
+        assert_eq!(s.solve(&mut no_stop()), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[h][b]: pigeon h in bin b. Each pigeon somewhere; no two share.
+        let mut s = Solver::new();
+        let v: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for h in &v {
+            s.add_clause(&[h[0], h[1]]);
+        }
+        for b in 0..2 {
+            for (h1, r1) in v.iter().enumerate() {
+                for r2 in &v[h1 + 1..] {
+                    s.add_clause(&[r1[b].negated(), r2[b].negated()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&mut no_stop()), SolveOutcome::Unsat);
+        assert!(s.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn random_3cnf_agrees_with_brute_force() {
+        // Deterministic xorshift corpus; 12 vars → 4096-row truth table.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..60 {
+            let n_vars = 12u32;
+            let n_clauses = 20 + (case % 40);
+            let clauses: Vec<Vec<Lit>> = (0..n_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = (next() % n_vars as u64) as u32;
+                            if next() % 2 == 0 {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let brute_sat = (0..1u32 << n_vars).any(|m| {
+                clauses
+                    .iter()
+                    .all(|c| c.iter().any(|l| ((m >> l.var()) & 1 == 1) != l.is_neg()))
+            });
+            let mut s = Solver::new();
+            for _ in 0..n_vars {
+                s.new_var();
+            }
+            for c in &clauses {
+                s.add_clause(c);
+            }
+            let out = s.solve(&mut no_stop());
+            assert_eq!(
+                out,
+                if brute_sat {
+                    SolveOutcome::Sat
+                } else {
+                    SolveOutcome::Unsat
+                },
+                "case {case} disagrees with brute force"
+            );
+            if out == SolveOutcome::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| s.model_value(l.var()) != l.is_neg()),
+                        "case {case}: model does not satisfy {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stop_callback_interrupts() {
+        // Hard pigeonhole (7 into 6) with an immediately-true stop.
+        let mut s = Solver::new();
+        let v: Vec<Vec<Lit>> = (0..7)
+            .map(|_| (0..6).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for h in &v {
+            s.add_clause(&h.clone());
+        }
+        for b in 0..6 {
+            for (h1, r1) in v.iter().enumerate() {
+                for r2 in &v[h1 + 1..] {
+                    s.add_clause(&[r1[b].negated(), r2[b].negated()]);
+                }
+            }
+        }
+        let mut calls = 0u32;
+        let out = s.solve(&mut || {
+            calls += 1;
+            true
+        });
+        assert_eq!(out, SolveOutcome::Stopped);
+        assert!(calls >= 1);
+    }
+}

@@ -10,6 +10,9 @@
 #   benches:  per-criterion-bench mean/min ns (micro + meso groups)
 #   kernels:  per-kernel wall-clock, nodes, fails, propagations, and the
 #             domain-representation histogram from eit-run-metrics/1
+#   modulo_backends: the 39-slot QRD modulo run per decision backend
+#             (cp | sat | race): winning II, sweep wall-clock, winner
+#             attribution, and the SAT solver counters where present
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,7 +51,31 @@ EOF
   echo "   $k: done"
 done
 
-python3 - "$label" "$bench_log" "$out" $kernels_json <<'EOF'
+echo "== modulo backends: 39-slot QRD, cp vs sat vs race"
+backends_json=""
+for b in cp sat race; do
+  m="$(mktemp /tmp/eit-bench-b.XXXXXX.json)"
+  ./target/release/eitc qrd --slots 39 --modulo --backend "$b" --timeout 120 --metrics "$m" >/dev/null
+  entry="$(python3 - "$b" "$m" <<'EOF'
+import json, sys
+b, path = sys.argv[1], sys.argv[2]
+mod = json.load(open(path))["modulo"]
+row = {
+    "ii_issue": mod["ii_issue"],
+    "wall_us": mod["opt_time_us"],
+    "winner": mod["backend"],
+}
+if "sat" in mod:
+    row["sat"] = mod["sat"]
+print(json.dumps({b: row}, separators=(",", ":")))
+EOF
+)"
+  backends_json="$backends_json $entry"
+  rm -f "$m"
+  echo "   backend $b: done"
+done
+
+python3 - "$label" "$bench_log" "$out" $kernels_json '--' $backends_json <<'EOF'
 import json, re, sys
 label, log_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = {}
@@ -57,17 +84,26 @@ for line in open(log_path):
     m = pat.match(line.strip())
     if m:
         benches[m.group(1)] = {"mean_ns": int(m.group(2)), "min_ns": int(m.group(3))}
+rest = sys.argv[4:]
+split = rest.index("--")
 kernels = {}
-for blob in sys.argv[4:]:
+for blob in rest[:split]:
     kernels.update(json.loads(blob))
+modulo_backends = {}
+for blob in rest[split + 1 :]:
+    modulo_backends.update(json.loads(blob))
 doc = {
     "schema": "eit-bench-baseline/1",
     "label": label,
     "benches": benches,
     "kernels": kernels,
+    "modulo_backends": modulo_backends,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {out_path}: {len(benches)} benches, {len(kernels)} kernels")
+print(
+    f"wrote {out_path}: {len(benches)} benches, {len(kernels)} kernels, "
+    f"{len(modulo_backends)} modulo backends"
+)
 EOF

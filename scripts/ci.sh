@@ -111,6 +111,33 @@ for k in matmul fir; do
   echo "   $k --modulo: verified clean"
 done
 
+echo "== SAT-vs-CP race gate: both modulo backends agree and verify clean"
+# The CDCL/CNF sweep (eit-sat) is an independently implemented decision
+# procedure for the same modulo model: raced against CP it must land on
+# the same minimum II (sweeps are bottom-up, so the winner's II is
+# backend-independent), the winning schedule must pass both verifiers,
+# and the metrics must attribute a winner.
+satdir="$(mktemp -d /tmp/eit-sat.XXXXXX)"
+for k in matmul fir; do
+  cp_m="$satdir/$k.cp.json"; sat_m="$satdir/$k.sat.json"; race_m="$satdir/$k.race.json"
+  ./target/release/eitc "$k" --modulo --backend sat --timeout 60 --verify --metrics "$sat_m" >/dev/null
+  ./target/release/eitc "$k" --modulo --backend race --timeout 60 --verify --metrics "$race_m" >/dev/null
+  ./target/release/eitc "$k" --modulo --backend cp --timeout 60 --metrics "$cp_m" >/dev/null
+  ii_cp="$(grep -o '"ii_issue": *[0-9]*' "$cp_m" | head -1 | grep -o '[0-9]*$')"
+  ii_sat="$(grep -o '"ii_issue": *[0-9]*' "$sat_m" | head -1 | grep -o '[0-9]*$')"
+  ii_race="$(grep -o '"ii_issue": *[0-9]*' "$race_m" | head -1 | grep -o '[0-9]*$')"
+  [ "$ii_cp" = "$ii_sat" ] && [ "$ii_cp" = "$ii_race" ] \
+    || { echo "FAIL: $k backend II mismatch (cp $ii_cp, sat $ii_sat, race $ii_race)"; exit 1; }
+  grep -q '"backend": *"sat"' "$sat_m" \
+    || { echo "FAIL: $k --backend sat metrics not attributed to sat"; exit 1; }
+  grep -qE '"backend": *"(cp|sat)"' "$race_m" \
+    || { echo "FAIL: $k --backend race metrics carry no winner attribution"; exit 1; }
+  grep -q '"sat": *{' "$sat_m" \
+    || { echo "FAIL: $k --backend sat metrics carry no solver counters"; exit 1; }
+  winner="$(grep -o '"backend": *"[a-z]*"' "$race_m" | head -1 | grep -o '"[a-z]*"$')"
+  echo "   $k: cp/sat/race agree on II $ii_cp; race winner $winner"
+done
+
 echo "== ablation gate: bitset x restarts A/B on all six table kernels"
 # The two search-engine features must be pure wins on the paper kernels:
 # the hybrid bitset representation may not change the search trajectory
